@@ -1,0 +1,5 @@
+//! Ablation: width of the static initialize-phase SpMV engine.
+fn main() {
+    let datasets = acamar_datasets::suite();
+    acamar_bench::experiments::ablation_init_unroll(&datasets);
+}

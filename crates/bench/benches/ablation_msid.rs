@@ -1,0 +1,5 @@
+//! Ablation: MSID chain off vs on — reconfiguration time per SpMV pass.
+fn main() {
+    let datasets = acamar_datasets::suite();
+    acamar_bench::experiments::ablation_msid(&datasets);
+}

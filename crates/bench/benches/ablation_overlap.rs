@@ -1,0 +1,6 @@
+//! Ablation: serialized vs overlapped (double-buffered) partial
+//! reconfiguration — end-to-end modeled time.
+fn main() {
+    let datasets = acamar_datasets::suite();
+    acamar_bench::experiments::ablation_overlap(&datasets);
+}

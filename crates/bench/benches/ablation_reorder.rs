@@ -1,0 +1,5 @@
+//! Ablation: NNZ-sorted row reordering (symmetric permutation) ahead of
+//! the Fine-Grained Reconfiguration unit, on skewed stress workloads.
+fn main() {
+    acamar_bench::experiments::ablation_reorder();
+}

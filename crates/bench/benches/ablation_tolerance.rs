@@ -1,0 +1,6 @@
+//! Ablation: MSID tolerance — reconfiguration events per pass vs SpMV
+//! resource underutilization (paper Section V-D's third parameter).
+fn main() {
+    let datasets = acamar_datasets::suite();
+    acamar_bench::experiments::ablation_tolerance(&datasets);
+}

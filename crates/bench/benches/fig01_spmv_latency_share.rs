@@ -1,0 +1,6 @@
+//! Regenerates Fig. 1: the share of solver latency spent in the SpMV
+//! kernel for each converging (dataset, solver) pair.
+fn main() {
+    let datasets = acamar_datasets::suite();
+    acamar_bench::experiments::fig01(&datasets);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 2: SpMV resource underutilization of a static design
+//! as a function of the fixed unroll factor.
+fn main() {
+    let datasets = acamar_datasets::suite();
+    acamar_bench::experiments::fig02(&datasets);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 5: Dynamic SpMV Kernel reconfiguration rate against
+//! the number of MSID chain stages (rOpt).
+fn main() {
+    let datasets = acamar_datasets::suite();
+    acamar_bench::experiments::fig05(&datasets);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6: latency speedup of Acamar over the static design
+//! across the SpMV_URB sweep, with the GMEAN row.
+fn main() {
+    let datasets = acamar_datasets::suite();
+    let runs = acamar_bench::experiments::sweep(&datasets);
+    acamar_bench::experiments::fig06(&runs);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 7: improvement ratio in SpMV resource
+//! underutilization over the static design across the SpMV_URB sweep.
+fn main() {
+    let datasets = acamar_datasets::suite();
+    let runs = acamar_bench::experiments::sweep(&datasets);
+    acamar_bench::experiments::fig07(&runs);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 8: SpMV resource underutilization of Acamar vs the
+//! GTX 1650 Super model (lower is better).
+fn main() {
+    let datasets = acamar_datasets::suite();
+    acamar_bench::experiments::fig08(&datasets);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 9: achieved compute throughput as a percentage of
+//! peak — Acamar vs static design (top) and vs the GPU model (bottom).
+fn main() {
+    let datasets = acamar_datasets::suite();
+    let runs = acamar_bench::experiments::sweep(&datasets);
+    acamar_bench::experiments::fig09(&runs);
+}

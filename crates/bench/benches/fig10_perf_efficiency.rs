@@ -1,0 +1,7 @@
+//! Regenerates Fig. 10: performance efficiency (GFLOPS/mm²) of Acamar vs
+//! the static design, and the implied area saving.
+fn main() {
+    let datasets = acamar_datasets::suite();
+    let runs = acamar_bench::experiments::sweep(&datasets);
+    acamar_bench::experiments::fig10(&runs);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 11: per-pass SpMV resource underutilization and
+//! latency as the MSID chain stage count varies.
+fn main() {
+    let datasets = acamar_datasets::suite();
+    acamar_bench::experiments::fig11(&datasets);
+}

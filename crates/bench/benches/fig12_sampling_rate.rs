@@ -1,0 +1,6 @@
+//! Regenerates Fig. 12: per-pass SpMV resource underutilization against
+//! the sampling rate (post-MSID).
+fn main() {
+    let datasets = acamar_datasets::suite();
+    acamar_bench::experiments::fig12(&datasets);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 13: the per-event reconfiguration-time budget that
+//! keeps Acamar no slower than the static baseline, vs the ICAP model.
+fn main() {
+    let datasets = acamar_datasets::suite();
+    let runs = acamar_bench::experiments::sweep(&datasets);
+    acamar_bench::experiments::fig13(&runs);
+}

@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks for the software kernels: CSR SpMV across
+//! sparsity shapes, CSR↔CSC conversion (the Matrix Structure unit's
+//! symmetry test), and the MSID chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use acamar_core::MsidChain;
+use acamar_solvers::{conjugate_gradient, ConvergenceCriteria, SoftwareKernels};
+use acamar_sparse::generate::{self, RowDistribution};
+use acamar_sparse::CscMatrix;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let a = generate::random_pattern::<f32>(
+            n,
+            RowDistribution::Uniform { min: 4, max: 24 },
+            7,
+        );
+        let x = vec![1.0_f32; n];
+        let mut y = vec![0.0_f32; n];
+        g.throughput(Throughput::Elements(a.nnz() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| a.mul_vec_into(black_box(&x), black_box(&mut y)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_csr_to_csc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csr_to_csc");
+    for &n in &[1_000usize, 10_000] {
+        let a = generate::random_pattern::<f32>(
+            n,
+            RowDistribution::Uniform { min: 4, max: 24 },
+            11,
+        );
+        g.throughput(Throughput::Elements(a.nnz() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| CscMatrix::from_csr(black_box(&a)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_msid_chain(c: &mut Criterion) {
+    let factors: Vec<usize> = (0..4096).map(|i| 2 + (i * 2654435761usize) % 30).collect();
+    c.bench_function("msid_chain_8_stages_4096_sets", |b| {
+        let chain = MsidChain::new(8, 0.15);
+        b.iter(|| chain.optimize_factors(black_box(&factors)));
+    });
+}
+
+fn bench_cg_solve(c: &mut Criterion) {
+    let a = generate::poisson2d::<f32>(48, 48);
+    let rhs = vec![1.0_f32; a.nrows()];
+    let criteria = ConvergenceCriteria::paper().with_max_iterations(4000);
+    c.bench_function("cg_poisson2d_48x48", |b| {
+        b.iter(|| {
+            let mut k = SoftwareKernels::new();
+            conjugate_gradient(black_box(&a), black_box(&rhs), None, &criteria, &mut k)
+                .unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spmv, bench_csr_to_csc, bench_msid_chain, bench_cg_solve
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Headline claims of the paper's abstract / §VI, condensed from the full
+//! Acamar-vs-baseline sweep.
+fn main() {
+    let datasets = acamar_datasets::suite();
+    let runs = acamar_bench::experiments::sweep(&datasets);
+    acamar_bench::experiments::summary(&runs);
+}

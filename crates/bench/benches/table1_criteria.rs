@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table I: structural requirements on the
+//! coefficient matrix for each solver's convergence.
+fn main() {
+    acamar_bench::experiments::table1();
+}

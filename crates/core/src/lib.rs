@@ -1,0 +1,58 @@
+//! # acamar-core
+//!
+//! The Acamar accelerator (MICRO 2024): a dynamically reconfigurable
+//! design that (i) selects and, on divergence, *switches* iterative
+//! solvers for robust convergence, and (ii) reconfigures its SpMV engine's
+//! unroll factor per set of rows to minimize resource underutilization,
+//! with a Multi-Stage Iterative Decision (MSID) chain keeping the
+//! reconfiguration rate low.
+//!
+//! The units of the paper's Fig. 3 map to modules here:
+//!
+//! | Paper unit | Module |
+//! |---|---|
+//! | Matrix Structure | [`MatrixStructureUnit`] |
+//! | Row Length Trace + tBuffer | [`RowLengthTrace`], [`TBuffer`] |
+//! | MSID Chain | [`MsidChain`] |
+//! | Fine-Grained Reconfiguration | [`FineGrainedReconfigUnit`] |
+//! | Reconfigurable Solver + Dynamic SpMV Kernel | `acamar_fabric::FabricKernels` driven by the plan |
+//! | Solver Modifier | [`SolverModifier`] |
+//! | the whole accelerator | [`Acamar`] |
+//!
+//! ```
+//! use acamar_core::{Acamar, AcamarConfig};
+//! use acamar_fabric::FabricSpec;
+//! use acamar_sparse::generate;
+//!
+//! // A non-symmetric PDE problem: the Matrix Structure unit picks
+//! // BiCG-STAB; the Fine-Grained unit plans per-set unroll factors.
+//! let a = generate::convection_diffusion_2d::<f32>(16, 16, 2.0);
+//! let acamar = Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper());
+//! let report = acamar.run(&a, &vec![1.0; 256])?;
+//! assert!(report.converged());
+//! println!("solved by {} after {} switches, {:.1}% underutilization",
+//!     report.final_solver(),
+//!     report.solver_switches(),
+//!     100.0 * report.stats.spmv.underutilization());
+//! # Ok::<(), acamar_sparse::SparseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod acamar;
+mod config;
+mod fine_grained;
+pub mod metrics;
+mod msid;
+mod solver_modifier;
+mod structure_unit;
+mod trace;
+
+pub use acamar::{Acamar, AcamarRunReport, SolveAttempt};
+pub use config::AcamarConfig;
+pub use fine_grained::{FineGrainedPlan, FineGrainedReconfigUnit};
+pub use msid::MsidChain;
+pub use solver_modifier::SolverModifier;
+pub use structure_unit::{MatrixStructureUnit, StructureDecision};
+pub use trace::{RowLengthTrace, TBuffer};

@@ -1,0 +1,518 @@
+//! The Table II dataset suite.
+
+use acamar_sparse::generate::{self, RowDistribution};
+use acamar_sparse::CsrMatrix;
+
+/// Structural class of a synthetic dataset — determines which generator
+/// builds its matrix and thereby its per-solver convergence behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StructuralClass {
+    /// Strictly diagonally dominant, symmetric positive definite: all
+    /// three solvers converge (✓ ✓ ✓).
+    DominantSpd {
+        /// Off-diagonal NNZ/row distribution.
+        dist: RowDistribution,
+    },
+    /// SPD but `2D - A` indefinite: Jacobi diverges, CG/BiCG-STAB
+    /// converge (✗ ✓ ✓).
+    JacobiDivergentSpd {
+        /// Intra-block coupling in `(0.5, 1)`.
+        coupling: f64,
+        /// Weak long-range entries per row (sparsity-shape realism).
+        extra_per_row: usize,
+    },
+    /// Strictly diagonally dominant but non-symmetric: Jacobi and
+    /// BiCG-STAB converge, CG fails (✓ ✗ ✓).
+    DominantNonsymmetric {
+        /// Off-diagonal NNZ/row distribution.
+        dist: RowDistribution,
+        /// Dominance factor (> 1). Kept close to 1 for dense-row
+        /// datasets: a huge diagonal makes the matrix effectively
+        /// near-symmetric and lets CG converge despite the asymmetry.
+        dominance: f64,
+    },
+    /// Centered convection–diffusion at cell Péclet > 2: only BiCG-STAB
+    /// converges (✗ ✗ ✓).
+    HighPecletConvection {
+        /// Cell Péclet number (> 2 for the hard regime).
+        peclet: f64,
+    },
+    /// Symmetric indefinite with a spread spectrum: only Jacobi converges
+    /// (✓ ✗ ✗) — dominance holds, CG breaks down, f32 BiCG-STAB
+    /// stagnates.
+    IndefiniteSpread {
+        /// Spectrum spread (condition-like factor).
+        cond: f64,
+    },
+    /// SPD, ill-conditioned, Jacobi-divergent: only CG converges in f32
+    /// (✗ ✓ ✗) — the `beircuit` row.
+    IllConditionedSpd {
+        /// Condition-number target.
+        cond: f64,
+    },
+    /// 3D Poisson FDM operator (✓ ✓ ✓).
+    Poisson3d {
+        /// Grid side (matrix dimension is `side³`).
+        side: usize,
+    },
+    /// Shifted grid-graph Laplacian (✓ ✓ ✓) — circuit-style.
+    ShiftedGridLaplacian {
+        /// Grid side.
+        side: usize,
+        /// Diagonal shift (> 0 for strict dominance).
+        shift: f64,
+    },
+}
+
+/// Expected Table II convergence triple (JB, CG, BiCG-STAB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExpectedConvergence {
+    /// Jacobi converges.
+    pub jacobi: bool,
+    /// CG converges.
+    pub cg: bool,
+    /// BiCG-STAB converges.
+    pub bicgstab: bool,
+}
+
+impl ExpectedConvergence {
+    /// Formats as the paper's ✓/✗ triple.
+    pub fn marks(&self) -> String {
+        let m = |b: bool| if b { "✓" } else { "✗" };
+        format!("{} {} {}", m(self.jacobi), m(self.cg), m(self.bicgstab))
+    }
+}
+
+/// A synthetic analog of one Table II dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// The paper's two-letter ID (e.g. `"2C"`).
+    pub id: &'static str,
+    /// The SuiteSparse matrix name it stands in for.
+    pub name: &'static str,
+    /// The original dimension as printed in Table II.
+    pub paper_dim: &'static str,
+    /// The original sparsity as printed in Table II.
+    pub paper_sparsity: &'static str,
+    /// Dimension of the synthetic analog.
+    pub dim: usize,
+    /// Structural class driving generation.
+    pub class: StructuralClass,
+    /// The paper's convergence triple for this row.
+    pub expected: ExpectedConvergence,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Dataset {
+    /// Generates the matrix in `f64`.
+    pub fn matrix_f64(&self) -> CsrMatrix<f64> {
+        match self.class {
+            StructuralClass::DominantSpd { dist } => {
+                generate::spd_from_pattern(self.dim, dist, 0.3, self.seed)
+            }
+            StructuralClass::JacobiDivergentSpd {
+                coupling,
+                extra_per_row,
+            } => generate::jacobi_divergent_spd(self.dim, coupling, extra_per_row, 0.01, self.seed),
+            StructuralClass::DominantNonsymmetric { dist, dominance } => {
+                generate::diagonally_dominant(self.dim, dist, dominance, self.seed)
+            }
+            StructuralClass::HighPecletConvection { peclet } => {
+                let side = (self.dim as f64).sqrt().round() as usize;
+                generate::convection_diffusion_2d_centered(side, side, peclet)
+            }
+            StructuralClass::IndefiniteSpread { cond } => {
+                generate::spread_spectrum_blocks(self.dim, 0.3, cond, true, self.seed)
+            }
+            StructuralClass::IllConditionedSpd { cond } => {
+                generate::spread_spectrum_blocks(self.dim, 0.7, cond, false, self.seed)
+            }
+            StructuralClass::Poisson3d { side } => generate::poisson3d(side, side, side),
+            StructuralClass::ShiftedGridLaplacian { side, shift } => {
+                generate::grid_laplacian(side, side, shift)
+            }
+        }
+    }
+
+    /// Generates the matrix in the paper's compute precision (`f32`).
+    pub fn matrix(&self) -> CsrMatrix<f32> {
+        self.matrix_f64().cast()
+    }
+
+    /// The right-hand side used for this dataset (all ones, the usual
+    /// benchmark choice).
+    pub fn rhs(&self) -> Vec<f32> {
+        vec![1.0; self.matrix_rows()]
+    }
+
+    /// Rows of the generated matrix (accounts for grid-derived classes
+    /// whose dimension is rounded).
+    pub fn matrix_rows(&self) -> usize {
+        match self.class {
+            StructuralClass::HighPecletConvection { .. } => {
+                let side = (self.dim as f64).sqrt().round() as usize;
+                side * side
+            }
+            StructuralClass::Poisson3d { side } => side * side * side,
+            StructuralClass::ShiftedGridLaplacian { side, .. } => side * side,
+            _ => self.dim,
+        }
+    }
+}
+
+/// The 25 Table II datasets, in the paper's row order.
+pub fn suite() -> Vec<Dataset> {
+    use StructuralClass::*;
+    let yes = |jacobi, cg, bicgstab| ExpectedConvergence {
+        jacobi,
+        cg,
+        bicgstab,
+    };
+    let uni = |min, max| RowDistribution::Uniform { min, max };
+    vec![
+        Dataset {
+            id: "2C",
+            name: "2cubes_sphere",
+            paper_dim: "101K",
+            paper_sparsity: "0.016",
+            dim: 1500,
+            class: JacobiDivergentSpd { coupling: 0.70, extra_per_row: 3 },
+            expected: yes(false, true, true),
+            seed: 0x2C01,
+        },
+        Dataset {
+            id: "Of",
+            name: "offshore",
+            paper_dim: "259K",
+            paper_sparsity: "0.0063",
+            dim: 1800,
+            class: JacobiDivergentSpd { coupling: 0.75, extra_per_row: 5 },
+            expected: yes(false, true, true),
+            seed: 0x0F02,
+        },
+        Dataset {
+            id: "Wi",
+            name: "windtunnel_evap3d",
+            paper_dim: "40K",
+            paper_sparsity: "0.1426",
+            dim: 1200,
+            class: DominantNonsymmetric { dist: uni(24, 40), dominance: 1.15 },
+            expected: yes(true, false, true),
+            seed: 0x5703,
+        },
+        Dataset {
+            id: "If",
+            name: "ifiss_mat",
+            paper_dim: "96K",
+            paper_sparsity: "0.0388",
+            dim: 1600, // 40x40 grid
+            class: HighPecletConvection { peclet: 4.0 },
+            expected: yes(false, false, true),
+            seed: 0x1F04,
+        },
+        Dataset {
+            id: "Wa",
+            name: "wang3",
+            paper_dim: "177K",
+            paper_sparsity: "8.3e-5",
+            dim: 1700,
+            class: DominantSpd { dist: uni(3, 9) },
+            expected: yes(true, true, true),
+            seed: 0x5A05,
+        },
+        Dataset {
+            id: "Fe",
+            name: "fe_rotor",
+            paper_dim: "99K",
+            paper_sparsity: "5.6e-6",
+            dim: 1500,
+            class: IndefiniteSpread { cond: 1e4 },
+            expected: yes(true, false, false),
+            seed: 0xFE06,
+        },
+        Dataset {
+            id: "Eb",
+            name: "epb3",
+            paper_dim: "84K",
+            paper_sparsity: "0.0065",
+            dim: 1400,
+            class: DominantNonsymmetric { dist: uni(2, 8), dominance: 1.4 },
+            expected: yes(true, false, true),
+            seed: 0xEB07,
+        },
+        Dataset {
+            id: "Qa",
+            name: "qa8fm",
+            paper_dim: "66K",
+            paper_sparsity: "0.038",
+            dim: 1300,
+            class: JacobiDivergentSpd { coupling: 0.65, extra_per_row: 8 },
+            expected: yes(false, true, true),
+            seed: 0x0A08,
+        },
+        Dataset {
+            id: "Th",
+            name: "thermomech_TC",
+            paper_dim: "711K",
+            paper_sparsity: "0.0068",
+            dim: 2400,
+            class: JacobiDivergentSpd { coupling: 0.70, extra_per_row: 2 },
+            expected: yes(false, true, true),
+            seed: 0x7C09,
+        },
+        Dataset {
+            id: "Bc",
+            name: "beircuit",
+            paper_dim: "375K",
+            paper_sparsity: "4.8e-5",
+            dim: 1200,
+            class: IllConditionedSpd { cond: 1e9 },
+            expected: yes(false, true, false),
+            seed: 0xBC0A,
+        },
+        Dataset {
+            id: "Sd",
+            name: "sd2010",
+            paper_dim: "88K",
+            paper_sparsity: "5.2e-5",
+            dim: 1400,
+            class: IndefiniteSpread { cond: 1e3 },
+            expected: yes(true, false, false),
+            seed: 0x5D0B,
+        },
+        Dataset {
+            id: "Li",
+            name: "light_in_tissue",
+            paper_dim: "29K",
+            paper_sparsity: "0.0474",
+            dim: 1100,
+            class: DominantSpd { dist: uni(10, 24) },
+            expected: yes(true, true, true),
+            seed: 0x110C,
+        },
+        Dataset {
+            id: "Po",
+            name: "poisson3Db",
+            paper_dim: "85K",
+            paper_sparsity: "0.032",
+            dim: 1728,
+            class: Poisson3d { side: 12 },
+            expected: yes(true, true, true),
+            seed: 0x700D,
+        },
+        Dataset {
+            id: "Cr",
+            name: "crystm03",
+            paper_dim: "583K",
+            paper_sparsity: "0.0957",
+            dim: 2100,
+            class: JacobiDivergentSpd { coupling: 0.80, extra_per_row: 6 },
+            expected: yes(false, true, true),
+            seed: 0xC20E,
+        },
+        Dataset {
+            id: "At",
+            name: "atmosmodm",
+            paper_dim: "1.4M",
+            paper_sparsity: "0.0005",
+            dim: 2500,
+            class: DominantSpd { dist: uni(2, 6) },
+            expected: yes(true, true, true),
+            seed: 0xA70F,
+        },
+        Dataset {
+            id: "Mo",
+            name: "mono_500Hz",
+            paper_dim: "169K",
+            paper_sparsity: "0.0175",
+            dim: 1600,
+            class: DominantSpd { dist: uni(8, 30) },
+            expected: yes(true, true, true),
+            seed: 0x3010,
+        },
+        Dataset {
+            id: "Ct",
+            name: "cti",
+            paper_dim: "16K",
+            paper_sparsity: "1.8e-4",
+            dim: 900,
+            class: IndefiniteSpread { cond: 1e4 },
+            expected: yes(true, false, false),
+            seed: 0xC711,
+        },
+        Dataset {
+            id: "Ns",
+            name: "ns3Da",
+            paper_dim: "1.67M",
+            paper_sparsity: "7.2e-7",
+            dim: 2500, // 50x50 grid
+            class: HighPecletConvection { peclet: 5.0 },
+            expected: yes(false, false, true),
+            seed: 0x4512,
+        },
+        Dataset {
+            id: "Fi",
+            name: "finan512",
+            paper_dim: "74K",
+            paper_sparsity: "0.0107",
+            dim: 1300,
+            class: DominantSpd {
+                dist: RowDistribution::Bimodal {
+                    low: 3,
+                    high: 50,
+                    high_fraction: 0.05,
+                },
+            },
+            expected: yes(true, true, true),
+            seed: 0xF113,
+        },
+        Dataset {
+            id: "G2",
+            name: "G2_circuit",
+            paper_dim: "150K",
+            paper_sparsity: "2.8e-5",
+            dim: 1600, // 40x40 grid
+            class: ShiftedGridLaplacian { side: 40, shift: 0.5 },
+            expected: yes(true, true, true),
+            seed: 0x6214,
+        },
+        Dataset {
+            id: "Ga",
+            name: "GaAsH6",
+            paper_dim: "3.3M",
+            paper_sparsity: "5.3e-8",
+            dim: 2700,
+            class: JacobiDivergentSpd { coupling: 0.72, extra_per_row: 12 },
+            expected: yes(false, true, true),
+            seed: 0x6A15,
+        },
+        Dataset {
+            id: "Si",
+            name: "Si343H6",
+            paper_dim: "5.1M",
+            paper_sparsity: "0.016",
+            dim: 3000,
+            class: JacobiDivergentSpd { coupling: 0.68, extra_per_row: 16 },
+            expected: yes(false, true, true),
+            seed: 0x5116,
+        },
+        Dataset {
+            id: "To",
+            name: "torso2",
+            paper_dim: "1M",
+            paper_sparsity: "1.1e-5",
+            dim: 2500,
+            class: DominantSpd { dist: uni(4, 12) },
+            expected: yes(true, true, true),
+            seed: 0x7017,
+        },
+        Dataset {
+            id: "Ci",
+            name: "cit-HepPh",
+            paper_dim: "27K",
+            paper_sparsity: "1.9e-5",
+            dim: 1000,
+            class: IndefiniteSpread { cond: 3e3 },
+            expected: yes(true, false, false),
+            seed: 0xC118,
+        },
+        Dataset {
+            id: "Tf",
+            name: "Trefethen_20000",
+            paper_dim: "20K",
+            paper_sparsity: "0.0014",
+            dim: 1000,
+            class: JacobiDivergentSpd { coupling: 0.78, extra_per_row: 4 },
+            expected: yes(false, true, true),
+            seed: 0x7F19,
+        },
+    ]
+}
+
+/// Looks a dataset up by its two-letter ID.
+pub fn by_id(id: &str) -> Option<Dataset> {
+    suite().into_iter().find(|d| d.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_25_rows_in_paper_order() {
+        let s = suite();
+        assert_eq!(s.len(), 25);
+        assert_eq!(s[0].id, "2C");
+        assert_eq!(s[24].id, "Tf");
+        // IDs are unique
+        let mut ids: Vec<_> = s.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 25);
+    }
+
+    #[test]
+    fn expected_triples_match_table2_counts() {
+        let s = suite();
+        let all3 = s
+            .iter()
+            .filter(|d| d.expected.jacobi && d.expected.cg && d.expected.bicgstab)
+            .count();
+        assert_eq!(all3, 8, "✓✓✓ rows");
+        let cg_only_fails = s
+            .iter()
+            .filter(|d| d.expected.jacobi && !d.expected.cg && d.expected.bicgstab)
+            .count();
+        assert_eq!(cg_only_fails, 2, "✓✗✓ rows");
+        let jacobi_fails = s
+            .iter()
+            .filter(|d| !d.expected.jacobi && d.expected.cg && d.expected.bicgstab)
+            .count();
+        assert_eq!(jacobi_fails, 8, "✗✓✓ rows");
+        let bicg_only = s
+            .iter()
+            .filter(|d| !d.expected.jacobi && !d.expected.cg && d.expected.bicgstab)
+            .count();
+        assert_eq!(bicg_only, 2, "✗✗✓ rows");
+        let jb_only = s
+            .iter()
+            .filter(|d| d.expected.jacobi && !d.expected.cg && !d.expected.bicgstab)
+            .count();
+        assert_eq!(jb_only, 4, "✓✗✗ rows");
+        let cg_only = s
+            .iter()
+            .filter(|d| !d.expected.jacobi && d.expected.cg && !d.expected.bicgstab)
+            .count();
+        assert_eq!(cg_only, 1, "✗✓✗ rows");
+    }
+
+    #[test]
+    fn matrices_generate_with_consistent_dims() {
+        for d in suite() {
+            let m = d.matrix();
+            assert_eq!(m.nrows(), d.matrix_rows(), "{}", d.name);
+            assert_eq!(m.nrows(), m.ncols(), "{}", d.name);
+            assert!(m.nnz() > 0, "{}", d.name);
+            assert_eq!(d.rhs().len(), m.nrows());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = by_id("Wa").unwrap().matrix();
+        let b = by_id("Wa").unwrap().matrix();
+        assert_eq!(a, b);
+        assert!(by_id("zz").is_none());
+    }
+
+    #[test]
+    fn marks_format() {
+        let e = ExpectedConvergence {
+            jacobi: true,
+            cg: false,
+            bicgstab: true,
+        };
+        assert_eq!(e.marks(), "✓ ✗ ✓");
+    }
+}

@@ -1,0 +1,32 @@
+//! # acamar-datasets
+//!
+//! Synthetic analogs of the 25 SuiteSparse matrices the Acamar paper
+//! evaluates (Table II). Each [`Dataset`] carries the paper's metadata
+//! (ID, name, original dimension/sparsity), the *structural class* that
+//! drives its generator, and the paper's expected JB/CG/BiCG-STAB
+//! convergence triple; [`verify::measure_triple`] re-measures that triple
+//! by actually running the solvers in the paper's `f32` precision.
+//!
+//! Why synthetic: the reproduction has no access to the SuiteSparse
+//! collection, and Table II's behavior depends only on structural
+//! properties (diagonal dominance, symmetry, definiteness, spectrum
+//! spread) that the generators in `acamar_sparse::generate` control
+//! directly. See DESIGN.md §2 for the substitution argument.
+//!
+//! ```
+//! use acamar_datasets::{by_id, verify};
+//!
+//! let d = by_id("Wa").unwrap(); // wang3: ✓ ✓ ✓
+//! let measured = verify::measure_triple(&d);
+//! assert!(measured.matches(&d));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dataset;
+pub mod stress;
+pub mod verify;
+
+pub use dataset::{by_id, suite, Dataset, ExpectedConvergence, StructuralClass};
+pub use stress::{stress_suite, StressKind, StressWorkload};

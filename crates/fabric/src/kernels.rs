@@ -1,0 +1,658 @@
+//! [`FabricKernels`]: the hardware-modeling kernel executor.
+//!
+//! Runs the solver algorithms numerically (bit-identical to
+//! [`SoftwareKernels`](acamar_solvers::SoftwareKernels)) while charging
+//! cycles, MAC-slot utilization, reconfiguration time, and area to a
+//! behavioral model of the paper's accelerator datapath.
+
+use crate::cost::{
+    dense_vector_unit, spmv_engine, DENSE_VECTOR_WIDTH, PIPELINE_DEPTH, REDUCTION_LATENCY,
+};
+use crate::reconfig::{ReconfigController, RegionKind};
+use crate::spec::{FabricSpec, ResourceVector};
+use crate::spmv::{execute_rows, SpmvExecution};
+use crate::trace::{ExecutionTrace, TraceEvent};
+use acamar_solvers::{Kernels, OpCounts, Phase};
+use acamar_sparse::{CsrMatrix, Scalar};
+use std::ops::Range;
+
+/// Fixed cycle overhead per dense kernel invocation (argument setup,
+/// pipeline ramp for short vector loops).
+const DENSE_OVERHEAD: u64 = 8;
+
+/// One contiguous row range executed at a fixed unroll factor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// Rows covered by this entry.
+    pub rows: Range<usize>,
+    /// MAC lanes configured while streaming those rows.
+    pub unroll: usize,
+}
+
+/// Per-set unroll-factor plan for the Dynamic SpMV Kernel.
+///
+/// Produced by Acamar's Fine-Grained Reconfiguration unit (or
+/// [`UnrollSchedule::uniform`] for a static baseline) and consumed by
+/// [`FabricKernels`]: each loop-phase SpMV walks the entries in order,
+/// reconfiguring the nested DFX region whenever the unroll factor changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnrollSchedule {
+    entries: Vec<ScheduleEntry>,
+}
+
+impl UnrollSchedule {
+    /// A single-entry schedule covering `nrows` rows at `unroll` — the
+    /// static baseline configuration (`SpMV_URB`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unroll == 0`.
+    pub fn uniform(nrows: usize, unroll: usize) -> Self {
+        assert!(unroll > 0, "unroll factor must be positive");
+        UnrollSchedule {
+            entries: vec![ScheduleEntry {
+                rows: 0..nrows,
+                unroll,
+            }],
+        }
+    }
+
+    /// Builds a schedule from entries, validating contiguous coverage of
+    /// `0..nrows` and positive unroll factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries do not tile `0..nrows` contiguously or any unroll
+    /// factor is zero.
+    pub fn from_entries(nrows: usize, entries: Vec<ScheduleEntry>) -> Self {
+        let mut next = 0usize;
+        for e in &entries {
+            assert_eq!(e.rows.start, next, "schedule entries must be contiguous");
+            assert!(e.rows.end >= e.rows.start, "bad entry range");
+            assert!(e.unroll > 0, "unroll factor must be positive");
+            next = e.rows.end;
+        }
+        assert_eq!(next, nrows, "schedule must cover all rows");
+        UnrollSchedule { entries }
+    }
+
+    /// The schedule entries in row order.
+    pub fn entries(&self) -> &[ScheduleEntry] {
+        &self.entries
+    }
+
+    /// Number of unroll-factor *changes* while walking the schedule once
+    /// (the per-pass reconfiguration count, assuming the engine already
+    /// holds the first entry's configuration).
+    pub fn changes_per_pass(&self) -> usize {
+        self.entries
+            .windows(2)
+            .filter(|w| w[0].unroll != w[1].unroll)
+            .count()
+    }
+
+    /// Largest unroll factor in the schedule (sizes the DFX region).
+    pub fn max_unroll(&self) -> usize {
+        self.entries.iter().map(|e| e.unroll).max().unwrap_or(1)
+    }
+}
+
+/// Cycle totals by activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Cycles in the SpMV engine (issue + row overhead + pipeline fill).
+    pub spmv: u64,
+    /// Cycles in the dense vector units.
+    pub dense: u64,
+    /// Cycles streaming partial bitstreams through ICAP.
+    pub reconfig: u64,
+}
+
+impl CycleBreakdown {
+    /// All cycles.
+    pub fn total(&self) -> u64 {
+        self.spmv + self.dense + self.reconfig
+    }
+
+    /// Compute-only cycles (excluding reconfiguration).
+    pub fn compute(&self) -> u64 {
+        self.spmv + self.dense
+    }
+
+    /// Fraction of compute cycles spent in SpMV (the paper's Fig. 1).
+    pub fn spmv_share(&self) -> f64 {
+        if self.compute() == 0 {
+            0.0
+        } else {
+            self.spmv as f64 / self.compute() as f64
+        }
+    }
+}
+
+/// Statistics extracted from a finished [`FabricKernels`] run.
+#[derive(Debug, Clone)]
+pub struct FabricRunStats {
+    /// Cycle totals.
+    pub cycles: CycleBreakdown,
+    /// Aggregate loop-phase SpMV execution (drives Eq. 5 utilization).
+    pub spmv: SpmvExecution,
+    /// Aggregate initialize-phase SpMV execution (static engine).
+    pub init_spmv: SpmvExecution,
+    /// Peak-capacity FLOPs of the engaged units over compute cycles
+    /// (denominator of achieved-throughput, Fig. 9).
+    pub capacity_flops: f64,
+    /// Useful FLOPs executed.
+    pub useful_flops: u64,
+    /// SpMV-kernel reconfiguration events.
+    pub spmv_reconfig_events: usize,
+    /// Time-weighted area of the instantiated logic, mm² (dense units +
+    /// whichever SpMV engine was loaded, weighted by compute cycles).
+    pub avg_area_mm2: f64,
+    /// Peak instantiated area, mm².
+    pub peak_area_mm2: f64,
+    /// Whether the initialize phase used its static SpMV engine.
+    pub used_init_spmv: bool,
+}
+
+impl FabricRunStats {
+    /// Achieved fraction of peak throughput over compute cycles, in
+    /// `[0, 1]` (Fig. 9).
+    pub fn achieved_throughput(&self) -> f64 {
+        if self.capacity_flops == 0.0 {
+            0.0
+        } else {
+            (self.useful_flops as f64 / self.capacity_flops).min(1.0)
+        }
+    }
+}
+
+/// Hardware-modeling kernel executor for one solve on the fabric.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_fabric::{FabricKernels, FabricSpec, UnrollSchedule};
+/// use acamar_solvers::{conjugate_gradient, ConvergenceCriteria};
+/// use acamar_sparse::generate;
+///
+/// let a = generate::poisson2d::<f32>(8, 8);
+/// let schedule = UnrollSchedule::uniform(a.nrows(), 4);
+/// let mut hw = FabricKernels::new(FabricSpec::alveo_u55c(), schedule, 4);
+/// let report = conjugate_gradient(&a, &vec![1.0; 64], None,
+///     &ConvergenceCriteria::paper(), &mut hw)?;
+/// assert!(report.converged());
+/// let stats = hw.finish();
+/// assert!(stats.cycles.spmv_share() > 0.3); // SpMV dominates (Fig. 1)
+/// # Ok::<(), acamar_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FabricKernels {
+    spec: FabricSpec,
+    schedule: UnrollSchedule,
+    init_unroll: usize,
+    phase: Phase,
+    /// Unroll factor currently loaded in the nested DFX region.
+    current_unroll: Option<usize>,
+    counts: OpCounts,
+    cycles: CycleBreakdown,
+    reconfig: ReconfigController,
+    spmv_agg: SpmvExecution,
+    init_spmv_agg: SpmvExecution,
+    capacity_flops: f64,
+    /// Σ engine-area x spmv-cycles, for time-weighted area.
+    area_cycle_product: f64,
+    peak_engine_area: f64,
+    used_init_spmv: bool,
+    overlap_reconfig: bool,
+    last_segment_cycles: u64,
+    trace: Option<ExecutionTrace>,
+}
+
+impl FabricKernels {
+    /// Creates an executor with the given loop-phase `schedule` and a
+    /// static initialize-phase engine of `init_unroll` lanes.
+    ///
+    /// The nested DFX region is assumed pre-loaded with the schedule's
+    /// first configuration (the host writes it together with the solver
+    /// bitstream), so the first pass pays `changes_per_pass()` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init_unroll == 0`.
+    pub fn new(spec: FabricSpec, schedule: UnrollSchedule, init_unroll: usize) -> Self {
+        assert!(init_unroll > 0, "init unroll must be positive");
+        let first = schedule.entries().first().map(|e| e.unroll);
+        let reconfig = ReconfigController::new(spec.clone());
+        FabricKernels {
+            spec,
+            schedule,
+            init_unroll,
+            phase: Phase::Initialize,
+            current_unroll: first,
+            counts: OpCounts::default(),
+            cycles: CycleBreakdown::default(),
+            reconfig,
+            spmv_agg: SpmvExecution::default(),
+            init_spmv_agg: SpmvExecution::default(),
+            capacity_flops: 0.0,
+            area_cycle_product: 0.0,
+            peak_engine_area: 0.0,
+            used_init_spmv: false,
+            overlap_reconfig: false,
+            last_segment_cycles: 0,
+            trace: None,
+        }
+    }
+
+    /// Enables a cycle-stamped execution trace holding up to
+    /// `max_events` records (see [`ExecutionTrace`]).
+    pub fn with_trace(mut self, max_events: usize) -> Self {
+        self.trace = Some(ExecutionTrace::with_capacity(max_events));
+        self
+    }
+
+    /// The execution trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&ExecutionTrace> {
+        self.trace.as_ref()
+    }
+
+    fn record(&mut self, e: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(e);
+        }
+    }
+
+    /// Enables double-buffered (overlapped) partial reconfiguration: the
+    /// bitstream for the next set streams through ICAP *while* the current
+    /// set computes, so only the portion of the ICAP time exceeding the
+    /// previous segment's compute stalls the pipeline. An extension beyond
+    /// the paper's design (which serializes reconfiguration), useful for
+    /// the `ablation_overlap` experiment.
+    pub fn with_overlap(mut self, enabled: bool) -> Self {
+        self.overlap_reconfig = enabled;
+        self
+    }
+
+    /// Replaces the loop-phase schedule (used by the Solver Modifier when
+    /// it restarts with a different solver on the same matrix).
+    pub fn set_schedule(&mut self, schedule: UnrollSchedule) {
+        self.current_unroll = schedule.entries().first().map(|e| e.unroll);
+        self.schedule = schedule;
+    }
+
+    /// Charges a reconfiguration of the *outer* solver region holding
+    /// `module` (Acamar's Solver Decision loop).
+    pub fn charge_solver_reconfig(&mut self, module: &ResourceVector) {
+        let cycles = self.reconfig.reconfigure(RegionKind::Solver, module);
+        self.cycles.reconfig += cycles;
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &FabricSpec {
+        &self.spec
+    }
+
+    /// The reconfiguration event log.
+    pub fn reconfig_controller(&self) -> &ReconfigController {
+        &self.reconfig
+    }
+
+    /// Current cycle totals (also available from [`FabricKernels::finish`]).
+    pub fn cycles(&self) -> CycleBreakdown {
+        self.cycles
+    }
+
+    /// Finalizes the run and returns its statistics.
+    pub fn finish(self) -> FabricRunStats {
+        let dense_area = self.spec.area_mm2(&dense_vector_unit());
+        let control_area = self.spec.area_mm2(&crate::cost::solver_control_unit());
+        let init_area = if self.used_init_spmv {
+            self.spec.area_mm2(&spmv_engine(self.init_unroll))
+        } else {
+            0.0
+        };
+        let compute_cycles = self.cycles.compute().max(1) as f64;
+        // Dense + control units are resident for the whole run; the
+        // dynamic engine contributes its time-weighted area; cycles where
+        // no engine ran (pure dense work) re-use the last loaded engine,
+        // approximated by weighting only spmv cycles.
+        let avg_engine_area = self.area_cycle_product / compute_cycles;
+        let resident = dense_area + control_area + init_area;
+        let avg_area = resident + avg_engine_area.max(self.idle_engine_area());
+        let peak_area = resident + self.peak_engine_area.max(self.idle_engine_area());
+        FabricRunStats {
+            cycles: self.cycles,
+            spmv: self.spmv_agg,
+            init_spmv: self.init_spmv_agg,
+            capacity_flops: self.capacity_flops,
+            useful_flops: self.counts.total_flops(),
+            spmv_reconfig_events: self.reconfig.count(RegionKind::SpmvKernel),
+            avg_area_mm2: avg_area,
+            peak_area_mm2: peak_area,
+            used_init_spmv: self.used_init_spmv,
+        }
+    }
+
+    /// Area of the engine sitting (idle or busy) in the DFX region between
+    /// SpMV calls: the last loaded configuration, or the first scheduled.
+    fn idle_engine_area(&self) -> f64 {
+        match self.current_unroll {
+            Some(u) => self.spec.area_mm2(&spmv_engine(u)),
+            None => 0.0,
+        }
+    }
+
+    fn charge_dense(&mut self, n: usize, flops_per_elem: u64, reduction: bool) {
+        let w = DENSE_VECTOR_WIDTH as u64;
+        let mut cyc = (n as u64).div_ceil(w) + DENSE_OVERHEAD;
+        if reduction {
+            cyc += REDUCTION_LATENCY;
+        }
+        self.cycles.dense += cyc;
+        self.capacity_flops += cyc as f64 * 2.0 * w as f64;
+        self.counts.dense_calls += 1;
+        self.counts.dense_flops += flops_per_elem * n as u64;
+    }
+
+    fn run_engine(&mut self, a: &CsrMatrix<impl Scalar>, rows: Range<usize>, unroll: usize) {
+        let exec = execute_rows(a, rows, unroll, &self.spec);
+        self.cycles.spmv += exec.cycles;
+        // Peak capacity counts *issued* MAC slots (2 FLOPs each), matching
+        // the paper's Eq. 5 utilization view: row-transition and memory
+        // stall cycles are latency, not wasted compute slots.
+        self.capacity_flops += exec.slots_issued as f64 * 2.0;
+        let engine_area = self.spec.area_mm2(&spmv_engine(unroll));
+        self.area_cycle_product += engine_area * exec.cycles as f64;
+        self.peak_engine_area = self.peak_engine_area.max(engine_area);
+        match self.phase {
+            Phase::Initialize => self.init_spmv_agg = self.init_spmv_agg.merge(&exec),
+            Phase::Loop => self.spmv_agg = self.spmv_agg.merge(&exec),
+        }
+    }
+}
+
+impl<T: Scalar> Kernels<T> for FabricKernels {
+    fn spmv(&mut self, a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
+        a.mul_vec_into(x, y).expect("spmv shape mismatch");
+        self.counts.spmv_calls += 1;
+        self.counts.spmv_nnz_processed += a.nnz() as u64;
+        self.counts.spmv_flops += 2 * a.nnz() as u64;
+        self.cycles.spmv += PIPELINE_DEPTH;
+
+        match self.phase {
+            Phase::Initialize => {
+                // Static un-reconfigured engine (paper §IV-B, Initialize
+                // unit): one pass at the fixed init unroll factor.
+                self.used_init_spmv = true;
+                self.run_engine(a, 0..a.nrows(), self.init_unroll);
+            }
+            Phase::Loop => {
+                // Dynamic SpMV Kernel: walk the schedule, reconfiguring
+                // the nested region on unroll changes.
+                let entries: Vec<ScheduleEntry> = self.schedule.entries().to_vec();
+                for e in entries {
+                    if e.rows.end > a.nrows() {
+                        // Defensive clamp: schedules are built for A, and
+                        // Jacobi's iteration matrix T has the same shape.
+                        continue;
+                    }
+                    if self.current_unroll != Some(e.unroll) {
+                        let cycles = self
+                            .reconfig
+                            .reconfigure(RegionKind::SpmvKernel, &spmv_engine(e.unroll));
+                        let stall = if self.overlap_reconfig {
+                            cycles.saturating_sub(self.last_segment_cycles)
+                        } else {
+                            cycles
+                        };
+                        let at = self.cycles.total();
+                        self.record(TraceEvent::Reconfig {
+                            region: RegionKind::SpmvKernel,
+                            cycle: at,
+                            duration: stall,
+                        });
+                        self.cycles.reconfig += stall;
+                        self.current_unroll = Some(e.unroll);
+                    }
+                    let before = self.cycles.spmv;
+                    let at = self.cycles.total();
+                    self.run_engine(a, e.rows.clone(), e.unroll);
+                    self.last_segment_cycles = self.cycles.spmv - before;
+                    self.record(TraceEvent::SpmvSegment {
+                        rows: e.rows.clone(),
+                        unroll: e.unroll,
+                        cycle: at,
+                        duration: self.last_segment_cycles,
+                    });
+                }
+            }
+        }
+    }
+
+    fn dot(&mut self, x: &[T], y: &[T]) -> T {
+        assert_eq!(x.len(), y.len(), "dot length mismatch");
+        self.charge_dense(x.len(), 2, true);
+        x.iter().zip(y).fold(T::ZERO, |acc, (&a, &b)| acc + a * b)
+    }
+
+    fn axpy(&mut self, alpha: T, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), y.len(), "axpy length mismatch");
+        self.charge_dense(x.len(), 2, false);
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    fn xpby(&mut self, x: &[T], beta: T, y: &mut [T]) {
+        assert_eq!(x.len(), y.len(), "xpby length mismatch");
+        self.charge_dense(x.len(), 2, false);
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi = xi + beta * *yi;
+        }
+    }
+
+    fn scale(&mut self, alpha: T, x: &mut [T]) {
+        self.charge_dense(x.len(), 1, false);
+        for xi in x.iter_mut() {
+            *xi *= alpha;
+        }
+    }
+
+    fn copy(&mut self, src: &[T], dst: &mut [T]) {
+        assert_eq!(src.len(), dst.len(), "copy length mismatch");
+        // Buffer move: charged as a streaming pass, no FLOPs.
+        let w = DENSE_VECTOR_WIDTH as u64;
+        self.cycles.dense += (src.len() as u64).div_ceil(w) + DENSE_OVERHEAD;
+        self.counts.dense_calls += 1;
+        dst.copy_from_slice(src);
+    }
+
+    fn hadamard(&mut self, a: &[T], x: &[T], y: &mut [T]) {
+        assert_eq!(a.len(), x.len(), "hadamard length mismatch");
+        assert_eq!(a.len(), y.len(), "hadamard length mismatch");
+        self.charge_dense(a.len(), 1, false);
+        for ((yi, &ai), &xi) in y.iter_mut().zip(a).zip(x) {
+            *yi = ai * xi;
+        }
+    }
+
+    fn set_phase(&mut self, phase: Phase) {
+        let at = self.cycles.total();
+        self.record(TraceEvent::PhaseStart { phase, cycle: at });
+        self.phase = phase;
+    }
+
+    fn begin_iteration(&mut self, iter: usize) {
+        let at = self.cycles.total();
+        self.record(TraceEvent::IterationStart {
+            iteration: iter,
+            cycle: at,
+        });
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acamar_solvers::{bicgstab, conjugate_gradient, jacobi, ConvergenceCriteria};
+    use acamar_sparse::generate::{self, RowDistribution};
+
+    fn spec() -> FabricSpec {
+        FabricSpec::alveo_u55c()
+    }
+
+    #[test]
+    fn uniform_schedule_has_no_changes() {
+        let s = UnrollSchedule::uniform(100, 8);
+        assert_eq!(s.changes_per_pass(), 0);
+        assert_eq!(s.max_unroll(), 8);
+    }
+
+    #[test]
+    fn schedule_counts_changes() {
+        let s = UnrollSchedule::from_entries(
+            12,
+            vec![
+                ScheduleEntry { rows: 0..4, unroll: 4 },
+                ScheduleEntry { rows: 4..8, unroll: 4 },
+                ScheduleEntry { rows: 8..12, unroll: 8 },
+            ],
+        );
+        assert_eq!(s.changes_per_pass(), 1);
+        assert_eq!(s.max_unroll(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn schedule_rejects_gaps() {
+        let _ = UnrollSchedule::from_entries(
+            8,
+            vec![
+                ScheduleEntry { rows: 0..3, unroll: 2 },
+                ScheduleEntry { rows: 4..8, unroll: 2 },
+            ],
+        );
+    }
+
+    #[test]
+    fn solver_numerics_match_software_kernels() {
+        let a = generate::poisson2d::<f32>(8, 8);
+        let b = vec![1.0_f32; 64];
+        let crit = ConvergenceCriteria::paper();
+        let mut hw = FabricKernels::new(spec(), UnrollSchedule::uniform(64, 4), 4);
+        let hw_rep = conjugate_gradient(&a, &b, None, &crit, &mut hw).unwrap();
+        let mut sw = acamar_solvers::SoftwareKernels::new();
+        let sw_rep = conjugate_gradient(&a, &b, None, &crit, &mut sw).unwrap();
+        assert_eq!(hw_rep.iterations, sw_rep.iterations);
+        assert_eq!(hw_rep.solution, sw_rep.solution);
+        assert_eq!(hw_rep.counts.spmv_calls, sw_rep.counts.spmv_calls);
+    }
+
+    #[test]
+    fn spmv_dominates_cycles_on_sparse_problems() {
+        // Fig. 1: SpMV is the most expensive kernel.
+        let a = generate::random_pattern::<f32>(
+            512,
+            RowDistribution::Uniform { min: 8, max: 32 },
+            11,
+        );
+        let dd = {
+            // make it Jacobi-friendly
+            generate::diagonally_dominant::<f32>(
+                512,
+                RowDistribution::Uniform { min: 8, max: 32 },
+                1.5,
+                11,
+            )
+        };
+        let _ = a;
+        let b = vec![1.0_f32; 512];
+        let mut hw = FabricKernels::new(spec(), UnrollSchedule::uniform(512, 2), 2);
+        let rep = jacobi(&dd, &b, None, &ConvergenceCriteria::paper(), &mut hw).unwrap();
+        assert!(rep.converged());
+        let stats = hw.finish();
+        assert!(
+            stats.cycles.spmv_share() > 0.5,
+            "spmv share {}",
+            stats.cycles.spmv_share()
+        );
+    }
+
+    #[test]
+    fn loop_phase_reconfigures_on_unroll_changes() {
+        let a = generate::random_pattern::<f32>(
+            64,
+            RowDistribution::Uniform { min: 2, max: 10 },
+            5,
+        );
+        let schedule = UnrollSchedule::from_entries(
+            64,
+            vec![
+                ScheduleEntry { rows: 0..32, unroll: 2 },
+                ScheduleEntry { rows: 32..64, unroll: 8 },
+            ],
+        );
+        let mut hw = FabricKernels::new(spec(), schedule, 4);
+        let x = vec![1.0_f32; 64];
+        let mut y = vec![0.0_f32; 64];
+        Kernels::<f32>::set_phase(&mut hw, Phase::Loop);
+        Kernels::<f32>::spmv(&mut hw, &a, &x, &mut y);
+        // first pass: engine pre-loaded with unroll 2, one change to 8
+        assert_eq!(hw.reconfig_controller().count(RegionKind::SpmvKernel), 1);
+        // second pass: engine holds 8, must go back to 2, then to 8 again
+        Kernels::<f32>::spmv(&mut hw, &a, &x, &mut y);
+        assert_eq!(hw.reconfig_controller().count(RegionKind::SpmvKernel), 3);
+        assert!(hw.cycles().reconfig > 0);
+    }
+
+    #[test]
+    fn initialize_phase_uses_static_engine_without_reconfig() {
+        let a = generate::poisson2d::<f32>(6, 6);
+        let schedule = UnrollSchedule::from_entries(
+            36,
+            vec![
+                ScheduleEntry { rows: 0..18, unroll: 2 },
+                ScheduleEntry { rows: 18..36, unroll: 16 },
+            ],
+        );
+        let mut hw = FabricKernels::new(spec(), schedule, 4);
+        let b = vec![1.0_f32; 36];
+        let rep = bicgstab(&a, &b, None, &ConvergenceCriteria::paper(), &mut hw).unwrap();
+        assert!(rep.converged());
+        let stats = hw.finish();
+        assert!(stats.used_init_spmv);
+        assert!(stats.init_spmv.nnz > 0);
+        // the init pass never appears in the loop aggregate
+        assert_eq!(
+            stats.spmv.nnz + stats.init_spmv.nnz,
+            rep.counts.spmv_nnz_processed
+        );
+    }
+
+    #[test]
+    fn achieved_throughput_is_a_fraction() {
+        let a = generate::poisson2d::<f32>(8, 8);
+        let b = vec![1.0_f32; 64];
+        let mut hw = FabricKernels::new(spec(), UnrollSchedule::uniform(64, 4), 4);
+        let _ = conjugate_gradient(&a, &b, None, &ConvergenceCriteria::paper(), &mut hw)
+            .unwrap();
+        let stats = hw.finish();
+        let t = stats.achieved_throughput();
+        assert!(t > 0.0 && t <= 1.0, "throughput {t}");
+        assert!(stats.avg_area_mm2 > 0.0);
+        assert!(stats.peak_area_mm2 >= stats.avg_area_mm2 * 0.99);
+    }
+
+    #[test]
+    fn solver_region_reconfig_is_charged() {
+        let mut hw = FabricKernels::new(spec(), UnrollSchedule::uniform(8, 2), 2);
+        let before = hw.cycles().reconfig;
+        hw.charge_solver_reconfig(&crate::cost::solver_control_unit());
+        assert!(hw.cycles().reconfig > before);
+        assert_eq!(hw.reconfig_controller().count(RegionKind::Solver), 1);
+    }
+}

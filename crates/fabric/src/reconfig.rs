@@ -1,0 +1,110 @@
+//! Dynamic partial reconfiguration (Xilinx DFX) model.
+//!
+//! The paper uses Nested DFX on the Alveo U55C: the Reconfigurable Solver
+//! unit is one reconfigurable region, and the Dynamic SpMV Kernel is a
+//! nested region within it (Section VIII-A). Bitstreams stream through
+//! ICAP at 6.4 Gb/s, so reconfiguration time is
+//! `bitstream bits / 6.4 Gb/s` — exactly what this controller charges.
+
+use crate::cost::bitstream_bits;
+use crate::spec::{FabricSpec, ResourceVector};
+
+/// Which reconfigurable region an event targeted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// The outer region holding a whole solver (JB/CG/BiCG-STAB swap).
+    Solver,
+    /// The nested region holding the Dynamic SpMV Kernel (unroll swap).
+    SpmvKernel,
+}
+
+/// One partial-reconfiguration event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigEvent {
+    /// Region reconfigured.
+    pub region: RegionKind,
+    /// Partial-bitstream size in bits.
+    pub bits: u64,
+    /// Kernel-clock cycles spent streaming the bitstream.
+    pub cycles: u64,
+}
+
+/// Tracks reconfiguration events and their cumulative cost.
+#[derive(Debug, Clone)]
+pub struct ReconfigController {
+    spec: FabricSpec,
+    events: Vec<ReconfigEvent>,
+    total_cycles: u64,
+}
+
+impl ReconfigController {
+    /// Creates a controller for `spec`.
+    pub fn new(spec: FabricSpec) -> Self {
+        ReconfigController {
+            spec,
+            events: Vec::new(),
+            total_cycles: 0,
+        }
+    }
+
+    /// Records a reconfiguration of `region` to a module occupying `rv`,
+    /// returning the cycles charged.
+    pub fn reconfigure(&mut self, region: RegionKind, rv: &ResourceVector) -> u64 {
+        let bits = bitstream_bits(rv);
+        let cycles = self.spec.icap_cycles(bits);
+        self.events.push(ReconfigEvent {
+            region,
+            bits,
+            cycles,
+        });
+        self.total_cycles += cycles;
+        cycles
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[ReconfigEvent] {
+        &self.events
+    }
+
+    /// Number of events targeting `region`.
+    pub fn count(&self, region: RegionKind) -> usize {
+        self.events.iter().filter(|e| e.region == region).count()
+    }
+
+    /// Total cycles spent reconfiguring.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Total seconds spent reconfiguring.
+    pub fn total_seconds(&self) -> f64 {
+        self.spec.cycles_to_seconds(self.total_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::spmv_engine;
+
+    #[test]
+    fn reconfigure_charges_icap_time() {
+        let mut c = ReconfigController::new(FabricSpec::alveo_u55c());
+        let cycles = c.reconfigure(RegionKind::SpmvKernel, &spmv_engine(8));
+        assert!(cycles > 0);
+        assert_eq!(c.total_cycles(), cycles);
+        assert_eq!(c.events().len(), 1);
+        assert_eq!(c.count(RegionKind::SpmvKernel), 1);
+        assert_eq!(c.count(RegionKind::Solver), 0);
+    }
+
+    #[test]
+    fn bigger_regions_cost_more() {
+        let mut c = ReconfigController::new(FabricSpec::alveo_u55c());
+        let small = c.reconfigure(RegionKind::SpmvKernel, &spmv_engine(2));
+        let large = c.reconfigure(RegionKind::Solver, &spmv_engine(64));
+        assert!(large > small);
+        assert_eq!(c.total_cycles(), small + large);
+        assert!(c.total_seconds() > 0.0);
+    }
+}

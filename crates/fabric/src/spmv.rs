@@ -1,0 +1,211 @@
+//! SpMV execution model: cycles and MAC-slot utilization per paper Eq. 5.
+//!
+//! The engine processes one CSR row at a time; each cycle it issues
+//! `unroll` multiply-accumulate slots, so a row with `nnz` stored entries
+//! takes `ceil(nnz / unroll)` issue cycles and wastes
+//! `ceil(nnz/unroll)·unroll - nnz` slots. The *resource underutilization*
+//! of a run is wasted slots over issued slots — the interpretation of the
+//! paper's Eq. 5 that reproduces both of its worked examples (Eq. 10 and
+//! Eq. 11); see DESIGN.md §5.
+
+use crate::cost::{PIPELINE_DEPTH, ROW_OVERHEAD_CYCLES};
+use crate::spec::FabricSpec;
+use acamar_sparse::{CsrMatrix, Scalar};
+use std::ops::Range;
+
+/// Aggregate result of streaming a row range through an SpMV engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpmvExecution {
+    /// Total engine cycles, including per-row overhead, pipeline fill, and
+    /// any memory-bandwidth stall.
+    pub cycles: u64,
+    /// MAC slots issued (`Σ_rows ceil(nnz/U)·U`).
+    pub slots_issued: u64,
+    /// MAC slots that carried useful work (`Σ_rows nnz`).
+    pub slots_used: u64,
+    /// Rows processed.
+    pub rows: u64,
+    /// Stored entries processed.
+    pub nnz: u64,
+}
+
+impl SpmvExecution {
+    /// Resource underutilization in `[0, 1]`: wasted slots over issued
+    /// slots (paper Eq. 5; 0 is perfect).
+    pub fn underutilization(&self) -> f64 {
+        if self.slots_issued == 0 {
+            0.0
+        } else {
+            (self.slots_issued - self.slots_used) as f64 / self.slots_issued as f64
+        }
+    }
+
+    /// Resource utilization in `[0, 1]` (`1 - underutilization`).
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.underutilization()
+    }
+
+    /// Merges two executions (e.g. consecutive row sets).
+    pub fn merge(&self, other: &SpmvExecution) -> SpmvExecution {
+        SpmvExecution {
+            cycles: self.cycles + other.cycles,
+            slots_issued: self.slots_issued + other.slots_issued,
+            slots_used: self.slots_used + other.slots_used,
+            rows: self.rows + other.rows,
+            nnz: self.nnz + other.nnz,
+        }
+    }
+}
+
+/// Models streaming rows `range` of `a` through an engine with `unroll`
+/// MAC lanes, without the pipeline-fill charge (callers add
+/// [`PIPELINE_DEPTH`] once per kernel invocation).
+///
+/// Cycle model per row: `ceil(nnz/U)` issue cycles (one chunk of `U` slots
+/// per cycle, initiation interval 1) plus [`ROW_OVERHEAD_CYCLES`]; empty
+/// rows still pay the row overhead. A memory-bandwidth floor of
+/// `8 bytes x nnz / bytes_per_cycle` (value + column index per entry) is
+/// applied across the range.
+///
+/// # Panics
+///
+/// Panics if `unroll == 0` or the range exceeds the matrix rows.
+pub fn execute_rows<T: Scalar>(
+    a: &CsrMatrix<T>,
+    range: Range<usize>,
+    unroll: usize,
+    spec: &FabricSpec,
+) -> SpmvExecution {
+    assert!(unroll > 0, "unroll factor must be positive");
+    assert!(range.end <= a.nrows(), "row range out of bounds");
+    let u = unroll as u64;
+    let mut exec = SpmvExecution::default();
+    for i in range {
+        let nnz = a.row_nnz(i) as u64;
+        let chunks = nnz.div_ceil(u);
+        exec.cycles += chunks + ROW_OVERHEAD_CYCLES;
+        exec.slots_issued += chunks * u;
+        exec.slots_used += nnz;
+        exec.nnz += nnz;
+        exec.rows += 1;
+    }
+    // Memory floor: each stored entry streams 8 bytes (4 B value + 4 B
+    // column index) from HBM.
+    let mem_cycles = (8.0 * exec.nnz as f64 / spec.bytes_per_cycle()).ceil() as u64;
+    exec.cycles = exec.cycles.max(mem_cycles);
+    exec
+}
+
+/// Models a full-matrix SpMV as one kernel invocation with a single unroll
+/// factor (the static baseline's engine), including pipeline fill.
+pub fn execute_matrix<T: Scalar>(
+    a: &CsrMatrix<T>,
+    unroll: usize,
+    spec: &FabricSpec,
+) -> SpmvExecution {
+    let mut e = execute_rows(a, 0..a.nrows(), unroll, spec);
+    e.cycles += PIPELINE_DEPTH;
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acamar_sparse::generate::{self, RowDistribution};
+    use acamar_sparse::CooMatrix;
+
+    fn spec() -> FabricSpec {
+        FabricSpec::alveo_u55c()
+    }
+
+    fn row_counts(counts: &[usize]) -> CsrMatrix<f32> {
+        let n = counts.len();
+        let m = counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut coo = CooMatrix::new(n, m);
+        for (i, &c) in counts.iter().enumerate() {
+            for j in 0..c {
+                coo.push(i, j, 1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn eq10_worked_example() {
+        // 8 non-zeros, unroll 10 => 20% underutilization (paper Eq. 10).
+        let a = row_counts(&[8]);
+        let e = execute_rows(&a, 0..1, 10, &spec());
+        assert!((e.underutilization() - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq11_worked_example() {
+        // 6 non-zeros, unroll 3 => 0% underutilization (paper Eq. 11).
+        let a = row_counts(&[6]);
+        let e = execute_rows(&a, 0..1, 3, &spec());
+        assert_eq!(e.underutilization(), 0.0);
+        // and unroll 7 => (7-6)/7 ≈ 14% (the paper's "initial" case)
+        let e7 = execute_rows(&a, 0..1, 7, &spec());
+        assert!((e7.underutilization() - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unroll_1_has_zero_underutilization_and_max_cycles() {
+        let a = generate::random_pattern::<f32>(
+            64,
+            RowDistribution::Uniform { min: 1, max: 9 },
+            3,
+        );
+        let e1 = execute_rows(&a, 0..64, 1, &spec());
+        assert_eq!(e1.underutilization(), 0.0);
+        let e8 = execute_rows(&a, 0..64, 8, &spec());
+        assert!(e8.cycles < e1.cycles, "more lanes must not be slower");
+        assert!(e8.underutilization() > 0.0);
+    }
+
+    #[test]
+    fn cycles_follow_chunk_model() {
+        let a = row_counts(&[5, 0, 12]);
+        let e = execute_rows(&a, 0..3, 4, &spec());
+        // chunks: ceil(5/4)=2, 0, ceil(12/4)=3 => 5 issue cycles + 3 rows * 2
+        assert_eq!(e.cycles, 5 + 3 * ROW_OVERHEAD_CYCLES);
+        assert_eq!(e.slots_issued, (2 + 3) * 4); // empty row issues nothing
+        assert_eq!(e.slots_used, 17);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = row_counts(&[4, 4, 4, 4]);
+        let e1 = execute_rows(&a, 0..2, 4, &spec());
+        let e2 = execute_rows(&a, 2..4, 4, &spec());
+        let m = e1.merge(&e2);
+        let full = execute_rows(&a, 0..4, 4, &spec());
+        assert_eq!(m.slots_issued, full.slots_issued);
+        assert_eq!(m.nnz, full.nnz);
+        assert_eq!(m.rows, 4);
+    }
+
+    #[test]
+    fn memory_floor_binds_for_huge_unroll() {
+        // 256 lanes want 2 kB/cycle of matrix data; HBM supplies ~1.5 kB.
+        let a = row_counts(&[100_000]);
+        let e = execute_rows(&a, 0..1, 256, &spec());
+        let mem = (8.0 * 100_000.0 / spec().bytes_per_cycle()).ceil() as u64;
+        assert_eq!(e.cycles, mem);
+    }
+
+    #[test]
+    fn execute_matrix_adds_pipeline_fill() {
+        let a = row_counts(&[4, 4]);
+        let rows = execute_rows(&a, 0..2, 4, &spec());
+        let full = execute_matrix(&a, 4, &spec());
+        assert_eq!(full.cycles, rows.cycles + PIPELINE_DEPTH);
+    }
+
+    #[test]
+    fn empty_execution_is_fully_utilized() {
+        let e = SpmvExecution::default();
+        assert_eq!(e.underutilization(), 0.0);
+        assert_eq!(e.utilization(), 1.0);
+    }
+}

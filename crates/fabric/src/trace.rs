@@ -1,0 +1,180 @@
+//! Cycle-stamped execution traces.
+//!
+//! When enabled on [`FabricKernels`](crate::FabricKernels), every phase
+//! change, loop iteration, SpMV segment, and reconfiguration event is
+//! recorded with its start cycle — the behavioral-simulator view of a run
+//! (useful for timelines, debugging schedules, and teaching material).
+
+use crate::reconfig::RegionKind;
+use acamar_solvers::Phase;
+use std::ops::Range;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The solver entered a phase (initialize / loop).
+    PhaseStart {
+        /// Phase entered.
+        phase: Phase,
+        /// Total cycle count when it began.
+        cycle: u64,
+    },
+    /// A loop iteration began.
+    IterationStart {
+        /// Iteration index (0-based).
+        iteration: usize,
+        /// Total cycle count when it began.
+        cycle: u64,
+    },
+    /// The SpMV engine streamed a row segment.
+    SpmvSegment {
+        /// Rows covered.
+        rows: Range<usize>,
+        /// Unroll factor in effect.
+        unroll: usize,
+        /// Start cycle.
+        cycle: u64,
+        /// Engine cycles spent.
+        duration: u64,
+    },
+    /// A DFX region was reconfigured.
+    Reconfig {
+        /// Region reconfigured.
+        region: RegionKind,
+        /// Start cycle.
+        cycle: u64,
+        /// Stall cycles charged (smaller than the raw ICAP time when
+        /// overlapped reconfiguration is enabled).
+        duration: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle at which the event began.
+    pub fn start_cycle(&self) -> u64 {
+        match self {
+            TraceEvent::PhaseStart { cycle, .. }
+            | TraceEvent::IterationStart { cycle, .. }
+            | TraceEvent::SpmvSegment { cycle, .. }
+            | TraceEvent::Reconfig { cycle, .. } => *cycle,
+        }
+    }
+
+    /// One-line human-readable rendering.
+    pub fn describe(&self) -> String {
+        match self {
+            TraceEvent::PhaseStart { phase, cycle } => {
+                format!("@{cycle:>10}  phase {phase:?}")
+            }
+            TraceEvent::IterationStart { iteration, cycle } => {
+                format!("@{cycle:>10}  iteration {iteration}")
+            }
+            TraceEvent::SpmvSegment {
+                rows,
+                unroll,
+                cycle,
+                duration,
+            } => format!(
+                "@{cycle:>10}  spmv rows {}..{} @ U={unroll} ({duration} cycles)",
+                rows.start, rows.end
+            ),
+            TraceEvent::Reconfig {
+                region,
+                cycle,
+                duration,
+            } => format!("@{cycle:>10}  reconfigure {region:?} ({duration} stall cycles)"),
+        }
+    }
+}
+
+/// A bounded event trace (drops events past `capacity` to keep long solves
+/// affordable; `truncated()` reports whether that happened).
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl ExecutionTrace {
+    /// Creates a trace holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ExecutionTrace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (or counts it as dropped once full).
+    pub fn record(&mut self, e: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(e);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// `true` if events were dropped after the capacity filled.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
+
+    /// Number of events dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_caps_and_counts_drops() {
+        let mut t = ExecutionTrace::with_capacity(2);
+        for i in 0..5 {
+            t.record(TraceEvent::IterationStart {
+                iteration: i,
+                cycle: i as u64,
+            });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert!(t.truncated());
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn describe_is_nonempty_for_all_variants() {
+        let events = [
+            TraceEvent::PhaseStart {
+                phase: Phase::Loop,
+                cycle: 1,
+            },
+            TraceEvent::IterationStart {
+                iteration: 3,
+                cycle: 2,
+            },
+            TraceEvent::SpmvSegment {
+                rows: 0..8,
+                unroll: 4,
+                cycle: 3,
+                duration: 10,
+            },
+            TraceEvent::Reconfig {
+                region: RegionKind::SpmvKernel,
+                cycle: 4,
+                duration: 100,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert!(!e.describe().is_empty());
+            assert_eq!(e.start_cycle(), (i + 1) as u64);
+        }
+    }
+}

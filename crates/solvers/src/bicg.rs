@@ -1,0 +1,303 @@
+//! Bi-Conjugate Gradient (BiCG) and Conjugate Residual (CR).
+//!
+//! Both appear in the paper's Table I of iterative methods (BiCG for
+//! non-symmetric systems, CR for Hermitian ones). BiCG is the
+//! two-sided ancestor of BiCG-STAB (Algorithm 3 stabilizes it); CR is
+//! CG's minimum-residual sibling for SPD systems. They complete the
+//! executable coverage of Table I.
+
+use crate::convergence::{ConvergenceCriteria, DivergenceReason, Monitor, Outcome, Verdict};
+use crate::jacobi::check_square_system;
+use crate::kernels::{Kernels, Phase};
+use crate::report::SolveReport;
+use crate::selection::SolverKind;
+use acamar_sparse::{CsrMatrix, Scalar, SparseError};
+
+/// Solves `A x = b` with the Bi-Conjugate Gradient method.
+///
+/// Suitable for non-symmetric systems. Each iteration performs one
+/// product with `A` and one with `Aᵀ` (computed on a host-side transpose,
+/// like the Matrix Structure unit's CSC view). Breakdown of the
+/// bi-orthogonal recurrence (`ρ` or `(p*, Ap)` vanishing) is reported as
+/// divergence — BiCG is *less* robust than BiCG-STAB, which is exactly
+/// why the paper's accelerator uses the stabilized variant.
+///
+/// # Errors
+///
+/// Returns [`SparseError`] for shape problems.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_solvers::{bicg, ConvergenceCriteria, SoftwareKernels};
+/// use acamar_sparse::generate;
+///
+/// let a = generate::convection_diffusion_2d::<f64>(8, 8, 1.5);
+/// let mut k = SoftwareKernels::new();
+/// let rep = bicg(&a, &vec![1.0; 64], None, &ConvergenceCriteria::paper(), &mut k)?;
+/// assert!(rep.converged());
+/// # Ok::<(), acamar_sparse::SparseError>(())
+/// ```
+pub fn bicg<T: Scalar, K: Kernels<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    criteria: &ConvergenceCriteria,
+    kernels: &mut K,
+) -> Result<SolveReport<T>, SparseError> {
+    let n = check_square_system(a, b)?;
+    let start_counts = kernels.counts();
+
+    kernels.set_phase(Phase::Initialize);
+    let at = a.transpose(); // host-side, like the CSC symmetry check
+    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
+    let mut r = vec![T::ZERO; n];
+    kernels.spmv(a, &x, &mut r);
+    kernels.scale(-T::ONE, &mut r);
+    kernels.axpy(T::ONE, b, &mut r); // r = b - A x
+    let mut rs = r.clone(); // shadow residual r* = r
+    let mut p = r.clone();
+    let mut ps = rs.clone();
+    let mut rho = kernels.dot(&rs, &r);
+    let b_norm = kernels.norm2(b).to_f64();
+    let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
+    let tiny = T::epsilon().to_f64() * T::epsilon().to_f64();
+
+    let mut ap = vec![T::ZERO; n];
+    let mut atps = vec![T::ZERO; n];
+    let mut monitor = Monitor::new(*criteria);
+    let mut iterations = 0usize;
+
+    kernels.set_phase(Phase::Loop);
+    let outcome = loop {
+        let r_norm = kernels.norm2(&r).to_f64();
+        if r_norm / scale < criteria.tolerance {
+            break Outcome::Converged;
+        }
+        kernels.begin_iteration(iterations);
+        kernels.spmv(a, &p, &mut ap);
+        kernels.spmv(&at, &ps, &mut atps);
+        let denom = kernels.dot(&ps, &ap);
+        iterations += 1;
+        if !denom.is_finite() || denom.to_f64().abs() <= tiny * scale * scale {
+            monitor.observe(r_norm / scale);
+            break Outcome::Diverged(DivergenceReason::Breakdown("(p*, Ap) vanished"));
+        }
+        let alpha = rho / denom;
+        kernels.axpy(alpha, &p, &mut x);
+        kernels.axpy(-alpha, &ap, &mut r);
+        kernels.axpy(-alpha, &atps, &mut rs);
+        let rho_new = kernels.dot(&rs, &r);
+        let res = kernels.norm2(&r).to_f64() / scale;
+        match monitor.observe(res) {
+            Verdict::Continue => {}
+            Verdict::Done(o) => break o,
+        }
+        if !rho_new.is_finite() || rho_new.to_f64().abs() <= tiny * scale * scale {
+            break Outcome::Diverged(DivergenceReason::Breakdown("rho = (r*, r) vanished"));
+        }
+        let beta = rho_new / rho;
+        rho = rho_new;
+        kernels.xpby(&r, beta, &mut p); // p = r + beta p
+        kernels.xpby(&rs, beta, &mut ps); // p* = r* + beta p*
+    };
+
+    Ok(SolveReport {
+        solver: SolverKind::BiCg,
+        outcome,
+        iterations,
+        residual_history: monitor.into_history(),
+        solution: x,
+        counts: kernels.counts().since(&start_counts),
+    })
+}
+
+/// Solves `A x = b` with the Conjugate Residual method.
+///
+/// Requires `A` symmetric positive definite (the "Hermitian" row of the
+/// paper's Table I); minimizes `‖r‖₂` at each step (CG minimizes the
+/// `A`-norm of the error instead), so the residual history is monotone.
+///
+/// # Errors
+///
+/// Returns [`SparseError`] for shape problems.
+pub fn conjugate_residual<T: Scalar, K: Kernels<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    criteria: &ConvergenceCriteria,
+    kernels: &mut K,
+) -> Result<SolveReport<T>, SparseError> {
+    let n = check_square_system(a, b)?;
+    let start_counts = kernels.counts();
+
+    kernels.set_phase(Phase::Initialize);
+    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
+    let mut r = vec![T::ZERO; n];
+    kernels.spmv(a, &x, &mut r);
+    kernels.scale(-T::ONE, &mut r);
+    kernels.axpy(T::ONE, b, &mut r);
+    let mut p = r.clone();
+    let mut ar = vec![T::ZERO; n];
+    kernels.spmv(a, &r, &mut ar); // A r
+    let mut ap = ar.clone(); // A p (p = r initially)
+    let mut r_ar = kernels.dot(&r, &ar);
+    let b_norm = kernels.norm2(b).to_f64();
+    let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
+
+    let mut monitor = Monitor::new(*criteria);
+    let mut iterations = 0usize;
+
+    kernels.set_phase(Phase::Loop);
+    let outcome = loop {
+        let r_norm = kernels.norm2(&r).to_f64();
+        if r_norm / scale < criteria.tolerance {
+            break Outcome::Converged;
+        }
+        kernels.begin_iteration(iterations);
+        let ap_ap = kernels.dot(&ap, &ap);
+        iterations += 1;
+        if !ap_ap.is_finite() || ap_ap == T::ZERO {
+            monitor.observe(r_norm / scale);
+            break Outcome::Diverged(DivergenceReason::Breakdown("(Ap, Ap) vanished"));
+        }
+        let alpha = r_ar / ap_ap;
+        if !alpha.is_finite() {
+            monitor.observe(f64::NAN);
+            break Outcome::Diverged(DivergenceReason::NonFinite);
+        }
+        kernels.axpy(alpha, &p, &mut x);
+        kernels.axpy(-alpha, &ap, &mut r);
+        kernels.spmv(a, &r, &mut ar);
+        let r_ar_new = kernels.dot(&r, &ar);
+        let res = kernels.norm2(&r).to_f64() / scale;
+        match monitor.observe(res) {
+            Verdict::Continue => {}
+            Verdict::Done(o) => break o,
+        }
+        if r_ar == T::ZERO {
+            break Outcome::Diverged(DivergenceReason::Breakdown("(r, Ar) vanished"));
+        }
+        let beta = r_ar_new / r_ar;
+        r_ar = r_ar_new;
+        kernels.xpby(&r, beta, &mut p); // p = r + beta p
+        kernels.xpby(&ar, beta, &mut ap); // Ap = Ar + beta Ap
+    };
+
+    Ok(SolveReport {
+        solver: SolverKind::ConjugateResidual,
+        outcome,
+        iterations,
+        residual_history: monitor.into_history(),
+        solution: x,
+        counts: kernels.counts().since(&start_counts),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::SoftwareKernels;
+    use acamar_sparse::generate::{self, RowDistribution};
+
+    fn criteria() -> ConvergenceCriteria {
+        ConvergenceCriteria::paper().with_max_iterations(3000)
+    }
+
+    #[test]
+    fn bicg_converges_on_nonsymmetric_system() {
+        let a = generate::convection_diffusion_2d::<f64>(10, 10, 2.0);
+        let x_true: Vec<f64> = (0..100).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let b = a.mul_vec(&x_true).unwrap();
+        let mut k = SoftwareKernels::new();
+        let rep = bicg(&a, &b, None, &criteria(), &mut k).unwrap();
+        assert!(rep.converged(), "{:?}", rep.outcome);
+        let err = rep
+            .solution
+            .iter()
+            .zip(&x_true)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-3, "max err {err}");
+    }
+
+    #[test]
+    fn bicg_reduces_to_cg_iteration_counts_on_spd() {
+        // On SPD systems BiCG is mathematically CG (with r* = r), at
+        // twice the cost per iteration.
+        let a = generate::poisson2d::<f64>(8, 8);
+        let b = vec![1.0; 64];
+        let mut k1 = SoftwareKernels::new();
+        let bi = bicg(&a, &b, None, &criteria(), &mut k1).unwrap();
+        let mut k2 = SoftwareKernels::new();
+        let cg = crate::cg::conjugate_gradient(&a, &b, None, &criteria(), &mut k2).unwrap();
+        assert!(bi.converged() && cg.converged());
+        let diff = (bi.iterations as i64 - cg.iterations as i64).abs();
+        assert!(diff <= 2, "BiCG {} vs CG {}", bi.iterations, cg.iterations);
+        // two SpMV per BiCG iteration (A and A^T)
+        assert_eq!(bi.counts.spmv_calls as usize, 1 + 2 * bi.iterations);
+    }
+
+    #[test]
+    fn cr_converges_on_spd_with_monotone_residuals() {
+        let a = generate::spd_from_pattern::<f64>(
+            100,
+            RowDistribution::Uniform { min: 2, max: 6 },
+            0.3,
+            7,
+        );
+        let b = vec![1.0; 100];
+        let mut k = SoftwareKernels::new();
+        let rep = conjugate_residual(&a, &b, None, &criteria(), &mut k).unwrap();
+        assert!(rep.converged(), "{:?}", rep.outcome);
+        // CR minimizes the residual norm: history must be non-increasing
+        for w in rep.residual_history.windows(2) {
+            assert!(w[1] <= w[0] * (1.0 + 1e-9), "residual rose: {w:?}");
+        }
+    }
+
+    #[test]
+    fn cr_matches_cg_solution() {
+        let a = generate::poisson1d::<f64>(30);
+        let b: Vec<f64> = (0..30).map(|i| ((i % 4) as f64) - 1.5).collect();
+        let mut k1 = SoftwareKernels::new();
+        let cr = conjugate_residual(&a, &b, None, &criteria(), &mut k1).unwrap();
+        let mut k2 = SoftwareKernels::new();
+        let cg = crate::cg::conjugate_gradient(&a, &b, None, &criteria(), &mut k2).unwrap();
+        assert!(cr.converged() && cg.converged());
+        let err = cr
+            .solution
+            .iter()
+            .zip(&cg.solution)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-4, "solutions differ by {err}");
+    }
+
+    #[test]
+    fn both_start_converged_on_exact_guess() {
+        let a = generate::poisson1d::<f64>(16);
+        let x_true = vec![1.0; 16];
+        let b = a.mul_vec(&x_true).unwrap();
+        let mut k = SoftwareKernels::new();
+        let r1 = bicg(&a, &b, Some(&x_true), &criteria(), &mut k).unwrap();
+        assert!(r1.converged());
+        assert_eq!(r1.iterations, 0);
+        let mut k2 = SoftwareKernels::new();
+        let r2 = conjugate_residual(&a, &b, Some(&x_true), &criteria(), &mut k2).unwrap();
+        assert!(r2.converged());
+        assert_eq!(r2.iterations, 0);
+    }
+
+    #[test]
+    fn cr_fails_on_nonsymmetric_input() {
+        // CR's recurrences assume symmetry; on a strongly non-symmetric
+        // system it should not reach the tolerance.
+        let a = generate::convection_diffusion_2d_centered::<f64>(10, 10, 4.0);
+        let b = vec![1.0; 100];
+        let mut k = SoftwareKernels::new();
+        let crit = ConvergenceCriteria::paper().with_max_iterations(500);
+        let rep = conjugate_residual(&a, &b, None, &crit, &mut k).unwrap();
+        assert!(!rep.converged());
+    }
+}

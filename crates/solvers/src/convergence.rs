@@ -1,0 +1,247 @@
+//! Convergence criteria, divergence detection, and solve outcomes.
+//!
+//! The paper fixes the convergence threshold at `1e-5` for every solver and
+//! gives each solver a *setup time* of 200 iterations before divergence is
+//! checked (Section V-B). This module encodes those rules.
+
+use std::fmt;
+
+/// Why a solver was declared divergent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DivergenceReason {
+    /// The residual grew beyond `divergence_growth x` its initial value
+    /// after the setup window.
+    ResidualGrowth,
+    /// A non-finite (NaN/Inf) value appeared.
+    NonFinite,
+    /// An algorithmic breakdown: a pivotal inner product vanished (BiCG-STAB
+    /// ρ/ω, CG with non-positive curvature on an indefinite matrix, a zero
+    /// Jacobi diagonal).
+    Breakdown(&'static str),
+    /// The iteration budget elapsed without reaching the tolerance.
+    ///
+    /// The paper's Table II treats failure-to-converge and divergence
+    /// identically (✗), so budget exhaustion is folded into divergence.
+    Stagnation,
+}
+
+impl fmt::Display for DivergenceReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivergenceReason::ResidualGrowth => write!(f, "residual growth"),
+            DivergenceReason::NonFinite => write!(f, "non-finite values"),
+            DivergenceReason::Breakdown(what) => write!(f, "breakdown: {what}"),
+            DivergenceReason::Stagnation => write!(f, "stagnation within iteration budget"),
+        }
+    }
+}
+
+/// Terminal state of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The relative residual dropped below the tolerance.
+    Converged,
+    /// The solve diverged (or exhausted its budget — see
+    /// [`DivergenceReason::Stagnation`]).
+    Diverged(DivergenceReason),
+}
+
+impl Outcome {
+    /// `true` if the solve converged.
+    pub fn converged(self) -> bool {
+        matches!(self, Outcome::Converged)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Converged => write!(f, "converged"),
+            Outcome::Diverged(r) => write!(f, "diverged ({r})"),
+        }
+    }
+}
+
+/// Convergence policy shared by all solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceCriteria {
+    /// Relative-residual tolerance: converge when `‖r‖/‖b‖ < tolerance`
+    /// (absolute when `‖b‖ = 0`). Paper value: `1e-5`.
+    pub tolerance: f64,
+    /// Hard iteration budget.
+    pub max_iterations: usize,
+    /// Iterations to run before divergence checks begin (paper: 200).
+    pub setup_iterations: usize,
+    /// Declare divergence when the relative residual exceeds
+    /// `divergence_growth x` its initial value after the setup window.
+    pub divergence_growth: f64,
+}
+
+impl ConvergenceCriteria {
+    /// The paper's settings: tolerance `1e-5`, setup time 200 iterations,
+    /// with a 10 000-iteration budget and 1e3 growth factor.
+    pub fn paper() -> Self {
+        ConvergenceCriteria {
+            tolerance: 1e-5,
+            max_iterations: 10_000,
+            setup_iterations: 200,
+            divergence_growth: 1e3,
+        }
+    }
+
+    /// Returns a copy with a different iteration budget.
+    pub fn with_max_iterations(mut self, max: usize) -> Self {
+        self.max_iterations = max;
+        self
+    }
+
+    /// Returns a copy with a different tolerance.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+}
+
+impl Default for ConvergenceCriteria {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Incremental convergence monitor: feed it one relative residual per
+/// iteration and it yields the verdict.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    criteria: ConvergenceCriteria,
+    history: Vec<f64>,
+    initial: Option<f64>,
+}
+
+/// Monitor verdict after observing one more residual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Keep iterating.
+    Continue,
+    /// Terminal state reached.
+    Done(Outcome),
+}
+
+impl Monitor {
+    /// Creates a monitor for the given criteria.
+    pub fn new(criteria: ConvergenceCriteria) -> Self {
+        Monitor {
+            criteria,
+            history: Vec::new(),
+            initial: None,
+        }
+    }
+
+    /// Observes the relative residual of the iteration just completed.
+    pub fn observe(&mut self, rel_residual: f64) -> Verdict {
+        if self.initial.is_none() {
+            self.initial = Some(rel_residual.max(f64::MIN_POSITIVE));
+        }
+        self.history.push(rel_residual);
+        let iter = self.history.len();
+        if !rel_residual.is_finite() {
+            return Verdict::Done(Outcome::Diverged(DivergenceReason::NonFinite));
+        }
+        if rel_residual < self.criteria.tolerance {
+            return Verdict::Done(Outcome::Converged);
+        }
+        if iter > self.criteria.setup_iterations {
+            let initial = self.initial.expect("initialized above");
+            if rel_residual > self.criteria.divergence_growth * initial {
+                return Verdict::Done(Outcome::Diverged(DivergenceReason::ResidualGrowth));
+            }
+        }
+        if iter >= self.criteria.max_iterations {
+            return Verdict::Done(Outcome::Diverged(DivergenceReason::Stagnation));
+        }
+        Verdict::Continue
+    }
+
+    /// All residuals observed so far.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Consumes the monitor, returning the residual history.
+    pub fn into_history(self) -> Vec<f64> {
+        self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crit() -> ConvergenceCriteria {
+        ConvergenceCriteria {
+            tolerance: 1e-5,
+            max_iterations: 10,
+            setup_iterations: 3,
+            divergence_growth: 10.0,
+        }
+    }
+
+    #[test]
+    fn converges_below_tolerance() {
+        let mut m = Monitor::new(crit());
+        assert_eq!(m.observe(1.0), Verdict::Continue);
+        assert_eq!(m.observe(1e-6), Verdict::Done(Outcome::Converged));
+        assert_eq!(m.history(), &[1.0, 1e-6]);
+    }
+
+    #[test]
+    fn growth_is_tolerated_during_setup_window() {
+        let mut m = Monitor::new(crit());
+        assert_eq!(m.observe(1.0), Verdict::Continue);
+        assert_eq!(m.observe(50.0), Verdict::Continue); // iter 2 <= setup 3
+        assert_eq!(m.observe(50.0), Verdict::Continue); // iter 3 <= setup 3
+        assert_eq!(
+            m.observe(50.0),
+            Verdict::Done(Outcome::Diverged(DivergenceReason::ResidualGrowth))
+        );
+    }
+
+    #[test]
+    fn non_finite_is_immediate() {
+        let mut m = Monitor::new(crit());
+        assert_eq!(
+            m.observe(f64::NAN),
+            Verdict::Done(Outcome::Diverged(DivergenceReason::NonFinite))
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_stagnation() {
+        let mut m = Monitor::new(crit());
+        for _ in 0..9 {
+            assert_eq!(m.observe(0.5), Verdict::Continue);
+        }
+        assert_eq!(
+            m.observe(0.5),
+            Verdict::Done(Outcome::Diverged(DivergenceReason::Stagnation))
+        );
+    }
+
+    #[test]
+    fn outcome_display_and_predicates() {
+        assert!(Outcome::Converged.converged());
+        let d = Outcome::Diverged(DivergenceReason::Breakdown("rho = 0"));
+        assert!(!d.converged());
+        assert_eq!(d.to_string(), "diverged (breakdown: rho = 0)");
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = ConvergenceCriteria::paper();
+        assert_eq!(c.tolerance, 1e-5);
+        assert_eq!(c.setup_iterations, 200);
+        let c2 = c.with_max_iterations(5).with_tolerance(1e-3);
+        assert_eq!(c2.max_iterations, 5);
+        assert_eq!(c2.tolerance, 1e-3);
+        assert_eq!(ConvergenceCriteria::default(), ConvergenceCriteria::paper());
+    }
+}

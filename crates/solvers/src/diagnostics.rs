@@ -1,0 +1,203 @@
+//! Convergence diagnostics over residual histories.
+//!
+//! The Solver Modifier decides from the residual *trend*; this module
+//! provides the library-level view of that trend: geometric rate fitting,
+//! stagnation detection, and projected iterations-to-tolerance. Useful
+//! for tuning [`ConvergenceCriteria`](crate::ConvergenceCriteria) and for
+//! reporting.
+
+/// Qualitative classification of a residual history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trend {
+    /// Residuals shrink at a sustained geometric rate.
+    Converging,
+    /// Residuals hover (rate ≈ 1) without sustained progress.
+    Stagnating,
+    /// Residuals grow at a sustained rate.
+    Diverging,
+    /// Too few points to say.
+    Inconclusive,
+}
+
+/// Summary statistics of a residual history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceSummary {
+    /// Observations analyzed.
+    pub iterations: usize,
+    /// First residual.
+    pub initial: f64,
+    /// Last residual.
+    pub last: f64,
+    /// Best (smallest) residual seen.
+    pub best: f64,
+    /// Geometric mean per-iteration contraction over the analyzed window
+    /// (`< 1` is progress).
+    pub rate: f64,
+    /// Fraction of steps that reduced the residual.
+    pub monotone_fraction: f64,
+    /// Qualitative trend.
+    pub trend: Trend,
+}
+
+impl ConvergenceSummary {
+    /// Analyzes a residual history (uses the trailing `window` points for
+    /// the rate; pass `history.len()` for the whole run).
+    ///
+    /// Returns an [`Trend::Inconclusive`] summary for histories shorter
+    /// than 2 points.
+    pub fn from_history(history: &[f64], window: usize) -> ConvergenceSummary {
+        let n = history.len();
+        if n < 2 {
+            return ConvergenceSummary {
+                iterations: n,
+                initial: history.first().copied().unwrap_or(f64::NAN),
+                last: history.last().copied().unwrap_or(f64::NAN),
+                best: history.first().copied().unwrap_or(f64::NAN),
+                rate: f64::NAN,
+                monotone_fraction: 0.0,
+                trend: Trend::Inconclusive,
+            };
+        }
+        let w = window.clamp(2, n);
+        let tail = &history[n - w..];
+        let mut log_sum = 0.0f64;
+        let mut steps = 0usize;
+        let mut down = 0usize;
+        for pair in tail.windows(2) {
+            let (a, b) = (pair[0].max(f64::MIN_POSITIVE), pair[1].max(f64::MIN_POSITIVE));
+            if a.is_finite() && b.is_finite() {
+                log_sum += (b / a).ln();
+                steps += 1;
+                if b < a {
+                    down += 1;
+                }
+            }
+        }
+        let rate = if steps > 0 {
+            (log_sum / steps as f64).exp()
+        } else {
+            f64::NAN
+        };
+        let monotone_fraction = if steps > 0 {
+            down as f64 / steps as f64
+        } else {
+            0.0
+        };
+        let trend = if !rate.is_finite() {
+            Trend::Inconclusive
+        } else if rate < 0.999 {
+            Trend::Converging
+        } else if rate <= 1.001 {
+            Trend::Stagnating
+        } else {
+            Trend::Diverging
+        };
+        ConvergenceSummary {
+            iterations: n,
+            initial: history[0],
+            last: history[n - 1],
+            best: history.iter().copied().fold(f64::INFINITY, f64::min),
+            rate,
+            monotone_fraction,
+            trend,
+        }
+    }
+
+    /// Projects how many further iterations reaching `tolerance` would
+    /// take at the fitted rate (`None` if not converging).
+    pub fn iterations_to(&self, tolerance: f64) -> Option<usize> {
+        if self.trend != Trend::Converging || self.last <= tolerance {
+            return if self.last <= tolerance { Some(0) } else { None };
+        }
+        let need = (tolerance / self.last).ln() / self.rate.ln();
+        if need.is_finite() && need >= 0.0 {
+            // snap to the nearest integer before ceiling so exact
+            // geometric histories don't round up on floating-point fuzz
+            let rounded = need.round();
+            let n = if (need - rounded).abs() < 1e-9 {
+                rounded
+            } else {
+                need.ceil()
+            };
+            Some(n as usize)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_decay_is_detected_exactly() {
+        let h: Vec<f64> = (0..20).map(|i| 0.5f64.powi(i)).collect();
+        let s = ConvergenceSummary::from_history(&h, h.len());
+        assert!((s.rate - 0.5).abs() < 1e-12);
+        assert_eq!(s.trend, Trend::Converging);
+        assert_eq!(s.monotone_fraction, 1.0);
+        assert_eq!(s.best, h[19]);
+    }
+
+    #[test]
+    fn stagnation_and_divergence_are_classified() {
+        let flat = vec![0.3; 30];
+        assert_eq!(
+            ConvergenceSummary::from_history(&flat, 30).trend,
+            Trend::Stagnating
+        );
+        let up: Vec<f64> = (0..20).map(|i| 1.1f64.powi(i)).collect();
+        assert_eq!(
+            ConvergenceSummary::from_history(&up, 20).trend,
+            Trend::Diverging
+        );
+    }
+
+    #[test]
+    fn short_histories_are_inconclusive() {
+        let s = ConvergenceSummary::from_history(&[1.0], 10);
+        assert_eq!(s.trend, Trend::Inconclusive);
+        assert!(s.rate.is_nan());
+        let s0 = ConvergenceSummary::from_history(&[], 10);
+        assert_eq!(s0.iterations, 0);
+    }
+
+    #[test]
+    fn projection_matches_geometry() {
+        let h: Vec<f64> = (0..10).map(|i| 0.1f64.powi(i)).collect(); // rate 0.1
+        let s = ConvergenceSummary::from_history(&h, 10);
+        // last = 1e-9; to reach 1e-12 at rate 0.1 -> 3 iterations
+        assert_eq!(s.iterations_to(1e-12), Some(3));
+        assert_eq!(s.iterations_to(1.0), Some(0));
+        let flat = ConvergenceSummary::from_history(&[0.5; 20], 20);
+        assert_eq!(flat.iterations_to(1e-5), None);
+    }
+
+    #[test]
+    fn window_restricts_the_fit() {
+        // fast early, slow late: tail window should see the slow rate.
+        let mut h: Vec<f64> = (0..10).map(|i| 0.1f64.powi(i)).collect();
+        let last = *h.last().unwrap();
+        h.extend((1..=10).map(|i| last * 0.9f64.powi(i)));
+        let s_tail = ConvergenceSummary::from_history(&h, 10);
+        assert!((s_tail.rate - 0.9).abs() < 1e-9, "rate {}", s_tail.rate);
+        let s_all = ConvergenceSummary::from_history(&h, h.len());
+        assert!(s_all.rate < 0.9);
+    }
+
+    #[test]
+    fn summary_of_a_real_solve() {
+        use crate::cg::conjugate_gradient;
+        use crate::convergence::ConvergenceCriteria;
+        use crate::kernels::SoftwareKernels;
+        let a = acamar_sparse::generate::poisson2d::<f64>(10, 10);
+        let b = vec![1.0; 100];
+        let mut k = SoftwareKernels::new();
+        let rep =
+            conjugate_gradient(&a, &b, None, &ConvergenceCriteria::paper(), &mut k).unwrap();
+        let s = ConvergenceSummary::from_history(&rep.residual_history, 10);
+        assert_eq!(s.trend, Trend::Converging);
+        assert!(s.last < 1e-5);
+    }
+}

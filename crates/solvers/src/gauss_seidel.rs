@@ -1,0 +1,218 @@
+//! Gauss-Seidel and Successive Over-Relaxation (SOR).
+//!
+//! These are the "relatively simple yet effective" stationary methods the
+//! paper lists alongside Jacobi (Section II-B, Table I). They are
+//! software-only reference solvers here: Acamar's hardware reconfigures
+//! among JB/CG/BiCG-STAB, but the convergence-criteria table (Table I)
+//! covers these too, and they serve as extra baselines.
+
+use crate::convergence::{ConvergenceCriteria, DivergenceReason, Monitor, Outcome, Verdict};
+use crate::jacobi::check_square_system;
+use crate::kernels::OpCounts;
+use crate::report::SolveReport;
+use crate::selection::SolverKind;
+use acamar_sparse::{CsrMatrix, Scalar, SparseError};
+
+/// Solves `A x = b` with Gauss-Seidel (SOR with `omega = 1`).
+///
+/// Converges for strictly diagonally dominant or SPD matrices.
+///
+/// # Errors
+///
+/// Returns [`SparseError`] for shape problems.
+pub fn gauss_seidel<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    criteria: &ConvergenceCriteria,
+) -> Result<SolveReport<T>, SparseError> {
+    sor(a, b, x0, T::ONE, criteria).map(|mut r| {
+        r.solver = SolverKind::GaussSeidel;
+        r
+    })
+}
+
+/// Solves `A x = b` with Successive Over-Relaxation.
+///
+/// `omega` in `(0, 2)` is the relaxation factor; `omega = 1` reduces to
+/// Gauss-Seidel.
+///
+/// # Errors
+///
+/// Returns [`SparseError`] for shape problems.
+///
+/// # Panics
+///
+/// Panics if `omega` is not in `(0, 2)`.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_solvers::{sor, ConvergenceCriteria};
+/// use acamar_sparse::generate;
+///
+/// let a = generate::poisson1d::<f64>(30);
+/// let b = vec![1.0; 30];
+/// let rep = sor(&a, &b, None, 1.5, &ConvergenceCriteria::paper())?;
+/// assert!(rep.converged());
+/// # Ok::<(), acamar_sparse::SparseError>(())
+/// ```
+pub fn sor<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    omega: T,
+    criteria: &ConvergenceCriteria,
+) -> Result<SolveReport<T>, SparseError> {
+    let w = omega.to_f64();
+    assert!(w > 0.0 && w < 2.0, "omega must lie in (0, 2), got {w}");
+    let n = check_square_system(a, b)?;
+    let mut counts = OpCounts::default();
+
+    let diag = a.diagonal();
+    if diag.contains(&T::ZERO) {
+        return Ok(SolveReport {
+            solver: SolverKind::Sor,
+            outcome: Outcome::Diverged(DivergenceReason::Breakdown("zero diagonal")),
+            iterations: 0,
+            residual_history: Vec::new(),
+            solution: x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]),
+            counts,
+        });
+    }
+
+    let b_norm = b
+        .iter()
+        .fold(T::ZERO, |acc, &v| acc + v * v)
+        .sqrt()
+        .to_f64();
+    let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
+    counts.dense_calls += 1;
+    counts.dense_flops += 2 * n as u64;
+
+    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
+    let mut monitor = Monitor::new(*criteria);
+    let mut iterations = 0usize;
+
+    let outcome = loop {
+        // One forward sweep; the sweep touches every stored entry once,
+        // which we account as one SpMV-equivalent pass.
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            let mut sigma = T::ZERO;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c != i {
+                    sigma += v * x[c];
+                }
+            }
+            let gs = (b[i] - sigma) / diag[i];
+            x[i] = x[i] + omega * (gs - x[i]);
+        }
+        counts.spmv_calls += 1;
+        counts.spmv_nnz_processed += a.nnz() as u64;
+        counts.spmv_flops += 2 * a.nnz() as u64;
+        counts.dense_flops += 4 * n as u64;
+
+        // True residual (extra SpMV-equivalent pass, counted as dense for
+        // monitoring purposes only).
+        let mut res2 = 0.0f64;
+        for (i, cols, vals) in a.iter_rows() {
+            let mut ax = T::ZERO;
+            for (&c, &v) in cols.iter().zip(vals) {
+                ax += v * x[c];
+            }
+            let d = (b[i] - ax).to_f64();
+            res2 += d * d;
+        }
+        let res = res2.sqrt() / scale;
+        iterations += 1;
+        match monitor.observe(res) {
+            Verdict::Continue => {}
+            Verdict::Done(o) => break o,
+        }
+    };
+
+    Ok(SolveReport {
+        solver: SolverKind::Sor,
+        outcome,
+        iterations,
+        residual_history: monitor.into_history(),
+        solution: x,
+        counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acamar_sparse::generate::{self, RowDistribution};
+
+    fn criteria() -> ConvergenceCriteria {
+        ConvergenceCriteria::paper().with_max_iterations(3000)
+    }
+
+    #[test]
+    fn gauss_seidel_converges_on_dominant_matrix() {
+        let a = generate::diagonally_dominant::<f64>(
+            60,
+            RowDistribution::Uniform { min: 2, max: 6 },
+            1.5,
+            31,
+        );
+        let b = vec![1.0; 60];
+        let rep = gauss_seidel(&a, &b, None, &criteria()).unwrap();
+        assert!(rep.converged());
+        assert_eq!(rep.solver, SolverKind::GaussSeidel);
+    }
+
+    #[test]
+    fn gauss_seidel_beats_jacobi_on_poisson() {
+        let a = generate::poisson1d::<f64>(40);
+        let b = vec![1.0; 40];
+        let gs = gauss_seidel(&a, &b, None, &criteria()).unwrap();
+        let mut k = crate::kernels::SoftwareKernels::new();
+        let jb = crate::jacobi::jacobi(&a, &b, None, &criteria(), &mut k).unwrap();
+        assert!(gs.converged());
+        if jb.converged() {
+            assert!(
+                gs.iterations <= jb.iterations,
+                "GS {} vs JB {}",
+                gs.iterations,
+                jb.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn sor_with_good_omega_beats_gauss_seidel() {
+        let a = generate::poisson1d::<f64>(40);
+        let b = vec![1.0; 40];
+        let gs = gauss_seidel(&a, &b, None, &criteria()).unwrap();
+        let s = sor(&a, &b, None, 1.8, &criteria()).unwrap();
+        assert!(s.converged());
+        assert!(
+            s.iterations < gs.iterations,
+            "SOR {} vs GS {}",
+            s.iterations,
+            gs.iterations
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "omega must lie in (0, 2)")]
+    fn sor_rejects_bad_omega() {
+        let a = generate::poisson1d::<f64>(4);
+        let _ = sor(&a, &[1.0; 4], None, 2.5, &criteria());
+    }
+
+    #[test]
+    fn zero_diagonal_reports_breakdown() {
+        let a = CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0])
+            .unwrap();
+        let rep = gauss_seidel(&a, &[1.0, 1.0], None, &criteria()).unwrap();
+        assert!(matches!(
+            rep.outcome,
+            Outcome::Diverged(DivergenceReason::Breakdown(_))
+        ));
+    }
+}

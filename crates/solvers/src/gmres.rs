@@ -1,0 +1,287 @@
+//! Restarted GMRES (the "general method of residuals" of paper Table I).
+//!
+//! GMRES(m) applies to both symmetric and non-symmetric systems and is the
+//! most general of the Krylov methods in Table I. It is included as an
+//! extension solver: Acamar's hardware reconfigures among JB/CG/BiCG-STAB,
+//! but GMRES completes the Table I criteria coverage and provides a
+//! fallback of last resort.
+
+use crate::convergence::{ConvergenceCriteria, DivergenceReason, Monitor, Outcome, Verdict};
+use crate::jacobi::check_square_system;
+use crate::kernels::{Kernels, Phase};
+use crate::report::SolveReport;
+use crate::selection::SolverKind;
+use acamar_sparse::{CsrMatrix, Scalar, SparseError};
+
+/// Solves `A x = b` with restarted GMRES(m).
+///
+/// Each outer cycle builds an `m`-dimensional Arnoldi basis with modified
+/// Gram-Schmidt and minimizes the residual over it via Givens rotations.
+/// One outer cycle counts as `m` iterations against the convergence
+/// criteria (each inner step costs one SpMV, like a CG iteration).
+///
+/// # Errors
+///
+/// Returns [`SparseError`] for shape problems.
+///
+/// # Panics
+///
+/// Panics if `restart == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_solvers::{gmres, ConvergenceCriteria, SoftwareKernels};
+/// use acamar_sparse::generate;
+///
+/// let a = generate::convection_diffusion_2d::<f64>(8, 8, 3.0);
+/// let b = vec![1.0; 64];
+/// let mut k = SoftwareKernels::new();
+/// let rep = gmres(&a, &b, None, 20, &ConvergenceCriteria::paper(), &mut k)?;
+/// assert!(rep.converged());
+/// # Ok::<(), acamar_sparse::SparseError>(())
+/// ```
+pub fn gmres<T: Scalar, K: Kernels<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    restart: usize,
+    criteria: &ConvergenceCriteria,
+    kernels: &mut K,
+) -> Result<SolveReport<T>, SparseError> {
+    assert!(restart > 0, "restart dimension must be positive");
+    let n = check_square_system(a, b)?;
+    let m = restart.min(n);
+    let start_counts = kernels.counts();
+
+    kernels.set_phase(Phase::Initialize);
+    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
+    let b_norm = kernels.norm2(b).to_f64();
+    let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
+
+    let mut monitor = Monitor::new(*criteria);
+    let mut iterations = 0usize;
+    let mut r = vec![T::ZERO; n];
+
+    kernels.set_phase(Phase::Loop);
+    let outcome = 'outer: loop {
+        // r = b - A x
+        kernels.spmv(a, &x, &mut r);
+        kernels.scale(-T::ONE, &mut r);
+        kernels.axpy(T::ONE, b, &mut r);
+        let beta = kernels.norm2(&r);
+        let beta_f = beta.to_f64();
+        if !beta_f.is_finite() {
+            monitor.observe(f64::NAN);
+            break Outcome::Diverged(DivergenceReason::NonFinite);
+        }
+        if beta_f / scale < criteria.tolerance {
+            break Outcome::Converged;
+        }
+
+        // Arnoldi basis V, Hessenberg H (column-major per inner step),
+        // Givens rotations (cs, sn), residual vector g.
+        let mut v: Vec<Vec<T>> = Vec::with_capacity(m + 1);
+        let mut first = r.clone();
+        kernels.scale(T::ONE / beta, &mut first);
+        v.push(first);
+        let mut h = vec![vec![T::ZERO; m]; m + 1]; // h[i][j]
+        let mut cs = vec![T::ZERO; m];
+        let mut sn = vec![T::ZERO; m];
+        let mut g = vec![T::ZERO; m + 1];
+        g[0] = beta;
+        let mut inner_used = 0usize;
+
+        for j in 0..m {
+            kernels.begin_iteration(iterations);
+            let mut w = vec![T::ZERO; n];
+            kernels.spmv(a, &v[j], &mut w);
+            // Modified Gram-Schmidt
+            for (i, vi) in v.iter().enumerate().take(j + 1) {
+                let hij = kernels.dot(&w, vi);
+                h[i][j] = hij;
+                kernels.axpy(-hij, vi, &mut w);
+            }
+            let wnorm = kernels.norm2(&w);
+            h[j + 1][j] = wnorm;
+            iterations += 1;
+            inner_used = j + 1;
+
+            let happy = wnorm.to_f64().abs() < 1e-14 * scale;
+            if !happy {
+                let mut next = w;
+                kernels.scale(T::ONE / wnorm, &mut next);
+                v.push(next);
+            }
+
+            // Apply existing Givens rotations to the new column.
+            for i in 0..j {
+                let t = cs[i] * h[i][j] + sn[i] * h[i + 1][j];
+                h[i + 1][j] = -sn[i] * h[i][j] + cs[i] * h[i + 1][j];
+                h[i][j] = t;
+            }
+            // New rotation annihilating h[j+1][j].
+            let (c, s) = givens(h[j][j], h[j + 1][j]);
+            cs[j] = c;
+            sn[j] = s;
+            h[j][j] = c * h[j][j] + s * h[j + 1][j];
+            h[j + 1][j] = T::ZERO;
+            g[j + 1] = -s * g[j];
+            g[j] = c * g[j];
+
+            let res = g[j + 1].to_f64().abs() / scale;
+            match monitor.observe(res) {
+                Verdict::Continue => {}
+                Verdict::Done(Outcome::Converged) => {
+                    update_solution(kernels, &mut x, &h, &g, &v, j + 1);
+                    break 'outer Outcome::Converged;
+                }
+                Verdict::Done(o) => {
+                    update_solution(kernels, &mut x, &h, &g, &v, j + 1);
+                    break 'outer o;
+                }
+            }
+            if happy {
+                update_solution(kernels, &mut x, &h, &g, &v, j + 1);
+                continue 'outer;
+            }
+        }
+        update_solution(kernels, &mut x, &h, &g, &v, inner_used);
+    };
+
+    Ok(SolveReport {
+        solver: SolverKind::Gmres,
+        outcome,
+        iterations,
+        residual_history: monitor.into_history(),
+        solution: x,
+        counts: kernels.counts().since(&start_counts),
+    })
+}
+
+/// Stable Givens rotation coefficients for `(a, b) -> (r, 0)`.
+fn givens<T: Scalar>(a: T, b: T) -> (T, T) {
+    if b == T::ZERO {
+        (T::ONE, T::ZERO)
+    } else if a.abs() < b.abs() {
+        let t = a / b;
+        let s = T::ONE / (T::ONE + t * t).sqrt();
+        (s * t, s)
+    } else {
+        let t = b / a;
+        let c = T::ONE / (T::ONE + t * t).sqrt();
+        (c, c * t)
+    }
+}
+
+/// Back-solves the `k x k` triangular system and updates `x += V y`.
+fn update_solution<T: Scalar, K: Kernels<T>>(
+    kernels: &mut K,
+    x: &mut [T],
+    h: &[Vec<T>],
+    g: &[T],
+    v: &[Vec<T>],
+    k: usize,
+) {
+    if k == 0 {
+        return;
+    }
+    let mut y = vec![T::ZERO; k];
+    for i in (0..k).rev() {
+        let mut acc = g[i];
+        for j in (i + 1)..k {
+            acc -= h[i][j] * y[j];
+        }
+        // A zero pivot here means the Krylov space degenerated; skip the
+        // update direction rather than dividing by zero.
+        if h[i][i] != T::ZERO {
+            y[i] = acc / h[i][i];
+        }
+    }
+    for (j, yj) in y.iter().enumerate() {
+        kernels.axpy(*yj, &v[j], x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::SoftwareKernels;
+    use acamar_sparse::generate::{self, RowDistribution};
+
+    fn criteria() -> ConvergenceCriteria {
+        ConvergenceCriteria::paper().with_max_iterations(3000)
+    }
+
+    #[test]
+    fn converges_on_nonsymmetric_system() {
+        let a = generate::convection_diffusion_2d::<f64>(10, 10, 2.5);
+        let x_true: Vec<f64> = (0..100).map(|i| ((i % 9) as f64) / 9.0).collect();
+        let b = a.mul_vec(&x_true).unwrap();
+        let mut k = SoftwareKernels::new();
+        let rep = gmres(&a, &b, None, 30, &criteria(), &mut k).unwrap();
+        assert!(rep.converged(), "{:?}", rep.outcome);
+        let err = rep
+            .solution
+            .iter()
+            .zip(&x_true)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-3, "max err {err}");
+    }
+
+    #[test]
+    fn converges_on_spd_system() {
+        let a = generate::poisson2d::<f64>(8, 8);
+        let b = vec![1.0; 64];
+        let mut k = SoftwareKernels::new();
+        let rep = gmres(&a, &b, None, 20, &criteria(), &mut k).unwrap();
+        assert!(rep.converged());
+    }
+
+    #[test]
+    fn handles_indefinite_system_that_defeats_bicgstab() {
+        // Full-memory Krylov (within the restart window) can handle
+        // spectra straddling zero where BiCG-STAB's one-step stabilizer
+        // stalls; GMRES is Acamar's natural future-work fallback.
+        let a = generate::indefinite_diagonally_dominant::<f64>(
+            60,
+            RowDistribution::Uniform { min: 2, max: 4 },
+            1.5,
+            7,
+        );
+        let b = vec![1.0; 60];
+        let mut k = SoftwareKernels::new();
+        let rep = gmres(&a, &b, None, 60, &criteria(), &mut k).unwrap();
+        assert!(rep.converged(), "{:?}", rep.outcome);
+    }
+
+    #[test]
+    fn exact_guess_returns_immediately() {
+        let a = generate::poisson1d::<f64>(16);
+        let x_true = vec![3.0; 16];
+        let b = a.mul_vec(&x_true).unwrap();
+        let mut k = SoftwareKernels::new();
+        let rep = gmres(&a, &b, Some(&x_true), 8, &criteria(), &mut k).unwrap();
+        assert!(rep.converged());
+        assert_eq!(rep.iterations, 0);
+    }
+
+    #[test]
+    fn restart_larger_than_n_is_clamped() {
+        let a = generate::poisson1d::<f64>(6);
+        let b = vec![1.0; 6];
+        let mut k = SoftwareKernels::new();
+        let rep = gmres(&a, &b, None, 100, &criteria(), &mut k).unwrap();
+        assert!(rep.converged());
+        assert!(rep.iterations <= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart dimension")]
+    fn zero_restart_panics() {
+        let a = generate::poisson1d::<f64>(4);
+        let mut k = SoftwareKernels::new();
+        let _ = gmres(&a, &[1.0; 4], None, 0, &criteria(), &mut k);
+    }
+}

@@ -1,0 +1,377 @@
+//! Incomplete LU factorization with zero fill-in (ILU(0)) and the
+//! ILU-preconditioned CG solver.
+//!
+//! ILU(0) computes `A ≈ L U` restricted to `A`'s sparsity pattern — the
+//! classic general-purpose preconditioner for the `Ax = b` systems the
+//! paper targets. The factorization and the triangular solves are
+//! inherently sequential, so (like Gauss-Seidel) this is a software
+//! reference component rather than a fabric-mapped kernel.
+
+use crate::convergence::{ConvergenceCriteria, DivergenceReason, Monitor, Outcome, Verdict};
+use crate::jacobi::check_square_system;
+use crate::kernels::OpCounts;
+use crate::report::SolveReport;
+use crate::selection::SolverKind;
+use acamar_sparse::{CsrMatrix, Scalar, SparseError};
+
+/// An ILU(0) factorization of a square sparse matrix.
+///
+/// Stored as one CSR matrix holding both factors: strictly-lower entries
+/// belong to `L` (which has an implicit unit diagonal), diagonal and
+/// upper entries belong to `U`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ilu0<T> {
+    factors: CsrMatrix<T>,
+}
+
+impl<T: Scalar> Ilu0<T> {
+    /// Factors `a` in place of its own pattern (IKJ variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for rectangular input and
+    /// [`SparseError::ZeroDiagonal`] when a pivot vanishes (the
+    /// factorization does not exist on this pattern).
+    pub fn factor(a: &CsrMatrix<T>) -> Result<Self, SparseError> {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+        let n = a.nrows();
+        let mut f = a.clone();
+        // Positions of each row's diagonal in the value array.
+        let mut diag_pos = vec![usize::MAX; n];
+        {
+            let row_ptr = f.row_ptr().to_vec();
+            let col_idx = f.col_idx().to_vec();
+            for i in 0..n {
+                for (k, &c) in col_idx
+                    .iter()
+                    .enumerate()
+                    .take(row_ptr[i + 1])
+                    .skip(row_ptr[i])
+                {
+                    if c == i {
+                        diag_pos[i] = k;
+                    }
+                }
+                if diag_pos[i] == usize::MAX {
+                    return Err(SparseError::ZeroDiagonal { row: i });
+                }
+            }
+        }
+        let row_ptr = f.row_ptr().to_vec();
+        let col_idx = f.col_idx().to_vec();
+        for i in 1..n {
+            // Eliminate columns k < i present in row i.
+            for kk in row_ptr[i]..row_ptr[i + 1] {
+                let k = col_idx[kk];
+                if k >= i {
+                    break;
+                }
+                let pivot = f.values()[diag_pos[k]];
+                if pivot == T::ZERO {
+                    return Err(SparseError::ZeroDiagonal { row: k });
+                }
+                let lik = f.values()[kk] / pivot;
+                f.values_mut()[kk] = lik;
+                // Row_i -= lik * U-part of Row_k, restricted to pattern.
+                let mut jj = kk + 1;
+                for uk in diag_pos[k] + 1..row_ptr[k + 1] {
+                    let j = col_idx[uk];
+                    // advance jj to column j in row i if present
+                    while jj < row_ptr[i + 1] && col_idx[jj] < j {
+                        jj += 1;
+                    }
+                    if jj < row_ptr[i + 1] && col_idx[jj] == j {
+                        let ukj = f.values()[uk];
+                        f.values_mut()[jj] -= lik * ukj;
+                    }
+                }
+            }
+            if f.values()[diag_pos[i]] == T::ZERO {
+                return Err(SparseError::ZeroDiagonal { row: i });
+            }
+        }
+        Ok(Ilu0 { factors: f })
+    }
+
+    /// The combined factor matrix (strict lower = `L`, rest = `U`).
+    pub fn factors(&self) -> &CsrMatrix<T> {
+        &self.factors
+    }
+
+    /// Applies the preconditioner: solves `L U z = r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.len()` or `z.len()` differ from the matrix dimension.
+    pub fn apply(&self, r: &[T], z: &mut [T]) {
+        let n = self.factors.nrows();
+        assert_eq!(r.len(), n, "rhs length mismatch");
+        assert_eq!(z.len(), n, "output length mismatch");
+        // forward: L y = r (unit diagonal), y stored in z
+        for i in 0..n {
+            let (cols, vals) = self.factors.row(i);
+            let mut acc = r[i];
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c >= i {
+                    break;
+                }
+                acc -= v * z[c];
+            }
+            z[i] = acc;
+        }
+        // backward: U z = y
+        for i in (0..n).rev() {
+            let (cols, vals) = self.factors.row(i);
+            let mut acc = z[i];
+            let mut diag = T::ONE;
+            for (&c, &v) in cols.iter().zip(vals) {
+                use std::cmp::Ordering::*;
+                match c.cmp(&i) {
+                    Greater => acc -= v * z[c],
+                    Equal => diag = v,
+                    Less => {}
+                }
+            }
+            z[i] = acc / diag;
+        }
+    }
+}
+
+/// Solves `A x = b` with ILU(0)-preconditioned CG (software reference).
+///
+/// Requires `A` symmetric positive definite for the CG theory to apply
+/// (the ILU factors of an SPD matrix on a symmetric pattern act as an
+/// incomplete Cholesky-like preconditioner).
+///
+/// # Errors
+///
+/// Returns [`SparseError`] for shape problems; a failed factorization
+/// (zero pivot) is reported as a breakdown outcome.
+pub fn ilu_pcg<T: Scalar>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    criteria: &ConvergenceCriteria,
+) -> Result<SolveReport<T>, SparseError> {
+    let n = check_square_system(a, b)?;
+    let mut counts = OpCounts::default();
+    let ilu = match Ilu0::factor(a) {
+        Ok(f) => f,
+        Err(SparseError::ZeroDiagonal { .. }) => {
+            return Ok(SolveReport {
+                solver: SolverKind::PreconditionedCg,
+                outcome: Outcome::Diverged(DivergenceReason::Breakdown(
+                    "ILU(0) pivot vanished",
+                )),
+                iterations: 0,
+                residual_history: Vec::new(),
+                solution: x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]),
+                counts,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+
+    let dot = |counts: &mut OpCounts, x: &[T], y: &[T]| -> T {
+        counts.dense_calls += 1;
+        counts.dense_flops += 2 * x.len() as u64;
+        x.iter().zip(y).fold(T::ZERO, |acc, (&u, &v)| acc + u * v)
+    };
+    let spmv = |counts: &mut OpCounts, m: &CsrMatrix<T>, x: &[T], y: &mut [T]| {
+        m.mul_vec_into(x, y).expect("shape checked");
+        counts.spmv_calls += 1;
+        counts.spmv_nnz_processed += m.nnz() as u64;
+        counts.spmv_flops += 2 * m.nnz() as u64;
+    };
+    let apply = |counts: &mut OpCounts, r: &[T], z: &mut [T]| {
+        ilu.apply(r, z);
+        // two triangular sweeps over the factor pattern
+        counts.spmv_calls += 1;
+        counts.spmv_nnz_processed += ilu.factors().nnz() as u64;
+        counts.spmv_flops += 2 * ilu.factors().nnz() as u64;
+    };
+
+    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
+    let mut r = vec![T::ZERO; n];
+    spmv(&mut counts, a, &x, &mut r);
+    for (ri, &bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let mut z = vec![T::ZERO; n];
+    apply(&mut counts, &r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&mut counts, &r, &z);
+    let b_norm = dot(&mut counts, b, b).to_f64().max(0.0).sqrt();
+    let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
+
+    let mut ap = vec![T::ZERO; n];
+    let mut monitor = Monitor::new(*criteria);
+    let mut iterations = 0usize;
+    let outcome = loop {
+        let r_norm = dot(&mut counts, &r, &r).to_f64().max(0.0).sqrt();
+        if r_norm / scale < criteria.tolerance {
+            break Outcome::Converged;
+        }
+        spmv(&mut counts, a, &p, &mut ap);
+        let p_ap = dot(&mut counts, &ap, &p);
+        iterations += 1;
+        if !p_ap.is_finite() {
+            monitor.observe(f64::NAN);
+            break Outcome::Diverged(DivergenceReason::NonFinite);
+        }
+        if p_ap <= T::ZERO {
+            monitor.observe(r_norm / scale);
+            break Outcome::Diverged(DivergenceReason::Breakdown(
+                "non-positive curvature (matrix not positive definite)",
+            ));
+        }
+        let alpha = rz / p_ap;
+        for (xi, &pi) in x.iter_mut().zip(&p) {
+            *xi += alpha * pi;
+        }
+        for (ri, &api) in r.iter_mut().zip(&ap) {
+            *ri -= alpha * api;
+        }
+        counts.dense_calls += 2;
+        counts.dense_flops += 4 * n as u64;
+        apply(&mut counts, &r, &mut z);
+        let rz_new = dot(&mut counts, &r, &z);
+        let res = dot(&mut counts, &r, &r).to_f64().max(0.0).sqrt() / scale;
+        match monitor.observe(res) {
+            Verdict::Continue => {}
+            Verdict::Done(o) => break o,
+        }
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, &zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+        counts.dense_calls += 1;
+        counts.dense_flops += 2 * n as u64;
+    };
+
+    Ok(SolveReport {
+        solver: SolverKind::PreconditionedCg,
+        outcome,
+        iterations,
+        residual_history: monitor.into_history(),
+        solution: x,
+        counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::conjugate_gradient;
+    use crate::kernels::SoftwareKernels;
+    use acamar_sparse::generate;
+
+    fn criteria() -> ConvergenceCriteria {
+        ConvergenceCriteria::paper().with_max_iterations(3000)
+    }
+
+    #[test]
+    fn factorization_is_exact_for_tridiagonal() {
+        // Tridiagonal matrices have no fill-in, so ILU(0) == LU and
+        // apply() solves exactly.
+        let a = generate::poisson1d::<f64>(20);
+        let ilu = Ilu0::factor(&a).unwrap();
+        let x_true: Vec<f64> = (0..20).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let b = a.mul_vec(&x_true).unwrap();
+        let mut z = vec![0.0; 20];
+        ilu.apply(&b, &mut z);
+        for (zi, xi) in z.iter().zip(&x_true) {
+            assert!((zi - xi).abs() < 1e-10, "{zi} vs {xi}");
+        }
+    }
+
+    #[test]
+    fn factorization_reproduces_lu_product_on_pattern() {
+        let a = generate::poisson2d::<f64>(5, 5);
+        let ilu = Ilu0::factor(&a).unwrap();
+        let f = ilu.factors();
+        // (L U)(i, j) must equal A(i, j) on the pattern of A.
+        let n = a.nrows();
+        for i in 0..n {
+            let (cols, _) = a.row(i);
+            for &j in cols {
+                let mut lu = 0.0;
+                for k in 0..=i.min(j) {
+                    let lik = if k == i { 1.0 } else { f.get(i, k) };
+                    let ukj = if k <= j { f.get(k, j) } else { 0.0 };
+                    if k <= i {
+                        lu += if k == i { ukj } else { lik * ukj };
+                    }
+                }
+                assert!(
+                    (lu - a.get(i, j)).abs() < 1e-8,
+                    "LU({i},{j}) = {lu} vs A = {}",
+                    a.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ilu_pcg_converges_faster_than_cg_on_poisson() {
+        let a = generate::poisson2d::<f64>(20, 20);
+        let b = vec![1.0; 400];
+        let pcg = ilu_pcg(&a, &b, None, &criteria()).unwrap();
+        let mut k = SoftwareKernels::new();
+        let cg = conjugate_gradient(&a, &b, None, &criteria(), &mut k).unwrap();
+        assert!(pcg.converged() && cg.converged());
+        assert!(
+            pcg.iterations < cg.iterations,
+            "ILU-PCG {} vs CG {}",
+            pcg.iterations,
+            cg.iterations
+        );
+        // and the answer is right
+        let r = a.mul_vec(&pcg.solution).unwrap();
+        let res: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-3 * 20.0);
+    }
+
+    #[test]
+    fn zero_pivot_is_breakdown_outcome() {
+        // [[0, 1], [1, 0]]: diagonal entries are structurally absent.
+        let a = CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0])
+            .unwrap();
+        let rep = ilu_pcg(&a, &[1.0, 1.0], None, &criteria()).unwrap();
+        assert!(matches!(
+            rep.outcome,
+            Outcome::Diverged(DivergenceReason::Breakdown(_))
+        ));
+        assert!(Ilu0::factor(&a).is_err());
+    }
+
+    #[test]
+    fn rectangular_input_is_an_error() {
+        let a = CsrMatrix::try_from_parts(1, 2, vec![0, 1], vec![0], vec![1.0_f64]).unwrap();
+        assert!(matches!(
+            Ilu0::factor(&a),
+            Err(SparseError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_guess_converges_immediately() {
+        let a = generate::poisson1d::<f64>(12);
+        let x_true = vec![1.0; 12];
+        let b = a.mul_vec(&x_true).unwrap();
+        let rep = ilu_pcg(&a, &b, Some(&x_true), &criteria()).unwrap();
+        assert!(rep.converged());
+        assert_eq!(rep.iterations, 0);
+    }
+}

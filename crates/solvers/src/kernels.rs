@@ -1,0 +1,278 @@
+//! Compute kernels and the [`Kernels`] execution abstraction.
+//!
+//! Each solver in this crate is written once against the [`Kernels`] trait.
+//! [`SoftwareKernels`] executes them directly (with FLOP accounting);
+//! `acamar-fabric` provides an implementation that additionally models
+//! FPGA cycles, resource utilization, and partial reconfiguration. This
+//! mirrors the paper's split between the algorithms (Section II-B) and
+//! their hardware execution (Section IV).
+
+use acamar_sparse::{CsrMatrix, Scalar};
+
+/// Execution phase of a solver, reported to the kernel executor.
+///
+/// The paper's Initialize unit runs pre-loop operations on a *static*
+/// (un-reconfigured) SpMV engine, while loop-phase SpMV runs on the Dynamic
+/// SpMV Kernel (Section IV-B); hardware models use this distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Pre-loop operations (Algorithm 1 lines 1–7, Algorithm 2/3 line 2).
+    Initialize,
+    /// The iterative solver loop.
+    Loop,
+}
+
+/// Operation counters accumulated by a kernel executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Floating-point operations inside SpMV calls (2 per stored entry).
+    pub spmv_flops: u64,
+    /// Floating-point operations in dense vector kernels.
+    pub dense_flops: u64,
+    /// Number of SpMV invocations.
+    pub spmv_calls: u64,
+    /// Stored entries processed across all SpMV calls.
+    pub spmv_nnz_processed: u64,
+    /// Number of dense kernel invocations (dot/axpy/etc.).
+    pub dense_calls: u64,
+}
+
+impl OpCounts {
+    /// Total floating-point operations.
+    pub fn total_flops(&self) -> u64 {
+        self.spmv_flops + self.dense_flops
+    }
+
+    /// Counts accumulated since `earlier` (which must be a prior snapshot
+    /// of the same executor).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds `self`.
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            spmv_flops: self.spmv_flops - earlier.spmv_flops,
+            dense_flops: self.dense_flops - earlier.dense_flops,
+            spmv_calls: self.spmv_calls - earlier.spmv_calls,
+            spmv_nnz_processed: self.spmv_nnz_processed - earlier.spmv_nnz_processed,
+            dense_calls: self.dense_calls - earlier.dense_calls,
+        }
+    }
+
+    /// Fraction of FLOPs spent in SpMV (0 when nothing ran).
+    pub fn spmv_flop_share(&self) -> f64 {
+        let t = self.total_flops();
+        if t == 0 {
+            0.0
+        } else {
+            self.spmv_flops as f64 / t as f64
+        }
+    }
+}
+
+/// Executor for the primitive operations of the iterative solvers.
+///
+/// The sparse kernel is [`spmv`](Kernels::spmv) — the operation the paper
+/// identifies as dominating solver time (Fig. 1) and the sole target of
+/// fine-grained reconfiguration. The dense kernels (dot products, vector
+/// updates) are "implemented in their most optimized HLS design" and never
+/// reconfigured (Section IV-B).
+pub trait Kernels<T: Scalar> {
+    /// `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len() != a.ncols()` or
+    /// `y.len() != a.nrows()`; solver code always passes matching shapes.
+    fn spmv(&mut self, a: &CsrMatrix<T>, x: &[T], y: &mut [T]);
+
+    /// Returns `xᵀ y`.
+    fn dot(&mut self, x: &[T], y: &[T]) -> T;
+
+    /// `y += alpha * x`.
+    fn axpy(&mut self, alpha: T, x: &[T], y: &mut [T]);
+
+    /// `y = x + beta * y` (the `p` update of CG).
+    fn xpby(&mut self, x: &[T], beta: T, y: &mut [T]);
+
+    /// `x *= alpha`.
+    fn scale(&mut self, alpha: T, x: &mut [T]);
+
+    /// `dst = src` (no FLOPs; modeled as a buffer move).
+    fn copy(&mut self, src: &[T], dst: &mut [T]);
+
+    /// `y[i] = a[i] * x[i]` elementwise (diagonal scaling).
+    fn hadamard(&mut self, a: &[T], x: &[T], y: &mut [T]);
+
+    /// Returns `‖x‖₂`.
+    fn norm2(&mut self, x: &[T]) -> T {
+        self.dot(x, x).sqrt()
+    }
+
+    /// Notifies the executor that the solver entered `phase`.
+    fn set_phase(&mut self, phase: Phase) {
+        let _ = phase;
+    }
+
+    /// Notifies the executor that loop iteration `iter` begins.
+    fn begin_iteration(&mut self, iter: usize) {
+        let _ = iter;
+    }
+
+    /// Current accumulated operation counts.
+    fn counts(&self) -> OpCounts;
+}
+
+/// Pure-software kernel executor with FLOP accounting.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_solvers::{Kernels, SoftwareKernels};
+/// use acamar_sparse::CsrMatrix;
+///
+/// let a = CsrMatrix::<f64>::identity(3);
+/// let mut k = SoftwareKernels::new();
+/// let mut y = vec![0.0; 3];
+/// k.spmv(&a, &[1.0, 2.0, 3.0], &mut y);
+/// assert_eq!(y, vec![1.0, 2.0, 3.0]);
+/// assert_eq!(Kernels::<f64>::counts(&k).spmv_calls, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SoftwareKernels {
+    counts: OpCounts,
+}
+
+impl SoftwareKernels {
+    /// Creates an executor with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.counts = OpCounts::default();
+    }
+}
+
+impl<T: Scalar> Kernels<T> for SoftwareKernels {
+    fn spmv(&mut self, a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
+        a.mul_vec_into(x, y).expect("spmv shape mismatch");
+        self.counts.spmv_calls += 1;
+        self.counts.spmv_nnz_processed += a.nnz() as u64;
+        self.counts.spmv_flops += 2 * a.nnz() as u64;
+    }
+
+    fn dot(&mut self, x: &[T], y: &[T]) -> T {
+        assert_eq!(x.len(), y.len(), "dot length mismatch");
+        self.counts.dense_calls += 1;
+        self.counts.dense_flops += 2 * x.len() as u64;
+        x.iter().zip(y).fold(T::ZERO, |acc, (&a, &b)| acc + a * b)
+    }
+
+    fn axpy(&mut self, alpha: T, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), y.len(), "axpy length mismatch");
+        self.counts.dense_calls += 1;
+        self.counts.dense_flops += 2 * x.len() as u64;
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    fn xpby(&mut self, x: &[T], beta: T, y: &mut [T]) {
+        assert_eq!(x.len(), y.len(), "xpby length mismatch");
+        self.counts.dense_calls += 1;
+        self.counts.dense_flops += 2 * x.len() as u64;
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi = xi + beta * *yi;
+        }
+    }
+
+    fn scale(&mut self, alpha: T, x: &mut [T]) {
+        self.counts.dense_calls += 1;
+        self.counts.dense_flops += x.len() as u64;
+        for xi in x.iter_mut() {
+            *xi *= alpha;
+        }
+    }
+
+    fn copy(&mut self, src: &[T], dst: &mut [T]) {
+        assert_eq!(src.len(), dst.len(), "copy length mismatch");
+        self.counts.dense_calls += 1;
+        dst.copy_from_slice(src);
+    }
+
+    fn hadamard(&mut self, a: &[T], x: &[T], y: &mut [T]) {
+        assert_eq!(a.len(), x.len(), "hadamard length mismatch");
+        assert_eq!(a.len(), y.len(), "hadamard length mismatch");
+        self.counts.dense_calls += 1;
+        self.counts.dense_flops += a.len() as u64;
+        for ((yi, &ai), &xi) in y.iter_mut().zip(a).zip(x) {
+            *yi = ai * xi;
+        }
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acamar_sparse::generate;
+
+    #[test]
+    fn spmv_counts_nnz_and_flops() {
+        let a = generate::poisson1d::<f64>(10); // nnz = 28
+        let mut k = SoftwareKernels::new();
+        let x = vec![1.0; 10];
+        let mut y = vec![0.0; 10];
+        Kernels::<f64>::spmv(&mut k, &a, &x, &mut y);
+        let c: OpCounts = Kernels::<f64>::counts(&k);
+        assert_eq!(c.spmv_calls, 1);
+        assert_eq!(c.spmv_nnz_processed, 28);
+        assert_eq!(c.spmv_flops, 56);
+        assert_eq!(c.spmv_flop_share(), 1.0);
+    }
+
+    #[test]
+    fn dense_kernels_compute_correctly() {
+        let mut k = SoftwareKernels::new();
+        let x = vec![1.0_f64, 2.0, 3.0];
+        let mut y = vec![1.0_f64, 1.0, 1.0];
+        assert_eq!(k.dot(&x, &y), 6.0);
+        k.axpy(2.0, &x, &mut y); // y = [3,5,7]
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+        k.xpby(&x, 2.0, &mut y); // y = x + 2y = [7,12,17]
+        assert_eq!(y, vec![7.0, 12.0, 17.0]);
+        k.scale(0.5, &mut y);
+        assert_eq!(y, vec![3.5, 6.0, 8.5]);
+        let mut z = vec![0.0; 3];
+        k.copy(&y, &mut z);
+        assert_eq!(z, y);
+        let mut h = vec![0.0; 3];
+        k.hadamard(&x, &z, &mut h);
+        assert_eq!(h, vec![3.5, 12.0, 25.5]);
+        assert_eq!(Kernels::<f64>::norm2(&mut k, &[3.0, 4.0]), 5.0);
+        let c: OpCounts = Kernels::<f64>::counts(&k);
+        assert!(c.dense_calls >= 7);
+        assert!(c.total_flops() > 0);
+        assert!(c.spmv_flop_share() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut k = SoftwareKernels::new();
+        let _ = k.dot(&[1.0_f64], &[1.0_f64]);
+        k.reset();
+        assert_eq!(Kernels::<f64>::counts(&k), OpCounts::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_panics_on_shape_mismatch() {
+        let mut k = SoftwareKernels::new();
+        let _ = k.dot(&[1.0_f64, 2.0], &[1.0_f64]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Solve reports.
+
+use crate::convergence::Outcome;
+use crate::kernels::OpCounts;
+use crate::selection::SolverKind;
+
+/// The result of running an iterative solver.
+///
+/// Returned by every solver in this crate. `solution` holds the best
+/// iterate even when the solve diverged (useful for diagnostics).
+#[derive(Debug, Clone)]
+pub struct SolveReport<T> {
+    /// Which solver produced this report.
+    pub solver: SolverKind,
+    /// Terminal state.
+    pub outcome: Outcome,
+    /// Loop iterations performed.
+    pub iterations: usize,
+    /// Relative residual after each iteration (`‖r_k‖ / ‖b‖`).
+    pub residual_history: Vec<f64>,
+    /// Final iterate.
+    pub solution: Vec<T>,
+    /// Kernel operations attributed to this solve (initialize + loop).
+    pub counts: OpCounts,
+}
+
+impl<T> SolveReport<T> {
+    /// `true` if the solve converged.
+    pub fn converged(&self) -> bool {
+        self.outcome.converged()
+    }
+
+    /// The final relative residual, or `f64::INFINITY` if no iteration ran.
+    pub fn final_residual(&self) -> f64 {
+        self.residual_history
+            .last()
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::{DivergenceReason, Outcome};
+
+    #[test]
+    fn report_accessors() {
+        let r: SolveReport<f64> = SolveReport {
+            solver: SolverKind::ConjugateGradient,
+            outcome: Outcome::Converged,
+            iterations: 3,
+            residual_history: vec![1.0, 0.1, 1e-6],
+            solution: vec![0.0; 2],
+            counts: OpCounts::default(),
+        };
+        assert!(r.converged());
+        assert_eq!(r.final_residual(), 1e-6);
+
+        let d: SolveReport<f64> = SolveReport {
+            solver: SolverKind::Jacobi,
+            outcome: Outcome::Diverged(DivergenceReason::Stagnation),
+            iterations: 0,
+            residual_history: vec![],
+            solution: vec![],
+            counts: OpCounts::default(),
+        };
+        assert!(!d.converged());
+        assert!(d.final_residual().is_infinite());
+    }
+}

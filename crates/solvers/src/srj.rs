@@ -1,0 +1,264 @@
+//! Scheduled Relaxation Jacobi (SRJ).
+//!
+//! The paper's related work cites Yang & Mittal's scheduled-relaxation
+//! acceleration of Jacobi ("by factors exceeding 100"; reference [74]).
+//! SRJ runs weighted Jacobi sweeps `x += ω_k D⁻¹ (b − A x)` with a
+//! repeating cycle of relaxation factors chosen so the cycle's combined
+//! amplification polynomial damps the whole spectrum of `D⁻¹A` — a
+//! Chebyshev-style schedule. Since each sweep is exactly a Jacobi sweep,
+//! the method maps onto Acamar's Jacobi datapath unchanged (the weights
+//! live in the dense units), making it a natural extension solver.
+
+use crate::convergence::{ConvergenceCriteria, DivergenceReason, Monitor, Outcome, Verdict};
+use crate::jacobi::check_square_system;
+use crate::kernels::{Kernels, Phase};
+use crate::report::SolveReport;
+use crate::selection::SolverKind;
+use acamar_sparse::{CsrMatrix, Scalar, SparseError};
+
+/// Computes a `p`-cycle Chebyshev relaxation schedule for eigenvalues of
+/// `D⁻¹A` in `[lambda_min, lambda_max]`:
+/// `ω_k = 1 / (c + d·cos(π(2k−1)/(2p)))` with `c = (max+min)/2`,
+/// `d = (max−min)/2`.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or the interval is empty/non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_solvers::chebyshev_weights;
+///
+/// let w = chebyshev_weights(0.05, 1.95, 4);
+/// assert_eq!(w.len(), 4);
+/// assert!(w.iter().all(|&x| x > 0.0));
+/// ```
+pub fn chebyshev_weights(lambda_min: f64, lambda_max: f64, p: usize) -> Vec<f64> {
+    assert!(p > 0, "cycle length must be positive");
+    assert!(
+        lambda_min > 0.0 && lambda_max > lambda_min,
+        "need 0 < lambda_min < lambda_max"
+    );
+    let c = 0.5 * (lambda_max + lambda_min);
+    let d = 0.5 * (lambda_max - lambda_min);
+    (1..=p)
+        .map(|k| {
+            let theta = std::f64::consts::PI * (2 * k - 1) as f64 / (2 * p) as f64;
+            1.0 / (c + d * theta.cos())
+        })
+        .collect()
+}
+
+/// Estimates the spectral interval of `D⁻¹A` by Gershgorin: returns
+/// `(eps, 1 + max_i Σ_{j≠i}|a_ij|/|a_ii|)` with a small positive floor.
+pub fn jacobi_spectrum_bounds<T: Scalar>(a: &CsrMatrix<T>) -> (f64, f64) {
+    let mut max_ratio = 0.0f64;
+    for (i, cols, vals) in a.iter_rows() {
+        let mut diag = 0.0f64;
+        let mut off = 0.0f64;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c == i {
+                diag = v.to_f64().abs();
+            } else {
+                off += v.to_f64().abs();
+            }
+        }
+        if diag > 0.0 {
+            max_ratio = max_ratio.max(off / diag);
+        }
+    }
+    let hi = 1.0 + max_ratio;
+    let lo = (hi * 1e-3).max(1e-6);
+    (lo, hi)
+}
+
+/// Solves `A x = b` with Scheduled Relaxation Jacobi using the given
+/// relaxation `schedule` (cycled until convergence).
+///
+/// With a Chebyshev schedule ([`chebyshev_weights`]) matched to the
+/// spectrum of `D⁻¹A`, convergence is substantially faster than plain
+/// Jacobi on the stiff, weakly dominant systems (e.g. Poisson) where
+/// Jacobi crawls.
+///
+/// # Errors
+///
+/// Returns [`SparseError`] for shape problems.
+///
+/// # Panics
+///
+/// Panics if `schedule` is empty.
+pub fn scheduled_relaxation_jacobi<T: Scalar, K: Kernels<T>>(
+    a: &CsrMatrix<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    schedule: &[f64],
+    criteria: &ConvergenceCriteria,
+    kernels: &mut K,
+) -> Result<SolveReport<T>, SparseError> {
+    assert!(!schedule.is_empty(), "schedule must not be empty");
+    let n = check_square_system(a, b)?;
+    let start_counts = kernels.counts();
+
+    kernels.set_phase(Phase::Initialize);
+    let diag = a.diagonal();
+    if diag.contains(&T::ZERO) {
+        return Ok(SolveReport {
+            solver: SolverKind::Jacobi,
+            outcome: Outcome::Diverged(DivergenceReason::Breakdown("zero diagonal")),
+            iterations: 0,
+            residual_history: Vec::new(),
+            solution: x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]),
+            counts: kernels.counts().since(&start_counts),
+        });
+    }
+    let inv_d: Vec<T> = diag.iter().map(|&d| T::ONE / d).collect();
+    let b_norm = kernels.norm2(b).to_f64();
+    let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
+
+    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
+    let mut ax = vec![T::ZERO; n];
+    let mut r = vec![T::ZERO; n];
+    let mut z = vec![T::ZERO; n];
+
+    kernels.set_phase(Phase::Loop);
+    let mut monitor = Monitor::new(*criteria);
+    let mut iterations = 0usize;
+    let outcome = loop {
+        kernels.begin_iteration(iterations);
+        let omega = T::from_f64(schedule[iterations % schedule.len()]);
+        kernels.spmv(a, &x, &mut ax);
+        // r = b - A x
+        kernels.copy(b, &mut r);
+        kernels.axpy(-T::ONE, &ax, &mut r);
+        // x += omega * D^{-1} r
+        kernels.hadamard(&inv_d, &r, &mut z);
+        kernels.axpy(omega, &z, &mut x);
+        let res = kernels.norm2(&r).to_f64() / scale;
+        iterations += 1;
+        match monitor.observe(res) {
+            Verdict::Continue => {}
+            Verdict::Done(o) => break o,
+        }
+    };
+
+    Ok(SolveReport {
+        solver: SolverKind::Jacobi,
+        outcome,
+        iterations,
+        residual_history: monitor.into_history(),
+        solution: x,
+        counts: kernels.counts().since(&start_counts),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::jacobi;
+    use crate::kernels::SoftwareKernels;
+    use acamar_sparse::generate;
+
+    fn criteria() -> ConvergenceCriteria {
+        ConvergenceCriteria::paper().with_max_iterations(5000)
+    }
+
+    #[test]
+    fn chebyshev_weights_bracket_one_over_spectrum() {
+        let w = chebyshev_weights(0.1, 1.9, 4);
+        // weights lie in [1/max, 1/min]
+        for &x in &w {
+            assert!((1.0 / 1.9 - 1e-12..=1.0 / 0.1 + 1e-12).contains(&x), "{x}");
+        }
+        // distinct and positive
+        let mut s = w.clone();
+        s.dedup();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda_min")]
+    fn weights_reject_bad_interval() {
+        let _ = chebyshev_weights(1.0, 0.5, 2);
+    }
+
+    #[test]
+    fn spectrum_bounds_for_poisson() {
+        let a = generate::poisson2d::<f64>(8, 8);
+        let (lo, hi) = jacobi_spectrum_bounds(&a);
+        assert!(lo > 0.0);
+        assert!((hi - 2.0).abs() < 1e-12, "interior rows: 4/4 ratio -> 2.0");
+    }
+
+    #[test]
+    fn srj_beats_plain_jacobi_on_poisson() {
+        // Plain Jacobi on 2D Poisson converges at rho = cos(pi/(N+1));
+        // a Chebyshev schedule matched to the spectrum cuts iterations.
+        let a = generate::poisson2d::<f64>(16, 16);
+        let b = vec![1.0; 256];
+        let (lo, hi) = jacobi_spectrum_bounds(&a);
+        // true smallest eigenvalue of D^{-1}A here is 1 - cos(pi/17);
+        // use it to show the attainable speedup with a good estimate.
+        let lam_min = 1.0 - (std::f64::consts::PI / 17.0).cos();
+        let _ = lo;
+        let schedule = chebyshev_weights(lam_min, hi, 8);
+        let mut k1 = SoftwareKernels::new();
+        let srj =
+            scheduled_relaxation_jacobi(&a, &b, None, &schedule, &criteria(), &mut k1).unwrap();
+        let mut k2 = SoftwareKernels::new();
+        let jb = jacobi(&a, &b, None, &criteria(), &mut k2).unwrap();
+        assert!(srj.converged(), "{:?}", srj.outcome);
+        assert!(jb.converged(), "{:?}", jb.outcome);
+        assert!(
+            (srj.iterations as f64) < 0.5 * jb.iterations as f64,
+            "SRJ {} vs Jacobi {}",
+            srj.iterations,
+            jb.iterations
+        );
+        // solution correct
+        let r = a.mul_vec(&srj.solution).unwrap();
+        let res: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt()
+            / 16.0;
+        assert!(res < 1e-4, "residual {res}");
+    }
+
+    #[test]
+    fn unit_schedule_is_plain_jacobi() {
+        let a = generate::diagonally_dominant::<f64>(
+            60,
+            acamar_sparse::generate::RowDistribution::Uniform { min: 2, max: 5 },
+            1.6,
+            3,
+        );
+        let b = vec![1.0; 60];
+        let mut k1 = SoftwareKernels::new();
+        let srj =
+            scheduled_relaxation_jacobi(&a, &b, None, &[1.0], &criteria(), &mut k1).unwrap();
+        let mut k2 = SoftwareKernels::new();
+        let jb = jacobi(&a, &b, None, &criteria(), &mut k2).unwrap();
+        assert!(srj.converged() && jb.converged());
+        // identical update rule => comparable iteration counts (residual
+        // definitions differ by one diagonal scaling, allow slack)
+        let diff = (srj.iterations as i64 - jb.iterations as i64).abs();
+        assert!(diff <= 3, "SRJ {} vs JB {}", srj.iterations, jb.iterations);
+    }
+
+    #[test]
+    fn zero_diagonal_is_breakdown() {
+        let a = CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0])
+            .unwrap();
+        let mut k = SoftwareKernels::new();
+        let rep =
+            scheduled_relaxation_jacobi(&a, &[1.0, 1.0], None, &[1.0], &criteria(), &mut k)
+                .unwrap();
+        assert!(matches!(
+            rep.outcome,
+            Outcome::Diverged(DivergenceReason::Breakdown(_))
+        ));
+    }
+}

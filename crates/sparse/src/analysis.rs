@@ -1,0 +1,337 @@
+//! Structural analysis of coefficient matrices.
+//!
+//! Implements the checks the paper's **Matrix Structure unit** performs
+//! (strict diagonal dominance, symmetry via CSR↔CSC comparison; Section
+//! IV-B), plus the cheap spectral estimates (Gershgorin discs, power
+//! iteration) used to reason about definiteness in tests and dataset
+//! generators.
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// Coarse definiteness classification derived from cheap structural bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Definiteness {
+    /// All Gershgorin discs lie strictly in the right half plane (for a
+    /// symmetric matrix this proves positive definiteness).
+    PositiveDefinite,
+    /// All Gershgorin discs lie strictly in the left half plane.
+    NegativeDefinite,
+    /// Discs certify both positive and negative eigenvalues.
+    Indefinite,
+    /// The bounds are inconclusive.
+    Unknown,
+}
+
+impl std::fmt::Display for Definiteness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Definiteness::PositiveDefinite => "positive definite",
+            Definiteness::NegativeDefinite => "negative definite",
+            Definiteness::Indefinite => "indefinite",
+            Definiteness::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full structural report for a coefficient matrix.
+///
+/// Produced by [`analyze`]; consumed by the solver-selection logic in
+/// `acamar-solvers` and the Matrix Structure unit in `acamar-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureReport {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of stored entries.
+    pub nnz: usize,
+    /// `nnz / (nrows * ncols)`.
+    pub density: f64,
+    /// Numerically symmetric (CSR equals CSC, paper's test).
+    pub symmetric: bool,
+    /// Symmetric sparsity pattern (values may differ).
+    pub pattern_symmetric: bool,
+    /// Strictly diagonally dominant: `∀i, Σ_{j≠i} |a_ij| < |a_ii|` (Eq. 1).
+    pub strictly_diagonally_dominant: bool,
+    /// Weakly diagonally dominant (`≤` instead of `<`).
+    pub weakly_diagonally_dominant: bool,
+    /// Every diagonal entry stored and nonzero.
+    pub nonzero_diagonal: bool,
+    /// Every diagonal entry strictly positive.
+    pub positive_diagonal: bool,
+    /// Diagonal contains both positive and negative entries.
+    pub mixed_sign_diagonal: bool,
+    /// Definiteness classification from Gershgorin bounds (only meaningful
+    /// when `symmetric`).
+    pub gershgorin_definiteness: Definiteness,
+    /// Half bandwidth: `max |i - j|` over stored entries.
+    pub bandwidth: usize,
+}
+
+impl StructureReport {
+    /// `true` when the matrix is symmetric and the Gershgorin bound proves
+    /// positive definiteness (a *sufficient*, not necessary, condition for
+    /// CG convergence — mirrors the paper's pragmatic symmetry-only check,
+    /// which this strengthens when the bound happens to certify it).
+    pub fn certified_spd(&self) -> bool {
+        self.symmetric && self.gershgorin_definiteness == Definiteness::PositiveDefinite
+    }
+}
+
+/// Paper-faithful symmetry test: convert CSR to CSC and compare the arrays
+/// (Section IV-B: "If the CSC format matches the CSR format, the matrix A
+/// is considered symmetric").
+pub fn symmetric_via_csc<T: Scalar>(a: &CsrMatrix<T>) -> bool {
+    if a.nrows() != a.ncols() {
+        return false;
+    }
+    let csc = CscMatrix::from_csr(a);
+    csc.col_ptr() == a.row_ptr() && csc.row_idx() == a.col_idx() && csc.values() == a.values()
+}
+
+/// Strict diagonal dominance per paper Eq. 1:
+/// `∀i, Σ_{j≠i} |A_ij| < |A_ii|`.
+pub fn strictly_diagonally_dominant<T: Scalar>(a: &CsrMatrix<T>) -> bool {
+    diagonal_dominance_margin(a) > 0.0
+}
+
+/// Weak diagonal dominance: `∀i, Σ_{j≠i} |A_ij| ≤ |A_ii|`.
+pub fn weakly_diagonally_dominant<T: Scalar>(a: &CsrMatrix<T>) -> bool {
+    diagonal_dominance_margin(a) >= 0.0
+}
+
+/// The worst-case dominance margin `min_i (|a_ii| - Σ_{j≠i}|a_ij|)`,
+/// in `f64`. Positive ⇒ strictly dominant; zero ⇒ weakly.
+pub fn diagonal_dominance_margin<T: Scalar>(a: &CsrMatrix<T>) -> f64 {
+    if a.nrows() != a.ncols() {
+        return f64::NEG_INFINITY;
+    }
+    let mut worst = f64::INFINITY;
+    for (i, cols, vals) in a.iter_rows() {
+        let mut diag = 0.0f64;
+        let mut off = 0.0f64;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c == i {
+                diag = v.to_f64().abs();
+            } else {
+                off += v.to_f64().abs();
+            }
+        }
+        worst = worst.min(diag - off);
+    }
+    if a.nrows() == 0 {
+        0.0
+    } else {
+        worst
+    }
+}
+
+/// Gershgorin-disc definiteness classification.
+///
+/// For symmetric `A` all eigenvalues are real and lie in
+/// `∪_i [a_ii - R_i, a_ii + R_i]` with `R_i = Σ_{j≠i}|a_ij|`.
+pub fn gershgorin_definiteness<T: Scalar>(a: &CsrMatrix<T>) -> Definiteness {
+    if a.nrows() != a.ncols() || a.nrows() == 0 {
+        return Definiteness::Unknown;
+    }
+    let mut any_certain_negative = false;
+    let mut any_certain_positive = false;
+    let mut all_positive = true;
+    let mut all_negative = true;
+    for (i, cols, vals) in a.iter_rows() {
+        let mut diag = 0.0f64;
+        let mut radius = 0.0f64;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c == i {
+                diag = v.to_f64();
+            } else {
+                radius += v.to_f64().abs();
+            }
+        }
+        let lo = diag - radius;
+        let hi = diag + radius;
+        if lo <= 0.0 {
+            all_positive = false;
+        }
+        if hi >= 0.0 {
+            all_negative = false;
+        }
+        if hi < 0.0 {
+            any_certain_negative = true;
+        }
+        if lo > 0.0 {
+            any_certain_positive = true;
+        }
+    }
+    if all_positive {
+        Definiteness::PositiveDefinite
+    } else if all_negative {
+        Definiteness::NegativeDefinite
+    } else if any_certain_positive && any_certain_negative {
+        Definiteness::Indefinite
+    } else {
+        Definiteness::Unknown
+    }
+}
+
+/// Estimates the spectral radius of `A` by power iteration.
+///
+/// Deterministic: starts from the all-ones vector. Returns `None` for
+/// non-square or empty matrices, or if the iteration degenerates.
+pub fn spectral_radius_estimate<T: Scalar>(a: &CsrMatrix<T>, iters: usize) -> Option<f64> {
+    if a.nrows() != a.ncols() || a.nrows() == 0 {
+        return None;
+    }
+    let n = a.nrows();
+    let mut x: Vec<f64> = vec![1.0; n];
+    let af: CsrMatrix<f64> = a.cast();
+    let mut lambda = 0.0f64;
+    let mut y = vec![0.0f64; n];
+    for _ in 0..iters.max(1) {
+        af.mul_vec_into(&x, &mut y).ok()?;
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if !norm.is_finite() || norm == 0.0 {
+            return None;
+        }
+        lambda = norm / x.iter().map(|v| v * v).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / norm;
+        }
+    }
+    Some(lambda)
+}
+
+/// Runs every structural check and returns the combined report.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_sparse::{analysis, generate};
+///
+/// let a = generate::poisson2d::<f64>(8, 8);
+/// let report = analysis::analyze(&a);
+/// assert!(report.symmetric);
+/// assert!(report.weakly_diagonally_dominant);
+/// ```
+pub fn analyze<T: Scalar>(a: &CsrMatrix<T>) -> StructureReport {
+    let diag = a.diagonal();
+    let positive_diagonal = !diag.is_empty() && diag.iter().all(|&d| d > T::ZERO);
+    let has_pos = diag.iter().any(|&d| d > T::ZERO);
+    let has_neg = diag.iter().any(|&d| d < T::ZERO);
+    let margin = diagonal_dominance_margin(a);
+    let mut bandwidth = 0usize;
+    for (i, cols, _) in a.iter_rows() {
+        for &c in cols {
+            bandwidth = bandwidth.max(i.abs_diff(c));
+        }
+    }
+    StructureReport {
+        nrows: a.nrows(),
+        ncols: a.ncols(),
+        nnz: a.nnz(),
+        density: a.density(),
+        symmetric: symmetric_via_csc(a),
+        pattern_symmetric: a.is_pattern_symmetric(),
+        strictly_diagonally_dominant: margin > 0.0,
+        weakly_diagonally_dominant: margin >= 0.0,
+        nonzero_diagonal: a.has_nonzero_diagonal(),
+        positive_diagonal,
+        mixed_sign_diagonal: has_pos && has_neg,
+        gershgorin_definiteness: gershgorin_definiteness(a),
+        bandwidth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn csr(trips: &[(usize, usize, f64)], n: usize) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(n, n);
+        for &(r, c, v) in trips {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn symmetry_via_csc_matches_direct_check() {
+        let sym = csr(&[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 4.0)], 2);
+        assert!(symmetric_via_csc(&sym));
+        assert!(sym.is_symmetric(0.0));
+        let asym = csr(&[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 2.0), (1, 1, 4.0)], 2);
+        assert!(!symmetric_via_csc(&asym));
+    }
+
+    #[test]
+    fn strict_dominance_detected() {
+        let dd = csr(&[(0, 0, 3.0), (0, 1, -1.0), (1, 0, 1.0), (1, 1, 2.5)], 2);
+        assert!(strictly_diagonally_dominant(&dd));
+        let weak = csr(&[(0, 0, 1.0), (0, 1, -1.0), (1, 1, 2.0)], 2);
+        assert!(!strictly_diagonally_dominant(&weak));
+        assert!(weakly_diagonally_dominant(&weak));
+    }
+
+    #[test]
+    fn dominance_margin_sign() {
+        let dd = csr(&[(0, 0, 3.0), (0, 1, 1.0), (1, 1, 5.0)], 2);
+        assert!(diagonal_dominance_margin(&dd) > 0.0);
+        let not = csr(&[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 5.0)], 2);
+        assert!(diagonal_dominance_margin(&not) < 0.0);
+    }
+
+    #[test]
+    fn gershgorin_classifies_definiteness() {
+        let pd = csr(&[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 4.0)], 2);
+        assert_eq!(gershgorin_definiteness(&pd), Definiteness::PositiveDefinite);
+        let nd = csr(&[(0, 0, -4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, -4.0)], 2);
+        assert_eq!(gershgorin_definiteness(&nd), Definiteness::NegativeDefinite);
+        let indef = csr(&[(0, 0, 5.0), (1, 1, -5.0)], 2);
+        assert_eq!(gershgorin_definiteness(&indef), Definiteness::Indefinite);
+    }
+
+    #[test]
+    fn spectral_radius_of_diagonal_matrix() {
+        let d = CsrMatrix::from_diagonal(&[1.0, -3.0, 2.0]);
+        let rho = spectral_radius_estimate(&d, 100).unwrap();
+        assert!((rho - 3.0).abs() < 1e-6, "rho = {rho}");
+    }
+
+    #[test]
+    fn analyze_full_report() {
+        let a = csr(
+            &[
+                (0, 0, 10.0),
+                (0, 2, 1.0),
+                (1, 1, -8.0),
+                (2, 0, 1.0),
+                (2, 2, 10.0),
+            ],
+            3,
+        );
+        let r = analyze(&a);
+        assert_eq!(r.nnz, 5);
+        assert!(r.symmetric);
+        assert!(r.strictly_diagonally_dominant);
+        assert!(r.nonzero_diagonal);
+        assert!(!r.positive_diagonal);
+        assert!(r.mixed_sign_diagonal);
+        assert_eq!(r.gershgorin_definiteness, Definiteness::Indefinite);
+        assert_eq!(r.bandwidth, 2);
+        assert!(!r.certified_spd());
+    }
+
+    #[test]
+    fn rectangular_matrices_are_never_symmetric_or_dominant() {
+        let mut coo = CooMatrix::<f64>::new(2, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        let a = coo.to_csr();
+        assert!(!symmetric_via_csc(&a));
+        assert!(!strictly_diagonally_dominant(&a));
+        assert_eq!(gershgorin_definiteness(&a), Definiteness::Unknown);
+    }
+}

@@ -1,0 +1,208 @@
+//! Compressed Sparse Column (CSC) matrix.
+//!
+//! The paper's Matrix Structure unit converts the CSR input to CSC and
+//! compares the two to decide symmetry (Section IV-B). This module provides
+//! that conversion and the comparison primitives it needs.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// A sparse matrix in Compressed Sparse Column format.
+///
+/// Invariants mirror [`CsrMatrix`]: `col_ptr` has `ncols + 1` monotone
+/// offsets and row indices are strictly increasing within each column.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_sparse::{CooMatrix, CscMatrix};
+///
+/// let mut coo = CooMatrix::<f64>::new(2, 2);
+/// coo.push(0, 0, 1.0)?;
+/// coo.push(1, 0, 2.0)?;
+/// let csr = coo.to_csr();
+/// let csc = CscMatrix::from_csr(&csr);
+/// assert_eq!(csc.col(0).0, &[0, 1]);
+/// # Ok::<(), acamar_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CscMatrix<T> {
+    /// Converts a CSR matrix to CSC (an exact transpose of the storage).
+    pub fn from_csr(a: &CsrMatrix<T>) -> Self {
+        let nrows = a.nrows();
+        let ncols = a.ncols();
+        let nnz = a.nnz();
+        let mut col_ptr = vec![0usize; ncols + 1];
+        for &c in a.col_idx() {
+            col_ptr[c + 1] += 1;
+        }
+        for c in 0..ncols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        let mut row_idx = vec![0usize; nnz];
+        let mut values = vec![T::ZERO; nnz];
+        let mut next = col_ptr.clone();
+        for (i, cols, vals) in a.iter_rows() {
+            for (&c, &v) in cols.iter().zip(vals) {
+                let k = next[c];
+                row_idx[k] = i;
+                values[k] = v;
+                next[c] += 1;
+            }
+        }
+        // Rows were visited in increasing order, so each column's row
+        // indices are already strictly increasing.
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The column-pointer array (`ncols + 1` offsets).
+    #[inline]
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row-index array.
+    #[inline]
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// The value array.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The row indices and values of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= ncols`.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[usize], &[T]) {
+        let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Reinterprets this CSC matrix as the CSR storage of the *transpose*.
+    ///
+    /// CSC arrays of `A` are exactly the CSR arrays of `Aᵀ`; this is a
+    /// zero-copy move.
+    pub fn into_transposed_csr(self) -> CsrMatrix<T> {
+        CsrMatrix::from_raw_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            self.col_ptr,
+            self.row_idx,
+            self.values,
+        )
+    }
+
+    /// Converts back to CSR storage of the *same* matrix.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        // CSR of A = transpose of (CSC arrays read as CSR of Aᵀ).
+        self.clone().into_transposed_csr().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample() -> CsrMatrix<f64> {
+        // [1 0 2]
+        // [0 3 0]
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 2, 2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        coo.to_csr()
+    }
+
+    #[test]
+    fn from_csr_produces_column_storage() {
+        let a = sample();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.nnz(), 3);
+        assert_eq!(c.col(0), (&[0usize][..], &[1.0][..]));
+        assert_eq!(c.col(1), (&[1usize][..], &[3.0][..]));
+        assert_eq!(c.col(2), (&[0usize][..], &[2.0][..]));
+    }
+
+    #[test]
+    fn round_trip_csr_csc_csr() {
+        let a = sample();
+        let back = a.to_csc().to_csr();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn transposed_csr_view_is_transpose() {
+        let a = sample();
+        let t = a.to_csc().into_transposed_csr();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn symmetric_matrix_has_identical_csr_and_csc_arrays() {
+        // The paper's symmetry test: CSR arrays == CSC arrays.
+        let a = CsrMatrix::try_from_parts(
+            2,
+            2,
+            vec![0, 2, 4],
+            vec![0, 1, 0, 1],
+            vec![4.0, 1.0, 1.0, 4.0],
+        )
+        .unwrap();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.col_ptr(), a.row_ptr());
+        assert_eq!(c.row_idx(), a.col_idx());
+        assert_eq!(c.values(), a.values());
+    }
+
+    #[test]
+    fn empty_columns_have_zero_span() {
+        let a = CsrMatrix::<f32>::try_from_parts(2, 3, vec![0, 1, 1], vec![2], vec![7.0])
+            .unwrap();
+        let c = a.to_csc();
+        assert_eq!(c.col(0).0.len(), 0);
+        assert_eq!(c.col(1).0.len(), 0);
+        assert_eq!(c.col(2), (&[0usize][..], &[7.0_f32][..]));
+    }
+}

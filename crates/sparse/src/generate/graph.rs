@@ -1,0 +1,188 @@
+//! Graph Laplacians.
+//!
+//! Section II-A of the paper lists graph theory (spectral methods, place &
+//! route) among the `Ax = b` sources; these generators produce Laplacian
+//! matrices of deterministic and random graphs.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Laplacian of the path graph on `n` vertices (`L = D - A`), with an
+/// optional `shift` added to the diagonal to make it nonsingular/SPD.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `shift < 0`.
+pub fn path_laplacian<T: Scalar>(n: usize, shift: f64) -> CsrMatrix<T> {
+    assert!(n > 0, "path_laplacian requires n > 0");
+    assert!(shift >= 0.0, "shift must be non-negative");
+    let mut coo = CooMatrix::with_capacity(n, n, 3 * n);
+    for i in 0..n {
+        let deg = if i == 0 || i == n - 1 { 1.0 } else { 2.0 };
+        let deg = if n == 1 { 0.0 } else { deg };
+        coo.push(i, i, T::from_f64(deg + shift)).expect("in bounds");
+        if i > 0 {
+            coo.push(i, i - 1, T::from_f64(-1.0)).expect("in bounds");
+        }
+        if i + 1 < n {
+            coo.push(i, i + 1, T::from_f64(-1.0)).expect("in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Laplacian of the `nx x ny` grid graph with a diagonal `shift`.
+///
+/// With `shift > 0` this is SPD and (for the grid) equals the Poisson
+/// operator plus boundary-degree corrections.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or `shift < 0`.
+pub fn grid_laplacian<T: Scalar>(nx: usize, ny: usize, shift: f64) -> CsrMatrix<T> {
+    assert!(nx > 0 && ny > 0, "grid dims must be positive");
+    assert!(shift >= 0.0, "shift must be non-negative");
+    let n = nx * ny;
+    let idx = |x: usize, y: usize| y * nx + x;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            let mut deg = 0.0;
+            let push_nb = |coo: &mut CooMatrix<T>, j: usize| {
+                coo.push(i, j, T::from_f64(-1.0)).expect("in bounds");
+            };
+            if y > 0 {
+                push_nb(&mut coo, idx(x, y - 1));
+                deg += 1.0;
+            }
+            if x > 0 {
+                push_nb(&mut coo, idx(x - 1, y));
+                deg += 1.0;
+            }
+            if x + 1 < nx {
+                push_nb(&mut coo, idx(x + 1, y));
+                deg += 1.0;
+            }
+            if y + 1 < ny {
+                push_nb(&mut coo, idx(x, y + 1));
+                deg += 1.0;
+            }
+            coo.push(i, i, T::from_f64(deg + shift)).expect("in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Laplacian (plus `shift`·I) of a preferential-attachment random graph:
+/// each new vertex attaches `m` edges to earlier vertices with probability
+/// proportional to their current degree, yielding the heavy-tailed degree
+/// distribution of citation graphs like the paper's `cit-HepPh`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `m == 0`, or `shift < 0`.
+pub fn preferential_attachment_laplacian<T: Scalar>(
+    n: usize,
+    m: usize,
+    shift: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(n > 0 && m > 0, "n and m must be positive");
+    assert!(shift >= 0.0, "shift must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `targets` holds one entry per half-edge endpoint; sampling uniformly
+    // from it implements degree-proportional attachment.
+    let mut targets: Vec<usize> = Vec::with_capacity(2 * n * m);
+    let mut edges: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
+    for v in 0..n {
+        let mut attached = std::collections::BTreeSet::new();
+        if v == 0 {
+            targets.push(0);
+            continue;
+        }
+        let want = m.min(v);
+        let mut guard = 0usize;
+        while attached.len() < want && guard < 50 * want {
+            guard += 1;
+            let u = if targets.is_empty() || rng.gen_bool(0.2) {
+                rng.gen_range(0..v)
+            } else {
+                targets[rng.gen_range(0..targets.len())]
+            };
+            if u != v {
+                attached.insert(u);
+            }
+        }
+        for u in attached {
+            let (a, b) = (u.min(v), u.max(v));
+            if edges.insert((a, b)) {
+                targets.push(a);
+                targets.push(b);
+            }
+        }
+    }
+    let mut deg = vec![0.0f64; n];
+    for &(a, b) in &edges {
+        deg[a] += 1.0;
+        deg[b] += 1.0;
+    }
+    let mut coo = CooMatrix::with_capacity(n, n, 2 * edges.len() + n);
+    for &(a, b) in &edges {
+        coo.push(a, b, T::from_f64(-1.0)).expect("in bounds");
+        coo.push(b, a, T::from_f64(-1.0)).expect("in bounds");
+    }
+    for (i, &d) in deg.iter().enumerate() {
+        coo.push(i, i, T::from_f64(d + shift)).expect("in bounds");
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::stats::RowNnzStats;
+
+    #[test]
+    fn path_laplacian_row_sums_equal_shift() {
+        let l = path_laplacian::<f64>(5, 0.5);
+        for (i, cols, vals) in l.iter_rows() {
+            let sum: f64 = cols.iter().zip(vals).map(|(_, &v)| v).sum();
+            assert!((sum - 0.5).abs() < 1e-12, "row {i} sums to {sum}");
+        }
+        assert!(analysis::symmetric_via_csc(&l));
+    }
+
+    #[test]
+    fn grid_laplacian_matches_degree_structure() {
+        let l = grid_laplacian::<f64>(3, 3, 0.0);
+        assert_eq!(l.get(4, 4), 4.0); // center
+        assert_eq!(l.get(0, 0), 2.0); // corner
+        assert!(analysis::weakly_diagonally_dominant(&l));
+    }
+
+    #[test]
+    fn shifted_laplacians_are_spd() {
+        let l = grid_laplacian::<f64>(4, 4, 1.0);
+        assert!(analysis::strictly_diagonally_dominant(&l));
+        assert_eq!(
+            analysis::gershgorin_definiteness(&l),
+            analysis::Definiteness::PositiveDefinite
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_is_heavy_tailed_and_symmetric() {
+        let l = preferential_attachment_laplacian::<f64>(300, 2, 1.0, 99);
+        assert!(analysis::symmetric_via_csc(&l));
+        let s = RowNnzStats::of(&l);
+        assert!(s.max > 3 * (s.mean as usize).max(1), "tail: max {} mean {}", s.max, s.mean);
+        // determinism
+        let l2 = preferential_attachment_laplacian::<f64>(300, 2, 1.0, 99);
+        assert_eq!(l, l2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Finite-difference Poisson operators.
+//!
+//! Discretizing `-∇²u = f` on a regular grid (the paper's canonical PDE
+//! example, Section II-A) yields the classic 3/5/7-point stencil matrices:
+//! symmetric, positive definite, and weakly diagonally dominant.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// 1D Poisson operator: tridiagonal `[-1, 2, -1]`, `n x n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_sparse::generate::poisson1d;
+///
+/// let a = poisson1d::<f64>(4);
+/// assert_eq!(a.get(0, 0), 2.0);
+/// assert_eq!(a.get(0, 1), -1.0);
+/// assert_eq!(a.nnz(), 3 * 4 - 2);
+/// ```
+pub fn poisson1d<T: Scalar>(n: usize) -> CsrMatrix<T> {
+    assert!(n > 0, "poisson1d requires n > 0");
+    let mut coo = CooMatrix::with_capacity(n, n, 3 * n);
+    let two = T::from_f64(2.0);
+    let neg = T::from_f64(-1.0);
+    for i in 0..n {
+        if i > 0 {
+            coo.push(i, i - 1, neg).expect("in bounds");
+        }
+        coo.push(i, i, two).expect("in bounds");
+        if i + 1 < n {
+            coo.push(i, i + 1, neg).expect("in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// 2D Poisson operator: 5-point stencil on an `nx x ny` grid,
+/// `(nx*ny) x (nx*ny)`.
+///
+/// # Panics
+///
+/// Panics if `nx == 0` or `ny == 0`.
+pub fn poisson2d<T: Scalar>(nx: usize, ny: usize) -> CsrMatrix<T> {
+    assert!(nx > 0 && ny > 0, "poisson2d requires positive grid dims");
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    let four = T::from_f64(4.0);
+    let neg = T::from_f64(-1.0);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            if y > 0 {
+                coo.push(i, idx(x, y - 1), neg).expect("in bounds");
+            }
+            if x > 0 {
+                coo.push(i, idx(x - 1, y), neg).expect("in bounds");
+            }
+            coo.push(i, i, four).expect("in bounds");
+            if x + 1 < nx {
+                coo.push(i, idx(x + 1, y), neg).expect("in bounds");
+            }
+            if y + 1 < ny {
+                coo.push(i, idx(x, y + 1), neg).expect("in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 3D Poisson operator: 7-point stencil on an `nx x ny x nz` grid.
+///
+/// # Panics
+///
+/// Panics if any grid dimension is zero.
+pub fn poisson3d<T: Scalar>(nx: usize, ny: usize, nz: usize) -> CsrMatrix<T> {
+    assert!(
+        nx > 0 && ny > 0 && nz > 0,
+        "poisson3d requires positive grid dims"
+    );
+    let n = nx * ny * nz;
+    let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
+    let six = T::from_f64(6.0);
+    let neg = T::from_f64(-1.0);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                if z > 0 {
+                    coo.push(i, idx(x, y, z - 1), neg).expect("in bounds");
+                }
+                if y > 0 {
+                    coo.push(i, idx(x, y - 1, z), neg).expect("in bounds");
+                }
+                if x > 0 {
+                    coo.push(i, idx(x - 1, y, z), neg).expect("in bounds");
+                }
+                coo.push(i, i, six).expect("in bounds");
+                if x + 1 < nx {
+                    coo.push(i, idx(x + 1, y, z), neg).expect("in bounds");
+                }
+                if y + 1 < ny {
+                    coo.push(i, idx(x, y + 1, z), neg).expect("in bounds");
+                }
+                if z + 1 < nz {
+                    coo.push(i, idx(x, y, z + 1), neg).expect("in bounds");
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn poisson1d_is_spd_and_weakly_dominant() {
+        let a = poisson1d::<f64>(10);
+        let r = analysis::analyze(&a);
+        assert!(r.symmetric);
+        assert!(r.weakly_diagonally_dominant);
+        assert!(!r.strictly_diagonally_dominant); // interior rows are tight
+        assert!(r.positive_diagonal);
+    }
+
+    #[test]
+    fn poisson2d_dimensions_and_stencil() {
+        let a = poisson2d::<f64>(3, 4);
+        assert_eq!(a.nrows(), 12);
+        assert_eq!(a.get(0, 0), 4.0);
+        // corner row: 2 neighbors; interior row of 3x4 grid: 4 neighbors
+        assert_eq!(a.row_nnz(0), 3);
+        let interior = 3 + 1; // (x=1, y=1)
+        assert_eq!(a.row_nnz(interior), 5);
+        assert!(analysis::symmetric_via_csc(&a));
+    }
+
+    #[test]
+    fn poisson3d_row_counts() {
+        let a = poisson3d::<f32>(3, 3, 3);
+        assert_eq!(a.nrows(), 27);
+        assert_eq!(a.row_nnz(13), 7); // center cell has all 6 neighbors
+        assert_eq!(a.row_nnz(0), 4); // corner has 3 neighbors
+        assert!(analysis::symmetric_via_csc(&a));
+    }
+
+    #[test]
+    fn poisson_matrices_are_positive_definite_by_gershgorin_shift() {
+        // Gershgorin gives [0, 8] for the 5-point stencil, so only weak
+        // certification; verify PD numerically via x^T A x > 0 on probes.
+        let a = poisson2d::<f64>(4, 4);
+        for probe in 0..4 {
+            let x: Vec<f64> = (0..a.nrows())
+                .map(|i| ((i * 7 + probe * 3) % 5) as f64 - 2.0)
+                .collect();
+            if x.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            let ax = a.mul_vec(&x).unwrap();
+            let quad: f64 = x.iter().zip(&ax).map(|(u, v)| u * v).sum();
+            assert!(quad > 0.0, "probe {probe} gave x^T A x = {quad}");
+        }
+    }
+}

@@ -1,0 +1,639 @@
+//! Randomized generators with controllable structure.
+//!
+//! These produce the structural classes of the paper's Table II datasets:
+//! strictly diagonally dominant (Jacobi-convergent), symmetric positive
+//! definite (CG-convergent), non-symmetric (BiCG-STAB territory), and
+//! indefinite (the hard cases). All take an explicit `seed` and are fully
+//! deterministic.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Target NNZ-per-row distribution for [`random_pattern`].
+///
+/// The paper's resource-underutilization argument (Fig. 2) hinges on the
+/// *unevenness* of NNZ/row; these shapes span the regimes seen in
+/// SuiteSparse matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowDistribution {
+    /// Every row has exactly `k` off-diagonal candidates.
+    Constant(usize),
+    /// NNZ/row uniform in `[min, max]`.
+    Uniform {
+        /// Minimum off-diagonal entries per row.
+        min: usize,
+        /// Maximum off-diagonal entries per row.
+        max: usize,
+    },
+    /// Rows are `low` except a `high_fraction` of rows at `high`
+    /// (dense-row outliers, like circuit matrices).
+    Bimodal {
+        /// NNZ of ordinary rows.
+        low: usize,
+        /// NNZ of outlier rows.
+        high: usize,
+        /// Fraction of rows that are outliers (clamped to `[0, 1]`).
+        high_fraction: f64,
+    },
+    /// Heavy-tailed (Zipf-like) row populations in `[min, max]` with
+    /// `P(k) ∝ k^-exponent` (social/citation graphs like `cit-HepPh`).
+    PowerLaw {
+        /// Minimum NNZ per row.
+        min: usize,
+        /// Maximum NNZ per row.
+        max: usize,
+        /// Tail exponent (larger ⇒ lighter tail); must be positive.
+        exponent: f64,
+    },
+}
+
+impl RowDistribution {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        match *self {
+            RowDistribution::Constant(k) => k,
+            RowDistribution::Uniform { min, max } => {
+                let (lo, hi) = (min.min(max), min.max(max));
+                rng.gen_range(lo..=hi)
+            }
+            RowDistribution::Bimodal {
+                low,
+                high,
+                high_fraction,
+            } => {
+                if rng.gen_bool(high_fraction.clamp(0.0, 1.0)) {
+                    high
+                } else {
+                    low
+                }
+            }
+            RowDistribution::PowerLaw { min, max, exponent } => {
+                let (lo, hi) = (min.min(max).max(1), min.max(max).max(1));
+                // Inverse-CDF sampling of P(k) ∝ k^-exponent over [lo, hi].
+                let e = 1.0 - exponent;
+                let u: f64 = rng.gen();
+                let k = if e.abs() < 1e-9 {
+                    (lo as f64 * ((hi as f64 / lo as f64).powf(u))).round()
+                } else {
+                    let a = (lo as f64).powf(e);
+                    let b = (hi as f64).powf(e);
+                    (a + u * (b - a)).powf(1.0 / e).round()
+                };
+                (k as usize).clamp(lo, hi)
+            }
+        }
+    }
+}
+
+/// Generates a square random sparse matrix with a guaranteed diagonal and
+/// the requested off-diagonal row distribution; values are uniform in
+/// `[-1, 1]` (diagonal in `[1, 2]`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_pattern<T: Scalar>(n: usize, dist: RowDistribution, seed: u64) -> CsrMatrix<T> {
+    assert!(n > 0, "random_pattern requires n > 0");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, n * 4);
+    for i in 0..n {
+        let k = dist.sample(&mut rng).min(n.saturating_sub(1));
+        let mut cols = std::collections::BTreeSet::new();
+        // Rejection-sample distinct off-diagonal columns; for rows denser
+        // than half the matrix fall back to a shuffle.
+        if k * 2 < n {
+            while cols.len() < k {
+                let c = rng.gen_range(0..n);
+                if c != i {
+                    cols.insert(c);
+                }
+            }
+        } else {
+            let mut all: Vec<usize> = (0..n).filter(|&c| c != i).collect();
+            for idx in 0..k {
+                let j = rng.gen_range(idx..all.len());
+                all.swap(idx, j);
+            }
+            cols.extend(all.into_iter().take(k));
+        }
+        coo.push(i, i, T::from_f64(rng.gen_range(1.0..2.0)))
+            .expect("in bounds");
+        for c in cols {
+            coo.push(i, c, T::from_f64(rng.gen_range(-1.0..1.0)))
+                .expect("in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Makes a random-pattern matrix *strictly diagonally dominant* (paper
+/// Eq. 1): each diagonal is set to `dominance * Σ_{j≠i}|a_ij|` (plus one to
+/// handle empty rows).
+///
+/// The result converges under Jacobi. It is generally non-symmetric; CG is
+/// not applicable.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `dominance <= 1`.
+pub fn diagonally_dominant<T: Scalar>(
+    n: usize,
+    dist: RowDistribution,
+    dominance: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(dominance > 1.0, "dominance factor must exceed 1");
+    let base = random_pattern::<T>(n, dist, seed);
+    set_diagonal_dominance(&base, dominance, 1.0)
+}
+
+/// Strictly diagonally dominant matrix whose diagonal *alternates sign* —
+/// symmetric pattern, indefinite spectrum straddling zero.
+///
+/// This is the `fe_rotor`/`sd2010`/`cti` class of Table II: Jacobi
+/// converges (dominance), CG diverges (indefinite), and BiCG-STAB's real
+/// one-step stabilization cannot damp a spectrum symmetric about the
+/// origin, so it stagnates.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `dominance <= 1`.
+pub fn indefinite_diagonally_dominant<T: Scalar>(
+    n: usize,
+    dist: RowDistribution,
+    dominance: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(dominance > 1.0, "dominance factor must exceed 1");
+    let base = random_pattern::<T>(n, dist, seed);
+    let sym = symmetrize(&base);
+    let dd = set_diagonal_dominance(&sym, dominance, 1.0);
+    // Flip the diagonal sign of every other row. Dominance magnitudes are
+    // unchanged, so Jacobi still converges, but Gershgorin discs now sit on
+    // both sides of zero.
+    let mut out = dd.clone();
+    flip_alternate_diagonal(&mut out);
+    out
+}
+
+/// Symmetric positive definite matrix with a random pattern: the matrix is
+/// symmetrized and its diagonal lifted to `(1 + margin) * Σ_{j≠i}|a_ij|`,
+/// which certifies positive definiteness by Gershgorin.
+///
+/// Note this construction is also diagonally dominant, so *all three*
+/// solvers converge on it (the `wang3`/`finan512` class). For an SPD
+/// matrix on which Jacobi diverges, see [`jacobi_divergent_spd`].
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `margin < 0`.
+pub fn spd_from_pattern<T: Scalar>(
+    n: usize,
+    dist: RowDistribution,
+    margin: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(margin >= 0.0, "margin must be non-negative");
+    let base = random_pattern::<T>(n, dist, seed);
+    let sym = symmetrize(&base);
+    set_diagonal_dominance(&sym, 1.0 + margin.max(1e-6), 1.0)
+}
+
+/// Symmetric positive definite matrix on which the Jacobi method
+/// *diverges*: tightly coupled 3x3 diagonal blocks
+/// `[[1, c, c], [c, 1, c], [c, c, 1]]` with `0.5 < c < 1`, plus optional
+/// weak symmetric long-range entries for sparsity-shape realism.
+///
+/// Such a block is positive definite (eigenvalues `1 + 2c`, `1 - c`,
+/// `1 - c`), but `2D - A` is indefinite (`1 - 2c < 0`), and Jacobi on an
+/// SPD matrix converges **iff** `2D - A` is also positive definite — so JB
+/// diverges while CG and BiCG-STAB converge. This is the
+/// `2cubes_sphere`/`offshore`/`qa8fm` class of Table II.
+///
+/// `extra_per_row` weak entries of magnitude `weak` are added symmetric
+/// pairs; the diagonal is lifted by the added row mass so positive
+/// definiteness is preserved.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `coupling` is outside `(0.5, 1.0)`.
+pub fn jacobi_divergent_spd<T: Scalar>(
+    n: usize,
+    coupling: f64,
+    extra_per_row: usize,
+    weak: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(n > 0, "jacobi_divergent_spd requires n > 0");
+    assert!(
+        coupling > 0.5 && coupling < 1.0,
+        "coupling must lie in (0.5, 1.0)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::<f64>::with_capacity(n, n, n * (3 + 2 * extra_per_row));
+    let mut diag = vec![1.0f64; n];
+
+    // Weak symmetric long-range entries first, accumulating diagonal lift.
+    for i in 0..n {
+        for _ in 0..extra_per_row {
+            let j = rng.gen_range(0..n);
+            if j == i || j / 3 == i / 3 {
+                continue; // skip the block neighborhood
+            }
+            let v = weak * rng.gen_range(0.5..1.0);
+            coo.push(i, j, v).expect("in bounds");
+            coo.push(j, i, v).expect("in bounds");
+            diag[i] += v.abs();
+            diag[j] += v.abs();
+        }
+    }
+    // 3x3 coupled blocks.
+    for b in (0..n).step_by(3) {
+        let hi = (b + 3).min(n);
+        for i in b..hi {
+            for j in b..hi {
+                if i != j {
+                    coo.push(i, j, coupling).expect("in bounds");
+                }
+            }
+        }
+    }
+    for (i, &d) in diag.iter().enumerate() {
+        coo.push(i, i, d).expect("in bounds");
+    }
+    coo.to_csr().cast()
+}
+
+/// Symmetric block matrix with a spectrum spread over `cond` orders of
+/// magnitude: tightly coupled 3x3 blocks `s_b · [[1, c, c], [c, 1, c],
+/// [c, c, 1]]` with per-block scales `s_b` log-spaced over `[1, cond]`
+/// (shuffled), optionally sign-alternating.
+///
+/// * `indefinite = false` produces an SPD matrix with condition number
+///   `≈ cond · (1 + 2c)/(1 - c)`. With `coupling > 0.5` Jacobi diverges
+///   (see [`jacobi_divergent_spd`]); combined with high `cond`, **f32**
+///   BiCG-STAB stagnates above the paper's `1e-5` tolerance while CG still
+///   converges — the `beircuit` class of Table II (JB ✗, CG ✓, BiCG ✗).
+/// * `indefinite = true` flips the sign of every other block: the spectrum
+///   straddles zero with wide spread. With `coupling < 0.5` Jacobi still
+///   converges (block Jacobi spectral radius `2c < 1`), CG breaks down
+///   (indefinite), and f32 BiCG-STAB stagnates for `cond >= 1e3` — the
+///   `fe_rotor`/`sd2010`/`cti` class (JB ✓, CG ✗, BiCG ✗).
+///
+/// # Panics
+///
+/// Panics if `n < 3`, `coupling` outside `(0, 1)`, or `cond < 1`.
+pub fn spread_spectrum_blocks<T: Scalar>(
+    n: usize,
+    coupling: f64,
+    cond: f64,
+    indefinite: bool,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(n >= 3, "need at least one 3x3 block");
+    assert!(
+        coupling > 0.0 && coupling < 1.0,
+        "coupling must lie in (0, 1)"
+    );
+    assert!(cond >= 1.0, "condition spread must be >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::<f64>::with_capacity(n, n, 3 * n);
+    let nb = n / 3;
+    // Quantize the log-spaced scales to at most 16 distinct levels: the
+    // spectrum then forms clusters, so Krylov iteration counts depend on
+    // the cluster count rather than the matrix size (keeping CG's
+    // behavior on the SPD variant size-independent) while the spread
+    // still sets the f32 accuracy floor.
+    let levels = nb.clamp(2, 16);
+    let mut scales: Vec<f64> = (0..nb)
+        .map(|i| {
+            let level = (i * levels / nb).min(levels - 1);
+            cond.powf(level as f64 / (levels - 1) as f64)
+        })
+        .collect();
+    for i in (1..nb).rev() {
+        let j = rng.gen_range(0..=i);
+        scales.swap(i, j);
+    }
+    for (b, &scale) in scales.iter().enumerate() {
+        let s = scale * if indefinite && b % 2 == 1 { -1.0 } else { 1.0 };
+        let base = 3 * b;
+        for i in base..base + 3 {
+            for j in base..base + 3 {
+                let v = if i == j { s } else { coupling * s };
+                coo.push(i, j, v).expect("in bounds");
+            }
+        }
+    }
+    for i in nb * 3..n {
+        coo.push(i, i, 1.0).expect("in bounds");
+    }
+    coo.to_csr().cast()
+}
+
+/// Breaks the symmetry of `a` by scaling a pseudo-random subset of
+/// strictly-upper entries by `1 + strength` (pattern preserved).
+///
+/// # Panics
+///
+/// Panics if `strength <= 0`.
+pub fn nonsymmetric_perturbation<T: Scalar>(
+    a: &CsrMatrix<T>,
+    strength: f64,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(strength > 0.0, "strength must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factor = T::from_f64(1.0 + strength);
+    let mut out = a.clone();
+    let nrows = a.nrows();
+    // Walk rows via the immutable borrow first, collecting flat indices.
+    let mut bump = Vec::new();
+    {
+        let mut k = 0usize;
+        for i in 0..nrows {
+            let (cols, vals) = a.row(i);
+            for (&c, _v) in cols.iter().zip(vals) {
+                if c > i && rng.gen_bool(0.5) {
+                    bump.push(k);
+                }
+                k += 1;
+            }
+        }
+    }
+    for k in bump {
+        out.values_mut()[k] *= factor;
+    }
+    out
+}
+
+/// Symmetric positive definite matrix with condition number approximately
+/// `cond`: a log-spaced positive diagonal plus weak symmetric off-diagonal
+/// entries that preserve Gershgorin positive definiteness.
+///
+/// Used to study f32 convergence floors (CG-vs-BiCG-STAB separation).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `cond < 1`.
+pub fn ill_conditioned_spd<T: Scalar>(
+    n: usize,
+    cond: f64,
+    extra_per_row: usize,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(n >= 2, "need at least 2 rows");
+    assert!(cond >= 1.0, "condition number must be >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::<f64>::with_capacity(n, n, n * (1 + 2 * extra_per_row));
+    let mut diag: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            cond.powf(t) // log-spaced in [1, cond]
+        })
+        .collect();
+    let d_min = 1.0;
+    // Off-diagonal budget per row keeps every Gershgorin disc positive.
+    let budget = 0.4 * d_min / (extra_per_row.max(1) as f64 * 2.0);
+    for i in 0..n {
+        for _ in 0..extra_per_row {
+            let j = rng.gen_range(0..n);
+            if j == i {
+                continue;
+            }
+            let v = budget * rng.gen_range(0.1..1.0);
+            coo.push(i, j, v).expect("in bounds");
+            coo.push(j, i, v).expect("in bounds");
+        }
+    }
+    // Shuffle diagonal placement so large/small entries interleave
+    // (keeps per-set NNZ realistic rather than sorted).
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        diag.swap(i, j);
+    }
+    for (i, &d) in diag.iter().enumerate() {
+        coo.push(i, i, d).expect("in bounds");
+    }
+    coo.to_csr().cast()
+}
+
+/// Symmetrizes: `(A + Aᵀ) / 2`.
+fn symmetrize<T: Scalar>(a: &CsrMatrix<T>) -> CsrMatrix<T> {
+    let t = a.transpose();
+    let mut coo = CooMatrix::with_capacity(a.nrows(), a.ncols(), a.nnz() * 2);
+    let half = T::from_f64(0.5);
+    for (i, cols, vals) in a.iter_rows() {
+        for (&c, &v) in cols.iter().zip(vals) {
+            coo.push(i, c, v * half).expect("in bounds");
+        }
+    }
+    for (i, cols, vals) in t.iter_rows() {
+        for (&c, &v) in cols.iter().zip(vals) {
+            coo.push(i, c, v * half).expect("in bounds");
+        }
+    }
+    coo.to_csr()
+}
+
+/// Rewrites the diagonal to `scale * Σ_{j≠i}|a_ij| + floor`.
+fn set_diagonal_dominance<T: Scalar>(a: &CsrMatrix<T>, scale: f64, floor: f64) -> CsrMatrix<T> {
+    let n = a.nrows();
+    let mut coo = CooMatrix::with_capacity(n, a.ncols(), a.nnz() + n);
+    for (i, cols, vals) in a.iter_rows() {
+        let mut off = 0.0f64;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c != i {
+                off += v.to_f64().abs();
+                coo.push(i, c, v).expect("in bounds");
+            }
+        }
+        coo.push(i, i, T::from_f64(scale * off + floor))
+            .expect("in bounds");
+    }
+    coo.to_csr()
+}
+
+/// Negates the diagonal of every odd row in place.
+fn flip_alternate_diagonal<T: Scalar>(a: &mut CsrMatrix<T>) {
+    let nrows = a.nrows();
+    let mut flips = Vec::new();
+    {
+        let mut k = 0usize;
+        for i in 0..nrows {
+            let (cols, _) = a.row(i);
+            for &c in cols {
+                if c == i && i % 2 == 1 {
+                    flips.push(k);
+                }
+                k += 1;
+            }
+        }
+    }
+    for k in flips {
+        let v = a.values()[k];
+        a.values_mut()[k] = -v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{self, Definiteness};
+    use crate::stats::RowNnzStats;
+
+    #[test]
+    fn random_pattern_is_deterministic_and_has_diagonal() {
+        let a = random_pattern::<f64>(40, RowDistribution::Uniform { min: 2, max: 8 }, 42);
+        let b = random_pattern::<f64>(40, RowDistribution::Uniform { min: 2, max: 8 }, 42);
+        assert_eq!(a, b);
+        assert!(a.has_nonzero_diagonal());
+        let c = random_pattern::<f64>(40, RowDistribution::Uniform { min: 2, max: 8 }, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn row_distributions_shape_the_rows() {
+        let a = random_pattern::<f64>(200, RowDistribution::Constant(4), 1);
+        let s = RowNnzStats::of(&a);
+        assert_eq!(s.min, 5); // 4 off-diagonal + diagonal
+        assert_eq!(s.max, 5);
+
+        let b = random_pattern::<f64>(
+            400,
+            RowDistribution::Bimodal {
+                low: 2,
+                high: 40,
+                high_fraction: 0.1,
+            },
+            2,
+        );
+        let sb = RowNnzStats::of(&b);
+        assert_eq!(sb.min, 3);
+        assert_eq!(sb.max, 41);
+        assert!(sb.cv > 1.0, "bimodal should be high-variance, cv={}", sb.cv);
+
+        let c = random_pattern::<f64>(
+            400,
+            RowDistribution::PowerLaw {
+                min: 1,
+                max: 100,
+                exponent: 2.0,
+            },
+            3,
+        );
+        let sc = RowNnzStats::of(&c);
+        assert!(sc.mean < 20.0, "power law mean should be small: {}", sc.mean);
+        assert!(sc.max > 20, "power law should have heavy tail: {}", sc.max);
+    }
+
+    #[test]
+    fn diagonally_dominant_is_strictly_dominant() {
+        let a =
+            diagonally_dominant::<f64>(60, RowDistribution::Uniform { min: 1, max: 9 }, 1.3, 5);
+        assert!(analysis::strictly_diagonally_dominant(&a));
+        assert!(!analysis::symmetric_via_csc(&a)); // random values
+    }
+
+    #[test]
+    fn spd_from_pattern_is_spd_and_symmetric() {
+        let a = spd_from_pattern::<f64>(60, RowDistribution::Uniform { min: 2, max: 6 }, 0.2, 6);
+        assert!(analysis::symmetric_via_csc(&a));
+        assert_eq!(
+            analysis::gershgorin_definiteness(&a),
+            Definiteness::PositiveDefinite
+        );
+    }
+
+    #[test]
+    fn indefinite_dd_is_dominant_and_indefinite() {
+        let a = indefinite_diagonally_dominant::<f64>(
+            61,
+            RowDistribution::Uniform { min: 2, max: 5 },
+            1.4,
+            7,
+        );
+        assert!(analysis::strictly_diagonally_dominant(&a));
+        let r = analysis::analyze(&a);
+        assert!(r.mixed_sign_diagonal);
+        assert_eq!(r.gershgorin_definiteness, Definiteness::Indefinite);
+        // pattern stays symmetric but values differ on the diagonal only,
+        // so the matrix itself is symmetric except sign flips are on the
+        // diagonal -> still symmetric.
+        assert!(r.symmetric);
+    }
+
+    #[test]
+    fn jacobi_divergent_spd_block_properties() {
+        let a = jacobi_divergent_spd::<f64>(30, 0.7, 0, 0.0, 8);
+        let r = analysis::analyze(&a);
+        assert!(r.symmetric);
+        assert!(!r.strictly_diagonally_dominant); // coupling 0.7*2 > 1
+        // verify PD numerically on probes
+        for p in 0..3 {
+            let x: Vec<f64> = (0..30).map(|i| (((i + p) % 7) as f64) - 3.0).collect();
+            let ax = a.mul_vec(&x).unwrap();
+            let q: f64 = x.iter().zip(&ax).map(|(u, v)| u * v).sum();
+            assert!(q > 0.0, "not PD on probe {p}: {q}");
+        }
+        // Jacobi iteration matrix spectral radius > 1: the block Jacobi
+        // matrix is -c * (block of ones minus I), with eigenvalue -2c.
+        let (l, d, u) = a.split_ldu();
+        let mut coo = crate::CooMatrix::<f64>::new(30, 30);
+        for (i, cols, vals) in l.iter_rows() {
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(i, c, v / d[i]).unwrap();
+            }
+        }
+        for (i, cols, vals) in u.iter_rows() {
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(i, c, v / d[i]).unwrap();
+            }
+        }
+        let iter_matrix = coo.to_csr();
+        let rho = analysis::spectral_radius_estimate(&iter_matrix, 200).unwrap();
+        assert!(rho > 1.0, "Jacobi should diverge, rho = {rho}");
+    }
+
+    #[test]
+    fn jacobi_divergent_spd_with_extras_stays_spd() {
+        let a = jacobi_divergent_spd::<f64>(60, 0.75, 2, 0.01, 9);
+        let r = analysis::analyze(&a);
+        assert!(r.symmetric);
+        for p in 0..3 {
+            let x: Vec<f64> = (0..60).map(|i| (((i * 13 + p) % 9) as f64) - 4.0).collect();
+            let ax = a.mul_vec(&x).unwrap();
+            let q: f64 = x.iter().zip(&ax).map(|(u, v)| u * v).sum();
+            assert!(q > 0.0, "not PD on probe {p}: {q}");
+        }
+    }
+
+    #[test]
+    fn nonsymmetric_perturbation_breaks_symmetry_only() {
+        let base = spd_from_pattern::<f64>(50, RowDistribution::Constant(4), 0.3, 10);
+        let ns = nonsymmetric_perturbation(&base, 0.4, 11);
+        assert!(!analysis::symmetric_via_csc(&ns));
+        assert!(ns.is_pattern_symmetric());
+        assert_eq!(ns.nnz(), base.nnz());
+    }
+
+    #[test]
+    fn ill_conditioned_spd_has_requested_spread() {
+        let a = ill_conditioned_spd::<f64>(100, 1e4, 2, 12);
+        let r = analysis::analyze(&a);
+        assert!(r.symmetric);
+        assert_eq!(r.gershgorin_definiteness, Definiteness::PositiveDefinite);
+        let d = a.diagonal();
+        let dmax = d.iter().cloned().fold(0.0f64, f64::max);
+        let dmin = d.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(dmax / dmin > 1e3, "spread {dmax}/{dmin}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dominance factor")]
+    fn diagonally_dominant_rejects_weak_factor() {
+        let _ = diagonally_dominant::<f64>(10, RowDistribution::Constant(2), 1.0, 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Banded and convection–diffusion operators.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+
+/// Tridiagonal matrix with constant bands `(sub, diag, sup)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_sparse::generate::tridiagonal;
+///
+/// let a = tridiagonal(3, 1.0, -2.0, 1.0);
+/// assert_eq!(a.get(1, 0), 1.0);
+/// assert_eq!(a.get(1, 1), -2.0);
+/// assert_eq!(a.get(1, 2), 1.0);
+/// ```
+pub fn tridiagonal<T: Scalar>(n: usize, sub: T, diag: T, sup: T) -> CsrMatrix<T> {
+    banded(n, &[(-1, sub), (0, diag), (1, sup)])
+}
+
+/// Banded matrix from `(offset, value)` pairs: entry `(i, i + offset)` is
+/// `value` wherever it lands in bounds.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `bands` is empty or contains duplicate offsets.
+pub fn banded<T: Scalar>(n: usize, bands: &[(isize, T)]) -> CsrMatrix<T> {
+    assert!(n > 0, "banded requires n > 0");
+    assert!(!bands.is_empty(), "banded requires at least one band");
+    let mut offsets: Vec<isize> = bands.iter().map(|&(o, _)| o).collect();
+    offsets.sort_unstable();
+    offsets.dedup();
+    assert_eq!(offsets.len(), bands.len(), "duplicate band offsets");
+
+    let mut coo = CooMatrix::with_capacity(n, n, bands.len() * n);
+    for i in 0..n {
+        for &(off, v) in bands {
+            let j = i as isize + off;
+            if j >= 0 && (j as usize) < n {
+                coo.push(i, j as usize, v).expect("in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 2D convection–diffusion operator (upwind differencing) on an
+/// `nx x ny` grid: the canonical *non-symmetric* PDE matrix.
+///
+/// `peclet` controls the convection strength; `peclet = 0` reduces to the
+/// symmetric Poisson operator, larger values skew the east/west couplings
+/// and break symmetry (like the paper's non-symmetric datasets, e.g.
+/// `poisson3Db`, `ifiss_mat`).
+///
+/// The operator remains weakly diagonally dominant for all `peclet >= 0`
+/// (upwinding preserves an M-matrix structure), so BiCG-STAB converges.
+///
+/// # Panics
+///
+/// Panics if `nx == 0`, `ny == 0`, or `peclet < 0`.
+pub fn convection_diffusion_2d<T: Scalar>(nx: usize, ny: usize, peclet: f64) -> CsrMatrix<T> {
+    assert!(nx > 0 && ny > 0, "grid dims must be positive");
+    assert!(peclet >= 0.0, "peclet must be non-negative");
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    // Upwind scheme for u_x convection with velocity along +x:
+    //   west coupling  = -(1 + peclet)
+    //   east coupling  = -1
+    //   diagonal       =  4 + peclet
+    let west = T::from_f64(-(1.0 + peclet));
+    let east = T::from_f64(-1.0);
+    let ns = T::from_f64(-1.0);
+    let diag = T::from_f64(4.0 + peclet);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            if y > 0 {
+                coo.push(i, idx(x, y - 1), ns).expect("in bounds");
+            }
+            if x > 0 {
+                coo.push(i, idx(x - 1, y), west).expect("in bounds");
+            }
+            coo.push(i, i, diag).expect("in bounds");
+            if x + 1 < nx {
+                coo.push(i, idx(x + 1, y), east).expect("in bounds");
+            }
+            if y + 1 < ny {
+                coo.push(i, idx(x, y + 1), ns).expect("in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 2D convection–diffusion with *centered* differencing: the canonical
+/// hard non-symmetric matrix.
+///
+/// For cell Péclet `peclet > 2` the east coupling flips sign and the rows
+/// lose diagonal dominance (`Σ|off| = 2 + peclet > 4`), so Jacobi
+/// diverges; CG is inapplicable (non-symmetric); Krylov methods for
+/// non-symmetric systems (BiCG-STAB, GMRES) still converge. This is the
+/// `ifiss_mat`/`ns3Da` class of the paper's Table II (✗ ✗ ✓).
+///
+/// # Panics
+///
+/// Panics if a grid dimension is zero or `peclet < 0`.
+pub fn convection_diffusion_2d_centered<T: Scalar>(
+    nx: usize,
+    ny: usize,
+    peclet: f64,
+) -> CsrMatrix<T> {
+    assert!(nx > 0 && ny > 0, "grid dims must be positive");
+    assert!(peclet >= 0.0, "peclet must be non-negative");
+    let n = nx * ny;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    let west = T::from_f64(-(1.0 + peclet / 2.0));
+    let east = T::from_f64(-(1.0 - peclet / 2.0)); // positive for peclet > 2
+    let ns = T::from_f64(-1.0);
+    let diag = T::from_f64(4.0);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            if y > 0 {
+                coo.push(i, idx(x, y - 1), ns).expect("in bounds");
+            }
+            if x > 0 {
+                coo.push(i, idx(x - 1, y), west).expect("in bounds");
+            }
+            coo.push(i, i, diag).expect("in bounds");
+            if x + 1 < nx {
+                coo.push(i, idx(x + 1, y), east).expect("in bounds");
+            }
+            if y + 1 < ny {
+                coo.push(i, idx(x, y + 1), ns).expect("in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn tridiagonal_layout() {
+        let a = tridiagonal(4, -1.0, 2.0, -1.0);
+        assert_eq!(a.nnz(), 10);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(3, 2), -1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn banded_with_wide_offsets() {
+        let a = banded(5, &[(0, 1.0), (3, 2.0), (-3, 2.0)]);
+        assert_eq!(a.get(0, 3), 2.0);
+        assert_eq!(a.get(4, 1), 2.0);
+        assert_eq!(a.get(2, 2), 1.0);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate band offsets")]
+    fn banded_rejects_duplicate_offsets() {
+        let _ = banded(3, &[(0, 1.0), (0, 2.0)]);
+    }
+
+    #[test]
+    fn convection_diffusion_zero_peclet_is_poisson() {
+        let a = convection_diffusion_2d::<f64>(4, 4, 0.0);
+        let p = crate::generate::poisson2d::<f64>(4, 4);
+        assert_eq!(a, p);
+    }
+
+    #[test]
+    fn centered_scheme_loses_dominance_above_peclet_2() {
+        let ok = convection_diffusion_2d_centered::<f64>(6, 6, 1.5);
+        assert!(analysis::weakly_diagonally_dominant(&ok));
+        let hard = convection_diffusion_2d_centered::<f64>(6, 6, 4.0);
+        assert!(!analysis::weakly_diagonally_dominant(&hard));
+        assert!(!analysis::symmetric_via_csc(&hard));
+        // interior row: |west| + |east| + 2 = (1+2) + (2-1) + 2 = 6 > 4
+        let margin = analysis::diagonal_dominance_margin(&hard);
+        assert!((margin - (4.0 - 6.0)).abs() < 1e-9, "margin {margin}");
+    }
+
+    #[test]
+    fn convection_diffusion_is_nonsymmetric_and_dominant() {
+        let a = convection_diffusion_2d::<f64>(6, 6, 2.0);
+        let r = analysis::analyze(&a);
+        assert!(!r.symmetric);
+        assert!(r.pattern_symmetric);
+        assert!(r.weakly_diagonally_dominant);
+        assert!(r.positive_diagonal);
+    }
+}

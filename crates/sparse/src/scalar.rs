@@ -1,0 +1,178 @@
+//! Floating-point scalar abstraction.
+//!
+//! The paper's hardware computes in 32-bit floating point (Section V-B),
+//! while software verification is more comfortable in `f64`. Everything in
+//! this workspace is therefore generic over [`Scalar`], implemented for
+//! `f32` and `f64`.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real floating-point scalar usable in sparse kernels and solvers.
+///
+/// This trait is sealed in spirit: it is only meaningfully implementable for
+/// IEEE-754 binary floating point types, and the workspace implements it for
+/// `f32` and `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_sparse::Scalar;
+///
+/// fn hypot<T: Scalar>(a: T, b: T) -> T {
+///     (a * a + b * b).sqrt()
+/// }
+///
+/// assert_eq!(hypot(3.0_f64, 4.0_f64), 5.0);
+/// assert_eq!(hypot(3.0_f32, 4.0_f32), 5.0);
+/// ```
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Send
+    + Sync
+    + Sum
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Converts from `f64`, rounding to the nearest representable value.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64` exactly (`f32` widens losslessly).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Returns `true` if the value is neither NaN nor infinite.
+    fn is_finite(self) -> bool;
+    /// Returns `true` if the value is NaN.
+    fn is_nan(self) -> bool;
+    /// Machine epsilon of the type.
+    fn epsilon() -> Self;
+    /// Largest finite value of the type.
+    fn max_value() -> Self;
+    /// The larger of two values (NaN-propagating like `f64::max` is not
+    /// required; ties resolve to `other`).
+    fn max(self, other: Self) -> Self;
+    /// The smaller of two values.
+    fn min(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline]
+            fn is_nan(self) -> bool {
+                <$t>::is_nan(self)
+            }
+            #[inline]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+            #[inline]
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+            #[inline]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn scalar_types_are_send_sync() {
+        assert_send_sync::<f32>();
+        assert_send_sync::<f64>();
+    }
+
+    #[test]
+    fn identities_behave() {
+        assert_eq!(f32::ZERO + f32::ONE, 1.0);
+        assert_eq!(f64::ONE * f64::ONE, 1.0);
+    }
+
+    #[test]
+    fn conversions_round_trip_for_f32_values() {
+        let v = 1.25_f32;
+        assert_eq!(f32::from_f64(v.to_f64()), v);
+    }
+
+    #[test]
+    fn abs_sqrt_and_finiteness() {
+        assert_eq!((-2.0_f64).abs(), 2.0);
+        assert_eq!(9.0_f32.sqrt(), 3.0);
+        assert!(1.0_f32.is_finite());
+        assert!(!(f64::MAX * 2.0).is_finite());
+        assert!((f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(2.0_f64.max(3.0), 3.0);
+        assert_eq!(2.0_f64.min(3.0), 2.0);
+    }
+
+    #[test]
+    fn generic_sum_works() {
+        fn total<T: Scalar>(xs: &[T]) -> T {
+            xs.iter().copied().sum()
+        }
+        assert_eq!(total(&[1.0_f32, 2.0, 3.0]), 6.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Steady-state heat conduction on a plate, solved on the Acamar model.
+//!
+//! Discretizes `-∇²T = 0` on a unit plate with fixed-temperature edges
+//! (Dirichlet boundary conditions folded into the right-hand side) —
+//! exactly the PDE-to-`Ax = b` reduction the paper's Section II-A
+//! describes — solves it on Acamar, and cross-checks the result against a
+//! direct dense solve.
+//!
+//! Run with `cargo run --release --example heat_equation`.
+
+use acamar::prelude::*;
+use acamar::sparse::DenseMatrix;
+
+/// Grid side (interior points per axis).
+const N: usize = 24;
+/// Edge temperatures: left, right, bottom, top.
+const EDGES: [f32; 4] = [100.0, 0.0, 25.0, 75.0];
+
+fn main() -> Result<(), SparseError> {
+    // Interior unknowns of an N x N grid; the 5-point stencil couples
+    // each cell to its neighbors, and boundary neighbors contribute their
+    // fixed temperature to b.
+    let a = generate::poisson2d::<f32>(N, N);
+    let mut b = vec![0.0_f32; N * N];
+    for y in 0..N {
+        for x in 0..N {
+            let i = y * N + x;
+            if x == 0 {
+                b[i] += EDGES[0];
+            }
+            if x == N - 1 {
+                b[i] += EDGES[1];
+            }
+            if y == 0 {
+                b[i] += EDGES[2];
+            }
+            if y == N - 1 {
+                b[i] += EDGES[3];
+            }
+        }
+    }
+
+    let acamar = Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper());
+    let report = acamar.run(&a, &b)?;
+    assert!(report.converged(), "heat system must converge");
+    println!(
+        "solved {}x{} plate with {} in {} iterations ({:.3} ms modeled)",
+        N,
+        N,
+        report.final_solver(),
+        report.solve.iterations,
+        report.compute_seconds() * 1e3
+    );
+
+    // Cross-check against a dense direct solve (f64 for reference).
+    let dense: DenseMatrix<f64> = a.cast::<f64>().to_dense();
+    let b64: Vec<f64> = b.iter().map(|&v| v as f64).collect();
+    let reference = dense.solve(&b64)?;
+    let max_err = report
+        .solve
+        .solution
+        .iter()
+        .zip(&reference)
+        .map(|(&x, &r)| (x as f64 - r).abs())
+        .fold(0.0, f64::max);
+    println!("max deviation from direct solve: {max_err:.3e}");
+    assert!(max_err < 1e-2, "iterative and direct solutions must agree");
+
+    // Render the temperature field as a coarse ASCII heat map.
+    println!("\ntemperature field (hot '#' .. cold ' '):");
+    let ramp = [' ', '.', ':', '-', '=', '+', '*', '%', '#'];
+    let (lo, hi) = (0.0_f32, 100.0_f32);
+    for y in (0..N).step_by(2) {
+        let mut line = String::new();
+        for x in 0..N {
+            let t = report.solve.solution[y * N + x].clamp(lo, hi);
+            let k = ((t - lo) / (hi - lo) * (ramp.len() - 1) as f32).round() as usize;
+            line.push(ramp[k]);
+        }
+        println!("  {line}");
+    }
+    println!(
+        "\ncorner check: near the {}-degree left edge the field reads {:.1}",
+        EDGES[0],
+        report.solve.solution[(N / 2) * N]
+    );
+    Ok(())
+}

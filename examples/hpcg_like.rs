@@ -1,0 +1,79 @@
+//! An HPCG-flavored efficiency study.
+//!
+//! The paper opens with the observation that top supercomputers sustain
+//! under 5 % of their peak FLOPS on HPCG (conjugate gradients on a 3D
+//! 27/7-point problem). This example runs the HPCG-style kernel — CG on a
+//! 3D Poisson operator — through three execution models and compares the
+//! fraction of peak each sustains:
+//!
+//! * the GTX 1650 Super model (cuSPARSE-style SpMV, bandwidth-bound);
+//! * a static FPGA design with a fixed `SpMV_URB`;
+//! * Acamar, with its per-set unroll schedule.
+//!
+//! Run with `cargo run --release --example hpcg_like`.
+
+use acamar::gpu::estimate_solver_run;
+use acamar::prelude::*;
+
+fn main() -> Result<(), SparseError> {
+    let a = generate::poisson3d::<f32>(16, 16, 16); // 4096 unknowns, 7-pt
+    let b = vec![1.0_f32; a.nrows()];
+    let criteria = ConvergenceCriteria::paper();
+    println!(
+        "HPCG-style problem: 16^3 grid, {} unknowns, {} non-zeros\n",
+        a.nrows(),
+        a.nnz()
+    );
+
+    // GPU: take the iteration count from a software CG run, then model
+    // the time the card would spend.
+    let mut sw = SoftwareKernels::new();
+    let cg = acamar::solvers::conjugate_gradient(&a, &b, None, &criteria, &mut sw)?;
+    assert!(cg.converged());
+    let gpu = GpuSpec::gtx1650_super();
+    let est = estimate_solver_run(&gpu, &a, SolverKind::ConjugateGradient, cg.iterations);
+    println!(
+        "GTX 1650 Super model: {} CG iterations in {:.3} ms -> {:.1} GFLOP/s \
+         = {:.2}% of its {:.1} TFLOPS peak",
+        cg.iterations,
+        est.total_s * 1e3,
+        est.effective_gflops,
+        100.0 * est.fraction_of_peak,
+        gpu.peak_flops() / 1e12
+    );
+
+    // Static FPGA design.
+    let spec = FabricSpec::alveo_u55c();
+    let static_run = StaticAccelerator::new(spec.clone(), SolverKind::ConjugateGradient, 16)
+        .run(&a, &b, &criteria)?;
+    println!(
+        "static FPGA (URB=16): {:.3} ms, {:.1}% of allocated peak, \
+         {:.1}% SpMV slots wasted",
+        static_run.compute_seconds() * 1e3,
+        100.0 * static_run.stats.achieved_throughput(),
+        100.0 * static_run.stats.spmv.underutilization()
+    );
+
+    // Acamar.
+    let rep = Acamar::new(spec, AcamarConfig::paper()).run(&a, &b)?;
+    println!(
+        "acamar:               {:.3} ms, {:.1}% of allocated peak, \
+         {:.1}% SpMV slots wasted",
+        rep.compute_seconds() * 1e3,
+        100.0 * rep.stats.achieved_throughput(),
+        100.0 * rep.stats.spmv.underutilization()
+    );
+    assert!(rep.converged());
+    assert!(
+        rep.stats.achieved_throughput() > est.fraction_of_peak,
+        "the whole point: sized-to-fit hardware sustains a far larger \
+         fraction of its peak than a general-purpose GPU"
+    );
+    println!(
+        "\nreading: the GPU leaves >99% of its peak idle on this kernel \
+         (memory-bound, warp lanes wasted on 7-NNZ rows), echoing the \
+         paper's HPCG motivation; Acamar sizes its MAC array to the rows \
+         and sustains most of what it instantiates."
+    );
+    Ok(())
+}

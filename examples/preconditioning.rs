@@ -1,0 +1,81 @@
+//! Solver shoot-out on a stiff SPD system: plain CG vs diagonal PCG vs
+//! ILU(0)-PCG vs Conjugate Residual vs Scheduled Relaxation Jacobi.
+//!
+//! The paper's Table I lists all of these methods; Acamar's hardware
+//! implements three of them, and the rest are the natural software
+//! toolbox around the same `Ax = b` problems. This example shows why
+//! preconditioning matters on badly scaled systems — and why the paper's
+//! solver-selection problem is real (every method has a regime).
+//!
+//! Run with `cargo run --release --example preconditioning`.
+
+use acamar::prelude::*;
+use acamar::solvers::{
+    chebyshev_weights, conjugate_gradient, conjugate_residual, ilu_pcg,
+    jacobi_spectrum_bounds, preconditioned_cg, scheduled_relaxation_jacobi,
+    ConvergenceSummary,
+};
+
+fn main() -> Result<(), SparseError> {
+    // An SPD system with diagonal entries spread over 6 decades: plain CG
+    // crawls, scaling-aware preconditioners flatten the spectrum.
+    let a = generate::ill_conditioned_spd::<f64>(1000, 1e6, 3, 42);
+    let b = vec![1.0; a.nrows()];
+    let criteria = ConvergenceCriteria::paper().with_max_iterations(20_000);
+
+    println!(
+        "system: n = {}, nnz = {}, diagonal spread ~1e6\n",
+        a.nrows(),
+        a.nnz()
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>14} {:>10}",
+        "method", "iterations", "residual", "SpMV-equiv ops", "rate"
+    );
+
+    let report = |name: &str, rep: &SolveReport<f64>| {
+        let s = ConvergenceSummary::from_history(&rep.residual_history, 20);
+        println!(
+            "{:<22} {:>10} {:>12.2e} {:>14} {:>10.4}",
+            name,
+            rep.iterations,
+            rep.final_residual(),
+            rep.counts.spmv_calls,
+            s.rate
+        );
+    };
+
+    let mut k = SoftwareKernels::new();
+    let cg = conjugate_gradient(&a, &b, None, &criteria, &mut k)?;
+    report("CG", &cg);
+
+    let mut k = SoftwareKernels::new();
+    let pcg = preconditioned_cg(&a, &b, None, &criteria, &mut k)?;
+    report("PCG (diagonal)", &pcg);
+
+    let ilu = ilu_pcg(&a, &b, None, &criteria)?;
+    report("PCG (ILU(0))", &ilu);
+
+    let mut k = SoftwareKernels::new();
+    let cr = conjugate_residual(&a, &b, None, &criteria, &mut k)?;
+    report("Conjugate Residual", &cr);
+
+    let (lo, hi) = jacobi_spectrum_bounds(&a);
+    let schedule = chebyshev_weights(lo, hi, 8);
+    let mut k = SoftwareKernels::new();
+    let srj = scheduled_relaxation_jacobi(&a, &b, None, &schedule, &criteria, &mut k)?;
+    report("SRJ (Chebyshev, P=8)", &srj);
+
+    assert!(pcg.converged() && ilu.converged());
+    assert!(
+        pcg.iterations <= cg.iterations,
+        "diagonal scaling must help on this system"
+    );
+    println!(
+        "\nreading: the diagonal preconditioner absorbs the 1e6 scaling \
+         almost entirely; ILU(0) does at least as well at higher per-\
+         iteration cost. No single method dominates every regime — the \
+         premise of Acamar's reconfigurable solver selection."
+    );
+    Ok(())
+}

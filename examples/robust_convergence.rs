@@ -1,0 +1,73 @@
+//! Robust convergence: the Solver Modifier rescuing a bad first choice.
+//!
+//! The paper's Matrix Structure unit only checks *symmetry* before
+//! configuring CG (finding eigenvalues in hardware is too expensive), so
+//! a symmetric **indefinite** matrix gets CG first — which breaks down.
+//! A static CG accelerator is stuck; Acamar's Solver Modifier reconfigures
+//! the fabric with the next solver and still converges (paper Table II's
+//! "Acamar" column).
+//!
+//! Run with `cargo run --release --example robust_convergence`.
+
+use acamar::prelude::*;
+use acamar::sparse::generate::spread_spectrum_blocks;
+
+fn main() -> Result<(), SparseError> {
+    // Symmetric, NOT diagonally dominant (coupling 0.6 > 0.5), indefinite
+    // (sign-alternating blocks), with a mild spectrum spread so BiCG-STAB
+    // can still handle it.
+    let a = spread_spectrum_blocks::<f32>(600, 0.6, 10.0, true, 42);
+    let b = vec![1.0_f32; a.nrows()];
+
+    // A static CG design diverges and, as the paper notes, a divergent
+    // static accelerator means "false or no solution ... and unbounded
+    // execution time".
+    let static_cg = StaticAccelerator::new(
+        FabricSpec::alveo_u55c(),
+        SolverKind::ConjugateGradient,
+        16,
+    );
+    let static_run = static_cg.run(&a, &b, &ConvergenceCriteria::paper())?;
+    println!(
+        "static CG design: {} after {} iterations",
+        static_run.solve.outcome, static_run.solve.iterations
+    );
+    assert!(!static_run.solve.converged());
+
+    // Acamar: picks CG too (the matrix is symmetric), sees the breakdown,
+    // and reconfigures.
+    let acamar = Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper());
+    let report = acamar.run(&a, &b)?;
+    println!("\nacamar attempts:");
+    for (i, attempt) in report.attempts.iter().enumerate() {
+        println!(
+            "  {}. {:<9} -> {} ({} iterations)",
+            i + 1,
+            attempt.solver.to_string(),
+            attempt.outcome,
+            attempt.iterations
+        );
+    }
+    assert!(report.converged(), "Acamar must rescue the solve");
+    assert!(report.solver_switches() >= 1, "a switch must have happened");
+    println!(
+        "\nconverged with {} after {} solver reconfiguration(s); \
+         total modeled time {:.3} ms ({:.3} ms of it reconfiguration)",
+        report.final_solver(),
+        report.solver_switches(),
+        report.total_seconds() * 1e3,
+        (report.total_seconds() - report.compute_seconds()) * 1e3
+    );
+
+    // The returned solution really solves the system.
+    let r = a.mul_vec(&report.solve.solution)?;
+    let res: f32 = r
+        .iter()
+        .zip(&b)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f32>()
+        .sqrt();
+    let bnorm: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
+    println!("relative residual of returned solution: {:.2e}", res / bnorm);
+    Ok(())
+}

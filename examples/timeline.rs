@@ -1,0 +1,58 @@
+//! Cycle-stamped execution timeline of one solve.
+//!
+//! Enables the fabric trace and prints the first iterations of a CG solve
+//! on a mixed-sparsity matrix: phase changes, per-segment SpMV execution
+//! at each scheduled unroll factor, and the DFX reconfiguration stalls
+//! between segments — the behavioral-simulator view of Acamar's Resource
+//! Decision loop.
+//!
+//! Run with `cargo run --release --example timeline`.
+
+use acamar::core::{AcamarConfig, FineGrainedReconfigUnit};
+use acamar::fabric::FabricKernels;
+use acamar::prelude::*;
+use acamar::sparse::generate::RowDistribution;
+
+fn main() -> Result<(), SparseError> {
+    // Half sparse rows, half dense rows: the schedule will alternate
+    // unroll factors and the engine must reconfigure between them.
+    let a = generate::diagonally_dominant::<f32>(
+        512,
+        RowDistribution::Bimodal {
+            low: 3,
+            high: 32,
+            high_fraction: 0.5,
+        },
+        1.5,
+        21,
+    );
+    let b = vec![1.0_f32; a.nrows()];
+
+    let cfg = AcamarConfig::paper().with_sampling_rate(8);
+    let plan = FineGrainedReconfigUnit::new(cfg.clone()).plan(&a);
+    println!("schedule ({} entries):", plan.schedule.entries().len());
+    for e in plan.schedule.entries() {
+        println!("  rows {:>4}..{:<4} U={}", e.rows.start, e.rows.end, e.unroll);
+    }
+
+    let mut hw = FabricKernels::new(FabricSpec::alveo_u55c(), plan.schedule.clone(), 4)
+        .with_trace(64);
+    let report = acamar::solvers::jacobi(&a, &b, None, &ConvergenceCriteria::paper(), &mut hw)?;
+    assert!(report.converged());
+
+    println!("\nfirst trace events (cycle-stamped):");
+    let trace = hw.trace().expect("tracing enabled");
+    for e in trace.events().iter().take(40) {
+        println!("  {}", e.describe());
+    }
+    if trace.truncated() {
+        println!("  ... ({} further events not recorded)", trace.dropped());
+    }
+    println!(
+        "\nsolve: {} iterations; {} SpMV-region reconfigurations total",
+        report.iterations,
+        hw.reconfig_controller()
+            .count(acamar::fabric::RegionKind::SpmvKernel)
+    );
+    Ok(())
+}

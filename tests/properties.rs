@@ -1,0 +1,229 @@
+//! Property-based tests over the core data structures and invariants.
+#![allow(clippy::needless_range_loop)]
+
+use acamar::core::MsidChain;
+use acamar::fabric::{spmv, FabricSpec, UnrollSchedule};
+use acamar::prelude::*;
+use acamar::solvers::jacobi;
+use acamar::sparse::io::{read_matrix_market, write_matrix_market};
+use acamar::sparse::{analysis, CscMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a well-formed random COO matrix (n, triplets).
+fn coo_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let entry = (0..n, 0..n, -10.0_f64..10.0);
+        (Just(n), proptest::collection::vec(entry, 0..n * 4))
+    })
+}
+
+fn build_csr(n: usize, trips: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
+    let mut coo = CooMatrix::new(n, n);
+    for &(r, c, v) in trips {
+        coo.push(r, c, v).unwrap();
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #[test]
+    fn csr_csc_round_trip((n, trips) in coo_strategy()) {
+        let a = build_csr(n, &trips);
+        let back = CscMatrix::from_csr(&a).to_csr();
+        prop_assert_eq!(a, back);
+    }
+
+    #[test]
+    fn transpose_is_involutive((n, trips) in coo_strategy()) {
+        let a = build_csr(n, &trips);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn spmv_matches_dense((n, trips) in coo_strategy(), seed in 0u64..1000) {
+        let a = build_csr(n, &trips);
+        let x: Vec<f64> = (0..n).map(|i| (((i as u64 + seed) % 17) as f64) - 8.0).collect();
+        let sparse_y = a.mul_vec(&x).unwrap();
+        let dense_y = a.to_dense().mul_vec(&x);
+        for (s, d) in sparse_y.iter().zip(&dense_y) {
+            prop_assert!((s - d).abs() <= 1e-9 * (1.0 + d.abs()));
+        }
+    }
+
+    #[test]
+    fn symmetry_via_csc_equals_direct_symmetry((n, trips) in coo_strategy()) {
+        let a = build_csr(n, &trips);
+        prop_assert_eq!(analysis::symmetric_via_csc(&a), a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn matrix_market_round_trip((n, trips) in coo_strategy()) {
+        let a = build_csr(n, &trips);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market::<f64, _>(buf.as_slice()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_ldu_reassembles((n, trips) in coo_strategy()) {
+        let a = build_csr(n, &trips);
+        let (l, d, u) = a.split_ldu();
+        for i in 0..n {
+            for j in 0..n {
+                let dij = if i == j { d[i] } else { 0.0 };
+                prop_assert_eq!(l.get(i, j) + dij + u.get(i, j), a.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn underutilization_is_a_fraction(
+        (n, trips) in coo_strategy(),
+        unroll in 1usize..64,
+    ) {
+        let a: CsrMatrix<f32> = build_csr(n, &trips).cast();
+        let e = spmv::execute_matrix(&a, unroll, &FabricSpec::alveo_u55c());
+        let ru = e.underutilization();
+        prop_assert!((0.0..=1.0).contains(&ru), "ru = {}", ru);
+        prop_assert_eq!(e.slots_used, a.nnz() as u64);
+        prop_assert!(e.slots_issued >= e.slots_used);
+    }
+
+    #[test]
+    fn unroll_one_never_wastes_slots((n, trips) in coo_strategy()) {
+        let a: CsrMatrix<f32> = build_csr(n, &trips).cast();
+        let e = spmv::execute_matrix(&a, 1, &FabricSpec::alveo_u55c());
+        prop_assert_eq!(e.underutilization(), 0.0);
+    }
+
+    #[test]
+    fn msid_events_never_increase_with_stages(
+        factors in proptest::collection::vec(1usize..40, 1..128),
+        tol in 0.0f64..1.0,
+    ) {
+        let events = |f: &[usize]| f.windows(2).filter(|w| w[0] != w[1]).count();
+        let mut prev = events(&factors);
+        for stages in 1..10 {
+            let out = MsidChain::new(stages, tol).optimize_factors(&factors);
+            let e = events(&out);
+            prop_assert!(e <= prev, "stages {} raised events {} -> {}", stages, prev, e);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn msid_output_values_come_from_the_input(
+        factors in proptest::collection::vec(1usize..40, 1..64),
+        stages in 0usize..10,
+        tol in 0.0f64..1.0,
+    ) {
+        let out = MsidChain::new(stages, tol).optimize_factors(&factors);
+        prop_assert_eq!(out.len(), factors.len());
+        for v in &out {
+            prop_assert!(factors.contains(v));
+        }
+    }
+
+    #[test]
+    fn schedules_tile_the_row_space(
+        nrows in 1usize..2000,
+        rate in 1usize..64,
+    ) {
+        let a: CsrMatrix<f32> = generate::random_pattern(
+            nrows,
+            generate::RowDistribution::Uniform { min: 1, max: 6 },
+            rate as u64,
+        );
+        let plan = acamar::core::FineGrainedReconfigUnit::new(
+            acamar::core::AcamarConfig::paper().with_sampling_rate(rate),
+        )
+        .plan(&a);
+        let entries = plan.schedule.entries();
+        prop_assert_eq!(entries.first().unwrap().rows.start, 0);
+        prop_assert_eq!(entries.last().unwrap().rows.end, nrows);
+        for w in entries.windows(2) {
+            prop_assert_eq!(w[0].rows.end, w[1].rows.start);
+            // adjacent entries were merged, so unrolls must differ
+            prop_assert_ne!(w[0].unroll, w[1].unroll);
+        }
+    }
+
+    #[test]
+    fn jacobi_converges_on_random_dominant_systems(
+        n in 8usize..80,
+        seed in 0u64..500,
+    ) {
+        let a = generate::diagonally_dominant::<f64>(
+            n,
+            generate::RowDistribution::Uniform { min: 1, max: 4 },
+            1.6,
+            seed,
+        );
+        let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mut k = SoftwareKernels::new();
+        let rep = jacobi(&a, &b, None, &ConvergenceCriteria::paper(), &mut k).unwrap();
+        prop_assert!(rep.converged(), "outcome {:?}", rep.outcome);
+        // the solution actually satisfies the system
+        let r = a.mul_vec(&rep.solution).unwrap();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+        let rn: f64 = r.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        prop_assert!(rn / bn < 1e-4, "residual {}", rn / bn);
+    }
+
+    #[test]
+    fn dense_solve_has_small_residual(
+        n in 2usize..12,
+        seed in 0u64..200,
+    ) {
+        // random strictly dominant dense system => nonsingular
+        let mut a = DenseMatrix::<f64>::zeros(n, n);
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v = next();
+                    a[(i, j)] = v;
+                    row_sum += v.abs();
+                }
+            }
+            a[(i, i)] = row_sum + 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = a.solve(&b).unwrap();
+        let ax = a.mul_vec(&x);
+        for (u, v) in ax.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn uniform_schedule_never_reconfigures(nrows in 1usize..5000, u in 1usize..128) {
+        let s = UnrollSchedule::uniform(nrows, u);
+        prop_assert_eq!(s.changes_per_pass(), 0);
+        prop_assert_eq!(s.max_unroll(), u);
+    }
+}
+
+proptest! {
+    #[test]
+    fn ell_padding_equals_fabric_underutilization_at_width(
+        (n, trips) in coo_strategy(),
+    ) {
+        use acamar::sparse::EllMatrix;
+        let a: CsrMatrix<f32> = build_csr(n, &trips).cast();
+        let e = EllMatrix::from_csr(&a);
+        let w = e.width();
+        // Only comparable when no row is empty (the engine skips empty
+        // rows; ELL still pads them) and the width is positive.
+        prop_assume!(w > 0);
+        prop_assume!((0..a.nrows()).all(|i| a.row_nnz(i) > 0));
+        let exec = spmv::execute_rows(&a, 0..a.nrows(), w, &FabricSpec::alveo_u55c());
+        prop_assert!((e.padding_fraction() - exec.underutilization()).abs() < 1e-12);
+    }
+}

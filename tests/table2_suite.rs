@@ -1,0 +1,69 @@
+//! Full Table II reproduction as an integration test: all 25 dataset
+//! analogs, measured triples, and the Acamar column.
+
+use acamar::core::{Acamar, AcamarConfig};
+use acamar::fabric::FabricSpec;
+use acamar::solvers::SolverKind;
+use acamar_datasets::{suite, verify};
+
+#[test]
+fn all_25_rows_match_the_paper_and_acamar_always_converges() {
+    let mut mismatches = Vec::new();
+    let mut acamar_failures = Vec::new();
+    for d in suite() {
+        let triple = verify::measure_triple(&d);
+        if !triple.matches(&d) {
+            mismatches.push(format!(
+                "{}: expected {} measured {}",
+                d.id,
+                d.expected.marks(),
+                triple.measured.marks()
+            ));
+        }
+        let cfg = AcamarConfig::paper().with_criteria(verify::table2_criteria());
+        let rep = Acamar::new(FabricSpec::alveo_u55c(), cfg)
+            .run(&d.matrix(), &d.rhs())
+            .unwrap();
+        if !rep.converged() {
+            acamar_failures.push(format!("{}: {:?}", d.id, rep.attempts));
+        }
+        // The final solver must be one the paper's triple says converges.
+        if rep.converged() {
+            let ok = match rep.final_solver() {
+                SolverKind::Jacobi => d.expected.jacobi,
+                SolverKind::ConjugateGradient => d.expected.cg,
+                SolverKind::BiCgStab => d.expected.bicgstab,
+                other => panic!("{}: unexpected solver {other}", d.id),
+            };
+            assert!(
+                ok,
+                "{}: Acamar finished with {} which the paper marks ✗",
+                d.id,
+                rep.final_solver()
+            );
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "triple mismatches:\n{}",
+        mismatches.join("\n")
+    );
+    assert!(
+        acamar_failures.is_empty(),
+        "acamar failures:\n{}",
+        acamar_failures.join("\n")
+    );
+}
+
+#[test]
+fn no_single_solver_covers_the_suite() {
+    // The paper's core motivation: every static choice fails somewhere.
+    let s = suite();
+    assert!(s.iter().any(|d| !d.expected.jacobi));
+    assert!(s.iter().any(|d| !d.expected.cg));
+    assert!(s.iter().any(|d| !d.expected.bicgstab));
+    // ... and Acamar's union covers everything:
+    assert!(s
+        .iter()
+        .all(|d| d.expected.jacobi || d.expected.cg || d.expected.bicgstab));
+}
