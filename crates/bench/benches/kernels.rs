@@ -1,73 +1,98 @@
-//! Criterion microbenchmarks for the software kernels: CSR SpMV across
-//! sparsity shapes, CSR↔CSC conversion (the Matrix Structure unit's
-//! symmetry test), and the MSID chain.
+//! Microbenchmarks for the software kernels: CSR SpMV across sparsity
+//! shapes, CSR↔CSC conversion (the Matrix Structure unit's symmetry
+//! test), and the MSID chain.
+//!
+//! Timed with a plain `std::time::Instant` harness (median of repeated
+//! batches) so the workspace builds with no external registry access.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 use acamar_core::MsidChain;
 use acamar_solvers::{conjugate_gradient, ConvergenceCriteria, SoftwareKernels};
 use acamar_sparse::generate::{self, RowDistribution};
 use acamar_sparse::CscMatrix;
 
-fn bench_spmv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spmv");
+/// Runs `f` in batches until ~200ms elapse and reports the median
+/// per-iteration time in nanoseconds.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    // Warm up and size the batch so one batch is ~10ms.
+    let start = Instant::now();
+    let mut warm = 0u64;
+    while start.elapsed().as_millis() < 20 {
+        f();
+        warm += 1;
+    }
+    let per_iter = start.elapsed().as_nanos() as f64 / warm as f64;
+    let batch = ((10e6 / per_iter).ceil() as u64).max(1);
+    let mut samples = Vec::new();
+    for _ in 0..20 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn report(name: &str, ns: f64, elements: Option<u64>) {
+    match elements {
+        Some(e) => {
+            let rate = e as f64 / (ns * 1e-9) / 1e6;
+            println!("{name:<44} {ns:>14.1} ns/iter  {rate:>10.1} Melem/s");
+        }
+        None => println!("{name:<44} {ns:>14.1} ns/iter"),
+    }
+}
+
+fn bench_spmv() {
     for &n in &[1_000usize, 10_000, 100_000] {
-        let a = generate::random_pattern::<f32>(
-            n,
-            RowDistribution::Uniform { min: 4, max: 24 },
-            7,
-        );
+        let a = generate::random_pattern::<f32>(n, RowDistribution::Uniform { min: 4, max: 24 }, 7);
         let x = vec![1.0_f32; n];
         let mut y = vec![0.0_f32; n];
-        g.throughput(Throughput::Elements(a.nnz() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| a.mul_vec_into(black_box(&x), black_box(&mut y)).unwrap());
-        });
+        let ns = time_ns(|| a.mul_vec_into(black_box(&x), black_box(&mut y)).unwrap());
+        report(&format!("spmv/{n}"), ns, Some(a.nnz() as u64));
     }
-    g.finish();
 }
 
-fn bench_csr_to_csc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("csr_to_csc");
+fn bench_csr_to_csc() {
     for &n in &[1_000usize, 10_000] {
-        let a = generate::random_pattern::<f32>(
-            n,
-            RowDistribution::Uniform { min: 4, max: 24 },
-            11,
-        );
-        g.throughput(Throughput::Elements(a.nnz() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| CscMatrix::from_csr(black_box(&a)));
+        let a =
+            generate::random_pattern::<f32>(n, RowDistribution::Uniform { min: 4, max: 24 }, 11);
+        let ns = time_ns(|| {
+            black_box(CscMatrix::from_csr(black_box(&a)));
         });
+        report(&format!("csr_to_csc/{n}"), ns, Some(a.nnz() as u64));
     }
-    g.finish();
 }
 
-fn bench_msid_chain(c: &mut Criterion) {
+fn bench_msid_chain() {
     let factors: Vec<usize> = (0..4096).map(|i| 2 + (i * 2654435761usize) % 30).collect();
-    c.bench_function("msid_chain_8_stages_4096_sets", |b| {
-        let chain = MsidChain::new(8, 0.15);
-        b.iter(|| chain.optimize_factors(black_box(&factors)));
+    let chain = MsidChain::new(8, 0.15);
+    let ns = time_ns(|| {
+        black_box(chain.optimize_factors(black_box(&factors)));
     });
+    report("msid_chain_8_stages_4096_sets", ns, None);
 }
 
-fn bench_cg_solve(c: &mut Criterion) {
+fn bench_cg_solve() {
     let a = generate::poisson2d::<f32>(48, 48);
     let rhs = vec![1.0_f32; a.nrows()];
     let criteria = ConvergenceCriteria::paper().with_max_iterations(4000);
-    c.bench_function("cg_poisson2d_48x48", |b| {
-        b.iter(|| {
-            let mut k = SoftwareKernels::new();
-            conjugate_gradient(black_box(&a), black_box(&rhs), None, &criteria, &mut k)
-                .unwrap()
-        });
+    let ns = time_ns(|| {
+        let mut k = SoftwareKernels::new();
+        black_box(
+            conjugate_gradient(black_box(&a), black_box(&rhs), None, &criteria, &mut k).unwrap(),
+        );
     });
+    report("cg_poisson2d_48x48", ns, None);
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_spmv, bench_csr_to_csc, bench_msid_chain, bench_cg_solve
+fn main() {
+    bench_spmv();
+    bench_csr_to_csc();
+    bench_msid_chain();
+    bench_cg_solve();
 }
-criterion_main!(benches);

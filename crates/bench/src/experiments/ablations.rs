@@ -34,8 +34,7 @@ pub fn ablation_msid(datasets: &[Dataset]) -> AblationMsidResult {
     let mut savings = Vec::new();
     for d in datasets {
         let a = d.matrix();
-        let (off_exec, off_events) =
-            runner::acamar_pass(&a, &runner::config().with_r_opt(0));
+        let (off_exec, off_events) = runner::acamar_pass(&a, &runner::config().with_r_opt(0));
         let (_on_exec, on_events) = runner::acamar_pass(&a, &runner::config());
         let _ = off_exec;
         // Approximate each event with the ICAP time of the largest engine
@@ -144,7 +143,8 @@ pub fn ablation_init_unroll(datasets: &[Dataset]) -> AblationInitResult {
     banner("Ablation: initialize-phase static SpMV engine width");
     let widths = vec![1usize, 4, 16];
     let mut t = TextTable::new(
-        std::iter::once("ID".to_string()).chain(widths.iter().map(|w| format!("init U={w} (kcycles)"))),
+        std::iter::once("ID".to_string())
+            .chain(widths.iter().map(|w| format!("init U={w} (kcycles)"))),
     );
     let mut rows = Vec::new();
     for d in datasets {
@@ -259,8 +259,8 @@ pub fn ablation_reorder() -> AblationReorderResult {
         }
         let a = w.matrix();
         let perm = acamar_sparse::permute::permutation_by_row_nnz(&a);
-        let sorted = acamar_sparse::permute::permute_symmetric(&a, &perm)
-            .expect("valid permutation");
+        let sorted =
+            acamar_sparse::permute::permute_symmetric(&a, &perm).expect("valid permutation");
         let (orig_exec, orig_events) = runner::acamar_pass(&a, &runner::config());
         let (sort_exec, sort_events) = runner::acamar_pass(&sorted, &runner::config());
         t.row([

@@ -63,9 +63,7 @@ pub fn fig06(runs: &[DatasetRun]) -> Fig6Result {
         .iter()
         .flat_map(|(_, s)| s.iter().copied())
         .fold(0.0, f64::max);
-    println!(
-        "\npaper:    up to 11.61x at URB=1; gains diminish and flatten for URB > 16."
-    );
+    println!("\npaper:    up to 11.61x at URB=1; gains diminish and flatten for URB > 16.");
     println!(
         "measured: up to {}x at URB=1 (GMEAN {}x); GMEAN at URB=64: {}x.",
         f2(max),
@@ -184,7 +182,12 @@ pub struct Fig9Result {
 pub fn fig09(runs: &[DatasetRun]) -> Fig9Result {
     banner("Figure 9: achieved throughput as % of peak (higher is better)");
     let gpu = GpuSpec::gtx1650_super();
-    let mut t = TextTable::new(["ID", "Acamar", &format!("Static URB={URB_REPRESENTATIVE}"), "GPU"]);
+    let mut t = TextTable::new([
+        "ID",
+        "Acamar",
+        &format!("Static URB={URB_REPRESENTATIVE}"),
+        "GPU",
+    ]);
     let mut rows = Vec::new();
     for run in runs {
         let a = run.dataset.matrix();
@@ -195,12 +198,7 @@ pub fn fig09(runs: &[DatasetRun]) -> Fig9Result {
             .stats
             .achieved_throughput();
         let g = model_csr_spmv(&gpu, &a).fraction_of_peak;
-        t.row([
-            run.dataset.id.to_string(),
-            pct(acamar),
-            pct(stat),
-            pct(g),
-        ]);
+        t.row([run.dataset.id.to_string(), pct(acamar), pct(stat), pct(g)]);
         rows.push((run.dataset.id, acamar, stat, g));
     }
     t.print();
@@ -296,11 +294,7 @@ pub fn fig13(runs: &[DatasetRun]) -> Fig13Result {
     for run in runs {
         let base = run.baseline(URB_REPRESENTATIVE).expect("swept");
         let allowed = metrics::allowed_reconfig_seconds(base, &run.acamar);
-        let max_u = run
-            .acamar
-            .plan
-            .schedule
-            .max_unroll();
+        let max_u = run.acamar.plan.schedule.max_unroll();
         let bits = cost::bitstream_bits(&cost::spmv_engine(max_u));
         let icap_s = bits as f64 / (device.icap_gbps * 1e9);
         match allowed {

@@ -65,8 +65,14 @@ pub fn fig01(datasets: &[Dataset]) -> Fig1Result {
     } else {
         rows.iter().map(|r| r.spmv_share).sum::<f64>() / rows.len() as f64
     };
-    println!("\npaper:    \"SpMV consumes most of the time, making it the most expensive kernel\".");
-    println!("measured: mean SpMV share {} across {} (dataset, solver) pairs.", pct(mean), rows.len());
+    println!(
+        "\npaper:    \"SpMV consumes most of the time, making it the most expensive kernel\"."
+    );
+    println!(
+        "measured: mean SpMV share {} across {} (dataset, solver) pairs.",
+        pct(mean),
+        rows.len()
+    );
     Fig1Result {
         rows,
         mean_share: mean,

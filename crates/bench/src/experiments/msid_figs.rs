@@ -77,11 +77,8 @@ pub fn fig11(datasets: &[Dataset]) -> Fig11Result {
     banner("Figure 11: R.U. and SpMV latency vs MSID chain stages");
     let stages: Vec<usize> = vec![0, 1, 2, 4, 8, 12];
     let mut t = TextTable::new(
-        std::iter::once("ID".to_string()).chain(
-            stages
-                .iter()
-                .map(|s| format!("rOpt={s} (RU / cycles)")),
-        ),
+        std::iter::once("ID".to_string())
+            .chain(stages.iter().map(|s| format!("rOpt={s} (RU / cycles)"))),
     );
     let mut rows = Vec::new();
     for d in datasets {
@@ -92,7 +89,11 @@ pub fn fig11(datasets: &[Dataset]) -> Fig11Result {
         for &s in &stages {
             let cfg = runner::config().with_r_opt(s);
             let (exec, _) = runner::acamar_pass(&a, &cfg);
-            cells.push(format!("{} / {}", pct(exec.underutilization()), exec.cycles));
+            cells.push(format!(
+                "{} / {}",
+                pct(exec.underutilization()),
+                exec.cycles
+            ));
             under.push(exec.underutilization());
             cycles.push(exec.cycles);
         }
@@ -175,18 +176,29 @@ mod tests {
     use acamar_datasets::by_id;
 
     fn small_suite() -> Vec<Dataset> {
-        vec![by_id("Fi").unwrap(), by_id("At").unwrap(), by_id("Ci").unwrap()]
+        vec![
+            by_id("Fi").unwrap(),
+            by_id("At").unwrap(),
+            by_id("Ci").unwrap(),
+        ]
     }
 
     #[test]
     fn fig05_rate_is_nonincreasing_and_flattens() {
         let r = fig05(&small_suite());
         for w in r.mean_reconfigs.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "rate increased: {:?}", r.mean_reconfigs);
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "rate increased: {:?}",
+                r.mean_reconfigs
+            );
         }
         let at8 = r.mean_reconfigs[8];
         let at12 = r.mean_reconfigs[12];
-        assert!(at12 >= 0.75 * at8 - 0.5, "not flat after 8: {at8} -> {at12}");
+        assert!(
+            at12 >= 0.75 * at8 - 0.5,
+            "not flat after 8: {at8} -> {at12}"
+        );
     }
 
     #[test]
@@ -203,9 +215,6 @@ mod tests {
     fn fig12_finer_sampling_reduces_underutilization() {
         let r = fig12(&small_suite());
         let means = r.mean_per_rate();
-        assert!(
-            *means.last().unwrap() <= means[0] + 1e-9,
-            "means {means:?}"
-        );
+        assert!(*means.last().unwrap() <= means[0] + 1e-9, "means {means:?}");
     }
 }

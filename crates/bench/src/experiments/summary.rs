@@ -126,7 +126,11 @@ mod tests {
 
     #[test]
     fn summary_reproduces_headline_shapes() {
-        let ds = vec![by_id("At").unwrap(), by_id("2C").unwrap(), by_id("Fi").unwrap()];
+        let ds = vec![
+            by_id("At").unwrap(),
+            by_id("2C").unwrap(),
+            by_id("Fi").unwrap(),
+        ];
         let runs = sweep(&ds);
         let s = summary(&runs);
         assert!(s.max_speedup > 1.5, "max speedup {}", s.max_speedup);

@@ -64,7 +64,16 @@ pub struct Table2Result {
 pub fn table2(datasets: &[Dataset]) -> Table2Result {
     banner("Table II: solver convergence per dataset (paper tol 1e-5, f32)");
     let mut t = TextTable::new([
-        "ID", "Dataset", "DIM", "Sparsity%", "JB", "CG", "BiCG-STAB", "Acamar", "via", "paper",
+        "ID",
+        "Dataset",
+        "DIM",
+        "Sparsity%",
+        "JB",
+        "CG",
+        "BiCG-STAB",
+        "Acamar",
+        "via",
+        "paper",
         "match",
     ]);
     let mut rows = Vec::new();
@@ -101,9 +110,7 @@ pub fn table2(datasets: &[Dataset]) -> Table2Result {
     t.print();
     let matching = rows.iter().filter(|r| r.matches_paper).count();
     let acamar_ok = rows.iter().filter(|r| r.acamar).count();
-    println!(
-        "\npaper:    no single solver converges on all 25 datasets; Acamar column all ✓."
-    );
+    println!("\npaper:    no single solver converges on all 25 datasets; Acamar column all ✓.");
     println!(
         "measured: {matching}/{} triples match the paper; Acamar converged on {acamar_ok}/{}.",
         rows.len(),

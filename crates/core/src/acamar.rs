@@ -4,11 +4,40 @@ use crate::config::AcamarConfig;
 use crate::fine_grained::{FineGrainedPlan, FineGrainedReconfigUnit};
 use crate::solver_modifier::SolverModifier;
 use crate::structure_unit::{MatrixStructureUnit, StructureDecision};
-use acamar_fabric::{
-    cost, FabricKernels, FabricRunStats, FabricSpec, HwRun, ResourceVector,
-};
+use acamar_fabric::{cost, FabricKernels, FabricRunStats, FabricSpec, HwRun, ResourceVector};
 use acamar_solvers::{solve_with, Outcome, SolveReport, SolverKind};
 use acamar_sparse::{CsrMatrix, Scalar, SparseError};
+
+/// The cacheable product of Acamar's two host-side decision loops: the
+/// Matrix Structure unit's solver pick and the Fine-Grained
+/// Reconfiguration unit's unroll plan (with its MSID schedule).
+///
+/// Both depend only on the coefficient matrix — not on the right-hand
+/// side — so callers solving many systems against the same matrix (or
+/// the same sparsity pattern) can run [`Acamar::analyze`] once and replay
+/// the artifacts through [`Acamar::run_with_plan`], amortizing the
+/// reconfiguration-decision overhead across solves. The `acamar-engine`
+/// crate builds its fingerprint cache on exactly this type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisArtifacts {
+    /// The Matrix Structure unit's analysis and initial recommendation.
+    pub structure: StructureDecision,
+    /// The Fine-Grained Reconfiguration unit's plan.
+    pub plan: FineGrainedPlan,
+    /// Estimated host-side work of building these artifacts, in
+    /// row/entry traversals: the structure unit's CSR→CSC symmetry
+    /// compare and dominance scan are each O(nnz), the Row Length Trace
+    /// is O(rows) — this is what a cache hit saves.
+    pub build_cost: u64,
+}
+
+impl AnalysisArtifacts {
+    /// Cost model for building the artifacts of an `nrows` x `nnz` matrix
+    /// (see the field docs on `build_cost`).
+    pub fn cost_model(nrows: usize, nnz: usize) -> u64 {
+        3 * nnz as u64 + 2 * nrows as u64
+    }
+}
 
 /// One solver attempt inside an Acamar run.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,12 +183,60 @@ impl Acamar {
         b: &[T],
         x0: Option<&[T]>,
     ) -> Result<AcamarRunReport<T>, SparseError> {
+        let artifacts = self.analyze(a);
+        self.run_with_plan(a, b, x0, &artifacts)
+    }
+
+    /// Runs both host-side decision loops — the Matrix Structure unit and
+    /// the Fine-Grained Reconfiguration unit (with its MSID chain) —
+    /// without solving anything, returning the cacheable artifacts.
+    ///
+    /// The artifacts depend only on `a`; pair with
+    /// [`Acamar::run_with_plan`] to amortize this analysis across many
+    /// right-hand sides or many solves sharing a sparsity pattern.
+    pub fn analyze<T: Scalar>(&self, a: &CsrMatrix<T>) -> AnalysisArtifacts {
         // The Matrix Structure, Fine-Grained Reconfiguration, and
         // Initialize units "have no dependencies and run concurrently"
         // (paper §IV); their latency is host-side and overlapped, so only
-        // the fabric work below is charged cycles.
+        // fabric work is charged cycles.
         let structure = MatrixStructureUnit::new().analyze(a);
         let plan = FineGrainedReconfigUnit::new(self.config.clone()).plan(a);
+        AnalysisArtifacts {
+            structure,
+            plan,
+            build_cost: AnalysisArtifacts::cost_model(a.nrows(), a.nnz()),
+        }
+    }
+
+    /// Like [`Acamar::run_with_guess`], but replaying previously built
+    /// [`AnalysisArtifacts`] instead of re-running the decision loops —
+    /// the cache-hit fast path of the batch engine.
+    ///
+    /// The caller asserts the artifacts were built for a matrix with
+    /// `a`'s sparsity pattern (the unroll schedule must tile `a`'s rows);
+    /// a mismatched row count is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] for shape problems, including artifacts
+    /// whose schedule does not cover `a`'s rows.
+    pub fn run_with_plan<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+        x0: Option<&[T]>,
+        artifacts: &AnalysisArtifacts,
+    ) -> Result<AcamarRunReport<T>, SparseError> {
+        let structure = artifacts.structure.clone();
+        let plan = artifacts.plan.clone();
+        let planned_rows = plan.schedule.entries().last().map_or(0, |e| e.rows.end);
+        if planned_rows != a.nrows() {
+            return Err(SparseError::DimensionMismatch {
+                expected: a.nrows(),
+                found: planned_rows,
+                what: "planned schedule rows",
+            });
+        }
 
         let mut hw = FabricKernels::new(
             self.spec.clone(),
@@ -191,7 +268,10 @@ impl Acamar {
 
         // Extension: last-resort GMRES after all three solvers failed.
         if self.config.gmres_fallback
-            && !last.as_ref().map(|r| r.outcome.converged()).unwrap_or(false)
+            && !last
+                .as_ref()
+                .map(|r| r.outcome.converged())
+                .unwrap_or(false)
         {
             hw.charge_solver_reconfig(&module);
             hw.set_schedule(plan.schedule.clone());
@@ -410,7 +490,9 @@ mod tests {
         let b = vec![1.0_f32; 150];
         let cfg = AcamarConfig::paper()
             .with_criteria(ConvergenceCriteria::paper().with_max_iterations(400));
-        let rep = Acamar::new(FabricSpec::alveo_u55c(), cfg).run(&a, &b).unwrap();
+        let rep = Acamar::new(FabricSpec::alveo_u55c(), cfg)
+            .run(&a, &b)
+            .unwrap();
         if !rep.converged() {
             assert_eq!(rep.attempts.len(), 3, "should try all solvers");
         }

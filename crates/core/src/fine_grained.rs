@@ -161,11 +161,8 @@ mod tests {
 
     #[test]
     fn plan_covers_all_rows() {
-        let a = generate::random_pattern::<f64>(
-            777,
-            RowDistribution::Uniform { min: 1, max: 20 },
-            3,
-        );
+        let a =
+            generate::random_pattern::<f64>(777, RowDistribution::Uniform { min: 1, max: 20 }, 3);
         let p = unit(32, 8).plan(&a);
         let last = p.schedule.entries().last().unwrap();
         assert_eq!(last.rows.end, 777);
@@ -198,11 +195,8 @@ mod tests {
 
     #[test]
     fn chunked_and_unchunked_plans_agree_for_small_matrices() {
-        let a = generate::random_pattern::<f64>(
-            500,
-            RowDistribution::Uniform { min: 1, max: 9 },
-            4,
-        );
+        let a =
+            generate::random_pattern::<f64>(500, RowDistribution::Uniform { min: 1, max: 9 }, 4);
         // chunk_rows = 4096 > 500: exactly one chunk, same as unchunked.
         let p = unit(16, 8).plan(&a);
         assert_eq!(p.tbuffers.len(), 1);

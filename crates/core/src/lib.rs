@@ -49,7 +49,7 @@ mod solver_modifier;
 mod structure_unit;
 mod trace;
 
-pub use acamar::{Acamar, AcamarRunReport, SolveAttempt};
+pub use acamar::{Acamar, AcamarRunReport, AnalysisArtifacts, SolveAttempt};
 pub use config::AcamarConfig;
 pub use fine_grained::{FineGrainedPlan, FineGrainedReconfigUnit};
 pub use msid::MsidChain;

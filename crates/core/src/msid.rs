@@ -106,9 +106,7 @@ mod tests {
     #[test]
     fn reconfiguration_rate_is_monotone_nonincreasing_in_stages() {
         // Fig. 5: more stages never increase the reconfiguration rate.
-        let factors: Vec<usize> = (0..64)
-            .map(|i| 3 + ((i * 7919) % 11) as usize)
-            .collect();
+        let factors: Vec<usize> = (0..64).map(|i| 3 + ((i * 7919) % 11) as usize).collect();
         let mut last = usize::MAX;
         for stages in 0..12 {
             let out = MsidChain::new(stages, 0.15).optimize_factors(&factors);
@@ -121,9 +119,7 @@ mod tests {
     #[test]
     fn rate_flattens_at_high_stage_counts() {
         // Fig. 5: "becomes almost constant after rOpt = 8".
-        let factors: Vec<usize> = (0..256)
-            .map(|i| 2 + ((i * 2654435761usize) % 13))
-            .collect();
+        let factors: Vec<usize> = (0..256).map(|i| 2 + ((i * 2654435761usize) % 13)).collect();
         let at8 = MsidChain::new(8, 0.15).optimize_factors(&factors);
         let at32 = MsidChain::new(32, 0.15).optimize_factors(&factors);
         let c8 = at8.windows(2).filter(|w| w[0] != w[1]).count();

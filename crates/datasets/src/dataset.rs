@@ -177,7 +177,10 @@ pub fn suite() -> Vec<Dataset> {
             paper_dim: "101K",
             paper_sparsity: "0.016",
             dim: 1500,
-            class: JacobiDivergentSpd { coupling: 0.70, extra_per_row: 3 },
+            class: JacobiDivergentSpd {
+                coupling: 0.70,
+                extra_per_row: 3,
+            },
             expected: yes(false, true, true),
             seed: 0x2C01,
         },
@@ -187,7 +190,10 @@ pub fn suite() -> Vec<Dataset> {
             paper_dim: "259K",
             paper_sparsity: "0.0063",
             dim: 1800,
-            class: JacobiDivergentSpd { coupling: 0.75, extra_per_row: 5 },
+            class: JacobiDivergentSpd {
+                coupling: 0.75,
+                extra_per_row: 5,
+            },
             expected: yes(false, true, true),
             seed: 0x0F02,
         },
@@ -197,7 +203,10 @@ pub fn suite() -> Vec<Dataset> {
             paper_dim: "40K",
             paper_sparsity: "0.1426",
             dim: 1200,
-            class: DominantNonsymmetric { dist: uni(24, 40), dominance: 1.15 },
+            class: DominantNonsymmetric {
+                dist: uni(24, 40),
+                dominance: 1.15,
+            },
             expected: yes(true, false, true),
             seed: 0x5703,
         },
@@ -237,7 +246,10 @@ pub fn suite() -> Vec<Dataset> {
             paper_dim: "84K",
             paper_sparsity: "0.0065",
             dim: 1400,
-            class: DominantNonsymmetric { dist: uni(2, 8), dominance: 1.4 },
+            class: DominantNonsymmetric {
+                dist: uni(2, 8),
+                dominance: 1.4,
+            },
             expected: yes(true, false, true),
             seed: 0xEB07,
         },
@@ -247,7 +259,10 @@ pub fn suite() -> Vec<Dataset> {
             paper_dim: "66K",
             paper_sparsity: "0.038",
             dim: 1300,
-            class: JacobiDivergentSpd { coupling: 0.65, extra_per_row: 8 },
+            class: JacobiDivergentSpd {
+                coupling: 0.65,
+                extra_per_row: 8,
+            },
             expected: yes(false, true, true),
             seed: 0x0A08,
         },
@@ -257,7 +272,10 @@ pub fn suite() -> Vec<Dataset> {
             paper_dim: "711K",
             paper_sparsity: "0.0068",
             dim: 2400,
-            class: JacobiDivergentSpd { coupling: 0.70, extra_per_row: 2 },
+            class: JacobiDivergentSpd {
+                coupling: 0.70,
+                extra_per_row: 2,
+            },
             expected: yes(false, true, true),
             seed: 0x7C09,
         },
@@ -307,7 +325,10 @@ pub fn suite() -> Vec<Dataset> {
             paper_dim: "583K",
             paper_sparsity: "0.0957",
             dim: 2100,
-            class: JacobiDivergentSpd { coupling: 0.80, extra_per_row: 6 },
+            class: JacobiDivergentSpd {
+                coupling: 0.80,
+                extra_per_row: 6,
+            },
             expected: yes(false, true, true),
             seed: 0xC20E,
         },
@@ -373,7 +394,10 @@ pub fn suite() -> Vec<Dataset> {
             paper_dim: "150K",
             paper_sparsity: "2.8e-5",
             dim: 1600, // 40x40 grid
-            class: ShiftedGridLaplacian { side: 40, shift: 0.5 },
+            class: ShiftedGridLaplacian {
+                side: 40,
+                shift: 0.5,
+            },
             expected: yes(true, true, true),
             seed: 0x6214,
         },
@@ -383,7 +407,10 @@ pub fn suite() -> Vec<Dataset> {
             paper_dim: "3.3M",
             paper_sparsity: "5.3e-8",
             dim: 2700,
-            class: JacobiDivergentSpd { coupling: 0.72, extra_per_row: 12 },
+            class: JacobiDivergentSpd {
+                coupling: 0.72,
+                extra_per_row: 12,
+            },
             expected: yes(false, true, true),
             seed: 0x6A15,
         },
@@ -393,7 +420,10 @@ pub fn suite() -> Vec<Dataset> {
             paper_dim: "5.1M",
             paper_sparsity: "0.016",
             dim: 3000,
-            class: JacobiDivergentSpd { coupling: 0.68, extra_per_row: 16 },
+            class: JacobiDivergentSpd {
+                coupling: 0.68,
+                extra_per_row: 16,
+            },
             expected: yes(false, true, true),
             seed: 0x5116,
         },
@@ -423,7 +453,10 @@ pub fn suite() -> Vec<Dataset> {
             paper_dim: "20K",
             paper_sparsity: "0.0014",
             dim: 1000,
-            class: JacobiDivergentSpd { coupling: 0.78, extra_per_row: 4 },
+            class: JacobiDivergentSpd {
+                coupling: 0.78,
+                extra_per_row: 4,
+            },
             expected: yes(false, true, true),
             seed: 0x7F19,
         },

@@ -1,9 +1,7 @@
 //! Measuring the convergence triple of a dataset (Table II columns).
 
 use crate::dataset::{Dataset, ExpectedConvergence};
-use acamar_solvers::{
-    bicgstab, conjugate_gradient, jacobi, ConvergenceCriteria, SoftwareKernels,
-};
+use acamar_solvers::{bicgstab, conjugate_gradient, jacobi, ConvergenceCriteria, SoftwareKernels};
 
 /// Measured convergence of the three Acamar solvers on one dataset.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,194 @@
+//! The shared structure/plan cache.
+
+use crate::fingerprint::PatternFingerprint;
+use acamar_core::{Acamar, AnalysisArtifacts};
+use acamar_sparse::{CsrMatrix, Scalar};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Snapshot of a [`PlanCache`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run [`Acamar::analyze`].
+    pub misses: u64,
+    /// Distinct patterns currently cached.
+    pub entries: usize,
+    /// Host decision-loop work avoided by hits, in row/entry traversals
+    /// (the sum of each hit entry's
+    /// [`build_cost`](AnalysisArtifacts::build_cost)).
+    pub plan_build_cycles_saved: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter difference `self - earlier`, for per-batch accounting.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            entries: self.entries,
+            plan_build_cycles_saved: self.plan_build_cycles_saved - earlier.plan_build_cycles_saved,
+        }
+    }
+}
+
+/// Concurrent map from [`PatternFingerprint`] to shared
+/// [`AnalysisArtifacts`].
+///
+/// Reads take the `RwLock` shared, so concurrent workers hitting warm
+/// patterns never serialize. A miss upgrades to the exclusive lock and
+/// runs the analysis while holding it: the first worker to see a new
+/// pattern builds its artifacts exactly once and every concurrent
+/// requester of the same pattern blocks briefly and then *hits* — the
+/// accounting invariant `misses == distinct patterns` holds even under
+/// contention, which the batch engine's tests rely on.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: RwLock<HashMap<PatternFingerprint, Arc<AnalysisArtifacts>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    saved: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Returns `a`'s artifacts, analyzing on first sight of its pattern.
+    pub fn get_or_analyze<T: Scalar>(
+        &self,
+        acamar: &Acamar,
+        a: &CsrMatrix<T>,
+    ) -> Arc<AnalysisArtifacts> {
+        let fp = PatternFingerprint::of(a);
+        if let Some(art) = self.map.read().expect("cache lock poisoned").get(&fp) {
+            self.record_hit(art);
+            return Arc::clone(art);
+        }
+        let mut map = self.map.write().expect("cache lock poisoned");
+        if let Some(art) = map.get(&fp) {
+            // Another worker built it between our read and write locks.
+            self.record_hit(art);
+            return Arc::clone(art);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let art = Arc::new(acamar.analyze(a));
+        map.insert(fp, Arc::clone(&art));
+        art
+    }
+
+    /// The cached artifacts for `fp`, if present (no counter updates).
+    pub fn peek(&self, fp: &PatternFingerprint) -> Option<Arc<AnalysisArtifacts>> {
+        self.map
+            .read()
+            .expect("cache lock poisoned")
+            .get(fp)
+            .cloned()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.read().expect("cache lock poisoned").len(),
+            plan_build_cycles_saved: self.saved.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached pattern; counters keep their lifetime totals.
+    pub fn clear(&self) {
+        self.map.write().expect("cache lock poisoned").clear();
+    }
+
+    fn record_hit(&self, art: &AnalysisArtifacts) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.saved.fetch_add(art.build_cost, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acamar_core::AcamarConfig;
+    use acamar_fabric::FabricSpec;
+    use acamar_sparse::generate;
+
+    fn acamar() -> Acamar {
+        Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper())
+    }
+
+    #[test]
+    fn second_lookup_hits_and_banks_the_build_cost() {
+        let cache = PlanCache::new();
+        let a = generate::poisson2d::<f64>(12, 12);
+        let first = cache.get_or_analyze(&acamar(), &a);
+        let again = cache.get_or_analyze(&acamar(), &a);
+        assert!(Arc::ptr_eq(&first, &again));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.plan_build_cycles_saved, first.build_cost);
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn distinct_patterns_get_distinct_entries() {
+        let cache = PlanCache::new();
+        let ac = acamar();
+        cache.get_or_analyze(&ac, &generate::poisson2d::<f64>(8, 8));
+        cache.get_or_analyze(&ac, &generate::poisson2d::<f64>(9, 9));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_counters() {
+        let cache = PlanCache::new();
+        let ac = acamar();
+        let a = generate::poisson2d::<f64>(8, 8);
+        cache.get_or_analyze(&ac, &a);
+        cache.get_or_analyze(&ac, &a);
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // Re-analyzing after clear is a fresh miss.
+        cache.get_or_analyze(&ac, &a);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn stats_since_subtracts_counters() {
+        let before = CacheStats {
+            hits: 3,
+            misses: 2,
+            entries: 2,
+            plan_build_cycles_saved: 100,
+        };
+        let after = CacheStats {
+            hits: 10,
+            misses: 3,
+            entries: 3,
+            plan_build_cycles_saved: 450,
+        };
+        let d = after.since(&before);
+        assert_eq!((d.hits, d.misses), (7, 1));
+        assert_eq!(d.plan_build_cycles_saved, 350);
+        assert_eq!(d.entries, 3);
+    }
+}

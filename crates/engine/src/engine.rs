@@ -1,0 +1,422 @@
+//! The thread-pool-sharded batch solve engine.
+
+use crate::cache::{CacheStats, PlanCache};
+use acamar_core::{Acamar, AcamarRunReport};
+use acamar_fabric::FabricRunStats;
+use acamar_solvers::SolverKind;
+use acamar_sparse::{CsrMatrix, Scalar, SparseError};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One job's outcome slot, filled by whichever worker ran it.
+type ResultSlot<T> = Mutex<Option<Result<AcamarRunReport<T>, SparseError>>>;
+
+/// One `(matrix, rhs)` solve request for [`Engine::solve_jobs`].
+///
+/// The matrix is behind an [`Arc`] so a batch of jobs over the same
+/// system shares storage instead of cloning the CSR arrays per job.
+#[derive(Debug, Clone)]
+pub struct SolveJob<T> {
+    /// Coefficient matrix.
+    pub matrix: Arc<CsrMatrix<T>>,
+    /// Right-hand side.
+    pub rhs: Vec<T>,
+    /// Optional warm-start guess (each solver attempt restarts from it).
+    pub guess: Option<Vec<T>>,
+}
+
+impl<T> SolveJob<T> {
+    /// A cold-start job.
+    pub fn new(matrix: Arc<CsrMatrix<T>>, rhs: Vec<T>) -> SolveJob<T> {
+        SolveJob {
+            matrix,
+            rhs,
+            guess: None,
+        }
+    }
+
+    /// Sets the warm-start guess.
+    pub fn with_guess(mut self, x0: Vec<T>) -> SolveJob<T> {
+        self.guess = Some(x0);
+        self
+    }
+}
+
+/// Aggregate report of one [`Engine::solve_jobs`] / [`Engine::solve_batch`]
+/// call.
+#[derive(Debug, Clone)]
+pub struct BatchReport<T> {
+    /// Per-job outcomes, in submission order (independent of which worker
+    /// ran each job).
+    pub results: Vec<Result<AcamarRunReport<T>, SparseError>>,
+    /// Jobs whose final attempt converged.
+    pub converged: usize,
+    /// Solver attempts across all jobs, indexed by
+    /// [`SolverKind::index`] — the Solver Modifier's switch activity for
+    /// the whole batch.
+    pub attempts_by_solver: [u64; SolverKind::COUNT],
+    /// Fabric statistics merged across every job
+    /// ([`FabricRunStats::merge`]).
+    pub stats: FabricRunStats,
+    /// Cache activity attributable to this batch
+    /// ([`CacheStats::since`] of the surrounding snapshots; concurrent
+    /// batches on a shared engine may interleave their deltas).
+    pub cache: CacheStats,
+    /// Wall-clock seconds spent in the batch call.
+    pub wall_seconds: f64,
+}
+
+impl<T> BatchReport<T> {
+    /// Number of jobs in the batch.
+    pub fn jobs(&self) -> usize {
+        self.results.len()
+    }
+
+    /// `true` when every job converged.
+    pub fn all_converged(&self) -> bool {
+        self.converged == self.results.len()
+    }
+
+    /// Batch throughput; `0` for an empty batch.
+    pub fn jobs_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.results.len() as f64 / self.wall_seconds
+        }
+    }
+
+    /// Total solver attempts (≥ jobs; the excess is Solver Modifier
+    /// interventions plus GMRES fallbacks).
+    pub fn total_attempts(&self) -> u64 {
+        self.attempts_by_solver.iter().sum()
+    }
+}
+
+/// Lifetime counters of one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Jobs completed since construction.
+    pub jobs_completed: u64,
+    /// Lifetime solver-attempt histogram, indexed by
+    /// [`SolverKind::index`].
+    pub attempts_by_solver: [u64; SolverKind::COUNT],
+    /// Lifetime cache counters.
+    pub cache: CacheStats,
+}
+
+/// A thread-pool-sharded batch solve service over one [`Acamar`]
+/// instance.
+///
+/// The engine owns a [`PlanCache`]: every job's matrix is fingerprinted
+/// and its [`AnalysisArtifacts`](acamar_core::AnalysisArtifacts) —
+/// structure decision, fine-grained unroll plan, MSID schedule — are
+/// built at most once per distinct sparsity pattern, then replayed
+/// through [`Acamar::run_with_plan`]. Repeated solves on a warm pattern
+/// skip both host-side decision loops entirely.
+///
+/// All methods take `&self`; the engine is `Sync` and is normally shared
+/// across callers via [`Arc`]. Worker threads are scoped per batch call
+/// (no idle pool lingers between calls), pull jobs from a shared atomic
+/// index, and write results back by submission slot, so result order —
+/// and, because [`Acamar::run_with_plan`] is deterministic, every
+/// solution vector — is independent of scheduling.
+///
+/// ```
+/// use acamar_core::{Acamar, AcamarConfig};
+/// use acamar_engine::Engine;
+/// use acamar_fabric::FabricSpec;
+/// use acamar_sparse::generate;
+///
+/// let engine = Engine::new(Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper()));
+/// let a = generate::poisson2d::<f64>(16, 16);
+/// let rhss: Vec<Vec<f64>> = (0..8).map(|k| vec![1.0 + k as f64; 256]).collect();
+/// let batch = engine.solve_batch(&a, &rhss).unwrap();
+/// assert!(batch.all_converged());
+/// // One analysis served all eight right-hand sides:
+/// assert_eq!(engine.counters().cache.misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    acamar: Acamar,
+    workers: usize,
+    cache: PlanCache,
+    jobs_completed: AtomicU64,
+    attempts: [AtomicU64; SolverKind::COUNT],
+}
+
+impl Engine {
+    /// An engine over `acamar` with one worker per available hardware
+    /// thread.
+    pub fn new(acamar: Acamar) -> Engine {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Engine::with_workers(acamar, workers)
+    }
+
+    /// An engine with an explicit worker count (`0` is clamped to `1`).
+    pub fn with_workers(acamar: Acamar, workers: usize) -> Engine {
+        Engine {
+            acamar,
+            workers: workers.max(1),
+            cache: PlanCache::new(),
+            jobs_completed: AtomicU64::new(0),
+            attempts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The wrapped accelerator.
+    pub fn acamar(&self) -> &Acamar {
+        &self.acamar
+    }
+
+    /// Worker threads used per batch call.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The engine's structure/plan cache.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Lifetime counters: jobs completed, per-solver attempt histogram,
+    /// and cache hits/misses/cycles-saved.
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            attempts_by_solver: std::array::from_fn(|i| self.attempts[i].load(Ordering::Relaxed)),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Solves a single system through the cache (no worker threads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] for shape problems, as [`Acamar::run`].
+    pub fn solve_one<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+    ) -> Result<AcamarRunReport<T>, SparseError> {
+        let artifacts = self.cache.get_or_analyze(&self.acamar, a);
+        let report = self.acamar.run_with_plan(a, b, None, &artifacts)?;
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        for at in &report.attempts {
+            self.attempts[at.solver.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(report)
+    }
+
+    /// Multi-RHS fast path: solves `A x = b` for every `b` in `rhss`,
+    /// analyzing `a` exactly once (a single cache lookup serves the whole
+    /// batch, so `rhss.len() - 1` lookups are hits on a cold cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shape error encountered; per-job numerical
+    /// outcomes (including divergence) are inside the report's `results`.
+    pub fn solve_batch<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        rhss: &[Vec<T>],
+    ) -> Result<BatchReport<T>, SparseError> {
+        let matrix = Arc::new(a.clone());
+        let jobs: Vec<SolveJob<T>> = rhss
+            .iter()
+            .map(|b| SolveJob::new(Arc::clone(&matrix), b.clone()))
+            .collect();
+        Ok(self.solve_jobs(jobs))
+    }
+
+    /// Runs `jobs` across the worker pool and aggregates a
+    /// [`BatchReport`].
+    ///
+    /// Jobs are pulled from a shared queue (no static sharding, so a few
+    /// slow systems cannot idle the other workers) and results land in
+    /// submission order. Shape errors are reported per job; they do not
+    /// abort the batch.
+    pub fn solve_jobs<T: Scalar>(&self, jobs: Vec<SolveJob<T>>) -> BatchReport<T> {
+        let start = Instant::now();
+        let cache_before = self.cache.stats();
+        let n = jobs.len();
+        let slots: Vec<ResultSlot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let jobs = &jobs;
+        let slots_ref = &slots;
+        let next_ref = &next;
+
+        let workers = self.workers.min(n.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = &jobs[i];
+                    let artifacts = self.cache.get_or_analyze(&self.acamar, &job.matrix);
+                    let result = self.acamar.run_with_plan(
+                        &job.matrix,
+                        &job.rhs,
+                        job.guess.as_deref(),
+                        &artifacts,
+                    );
+                    if let Ok(report) = &result {
+                        for at in &report.attempts {
+                            self.attempts[at.solver.index()].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                    *slots_ref[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        let results: Vec<Result<AcamarRunReport<T>, SparseError>> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot is filled before the scope ends")
+            })
+            .collect();
+
+        let mut attempts_by_solver = [0u64; SolverKind::COUNT];
+        let mut stats = FabricRunStats::empty();
+        let mut converged = 0usize;
+        for report in results.iter().flatten() {
+            if report.converged() {
+                converged += 1;
+            }
+            for at in &report.attempts {
+                attempts_by_solver[at.solver.index()] += 1;
+            }
+            stats = stats.merge(&report.stats);
+        }
+
+        BatchReport {
+            results,
+            converged,
+            attempts_by_solver,
+            stats,
+            cache: self.cache.stats().since(&cache_before),
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acamar_core::AcamarConfig;
+    use acamar_fabric::FabricSpec;
+    use acamar_solvers::ConvergenceCriteria;
+    use acamar_sparse::generate::{self, RowDistribution};
+
+    fn engine(workers: usize) -> Engine {
+        let cfg = AcamarConfig::paper()
+            .with_criteria(ConvergenceCriteria::paper().with_max_iterations(2000));
+        Engine::with_workers(Acamar::new(FabricSpec::alveo_u55c(), cfg), workers)
+    }
+
+    #[test]
+    fn solve_one_matches_direct_run() {
+        let e = engine(1);
+        let a = generate::poisson2d::<f64>(12, 12);
+        let b = vec![1.0_f64; 144];
+        let via_engine = e.solve_one(&a, &b).unwrap();
+        let direct = e.acamar().run(&a, &b).unwrap();
+        assert_eq!(via_engine.solve.solution, direct.solve.solution);
+        assert_eq!(via_engine.attempts.len(), direct.attempts.len());
+        assert_eq!(e.counters().jobs_completed, 1);
+    }
+
+    #[test]
+    fn solve_batch_analyzes_once() {
+        let e = engine(4);
+        let a = generate::poisson2d::<f64>(10, 10);
+        let rhss: Vec<Vec<f64>> = (0..9).map(|k| vec![(k + 1) as f64; 100]).collect();
+        let batch = e.solve_batch(&a, &rhss).unwrap();
+        assert_eq!(batch.jobs(), 9);
+        assert!(batch.all_converged());
+        assert_eq!(batch.cache.misses, 1);
+        assert_eq!(batch.cache.hits, 8);
+        assert!(batch.cache.plan_build_cycles_saved > 0);
+        assert!(batch.jobs_per_second() > 0.0);
+    }
+
+    #[test]
+    fn batch_histogram_counts_every_attempt() {
+        let e = engine(2);
+        let a = generate::diagonally_dominant::<f64>(
+            64,
+            RowDistribution::Uniform { min: 2, max: 6 },
+            1.5,
+            3,
+        );
+        let rhss: Vec<Vec<f64>> = (0..4).map(|k| vec![1.0 + k as f64; 64]).collect();
+        let batch = e.solve_batch(&a, &rhss).unwrap();
+        // Dominant matrix: Jacobi first try, every time.
+        assert_eq!(batch.attempts_by_solver[SolverKind::Jacobi.index()], 4);
+        assert_eq!(batch.total_attempts(), 4);
+        assert_eq!(e.counters().attempts_by_solver, batch.attempts_by_solver);
+    }
+
+    #[test]
+    fn shape_errors_fail_their_job_without_aborting_the_batch() {
+        let e = engine(2);
+        let a = Arc::new(generate::poisson2d::<f64>(8, 8));
+        let jobs = vec![
+            SolveJob::new(Arc::clone(&a), vec![1.0_f64; 64]),
+            SolveJob::new(Arc::clone(&a), vec![1.0_f64; 63]), // wrong length
+            SolveJob::new(Arc::clone(&a), vec![2.0_f64; 64]),
+        ];
+        let batch = e.solve_jobs(jobs);
+        assert!(batch.results[0].is_ok());
+        assert!(batch.results[1].is_err());
+        assert!(batch.results[2].is_ok());
+        assert_eq!(batch.converged, 2);
+        assert!(!batch.all_converged());
+    }
+
+    #[test]
+    fn empty_batch_is_a_clean_no_op() {
+        let e = engine(3);
+        let batch = e.solve_jobs(Vec::<SolveJob<f64>>::new());
+        assert_eq!(batch.jobs(), 0);
+        assert_eq!(batch.total_attempts(), 0);
+        assert_eq!(batch.jobs_per_second(), 0.0);
+        assert!(batch.all_converged());
+    }
+
+    #[test]
+    fn merged_stats_accumulate_across_jobs() {
+        let e = engine(2);
+        let a = generate::poisson2d::<f64>(10, 10);
+        let one = e.solve_one(&a, &vec![1.0_f64; 100]).unwrap();
+        let batch = e
+            .solve_batch(&a, &[vec![1.0_f64; 100], vec![2.0_f64; 100]])
+            .unwrap();
+        assert!(batch.stats.cycles.total() >= one.stats.cycles.total());
+        assert!(batch.stats.useful_flops >= one.stats.useful_flops);
+        assert!(batch.stats.peak_area_mm2 >= one.stats.peak_area_mm2);
+    }
+
+    #[test]
+    fn warm_guess_is_forwarded() {
+        let e = engine(1);
+        let a = Arc::new(generate::poisson2d::<f64>(10, 10));
+        let b = vec![1.0_f64; 100];
+        let cold = e.solve_jobs(vec![SolveJob::new(Arc::clone(&a), b.clone())]);
+        let x = cold.results[0].as_ref().unwrap().solve.solution.clone();
+        let warm = e.solve_jobs(vec![SolveJob::new(Arc::clone(&a), b).with_guess(x)]);
+        let w = warm.results[0].as_ref().unwrap();
+        assert!(w.converged());
+        let c = cold.results[0].as_ref().unwrap();
+        assert!(w.solve.iterations <= c.solve.iterations);
+    }
+}

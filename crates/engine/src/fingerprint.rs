@@ -1,0 +1,116 @@
+//! Sparsity-pattern fingerprints.
+//!
+//! Acamar's two host-side decision loops — the Matrix Structure unit and
+//! the Fine-Grained Reconfiguration unit — depend only on the matrix, and
+//! the unroll schedule in particular depends only on its *pattern* of
+//! stored entries. Two matrices with the same `(nrows, ncols, row_ptr,
+//! col_idx)` therefore share a [`FineGrainedPlan`] verbatim, which is what
+//! makes a plan cache keyed on the pattern sound for the Resource Decision
+//! loop. The structure decision additionally looks at values (dominance,
+//! symmetry of values), so pattern-keyed reuse of the full
+//! [`AnalysisArtifacts`] is an engine-level policy: batch workloads
+//! (time steps, parameter sweeps, multiple right-hand sides) re-solve with
+//! *identical* matrices, where the reuse is exact.
+//!
+//! [`FineGrainedPlan`]: acamar_core::FineGrainedPlan
+//! [`AnalysisArtifacts`]: acamar_core::AnalysisArtifacts
+
+use acamar_sparse::{CsrMatrix, Scalar};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Key identifying one CSR sparsity pattern: dimensions, entry count, and
+/// a 64-bit FNV-1a digest of the `row_ptr` and `col_idx` arrays.
+///
+/// The dimensions and `nnz` are stored alongside the digest so that a
+/// (vanishingly unlikely) hash collision between patterns of different
+/// shape can never alias, and so diagnostics can report what a cache
+/// entry describes without retaining the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternFingerprint {
+    /// Number of rows in the fingerprinted matrix.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Stored entries.
+    pub nnz: usize,
+    /// FNV-1a digest of `row_ptr` then `col_idx` (little-endian `u64`s).
+    pub hash: u64,
+}
+
+impl PatternFingerprint {
+    /// Fingerprints the sparsity pattern of `a` (values are ignored).
+    pub fn of<T: Scalar>(a: &CsrMatrix<T>) -> PatternFingerprint {
+        let mut h = FNV_OFFSET;
+        for &p in a.row_ptr() {
+            h = fnv1a_u64(h, p as u64);
+        }
+        // Separator distinguishes e.g. an empty col_idx following a long
+        // row_ptr from the same words split differently.
+        h = fnv1a_u64(h, u64::MAX);
+        for &c in a.col_idx() {
+            h = fnv1a_u64(h, c as u64);
+        }
+        PatternFingerprint {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            hash: h,
+        }
+    }
+}
+
+fn fnv1a_u64(mut h: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acamar_sparse::CooMatrix;
+
+    fn csr(n: usize, triplets: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(n, n);
+        for &(i, j, v) in triplets {
+            coo.push(i, j, v).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn identical_patterns_share_a_fingerprint_regardless_of_values() {
+        let a = csr(3, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0)]);
+        let b = csr(3, &[(0, 0, 9.0), (1, 1, -4.0), (2, 0, 0.5)]);
+        assert_eq!(PatternFingerprint::of(&a), PatternFingerprint::of(&b));
+    }
+
+    #[test]
+    fn moving_an_entry_changes_the_fingerprint() {
+        let a = csr(3, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let b = csr(3, &[(0, 0, 1.0), (1, 2, 1.0)]);
+        assert_ne!(PatternFingerprint::of(&a), PatternFingerprint::of(&b));
+    }
+
+    #[test]
+    fn shape_is_part_of_the_key() {
+        let a = csr(3, &[(0, 0, 1.0)]);
+        let b = csr(4, &[(0, 0, 1.0)]);
+        assert_ne!(PatternFingerprint::of(&a), PatternFingerprint::of(&b));
+        assert_eq!(PatternFingerprint::of(&a).nnz, 1);
+    }
+
+    #[test]
+    fn fingerprint_is_scalar_type_independent() {
+        let a = csr(3, &[(0, 0, 1.0), (2, 1, 1.0)]);
+        let f32_view: CsrMatrix<f32> = a.cast();
+        assert_eq!(
+            PatternFingerprint::of(&a),
+            PatternFingerprint::of(&f32_view)
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # acamar-engine
+//!
+//! A concurrent batch-solve service over the [`Acamar`] accelerator.
+//!
+//! The accelerator's robustness comes from two host-side decision loops —
+//! the Matrix Structure unit's solver pick and the Fine-Grained
+//! Reconfiguration unit's per-row-set unroll plan (with its MSID
+//! schedule). Batch workloads (time stepping, parameter sweeps, many
+//! right-hand sides) re-run those loops on matrices whose sparsity
+//! pattern they have already seen. This crate removes that redundancy:
+//!
+//! * [`PatternFingerprint`] keys a CSR pattern by `(nrows, ncols, nnz)`
+//!   plus an FNV-1a digest of `row_ptr`/`col_idx`;
+//! * [`PlanCache`] maps fingerprints to shared
+//!   [`AnalysisArtifacts`](acamar_core::AnalysisArtifacts) behind an
+//!   `RwLock`, building each pattern's artifacts exactly once even under
+//!   concurrent misses;
+//! * [`Engine`] shards [`SolveJob`]s across scoped worker threads,
+//!   replays cached artifacts through
+//!   [`Acamar::run_with_plan`](acamar_core::Acamar::run_with_plan), and
+//!   aggregates a [`BatchReport`] (per-job results in submission order,
+//!   merged fabric statistics, per-solver attempt histogram, cache
+//!   hits/misses and plan-build cycles saved, jobs/sec).
+//!
+//! Determinism: job results are written back by submission slot and
+//! `run_with_plan` is a pure function of `(matrix, rhs, guess,
+//! artifacts)`, so a batch's solution vectors are bitwise identical
+//! whatever the worker count or scheduling.
+//!
+//! ```
+//! use acamar_core::{Acamar, AcamarConfig};
+//! use acamar_engine::Engine;
+//! use acamar_fabric::FabricSpec;
+//! use acamar_sparse::generate;
+//!
+//! let engine = Engine::with_workers(
+//!     Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper()),
+//!     4,
+//! );
+//! let a = generate::poisson2d::<f64>(16, 16);
+//! let rhss: Vec<Vec<f64>> = (0..8).map(|k| vec![k as f64 + 1.0; 256]).collect();
+//! let batch = engine.solve_batch(&a, &rhss).unwrap();
+//! assert!(batch.all_converged());
+//! assert_eq!(batch.cache.misses, 1); // one analysis served all 8 solves
+//! assert_eq!(batch.cache.hits, 7);
+//! ```
+//!
+//! [`Acamar`]: acamar_core::Acamar
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod engine;
+mod fingerprint;
+
+pub use cache::{CacheStats, PlanCache};
+pub use engine::{BatchReport, Engine, EngineCounters, SolveJob};
+pub use fingerprint::PatternFingerprint;

@@ -181,8 +181,7 @@ mod tests {
     #[test]
     fn metrics_are_positive_and_consistent() {
         let a = generate::poisson2d::<f32>(8, 8);
-        let accel =
-            StaticAccelerator::new(FabricSpec::alveo_u55c(), SolverKind::BiCgStab, 4);
+        let accel = StaticAccelerator::new(FabricSpec::alveo_u55c(), SolverKind::BiCgStab, 4);
         let run = accel.run(&a, &vec![1.0; 64], &criteria()).unwrap();
         assert!(run.total_seconds() >= run.compute_seconds());
         assert!(run.gflops() > 0.0);

@@ -114,6 +114,15 @@ impl CycleBreakdown {
         self.spmv + self.dense + self.reconfig
     }
 
+    /// Sums two breakdowns (e.g. runs merged across engine workers).
+    pub fn merge(&self, other: &CycleBreakdown) -> CycleBreakdown {
+        CycleBreakdown {
+            spmv: self.spmv + other.spmv,
+            dense: self.dense + other.dense,
+            reconfig: self.reconfig + other.reconfig,
+        }
+    }
+
     /// Compute-only cycles (excluding reconfiguration).
     pub fn compute(&self) -> u64 {
         self.spmv + self.dense
@@ -162,6 +171,48 @@ impl FabricRunStats {
             0.0
         } else {
             (self.useful_flops as f64 / self.capacity_flops).min(1.0)
+        }
+    }
+
+    /// The identity for [`FabricRunStats::merge`]: a run that did nothing.
+    pub fn empty() -> FabricRunStats {
+        FabricRunStats {
+            cycles: CycleBreakdown::default(),
+            spmv: SpmvExecution::default(),
+            init_spmv: SpmvExecution::default(),
+            capacity_flops: 0.0,
+            useful_flops: 0,
+            spmv_reconfig_events: 0,
+            avg_area_mm2: 0.0,
+            peak_area_mm2: 0.0,
+            used_init_spmv: false,
+        }
+    }
+
+    /// Merges statistics from two independent runs — e.g. per-thread
+    /// aggregates in the batch engine, or repeated solves on one device.
+    ///
+    /// Additive fields (cycles, FLOPs, SpMV aggregates, reconfiguration
+    /// events) sum; `avg_area_mm2` recombines weighted by each side's
+    /// compute cycles (so the merged value is still a time-weighted
+    /// average); `peak_area_mm2` takes the max.
+    pub fn merge(&self, other: &FabricRunStats) -> FabricRunStats {
+        let (ca, cb) = (self.cycles.compute() as f64, other.cycles.compute() as f64);
+        let avg_area = if ca + cb == 0.0 {
+            self.avg_area_mm2.max(other.avg_area_mm2)
+        } else {
+            (self.avg_area_mm2 * ca + other.avg_area_mm2 * cb) / (ca + cb)
+        };
+        FabricRunStats {
+            cycles: self.cycles.merge(&other.cycles),
+            spmv: self.spmv.merge(&other.spmv),
+            init_spmv: self.init_spmv.merge(&other.init_spmv),
+            capacity_flops: self.capacity_flops + other.capacity_flops,
+            useful_flops: self.useful_flops + other.useful_flops,
+            spmv_reconfig_events: self.spmv_reconfig_events + other.spmv_reconfig_events,
+            avg_area_mm2: avg_area,
+            peak_area_mm2: self.peak_area_mm2.max(other.peak_area_mm2),
+            used_init_spmv: self.used_init_spmv || other.used_init_spmv,
         }
     }
 }
@@ -517,9 +568,18 @@ mod tests {
         let s = UnrollSchedule::from_entries(
             12,
             vec![
-                ScheduleEntry { rows: 0..4, unroll: 4 },
-                ScheduleEntry { rows: 4..8, unroll: 4 },
-                ScheduleEntry { rows: 8..12, unroll: 8 },
+                ScheduleEntry {
+                    rows: 0..4,
+                    unroll: 4,
+                },
+                ScheduleEntry {
+                    rows: 4..8,
+                    unroll: 4,
+                },
+                ScheduleEntry {
+                    rows: 8..12,
+                    unroll: 8,
+                },
             ],
         );
         assert_eq!(s.changes_per_pass(), 1);
@@ -532,8 +592,14 @@ mod tests {
         let _ = UnrollSchedule::from_entries(
             8,
             vec![
-                ScheduleEntry { rows: 0..3, unroll: 2 },
-                ScheduleEntry { rows: 4..8, unroll: 2 },
+                ScheduleEntry {
+                    rows: 0..3,
+                    unroll: 2,
+                },
+                ScheduleEntry {
+                    rows: 4..8,
+                    unroll: 2,
+                },
             ],
         );
     }
@@ -555,11 +621,8 @@ mod tests {
     #[test]
     fn spmv_dominates_cycles_on_sparse_problems() {
         // Fig. 1: SpMV is the most expensive kernel.
-        let a = generate::random_pattern::<f32>(
-            512,
-            RowDistribution::Uniform { min: 8, max: 32 },
-            11,
-        );
+        let a =
+            generate::random_pattern::<f32>(512, RowDistribution::Uniform { min: 8, max: 32 }, 11);
         let dd = {
             // make it Jacobi-friendly
             generate::diagonally_dominant::<f32>(
@@ -584,16 +647,19 @@ mod tests {
 
     #[test]
     fn loop_phase_reconfigures_on_unroll_changes() {
-        let a = generate::random_pattern::<f32>(
-            64,
-            RowDistribution::Uniform { min: 2, max: 10 },
-            5,
-        );
+        let a =
+            generate::random_pattern::<f32>(64, RowDistribution::Uniform { min: 2, max: 10 }, 5);
         let schedule = UnrollSchedule::from_entries(
             64,
             vec![
-                ScheduleEntry { rows: 0..32, unroll: 2 },
-                ScheduleEntry { rows: 32..64, unroll: 8 },
+                ScheduleEntry {
+                    rows: 0..32,
+                    unroll: 2,
+                },
+                ScheduleEntry {
+                    rows: 32..64,
+                    unroll: 8,
+                },
             ],
         );
         let mut hw = FabricKernels::new(spec(), schedule, 4);
@@ -615,8 +681,14 @@ mod tests {
         let schedule = UnrollSchedule::from_entries(
             36,
             vec![
-                ScheduleEntry { rows: 0..18, unroll: 2 },
-                ScheduleEntry { rows: 18..36, unroll: 16 },
+                ScheduleEntry {
+                    rows: 0..18,
+                    unroll: 2,
+                },
+                ScheduleEntry {
+                    rows: 18..36,
+                    unroll: 16,
+                },
             ],
         );
         let mut hw = FabricKernels::new(spec(), schedule, 4);
@@ -638,8 +710,7 @@ mod tests {
         let a = generate::poisson2d::<f32>(8, 8);
         let b = vec![1.0_f32; 64];
         let mut hw = FabricKernels::new(spec(), UnrollSchedule::uniform(64, 4), 4);
-        let _ = conjugate_gradient(&a, &b, None, &ConvergenceCriteria::paper(), &mut hw)
-            .unwrap();
+        let _ = conjugate_gradient(&a, &b, None, &ConvergenceCriteria::paper(), &mut hw).unwrap();
         let stats = hw.finish();
         let t = stats.achieved_throughput();
         assert!(t > 0.0 && t <= 1.0, "throughput {t}");

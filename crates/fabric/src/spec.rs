@@ -116,9 +116,7 @@ impl FabricSpec {
     /// not attributed to user logic); each family contributes
     /// proportionally to its utilization.
     pub fn area_mm2(&self, rv: &ResourceVector) -> f64 {
-        let clb = 0.55
-            * 0.5
-            * (rv.lut as f64 / self.luts as f64 + rv.ff as f64 / self.ffs as f64);
+        let clb = 0.55 * 0.5 * (rv.lut as f64 / self.luts as f64 + rv.ff as f64 / self.ffs as f64);
         let dsp = 0.15 * rv.dsp as f64 / self.dsps as f64;
         let bram = 0.20 * rv.bram as f64 / self.brams as f64;
         self.die_area_mm2 * (clb + dsp + bram)
@@ -147,7 +145,9 @@ impl ResourceVector {
 
     /// `true` if every component fits within the device totals.
     pub fn fits_within(&self, spec: &FabricSpec) -> bool {
-        self.lut <= spec.luts && self.ff <= spec.ffs && self.dsp <= spec.dsps
+        self.lut <= spec.luts
+            && self.ff <= spec.ffs
+            && self.dsp <= spec.dsps
             && self.bram <= spec.brams
     }
 
@@ -225,7 +225,12 @@ mod tests {
         assert!(u55c.brams <= u280.brams);
         assert!(u50.hbm_gbps < u55c.hbm_gbps);
         // same area model applies to all
-        let probe = ResourceVector { lut: 10_000, ff: 20_000, dsp: 100, bram: 20 };
+        let probe = ResourceVector {
+            lut: 10_000,
+            ff: 20_000,
+            dsp: 100,
+            bram: 20,
+        };
         assert!(u50.area_mm2(&probe) > 0.0);
         assert!(u280.area_mm2(&probe) > 0.0);
     }
@@ -248,7 +253,15 @@ mod tests {
         };
         let b = a + a;
         assert_eq!(b.lut, 200);
-        assert_eq!(a * 3, ResourceVector { lut: 300, ff: 600, dsp: 15, bram: 6 });
+        assert_eq!(
+            a * 3,
+            ResourceVector {
+                lut: 300,
+                ff: 600,
+                dsp: 15,
+                bram: 6
+            }
+        );
         assert_eq!((b - a), a);
         // saturating subtraction never underflows
         assert_eq!((a - b).lut, 0);
@@ -258,14 +271,29 @@ mod tests {
     #[test]
     fn fits_within_device() {
         let s = FabricSpec::alveo_u55c();
-        assert!(ResourceVector { lut: 1000, ff: 1000, dsp: 10, bram: 4 }.fits_within(&s));
-        assert!(!ResourceVector { lut: u64::MAX, ..Default::default() }.fits_within(&s));
+        assert!(ResourceVector {
+            lut: 1000,
+            ff: 1000,
+            dsp: 10,
+            bram: 4
+        }
+        .fits_within(&s));
+        assert!(!ResourceVector {
+            lut: u64::MAX,
+            ..Default::default()
+        }
+        .fits_within(&s));
     }
 
     #[test]
     fn area_is_monotone_and_bounded() {
         let s = FabricSpec::alveo_u55c();
-        let small = ResourceVector { lut: 1000, ff: 2000, dsp: 10, bram: 4 };
+        let small = ResourceVector {
+            lut: 1000,
+            ff: 2000,
+            dsp: 10,
+            bram: 4,
+        };
         let big = small * 10;
         assert!(s.area_mm2(&small) > 0.0);
         assert!(s.area_mm2(&big) > s.area_mm2(&small));

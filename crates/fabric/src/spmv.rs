@@ -151,11 +151,7 @@ mod tests {
 
     #[test]
     fn unroll_1_has_zero_underutilization_and_max_cycles() {
-        let a = generate::random_pattern::<f32>(
-            64,
-            RowDistribution::Uniform { min: 1, max: 9 },
-            3,
-        );
+        let a = generate::random_pattern::<f32>(64, RowDistribution::Uniform { min: 1, max: 9 }, 3);
         let e1 = execute_rows(&a, 0..64, 1, &spec());
         assert_eq!(e1.underutilization(), 0.0);
         let e8 = execute_rows(&a, 0..64, 8, &spec());

@@ -218,12 +218,9 @@ mod tests {
         // Paper Fig. 8: GPU underutilized ~81% on average across the
         // SuiteSparse picks. A mix of sparsity shapes should land near
         // that (70-97%).
-        let mats = [generate::poisson2d::<f32>(40, 40),
-            generate::random_pattern::<f32>(
-                2_000,
-                RowDistribution::Uniform { min: 2, max: 12 },
-                1,
-            ),
+        let mats = [
+            generate::poisson2d::<f32>(40, 40),
+            generate::random_pattern::<f32>(2_000, RowDistribution::Uniform { min: 2, max: 12 }, 1),
             generate::random_pattern::<f32>(
                 2_000,
                 RowDistribution::PowerLaw {
@@ -232,7 +229,8 @@ mod tests {
                     exponent: 2.2,
                 },
                 2,
-            )];
+            ),
+        ];
         let avg: f64 = mats
             .iter()
             .map(|m| model_csr_spmv(&gpu(), m).lane_underutilization)

@@ -76,8 +76,7 @@ pub fn estimate_solver_run<T: Scalar>(
     let spmv = model_csr_spmv(gpu, a);
     let n = a.nrows() as f64;
     let dense_bytes_per_kernel = 3.0 * 4.0 * n;
-    let dense_kernel_s =
-        (dense_bytes_per_kernel / (gpu.mem_gbps * 1e9)).max(gpu.launch_overhead_s);
+    let dense_kernel_s = (dense_bytes_per_kernel / (gpu.mem_gbps * 1e9)).max(gpu.launch_overhead_s);
 
     let iters = iterations as f64;
     let spmv_s = iters * spmv_calls as f64 * spmv.elapsed_s;

@@ -180,8 +180,7 @@ mod tests {
         let rep = bicgstab(&a, &b, None, &criteria(), &mut k).unwrap();
         assert!(rep.converged());
         let mut k2 = SoftwareKernels::new();
-        let cg_rep =
-            crate::cg::conjugate_gradient(&a, &b, None, &criteria(), &mut k2).unwrap();
+        let cg_rep = crate::cg::conjugate_gradient(&a, &b, None, &criteria(), &mut k2).unwrap();
         assert!(!cg_rep.converged(), "CG should fail on non-symmetric input");
     }
 

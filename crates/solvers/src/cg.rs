@@ -194,6 +194,10 @@ mod tests {
         let b = vec![1.0_f32; 64];
         let mut k = SoftwareKernels::new();
         let rep = conjugate_gradient(&a, &b, None, &criteria(), &mut k).unwrap();
-        assert!(rep.converged(), "f32 CG should reach 1e-5: {:?}", rep.outcome);
+        assert!(
+            rep.converged(),
+            "f32 CG should reach 1e-5: {:?}",
+            rep.outcome
+        );
     }
 }

@@ -64,7 +64,10 @@ impl ConvergenceSummary {
         let mut steps = 0usize;
         let mut down = 0usize;
         for pair in tail.windows(2) {
-            let (a, b) = (pair[0].max(f64::MIN_POSITIVE), pair[1].max(f64::MIN_POSITIVE));
+            let (a, b) = (
+                pair[0].max(f64::MIN_POSITIVE),
+                pair[1].max(f64::MIN_POSITIVE),
+            );
             if a.is_finite() && b.is_finite() {
                 log_sum += (b / a).ln();
                 steps += 1;
@@ -107,7 +110,11 @@ impl ConvergenceSummary {
     /// take at the fitted rate (`None` if not converging).
     pub fn iterations_to(&self, tolerance: f64) -> Option<usize> {
         if self.trend != Trend::Converging || self.last <= tolerance {
-            return if self.last <= tolerance { Some(0) } else { None };
+            return if self.last <= tolerance {
+                Some(0)
+            } else {
+                None
+            };
         }
         let need = (tolerance / self.last).ln() / self.rate.ln();
         if need.is_finite() && need >= 0.0 {
@@ -194,8 +201,7 @@ mod tests {
         let a = acamar_sparse::generate::poisson2d::<f64>(10, 10);
         let b = vec![1.0; 100];
         let mut k = SoftwareKernels::new();
-        let rep =
-            conjugate_gradient(&a, &b, None, &ConvergenceCriteria::paper(), &mut k).unwrap();
+        let rep = conjugate_gradient(&a, &b, None, &ConvergenceCriteria::paper(), &mut k).unwrap();
         let s = ConvergenceSummary::from_history(&rep.residual_history, 10);
         assert_eq!(s.trend, Trend::Converging);
         assert!(s.last < 1e-5);

@@ -207,8 +207,8 @@ mod tests {
 
     #[test]
     fn zero_diagonal_reports_breakdown() {
-        let a = CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0])
-            .unwrap();
+        let a =
+            CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0]).unwrap();
         let rep = gauss_seidel(&a, &[1.0, 1.0], None, &criteria()).unwrap();
         assert!(matches!(
             rep.outcome,

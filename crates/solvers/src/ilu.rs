@@ -165,9 +165,7 @@ pub fn ilu_pcg<T: Scalar>(
         Err(SparseError::ZeroDiagonal { .. }) => {
             return Ok(SolveReport {
                 solver: SolverKind::PreconditionedCg,
-                outcome: Outcome::Diverged(DivergenceReason::Breakdown(
-                    "ILU(0) pivot vanished",
-                )),
+                outcome: Outcome::Diverged(DivergenceReason::Breakdown("ILU(0) pivot vanished")),
                 iterations: 0,
                 residual_history: Vec::new(),
                 solution: x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]),
@@ -346,8 +344,8 @@ mod tests {
     #[test]
     fn zero_pivot_is_breakdown_outcome() {
         // [[0, 1], [1, 0]]: diagonal entries are structurally absent.
-        let a = CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0])
-            .unwrap();
+        let a =
+            CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0]).unwrap();
         let rep = ilu_pcg(&a, &[1.0, 1.0], None, &criteria()).unwrap();
         assert!(matches!(
             rep.outcome,

@@ -190,14 +190,8 @@ mod tests {
 
     #[test]
     fn zero_diagonal_is_breakdown_not_error() {
-        let a = CsrMatrix::try_from_parts(
-            2,
-            2,
-            vec![0, 1, 2],
-            vec![1, 0],
-            vec![1.0_f64, 1.0],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0]).unwrap();
         let mut k = SoftwareKernels::new();
         let rep = jacobi(&a, &[1.0, 1.0], None, &criteria(), &mut k).unwrap();
         assert!(matches!(
@@ -215,12 +209,7 @@ mod tests {
 
     #[test]
     fn respects_initial_guess() {
-        let a = generate::diagonally_dominant::<f64>(
-            30,
-            RowDistribution::Constant(3),
-            2.0,
-            5,
-        );
+        let a = generate::diagonally_dominant::<f64>(30, RowDistribution::Constant(3), 2.0, 5);
         // exact solution as initial guess -> converge almost immediately
         let x_true = vec![1.0; 30];
         let b = a.mul_vec(&x_true).unwrap();
@@ -232,12 +221,7 @@ mod tests {
 
     #[test]
     fn counts_attribute_spmv_per_iteration() {
-        let a = generate::diagonally_dominant::<f64>(
-            40,
-            RowDistribution::Constant(4),
-            1.8,
-            9,
-        );
+        let a = generate::diagonally_dominant::<f64>(40, RowDistribution::Constant(4), 1.8, 9);
         let b = vec![1.0; 40];
         let mut k = SoftwareKernels::new();
         let rep = jacobi(&a, &b, None, &criteria(), &mut k).unwrap();

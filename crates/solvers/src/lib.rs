@@ -60,8 +60,8 @@ pub use jacobi::jacobi;
 pub use kernels::{Kernels, OpCounts, Phase, SoftwareKernels};
 pub use pcg::preconditioned_cg;
 pub use report::SolveReport;
-pub use srj::{chebyshev_weights, jacobi_spectrum_bounds, scheduled_relaxation_jacobi};
 pub use selection::{fallback_order, paper_table1, recommend, satisfies, Criterion, SolverKind};
+pub use srj::{chebyshev_weights, jacobi_spectrum_bounds, scheduled_relaxation_jacobi};
 
 use acamar_sparse::{CsrMatrix, Scalar, SparseError};
 

@@ -167,8 +167,8 @@ mod tests {
 
     #[test]
     fn zero_diagonal_is_breakdown() {
-        let a = CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0])
-            .unwrap();
+        let a =
+            CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0]).unwrap();
         let mut k = SoftwareKernels::new();
         let rep = preconditioned_cg(&a, &[1.0, 1.0], None, &criteria(), &mut k).unwrap();
         assert!(matches!(

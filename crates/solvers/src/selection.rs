@@ -42,6 +42,39 @@ impl SolverKind {
         SolverKind::BiCgStab,
     ];
 
+    /// Every solver kind, in declaration order ([`SolverKind::index`]
+    /// indexes into this — used for attempt histograms).
+    pub const ALL: [SolverKind; Self::COUNT] = [
+        SolverKind::Jacobi,
+        SolverKind::ConjugateGradient,
+        SolverKind::BiCgStab,
+        SolverKind::PreconditionedCg,
+        SolverKind::BiCg,
+        SolverKind::ConjugateResidual,
+        SolverKind::GaussSeidel,
+        SolverKind::Sor,
+        SolverKind::Gmres,
+    ];
+
+    /// Number of solver kinds (length of [`SolverKind::ALL`]).
+    pub const COUNT: usize = 9;
+
+    /// Dense index of this kind in [`SolverKind::ALL`] — a stable key for
+    /// per-solver counters and histograms.
+    pub fn index(self) -> usize {
+        match self {
+            SolverKind::Jacobi => 0,
+            SolverKind::ConjugateGradient => 1,
+            SolverKind::BiCgStab => 2,
+            SolverKind::PreconditionedCg => 3,
+            SolverKind::BiCg => 4,
+            SolverKind::ConjugateResidual => 5,
+            SolverKind::GaussSeidel => 6,
+            SolverKind::Sor => 7,
+            SolverKind::Gmres => 8,
+        }
+    }
+
     /// Short display label (used in experiment tables).
     pub fn label(self) -> &'static str {
         match self {
@@ -60,12 +93,10 @@ impl SolverKind {
     /// The convergence criterion the paper's Table I lists for this solver.
     pub fn criterion(self) -> Criterion {
         match self {
-            SolverKind::Jacobi | SolverKind::GaussSeidel => {
-                Criterion::StrictlyDiagonallyDominant
+            SolverKind::Jacobi | SolverKind::GaussSeidel => Criterion::StrictlyDiagonallyDominant,
+            SolverKind::ConjugateGradient | SolverKind::PreconditionedCg | SolverKind::Sor => {
+                Criterion::SymmetricPositiveDefinite
             }
-            SolverKind::ConjugateGradient
-            | SolverKind::PreconditionedCg
-            | SolverKind::Sor => Criterion::SymmetricPositiveDefinite,
             SolverKind::BiCgStab | SolverKind::BiCg => Criterion::NonSymmetric,
             SolverKind::ConjugateResidual => Criterion::SymmetricPositiveDefinite,
             SolverKind::Gmres => Criterion::Any,

@@ -237,8 +237,7 @@ mod tests {
         );
         let b = vec![1.0; 60];
         let mut k1 = SoftwareKernels::new();
-        let srj =
-            scheduled_relaxation_jacobi(&a, &b, None, &[1.0], &criteria(), &mut k1).unwrap();
+        let srj = scheduled_relaxation_jacobi(&a, &b, None, &[1.0], &criteria(), &mut k1).unwrap();
         let mut k2 = SoftwareKernels::new();
         let jb = jacobi(&a, &b, None, &criteria(), &mut k2).unwrap();
         assert!(srj.converged() && jb.converged());
@@ -250,12 +249,11 @@ mod tests {
 
     #[test]
     fn zero_diagonal_is_breakdown() {
-        let a = CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0])
-            .unwrap();
+        let a =
+            CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0]).unwrap();
         let mut k = SoftwareKernels::new();
-        let rep =
-            scheduled_relaxation_jacobi(&a, &[1.0, 1.0], None, &[1.0], &criteria(), &mut k)
-                .unwrap();
+        let rep = scheduled_relaxation_jacobi(&a, &[1.0, 1.0], None, &[1.0], &criteria(), &mut k)
+            .unwrap();
         assert!(matches!(
             rep.outcome,
             Outcome::Diverged(DivergenceReason::Breakdown(_))

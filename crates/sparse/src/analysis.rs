@@ -196,7 +196,12 @@ pub fn spectral_radius_estimate<T: Scalar>(a: &CsrMatrix<T>, iters: usize) -> Op
         if !norm.is_finite() || norm == 0.0 {
             return None;
         }
-        lambda = norm / x.iter().map(|v| v * v).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+        lambda = norm
+            / x.iter()
+                .map(|v| v * v)
+                .sum::<f64>()
+                .sqrt()
+                .max(f64::MIN_POSITIVE);
         for (xi, yi) in x.iter_mut().zip(&y) {
             *xi = yi / norm;
         }

@@ -198,8 +198,7 @@ mod tests {
 
     #[test]
     fn empty_columns_have_zero_span() {
-        let a = CsrMatrix::<f32>::try_from_parts(2, 3, vec![0, 1, 1], vec![2], vec![7.0])
-            .unwrap();
+        let a = CsrMatrix::<f32>::try_from_parts(2, 3, vec![0, 1, 1], vec![2], vec![7.0]).unwrap();
         let c = a.to_csc();
         assert_eq!(c.col(0).0.len(), 0);
         assert_eq!(c.col(1).0.len(), 0);

@@ -524,11 +524,9 @@ mod tests {
 
     #[test]
     fn validation_rejects_unsorted_or_duplicate_columns() {
-        let e =
-            CsrMatrix::<f64>::try_from_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 1.0]);
+        let e = CsrMatrix::<f64>::try_from_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 1.0]);
         assert!(matches!(e, Err(SparseError::InvalidStructure(_))));
-        let e =
-            CsrMatrix::<f64>::try_from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]);
+        let e = CsrMatrix::<f64>::try_from_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]);
         assert!(matches!(e, Err(SparseError::InvalidStructure(_))));
     }
 
@@ -579,14 +577,8 @@ mod tests {
 
     #[test]
     fn transpose_involution() {
-        let a = CsrMatrix::try_from_parts(
-            2,
-            3,
-            vec![0, 2, 3],
-            vec![0, 2, 1],
-            vec![1.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let a = CsrMatrix::try_from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
+            .unwrap();
         let t = a.transpose();
         assert_eq!(t.nrows(), 3);
         assert_eq!(t.ncols(), 2);
@@ -599,14 +591,8 @@ mod tests {
         let a = tri3();
         assert!(a.is_symmetric(1e-12));
         assert!(a.is_pattern_symmetric());
-        let b = CsrMatrix::try_from_parts(
-            2,
-            2,
-            vec![0, 2, 3],
-            vec![0, 1, 1],
-            vec![1.0, 5.0, 1.0],
-        )
-        .unwrap();
+        let b = CsrMatrix::try_from_parts(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1.0, 5.0, 1.0])
+            .unwrap();
         assert!(!b.is_pattern_symmetric());
         assert!(!b.is_symmetric(1e-12));
     }

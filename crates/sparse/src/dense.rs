@@ -178,10 +178,7 @@ impl<T: Scalar> DenseMatrix<T> {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> T {
-        self.data
-            .iter()
-            .fold(T::ZERO, |acc, &v| acc + v * v)
-            .sqrt()
+        self.data.iter().fold(T::ZERO, |acc, &v| acc + v * v).sqrt()
     }
 }
 
@@ -249,7 +246,10 @@ mod tests {
     #[test]
     fn solve_rejects_bad_shapes() {
         let a = DenseMatrix::<f64>::zeros(2, 3);
-        assert!(matches!(a.solve(&[1.0, 1.0]), Err(SparseError::NotSquare { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 1.0]),
+            Err(SparseError::NotSquare { .. })
+        ));
         let b = DenseMatrix::<f64>::identity(2);
         assert!(matches!(
             b.solve(&[1.0]),

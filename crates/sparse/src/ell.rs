@@ -153,11 +153,7 @@ mod tests {
 
     #[test]
     fn round_trip_csr_ell_csr() {
-        let a = generate::random_pattern::<f64>(
-            40,
-            RowDistribution::Uniform { min: 1, max: 7 },
-            3,
-        );
+        let a = generate::random_pattern::<f64>(40, RowDistribution::Uniform { min: 1, max: 7 }, 3);
         let e = EllMatrix::from_csr(&a);
         assert_eq!(e.to_csr(), a);
         assert_eq!(e.nnz(), a.nnz());
@@ -184,11 +180,7 @@ mod tests {
         // For a matrix with no empty rows, ELL padding at width W equals
         // the fabric's Eq. 5 underutilization at unroll = W when every
         // row fits one chunk.
-        let a = generate::random_pattern::<f32>(
-            64,
-            RowDistribution::Uniform { min: 1, max: 6 },
-            9,
-        );
+        let a = generate::random_pattern::<f32>(64, RowDistribution::Uniform { min: 1, max: 6 }, 9);
         let e = EllMatrix::from_csr(&a);
         let w = e.width();
         let total_slots = (a.nrows() * w) as f64;

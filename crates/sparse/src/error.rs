@@ -56,7 +56,10 @@ impl fmt::Display for SparseError {
                 expected,
                 found,
                 what,
-            } => write!(f, "dimension mismatch for {what}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "dimension mismatch for {what}: expected {expected}, found {found}"
+            ),
             SparseError::NotSquare { nrows, ncols } => {
                 write!(f, "matrix is not square ({nrows}x{ncols})")
             }

@@ -6,9 +6,8 @@
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
+use crate::rng::DetRng as StdRng;
 use crate::scalar::Scalar;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Laplacian of the path graph on `n` vertices (`L = D - A`), with an
 /// optional `shift` added to the diagonal to make it nonsingular/SPD.
@@ -180,7 +179,12 @@ mod tests {
         let l = preferential_attachment_laplacian::<f64>(300, 2, 1.0, 99);
         assert!(analysis::symmetric_via_csc(&l));
         let s = RowNnzStats::of(&l);
-        assert!(s.max > 3 * (s.mean as usize).max(1), "tail: max {} mean {}", s.max, s.mean);
+        assert!(
+            s.max > 3 * (s.mean as usize).max(1),
+            "tail: max {} mean {}",
+            s.max,
+            s.mean
+        );
         // determinism
         let l2 = preferential_attachment_laplacian::<f64>(300, 2, 1.0, 99);
         assert_eq!(l, l2);

@@ -16,9 +16,9 @@ mod structured;
 pub use graph::{grid_laplacian, path_laplacian, preferential_attachment_laplacian};
 pub use poisson::{poisson1d, poisson2d, poisson3d};
 pub use random::{
-    diagonally_dominant, ill_conditioned_spd, indefinite_diagonally_dominant,
-    jacobi_divergent_spd, nonsymmetric_perturbation, random_pattern, spd_from_pattern,
-    spread_spectrum_blocks, RowDistribution,
+    diagonally_dominant, ill_conditioned_spd, indefinite_diagonally_dominant, jacobi_divergent_spd,
+    nonsymmetric_perturbation, random_pattern, spd_from_pattern, spread_spectrum_blocks,
+    RowDistribution,
 };
 pub use structured::{
     banded, convection_diffusion_2d, convection_diffusion_2d_centered, tridiagonal,
@@ -36,7 +36,8 @@ mod tests {
         let p = poisson2d::<f64>(6, 6);
         assert!(analysis::symmetric_via_csc(&p));
 
-        let dd = diagonally_dominant::<f64>(50, RowDistribution::Uniform { min: 2, max: 6 }, 1.5, 7);
+        let dd =
+            diagonally_dominant::<f64>(50, RowDistribution::Uniform { min: 2, max: 6 }, 1.5, 7);
         assert!(analysis::strictly_diagonally_dominant(&dd));
 
         let spd = spd_from_pattern::<f64>(50, RowDistribution::Uniform { min: 2, max: 6 }, 0.1, 11);

@@ -8,9 +8,8 @@
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
+use crate::rng::DetRng as StdRng;
 use crate::scalar::Scalar;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Target NNZ-per-row distribution for [`random_pattern`].
 ///
@@ -73,7 +72,7 @@ impl RowDistribution {
                 let (lo, hi) = (min.min(max).max(1), min.max(max).max(1));
                 // Inverse-CDF sampling of P(k) ∝ k^-exponent over [lo, hi].
                 let e = 1.0 - exponent;
-                let u: f64 = rng.gen();
+                let u: f64 = rng.gen_f64();
                 let k = if e.abs() < 1e-9 {
                     (lo as f64 * ((hi as f64 / lo as f64).powf(u))).round()
                 } else {
@@ -525,14 +524,17 @@ mod tests {
             3,
         );
         let sc = RowNnzStats::of(&c);
-        assert!(sc.mean < 20.0, "power law mean should be small: {}", sc.mean);
+        assert!(
+            sc.mean < 20.0,
+            "power law mean should be small: {}",
+            sc.mean
+        );
         assert!(sc.max > 20, "power law should have heavy tail: {}", sc.max);
     }
 
     #[test]
     fn diagonally_dominant_is_strictly_dominant() {
-        let a =
-            diagonally_dominant::<f64>(60, RowDistribution::Uniform { min: 1, max: 9 }, 1.3, 5);
+        let a = diagonally_dominant::<f64>(60, RowDistribution::Uniform { min: 1, max: 9 }, 1.3, 5);
         assert!(analysis::strictly_diagonally_dominant(&a));
         assert!(!analysis::symmetric_via_csc(&a)); // random values
     }
@@ -571,7 +573,7 @@ mod tests {
         let r = analysis::analyze(&a);
         assert!(r.symmetric);
         assert!(!r.strictly_diagonally_dominant); // coupling 0.7*2 > 1
-        // verify PD numerically on probes
+                                                  // verify PD numerically on probes
         for p in 0..3 {
             let x: Vec<f64> = (0..30).map(|i| (((i + p) % 7) as f64) - 3.0).collect();
             let ax = a.mul_vec(&x).unwrap();

@@ -306,14 +306,9 @@ mod tests {
 
     #[test]
     fn write_read_round_trip() {
-        let a = CsrMatrix::try_from_parts(
-            2,
-            3,
-            vec![0, 2, 3],
-            vec![0, 2, 1],
-            vec![1.25, -0.5, 1e-9],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::try_from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.25, -0.5, 1e-9])
+                .unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&a, &mut buf).unwrap();
         let b = read_matrix_market::<f64, _>(buf.as_slice()).unwrap();

@@ -49,6 +49,7 @@ pub mod generate;
 pub mod io;
 pub mod ops;
 pub mod permute;
+pub mod rng;
 mod scalar;
 pub mod stats;
 

@@ -94,10 +94,7 @@ pub fn add<T: Scalar>(
 /// assert_eq!(a2.get(0, 0), 5.0);            // 2*2 + (-1)(-1)
 /// # Ok::<(), acamar_sparse::SparseError>(())
 /// ```
-pub fn matmul<T: Scalar>(
-    a: &CsrMatrix<T>,
-    b: &CsrMatrix<T>,
-) -> Result<CsrMatrix<T>, SparseError> {
+pub fn matmul<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Result<CsrMatrix<T>, SparseError> {
     if a.ncols() != b.nrows() {
         return Err(SparseError::DimensionMismatch {
             expected: a.ncols(),
@@ -156,16 +153,8 @@ mod tests {
 
     #[test]
     fn add_matches_dense_reference() {
-        let a = generate::random_pattern::<f64>(
-            20,
-            RowDistribution::Uniform { min: 1, max: 5 },
-            3,
-        );
-        let b = generate::random_pattern::<f64>(
-            20,
-            RowDistribution::Uniform { min: 1, max: 5 },
-            4,
-        );
+        let a = generate::random_pattern::<f64>(20, RowDistribution::Uniform { min: 1, max: 5 }, 3);
+        let b = generate::random_pattern::<f64>(20, RowDistribution::Uniform { min: 1, max: 5 }, 4);
         let s = add(&a, &b, 2.0, -0.5).unwrap();
         for i in 0..20 {
             for j in 0..20 {
@@ -177,16 +166,8 @@ mod tests {
 
     #[test]
     fn matmul_matches_dense_reference() {
-        let a = generate::random_pattern::<f64>(
-            15,
-            RowDistribution::Uniform { min: 1, max: 4 },
-            5,
-        );
-        let b = generate::random_pattern::<f64>(
-            15,
-            RowDistribution::Uniform { min: 1, max: 4 },
-            6,
-        );
+        let a = generate::random_pattern::<f64>(15, RowDistribution::Uniform { min: 1, max: 4 }, 5);
+        let b = generate::random_pattern::<f64>(15, RowDistribution::Uniform { min: 1, max: 4 }, 6);
         let c = matmul(&a, &b).unwrap();
         let (da, db) = (a.to_dense(), b.to_dense());
         for i in 0..15 {
@@ -222,14 +203,9 @@ mod tests {
     #[test]
     fn rectangular_matmul_shapes() {
         // (2x3) * (3x2) = (2x2)
-        let a = CsrMatrix::try_from_parts(
-            2,
-            3,
-            vec![0, 2, 3],
-            vec![0, 2, 1],
-            vec![1.0_f64, 2.0, 3.0],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::try_from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0_f64, 2.0, 3.0])
+                .unwrap();
         let b = a.transpose();
         let c = matmul(&a, &b).unwrap();
         assert_eq!(c.nrows(), 2);

@@ -135,11 +135,7 @@ mod tests {
 
     #[test]
     fn permutation_round_trips() {
-        let a = generate::random_pattern::<f64>(
-            30,
-            RowDistribution::Uniform { min: 1, max: 6 },
-            5,
-        );
+        let a = generate::random_pattern::<f64>(30, RowDistribution::Uniform { min: 1, max: 6 }, 5);
         let perm = permutation_by_row_nnz(&a);
         let b = permute_symmetric(&a, &perm).unwrap();
         // applying the inverse permutation restores A
@@ -208,8 +204,7 @@ mod tests {
         assert!(permute_symmetric(&a, &[0, 1, 2]).is_err()); // short
         assert!(permute_symmetric(&a, &[0, 1, 2, 9]).is_err()); // out of range
         assert!(permute_symmetric(&a, &[0, 1, 1, 2]).is_err()); // repeat
-        let rect = CsrMatrix::<f64>::try_from_parts(1, 2, vec![0, 1], vec![0], vec![1.0])
-            .unwrap();
+        let rect = CsrMatrix::<f64>::try_from_parts(1, 2, vec![0, 1], vec![0], vec![1.0]).unwrap();
         assert!(permute_symmetric(&rect, &[0]).is_err());
     }
 }

@@ -1,0 +1,198 @@
+//! Self-contained deterministic pseudo-random number generator.
+//!
+//! The generators in [`crate::generate`] need reproducible randomness with
+//! an explicit seed, nothing more. This module provides a small
+//! xoshiro256++ generator (seeded through SplitMix64, the reference
+//! seeding procedure) so the crate carries no external dependency — the
+//! build must work in hermetic environments with no registry access.
+//!
+//! The API mirrors the subset of `rand::Rng` the generators use
+//! (`gen_range`, `gen_bool`), so call sites read idiomatically.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xoshiro256++ generator.
+///
+/// Streams are fully determined by the seed: the same seed always yields
+/// the same sequence, on every platform and build.
+///
+/// ```
+/// use acamar_sparse::rng::DetRng;
+/// let mut a = DetRng::seed_from_u64(7);
+/// let mut b = DetRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        DetRng {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform draw from `range` (half-open or inclusive integer ranges,
+    /// half-open float ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` below `bound` via Lemire-style rejection (unbiased).
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection zone keeps the draw exactly uniform.
+        let zone = bound.wrapping_neg() % bound;
+        loop {
+            let v = self.next_u64();
+            let (hi, lo) = {
+                let wide = (v as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= zone || zone == 0 {
+                return hi;
+            }
+        }
+    }
+}
+
+/// Ranges [`DetRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform value.
+    fn sample(self, rng: &mut DetRng) -> Self::Output;
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut DetRng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + rng.bounded_u64(span) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut DetRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as u64 + 1;
+        if span == 0 {
+            // lo == 0 && hi == u64::MAX as usize: full width
+            return rng.next_u64() as usize;
+        }
+        lo + rng.bounded_u64(span) as usize
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut DetRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_and_stream_separation() {
+        let a: Vec<u64> = {
+            let mut r = DetRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = DetRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut r = DetRng::seed_from_u64(43);
+        let c: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = DetRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let v = r.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(5..=5usize);
+            assert_eq!(w, 5);
+            let f = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn integer_draws_cover_the_range() {
+        let mut r = DetRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_is_a_unit_uniform() {
+        let mut r = DetRng::seed_from_u64(5);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = DetRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

@@ -13,10 +13,7 @@ use acamar::fabric::spmv::execute_rows;
 use acamar::prelude::*;
 use acamar::sparse::generate::RowDistribution;
 
-fn pass_stats(
-    a: &CsrMatrix<f32>,
-    cfg: &AcamarConfig,
-) -> (f64, u64, usize) {
+fn pass_stats(a: &CsrMatrix<f32>, cfg: &AcamarConfig) -> (f64, u64, usize) {
     let spec = FabricSpec::alveo_u55c();
     let plan = FineGrainedReconfigUnit::new(cfg.clone()).plan(a);
     let mut agg = acamar::fabric::SpmvExecution::default();
@@ -50,7 +47,10 @@ fn main() {
     );
 
     println!("-- SamplingRate sweep (rOpt = 8, tolerance = 0.15) --");
-    println!("{:>6}  {:>8}  {:>10}  {:>14}", "SR", "R.U.", "cycles", "reconf/pass");
+    println!(
+        "{:>6}  {:>8}  {:>10}  {:>14}",
+        "SR", "R.U.", "cycles", "reconf/pass"
+    );
     for sr in [4usize, 8, 16, 32, 64, 128, 512, 4096] {
         let cfg = AcamarConfig::paper().with_sampling_rate(sr);
         let (ru, cycles, changes) = pass_stats(&a, &cfg);
@@ -58,13 +58,19 @@ fn main() {
     }
 
     println!("\n-- rOpt sweep (SamplingRate = 64) --");
-    println!("{:>6}  {:>8}  {:>10}  {:>14}", "rOpt", "R.U.", "cycles", "reconf/pass");
+    println!(
+        "{:>6}  {:>8}  {:>10}  {:>14}",
+        "rOpt", "R.U.", "cycles", "reconf/pass"
+    );
     for r_opt in [0usize, 1, 2, 4, 8, 12] {
         let cfg = AcamarConfig::paper()
             .with_sampling_rate(64)
             .with_r_opt(r_opt);
         let (ru, cycles, changes) = pass_stats(&a, &cfg);
-        println!("{r_opt:>6}  {:>7.1}%  {cycles:>10}  {changes:>14}", 100.0 * ru);
+        println!(
+            "{r_opt:>6}  {:>7.1}%  {cycles:>10}  {changes:>14}",
+            100.0 * ru
+        );
     }
 
     println!(

@@ -11,9 +11,8 @@
 
 use acamar::prelude::*;
 use acamar::solvers::{
-    chebyshev_weights, conjugate_gradient, conjugate_residual, ilu_pcg,
-    jacobi_spectrum_bounds, preconditioned_cg, scheduled_relaxation_jacobi,
-    ConvergenceSummary,
+    chebyshev_weights, conjugate_gradient, conjugate_residual, ilu_pcg, jacobi_spectrum_bounds,
+    preconditioned_cg, scheduled_relaxation_jacobi, ConvergenceSummary,
 };
 
 fn main() -> Result<(), SparseError> {

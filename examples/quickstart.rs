@@ -16,11 +16,15 @@ fn main() -> Result<(), SparseError> {
     let acamar = Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper());
     let report = acamar.run(&a, &b)?;
 
-    println!("matrix: {} x {}, {} non-zeros", a.nrows(), a.ncols(), a.nnz());
+    println!(
+        "matrix: {} x {}, {} non-zeros",
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    );
     println!(
         "structure: symmetric = {}, strictly diagonally dominant = {}",
-        report.structure.report.symmetric,
-        report.structure.report.strictly_diagonally_dominant
+        report.structure.report.symmetric, report.structure.report.strictly_diagonally_dominant
     );
     println!(
         "solver: {} (recommended {}, {} switches)",

@@ -22,11 +22,8 @@ fn main() -> Result<(), SparseError> {
     // A static CG design diverges and, as the paper notes, a divergent
     // static accelerator means "false or no solution ... and unbounded
     // execution time".
-    let static_cg = StaticAccelerator::new(
-        FabricSpec::alveo_u55c(),
-        SolverKind::ConjugateGradient,
-        16,
-    );
+    let static_cg =
+        StaticAccelerator::new(FabricSpec::alveo_u55c(), SolverKind::ConjugateGradient, 16);
     let static_run = static_cg.run(&a, &b, &ConvergenceCriteria::paper())?;
     println!(
         "static CG design: {} after {} iterations",
@@ -68,6 +65,9 @@ fn main() -> Result<(), SparseError> {
         .sum::<f32>()
         .sqrt();
     let bnorm: f32 = b.iter().map(|v| v * v).sum::<f32>().sqrt();
-    println!("relative residual of returned solution: {:.2e}", res / bnorm);
+    println!(
+        "relative residual of returned solution: {:.2e}",
+        res / bnorm
+    );
     Ok(())
 }

@@ -32,11 +32,14 @@ fn main() -> Result<(), SparseError> {
     let plan = FineGrainedReconfigUnit::new(cfg.clone()).plan(&a);
     println!("schedule ({} entries):", plan.schedule.entries().len());
     for e in plan.schedule.entries() {
-        println!("  rows {:>4}..{:<4} U={}", e.rows.start, e.rows.end, e.unroll);
+        println!(
+            "  rows {:>4}..{:<4} U={}",
+            e.rows.start, e.rows.end, e.unroll
+        );
     }
 
-    let mut hw = FabricKernels::new(FabricSpec::alveo_u55c(), plan.schedule.clone(), 4)
-        .with_trace(64);
+    let mut hw =
+        FabricKernels::new(FabricSpec::alveo_u55c(), plan.schedule.clone(), 4).with_trace(64);
     let report = acamar::solvers::jacobi(&a, &b, None, &ConvergenceCriteria::paper(), &mut hw)?;
     assert!(report.converged());
 

@@ -108,14 +108,38 @@ fn load(path: &str) -> Result<CsrMatrix<f32>, String> {
 fn analyze(path: &str) -> Result<(), String> {
     let a = load(path)?;
     let d = MatrixStructureUnit::new().analyze(&a);
-    println!("{path}: {} x {}, {} non-zeros ({:.4}% dense)", a.nrows(), a.ncols(), a.nnz(), 100.0 * a.density());
+    println!(
+        "{path}: {} x {}, {} non-zeros ({:.4}% dense)",
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        100.0 * a.density()
+    );
     println!("  symmetric (CSR==CSC):          {}", d.report.symmetric);
-    println!("  pattern symmetric:             {}", d.report.pattern_symmetric);
-    println!("  strictly diagonally dominant:  {}", d.report.strictly_diagonally_dominant);
-    println!("  weakly diagonally dominant:    {}", d.report.weakly_diagonally_dominant);
-    println!("  nonzero diagonal:              {}", d.report.nonzero_diagonal);
-    println!("  mixed-sign diagonal:           {}", d.report.mixed_sign_diagonal);
-    println!("  gershgorin definiteness:       {}", d.report.gershgorin_definiteness);
+    println!(
+        "  pattern symmetric:             {}",
+        d.report.pattern_symmetric
+    );
+    println!(
+        "  strictly diagonally dominant:  {}",
+        d.report.strictly_diagonally_dominant
+    );
+    println!(
+        "  weakly diagonally dominant:    {}",
+        d.report.weakly_diagonally_dominant
+    );
+    println!(
+        "  nonzero diagonal:              {}",
+        d.report.nonzero_diagonal
+    );
+    println!(
+        "  mixed-sign diagonal:           {}",
+        d.report.mixed_sign_diagonal
+    );
+    println!(
+        "  gershgorin definiteness:       {}",
+        d.report.gershgorin_definiteness
+    );
     println!("  half bandwidth:                {}", d.report.bandwidth);
     println!("  recommended solver:            {}", d.solver);
     Ok(())
@@ -142,7 +166,11 @@ fn solve(args: &[String]) -> Result<(), String> {
     let path = pos.first().ok_or("solve needs a .mtx path")?;
     let a = load(path)?;
     if a.nrows() != a.ncols() {
-        return Err(format!("matrix is {}x{}, need square", a.nrows(), a.ncols()));
+        return Err(format!(
+            "matrix is {}x{}, need square",
+            a.nrows(),
+            a.ncols()
+        ));
     }
     let b = vec![1.0_f32; a.nrows()];
     let tol: f64 = flag(&flags, "tol")
@@ -184,7 +212,13 @@ fn solve(args: &[String]) -> Result<(), String> {
                 .run(&a, &b)
                 .map_err(|e| e.to_string())?;
             for (i, at) in rep.attempts.iter().enumerate() {
-                println!("attempt {}: {} -> {} ({} iterations)", i + 1, at.solver, at.outcome, at.iterations);
+                println!(
+                    "attempt {}: {} -> {} ({} iterations)",
+                    i + 1,
+                    at.solver,
+                    at.outcome,
+                    at.iterations
+                );
             }
             println!(
                 "acamar: {} via {}; {:.3} ms compute + {:.3} ms reconfig; \
@@ -199,8 +233,8 @@ fn solve(args: &[String]) -> Result<(), String> {
         }
         Some(kind) => {
             let mut k = SoftwareKernels::new();
-            let rep = solve_with(kind, &a, &b, None, &criteria, &mut k)
-                .map_err(|e| e.to_string())?;
+            let rep =
+                solve_with(kind, &a, &b, None, &criteria, &mut k).map_err(|e| e.to_string())?;
             println!(
                 "{kind}: {} in {} iterations (final residual {:.2e}, {} SpMV calls)",
                 rep.outcome,
@@ -255,12 +289,20 @@ fn generate_cmd(args: &[String]) -> Result<(), String> {
     };
     let f = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     write_matrix_market(&a, BufWriter::new(f)).map_err(|e| e.to_string())?;
-    println!("wrote {out}: {} x {}, {} non-zeros", a.nrows(), a.ncols(), a.nnz());
+    println!(
+        "wrote {out}: {} x {}, {} non-zeros",
+        a.nrows(),
+        a.ncols(),
+        a.nnz()
+    );
     Ok(())
 }
 
 fn list_datasets() {
-    println!("{:<4} {:<18} {:>9} {:>7}  expected (JB CG BiCG)", "ID", "name", "paper dim", "dim");
+    println!(
+        "{:<4} {:<18} {:>9} {:>7}  expected (JB CG BiCG)",
+        "ID", "name", "paper dim", "dim"
+    );
     for d in datasets::suite() {
         println!(
             "{:<4} {:<18} {:>9} {:>7}  {}",
@@ -277,7 +319,11 @@ fn dataset_cmd(id: &str) -> Result<(), String> {
     let d = datasets::by_id(id).ok_or_else(|| format!("no dataset with id {id:?}"))?;
     println!("{} ({}), analog dim {}", d.id, d.name, d.matrix_rows());
     let triple = datasets::verify::measure_triple(&d);
-    println!("expected: {}   measured: {}", d.expected.marks(), triple.measured.marks());
+    println!(
+        "expected: {}   measured: {}",
+        d.expected.marks(),
+        triple.measured.marks()
+    );
     let cfg = AcamarConfig::paper().with_criteria(datasets::verify::table2_criteria());
     let rep = Acamar::new(FabricSpec::alveo_u55c(), cfg)
         .run(&d.matrix(), &d.rhs())
@@ -322,7 +368,10 @@ mod tests {
             parse_solver("bicg-stab").unwrap(),
             Some(SolverKind::BiCgStab)
         );
-        assert_eq!(parse_solver("pcg").unwrap(), Some(SolverKind::PreconditionedCg));
+        assert_eq!(
+            parse_solver("pcg").unwrap(),
+            Some(SolverKind::PreconditionedCg)
+        );
         assert!(parse_solver("nope").is_err());
     }
 

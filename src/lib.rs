@@ -28,7 +28,9 @@
 //! * [`gpu`] — the GTX 1650 Super-class cuSPARSE SpMV baseline model;
 //! * [`datasets`] — synthetic analogs of the paper's 25 SuiteSparse
 //!   datasets (Table II);
-//! * [`core`] — the Acamar accelerator itself.
+//! * [`core`] — the Acamar accelerator itself;
+//! * [`engine`] — a concurrent batch-solve service that fingerprints
+//!   sparsity patterns and caches structure/plan decisions across jobs.
 //!
 //! ## Quickstart
 //!
@@ -63,6 +65,7 @@
 
 pub use acamar_core as core;
 pub use acamar_datasets as datasets;
+pub use acamar_engine as engine;
 pub use acamar_fabric as fabric;
 pub use acamar_gpu as gpu;
 pub use acamar_solvers as solvers;
@@ -80,7 +83,8 @@ pub use acamar_sparse as sparse;
 /// assert!(report.converged());
 /// ```
 pub mod prelude {
-    pub use acamar_core::{Acamar, AcamarConfig, AcamarRunReport};
+    pub use acamar_core::{Acamar, AcamarConfig, AcamarRunReport, AnalysisArtifacts};
+    pub use acamar_engine::{BatchReport, Engine, SolveJob};
     pub use acamar_fabric::{FabricSpec, StaticAccelerator, UnrollSchedule};
     pub use acamar_gpu::{model_csr_spmv, GpuSpec};
     pub use acamar_solvers::{

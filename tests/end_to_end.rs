@@ -28,8 +28,7 @@ fn acamar_solution_matches_software_solver_bit_for_bit() {
     // The same solver in pure software must produce the identical iterate:
     // the fabric model charges cycles but never changes the arithmetic.
     let mut sw = SoftwareKernels::new();
-    let sw_report = solve_with(report.final_solver(), &a, &b, None, &criteria(), &mut sw)
-        .unwrap();
+    let sw_report = solve_with(report.final_solver(), &a, &b, None, &criteria(), &mut sw).unwrap();
     assert_eq!(report.solve.iterations, sw_report.iterations);
     assert_eq!(report.solve.solution, sw_report.solution);
 }
@@ -44,11 +43,8 @@ fn fabric_and_software_kernels_agree_for_all_three_solvers() {
     );
     let b = vec![1.0_f32; 200];
     for kind in SolverKind::ACAMAR {
-        let mut hw = FabricKernels::new(
-            FabricSpec::alveo_u55c(),
-            UnrollSchedule::uniform(200, 4),
-            4,
-        );
+        let mut hw =
+            FabricKernels::new(FabricSpec::alveo_u55c(), UnrollSchedule::uniform(200, 4), 4);
         let hw_rep = solve_with(kind, &a, &b, None, &criteria(), &mut hw).unwrap();
         let mut sw = SoftwareKernels::new();
         let sw_rep = solve_with(kind, &a, &b, None, &criteria(), &mut sw).unwrap();
@@ -213,13 +209,10 @@ fn divergent_static_design_is_rescued_by_acamar() {
     // Symmetric indefinite, not dominant: CG-only hardware fails.
     let a = generate::spread_spectrum_blocks::<f32>(300, 0.6, 10.0, true, 11);
     let b = vec![1.0_f32; 300];
-    let static_run = StaticAccelerator::new(
-        FabricSpec::alveo_u55c(),
-        SolverKind::ConjugateGradient,
-        8,
-    )
-    .run(&a, &b, &criteria())
-    .unwrap();
+    let static_run =
+        StaticAccelerator::new(FabricSpec::alveo_u55c(), SolverKind::ConjugateGradient, 8)
+            .run(&a, &b, &criteria())
+            .unwrap();
     assert!(!static_run.solve.converged());
 
     let rep = Acamar::new(FabricSpec::alveo_u55c(), config())

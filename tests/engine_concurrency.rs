@@ -1,0 +1,147 @@
+//! Concurrency regression tests for the batch engine.
+//!
+//! The engine's contract is that threading is an implementation detail:
+//! however many workers run and however jobs interleave, every solution
+//! vector is bitwise identical to the single-threaded path, and the plan
+//! cache analyzes each distinct sparsity pattern exactly once.
+
+use acamar::core::{Acamar, AcamarConfig};
+use acamar::engine::{Engine, SolveJob};
+use acamar::fabric::FabricSpec;
+use acamar::solvers::ConvergenceCriteria;
+use acamar::sparse::{generate, CsrMatrix};
+use std::sync::Arc;
+
+fn acamar() -> Acamar {
+    let cfg =
+        AcamarConfig::paper().with_criteria(ConvergenceCriteria::paper().with_max_iterations(2000));
+    Acamar::new(FabricSpec::alveo_u55c(), cfg)
+}
+
+/// Three matrices with pairwise-distinct sparsity patterns.
+fn distinct_systems() -> Vec<Arc<CsrMatrix<f64>>> {
+    vec![
+        Arc::new(generate::poisson2d::<f64>(12, 12)),
+        Arc::new(generate::poisson2d::<f64>(13, 11)),
+        Arc::new(generate::poisson1d::<f64>(144)),
+    ]
+}
+
+/// A job mix cycling through the distinct patterns with varying RHS.
+fn job_mix(systems: &[Arc<CsrMatrix<f64>>], jobs: usize) -> Vec<SolveJob<f64>> {
+    (0..jobs)
+        .map(|k| {
+            let a = &systems[k % systems.len()];
+            let b: Vec<f64> = (0..a.nrows())
+                .map(|i| 1.0 + (i + k) as f64 * 1e-3)
+                .collect();
+            SolveJob::new(Arc::clone(a), b)
+        })
+        .collect()
+}
+
+#[test]
+fn four_workers_match_the_single_threaded_path_bitwise() {
+    let systems = distinct_systems();
+    let jobs = job_mix(&systems, 24);
+
+    let single = Engine::with_workers(acamar(), 1);
+    let reference = single.solve_jobs(jobs.clone());
+
+    let concurrent = Engine::with_workers(acamar(), 4);
+    assert_eq!(concurrent.workers(), 4);
+    let parallel = concurrent.solve_jobs(jobs);
+
+    assert!(reference.all_converged() && parallel.all_converged());
+    for (i, (r, p)) in reference.results.iter().zip(&parallel.results).enumerate() {
+        let (r, p) = (r.as_ref().unwrap(), p.as_ref().unwrap());
+        assert_eq!(
+            r.solve.solution, p.solve.solution,
+            "job {i}: solution differs between 1 and 4 workers"
+        );
+        assert_eq!(r.solve.iterations, p.solve.iterations, "job {i}");
+        assert_eq!(r.attempts.len(), p.attempts.len(), "job {i}");
+    }
+    assert_eq!(reference.attempts_by_solver, parallel.attempts_by_solver);
+}
+
+#[test]
+fn cache_hits_equal_jobs_minus_distinct_patterns() {
+    let systems = distinct_systems();
+    let distinct = systems.len() as u64;
+    let jobs = job_mix(&systems, 24);
+    let total = jobs.len() as u64;
+
+    let engine = Engine::with_workers(acamar(), 4);
+    let batch = engine.solve_jobs(jobs);
+
+    assert!(batch.all_converged());
+    assert_eq!(batch.cache.misses, distinct);
+    assert_eq!(batch.cache.hits, total - distinct);
+    let counters = engine.counters();
+    assert_eq!(counters.jobs_completed, total);
+    assert_eq!(counters.cache.entries, distinct as usize);
+}
+
+#[test]
+fn external_threads_hammering_one_shared_engine_stay_consistent() {
+    // Beyond the engine's own pool: 4 OS threads each pushing their own
+    // batches into one shared engine, concurrently.
+    let systems = distinct_systems();
+    let engine = Arc::new(Engine::with_workers(acamar(), 2));
+    let reference = Engine::with_workers(acamar(), 1).solve_jobs(job_mix(&systems, 6));
+
+    let threads = 4;
+    let reference = &reference;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let engine = Arc::clone(&engine);
+            let systems = systems.clone();
+            scope.spawn(move || {
+                let batch = engine.solve_jobs(job_mix(&systems, 6));
+                for (i, result) in batch.results.iter().enumerate() {
+                    let got = result.as_ref().unwrap();
+                    let want = reference.results[i].as_ref().unwrap();
+                    assert_eq!(got.solve.solution, want.solve.solution, "job {i}");
+                }
+            });
+        }
+    });
+
+    let counters = engine.counters();
+    assert_eq!(counters.jobs_completed, (threads * 6) as u64);
+    // Even with racing batches, each pattern is analyzed exactly once.
+    assert_eq!(counters.cache.misses, systems.len() as u64);
+    assert_eq!(
+        counters.cache.hits,
+        (threads * 6) as u64 - systems.len() as u64
+    );
+}
+
+#[test]
+fn solve_batch_of_eight_rhs_analyzes_exactly_once() {
+    let engine = Engine::with_workers(acamar(), 4);
+    let a = generate::poisson2d::<f64>(16, 16);
+    let rhss: Vec<Vec<f64>> = (0..8)
+        .map(|k| {
+            (0..256)
+                .map(|i| 1.0 + (i * (k + 1)) as f64 * 1e-4)
+                .collect()
+        })
+        .collect();
+
+    let batch = engine.solve_batch(&a, &rhss).unwrap();
+
+    assert_eq!(batch.jobs(), 8);
+    assert!(batch.all_converged());
+    // The acceptance criterion: one analysis serves the whole batch.
+    assert_eq!(batch.cache.misses, 1);
+    assert_eq!(batch.cache.hits, 7);
+    assert_eq!(engine.counters().cache.entries, 1);
+    assert!(batch.cache.plan_build_cycles_saved > 0);
+
+    // And a second batch on the same pattern is all hits.
+    let again = engine.solve_batch(&a, &rhss).unwrap();
+    assert_eq!(again.cache.misses, 0);
+    assert_eq!(again.cache.hits, 8);
+}

@@ -1,0 +1,93 @@
+//! Golden convergence test: the exact solver-attempt sequence Acamar
+//! produces on every Table II dataset analog, pinned.
+//!
+//! The whole pipeline is deterministic — dataset generation is seeded,
+//! the Matrix Structure unit's pick is a pure function of the matrix, and
+//! the Solver Modifier's fallback order is fixed — so the sequence of
+//! solver attempts per dataset is a stable fingerprint of the decision
+//! logic. A diff here means the structure analysis, the convergence
+//! policy, or a generator changed behavior; update the table only after
+//! confirming the new sequence is intended.
+
+use acamar::core::{Acamar, AcamarConfig};
+use acamar::fabric::FabricSpec;
+use acamar::solvers::ConvergenceCriteria;
+use acamar::sparse::generate;
+use acamar_datasets::{suite, verify};
+
+/// `(dataset id, expected attempt labels in order)` for all 25 rows.
+///
+/// Under the Table II criteria every analog converges on the structure
+/// unit's first pick — the switch machinery is exercised by
+/// [`a_divergent_first_pick_switches_to_bicgstab`] below.
+const GOLDEN: &[(&str, &[&str])] = &[
+    ("2C", &["CG"]),
+    ("Of", &["CG"]),
+    ("Wi", &["JB"]),
+    ("If", &["BiCG-STAB"]),
+    ("Wa", &["JB"]),
+    ("Fe", &["JB"]),
+    ("Eb", &["JB"]),
+    ("Qa", &["CG"]),
+    ("Th", &["CG"]),
+    ("Bc", &["CG"]),
+    ("Sd", &["JB"]),
+    ("Li", &["JB"]),
+    ("Po", &["CG"]),
+    ("Cr", &["CG"]),
+    ("At", &["JB"]),
+    ("Mo", &["JB"]),
+    ("Ct", &["JB"]),
+    ("Ns", &["BiCG-STAB"]),
+    ("Fi", &["JB"]),
+    ("G2", &["JB"]),
+    ("Ga", &["CG"]),
+    ("Si", &["CG"]),
+    ("To", &["JB"]),
+    ("Ci", &["JB"]),
+    ("Tf", &["CG"]),
+];
+
+#[test]
+fn every_dataset_reproduces_its_golden_attempt_sequence() {
+    let datasets = suite();
+    assert_eq!(datasets.len(), GOLDEN.len(), "suite size changed");
+    let mut diffs = Vec::new();
+    for d in &datasets {
+        let (_, want) = GOLDEN
+            .iter()
+            .find(|(id, _)| *id == d.id)
+            .unwrap_or_else(|| panic!("dataset {} missing from the golden table", d.id));
+        let cfg = AcamarConfig::paper().with_criteria(verify::table2_criteria());
+        let rep = Acamar::new(FabricSpec::alveo_u55c(), cfg)
+            .run(&d.matrix(), &d.rhs())
+            .unwrap();
+        let got: Vec<&str> = rep.attempts.iter().map(|a| a.solver.label()).collect();
+        if got != *want {
+            diffs.push(format!("{}: expected {:?}, got {:?}", d.id, want, got));
+        }
+        if !rep.converged() {
+            diffs.push(format!("{}: did not converge ({:?})", d.id, rep.attempts));
+        }
+    }
+    assert!(diffs.is_empty(), "golden diffs:\n{}", diffs.join("\n"));
+}
+
+#[test]
+fn a_divergent_first_pick_switches_to_bicgstab() {
+    // Symmetric indefinite, not diagonally dominant: the structure unit
+    // picks CG (it can only check symmetry), CG breaks down on the
+    // indefinite spectrum, and the Solver Modifier rescues the run with
+    // BiCG-STAB — the exact two-step sequence is pinned.
+    let a = generate::spread_spectrum_blocks::<f32>(120, 0.65, 10.0, true, 7);
+    let cfg =
+        AcamarConfig::paper().with_criteria(ConvergenceCriteria::paper().with_max_iterations(2000));
+    let rep = Acamar::new(FabricSpec::alveo_u55c(), cfg)
+        .run(&a, &vec![1.0_f32; 120])
+        .unwrap();
+    let got: Vec<&str> = rep.attempts.iter().map(|x| x.solver.label()).collect();
+    assert_eq!(got, ["CG", "BiCG-STAB"]);
+    assert!(rep.converged());
+    assert!(!rep.attempts[0].outcome.converged());
+    assert_eq!(rep.solver_switches(), 1);
+}
