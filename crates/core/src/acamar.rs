@@ -5,7 +5,8 @@ use crate::fine_grained::{FineGrainedPlan, FineGrainedReconfigUnit};
 use crate::solver_modifier::SolverModifier;
 use crate::structure_unit::{MatrixStructureUnit, StructureDecision};
 use acamar_fabric::{cost, FabricKernels, FabricRunStats, FabricSpec, HwRun, ResourceVector};
-use acamar_solvers::{solve_with, Outcome, SolveReport, SolverKind};
+use acamar_faultline::FaultContext;
+use acamar_solvers::{solve_with, ConvergenceCriteria, Outcome, SolveReport, SolverKind};
 use acamar_sparse::{CsrMatrix, Scalar, SparseError};
 
 /// The cacheable product of Acamar's two host-side decision loops: the
@@ -105,6 +106,24 @@ impl<T> AcamarRunReport<T> {
     pub fn total_seconds(&self) -> f64 {
         self.stats.cycles.total() as f64 / (self.clock_mhz * 1e6)
     }
+}
+
+/// Per-run overrides for [`Acamar::run_with_plan_opts`].
+///
+/// The default (`RunOptions::default()`) reproduces
+/// [`Acamar::run_with_plan`] exactly; the batch engine's rescue ladder
+/// and fault-injection harness are the intended users of the overrides.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Convergence criteria replacing the configuration's (rescue rungs
+    /// shrink the iteration budget per step).
+    pub criteria: Option<ConvergenceCriteria>,
+    /// Force this single solver, bypassing the Matrix Structure pick, the
+    /// Solver Modifier loop, and the GMRES fallback (used by rescue rungs
+    /// that escalate to a specific solver).
+    pub solver: Option<SolverKind>,
+    /// Fault-injection context threaded down to the fabric kernels.
+    pub fault: Option<FaultContext>,
 }
 
 /// The dynamically reconfigurable accelerator.
@@ -227,6 +246,67 @@ impl Acamar {
         x0: Option<&[T]>,
         artifacts: &AnalysisArtifacts,
     ) -> Result<AcamarRunReport<T>, SparseError> {
+        self.run_with_plan_opts(a, b, x0, artifacts, RunOptions::default())
+    }
+
+    /// Rejects non-finite values and shape mismatches before any fabric
+    /// work is charged: garbage inputs must fail typed, not propagate.
+    fn validate_inputs<T: Scalar>(
+        a: &CsrMatrix<T>,
+        b: &[T],
+        x0: Option<&[T]>,
+    ) -> Result<(), SparseError> {
+        if b.len() != a.nrows() {
+            return Err(SparseError::DimensionMismatch {
+                expected: a.nrows(),
+                found: b.len(),
+                what: "right-hand side length",
+            });
+        }
+        if let Some(index) = b.iter().position(|v| !v.is_finite()) {
+            return Err(SparseError::NonFiniteValue {
+                what: "right-hand side",
+                index,
+            });
+        }
+        if let Some(x0) = x0 {
+            if x0.len() != a.nrows() {
+                return Err(SparseError::DimensionMismatch {
+                    expected: a.nrows(),
+                    found: x0.len(),
+                    what: "initial guess length",
+                });
+            }
+            if let Some(index) = x0.iter().position(|v| !v.is_finite()) {
+                return Err(SparseError::NonFiniteValue {
+                    what: "initial guess",
+                    index,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Acamar::run_with_plan`] with per-run overrides: replacement
+    /// convergence criteria, a forced single solver, and a
+    /// fault-injection context (see [`RunOptions`]). With default options
+    /// the behavior — down to every charged cycle — is identical to
+    /// [`Acamar::run_with_plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] for shape problems, non-finite inputs
+    /// ([`SparseError::NonFiniteValue`]), and artifacts whose schedule
+    /// does not cover `a`'s rows.
+    pub fn run_with_plan_opts<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+        x0: Option<&[T]>,
+        artifacts: &AnalysisArtifacts,
+        opts: RunOptions,
+    ) -> Result<AcamarRunReport<T>, SparseError> {
+        Self::validate_inputs(a, b, x0)?;
         let structure = artifacts.structure.clone();
         let plan = artifacts.plan.clone();
         let planned_rows = plan.schedule.entries().last().map_or(0, |e| e.rows.end);
@@ -238,57 +318,85 @@ impl Acamar {
             });
         }
 
+        let criteria = opts.criteria.unwrap_or(self.config.criteria);
         let mut hw = FabricKernels::new(
             self.spec.clone(),
             plan.schedule.clone(),
             self.config.init_unroll,
         )
         .with_overlap(self.config.overlap_reconfiguration);
-        let mut modifier = SolverModifier::new(structure.solver);
+        if let Some(ctx) = opts.fault {
+            hw = hw.with_fault_context(ctx);
+        }
         let mut attempts = Vec::new();
         let module = self.solver_module(plan.schedule.max_unroll());
 
         let mut last: Option<SolveReport<T>> = None;
-        while let Some(kind) = modifier.next_solver() {
-            // Host configures the Reconfigurable Solver region.
+        if let Some(kind) = opts.solver {
+            // Rescue-rung mode: one configured solver, no modifier loop.
             hw.charge_solver_reconfig(&module);
             hw.set_schedule(plan.schedule.clone());
-            let report = solve_with(kind, a, b, x0, &self.config.criteria, &mut hw)?;
+            let report = if kind == SolverKind::Gmres {
+                acamar_solvers::gmres(
+                    a,
+                    b,
+                    x0,
+                    self.config.gmres_restart.max(1),
+                    &criteria,
+                    &mut hw,
+                )?
+            } else {
+                solve_with(kind, a, b, x0, &criteria, &mut hw)?
+            };
             attempts.push(SolveAttempt {
                 solver: kind,
                 outcome: report.outcome,
                 iterations: report.iterations,
             });
-            let done = report.outcome.converged();
             last = Some(report);
-            if done {
-                break;
+        } else {
+            let mut modifier = SolverModifier::new(structure.solver);
+            while let Some(kind) = modifier.next_solver() {
+                // Host configures the Reconfigurable Solver region.
+                hw.charge_solver_reconfig(&module);
+                hw.set_schedule(plan.schedule.clone());
+                let report = solve_with(kind, a, b, x0, &criteria, &mut hw)?;
+                attempts.push(SolveAttempt {
+                    solver: kind,
+                    outcome: report.outcome,
+                    iterations: report.iterations,
+                });
+                let done = report.outcome.converged();
+                last = Some(report);
+                if done {
+                    break;
+                }
             }
-        }
 
-        // Extension: last-resort GMRES after all three solvers failed.
-        if self.config.gmres_fallback
-            && !last
-                .as_ref()
-                .map(|r| r.outcome.converged())
-                .unwrap_or(false)
-        {
-            hw.charge_solver_reconfig(&module);
-            hw.set_schedule(plan.schedule.clone());
-            let report = acamar_solvers::gmres(
-                a,
-                b,
-                x0,
-                self.config.gmres_restart.max(1),
-                &self.config.criteria,
-                &mut hw,
-            )?;
-            attempts.push(SolveAttempt {
-                solver: SolverKind::Gmres,
-                outcome: report.outcome,
-                iterations: report.iterations,
-            });
-            last = Some(report);
+            // Extension: last-resort GMRES after all three solvers failed.
+            if self.config.gmres_fallback
+                && !last
+                    .as_ref()
+                    .map(|r| r.outcome.converged())
+                    .unwrap_or(false)
+            {
+                hw.charge_solver_reconfig(&module);
+                hw.set_schedule(plan.schedule.clone());
+                let report = acamar_solvers::gmres(
+                    a,
+                    b,
+                    x0,
+                    self.config.gmres_restart.max(1),
+                    &criteria,
+                    &mut hw,
+                )?;
+                attempts.push(SolveAttempt {
+                    solver: SolverKind::Gmres,
+                    outcome: report.outcome,
+                    iterations: report.iterations,
+                });
+                last = Some(report);
+            }
         }
 
         let solve = last.expect("at least one attempt always runs");
@@ -352,6 +460,89 @@ mod tests {
         assert!(rep.converged(), "attempts: {:?}", rep.attempts);
         assert!(rep.solver_switches() >= 1);
         assert!(!rep.attempts[0].outcome.converged());
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs_with_typed_errors() {
+        let a = generate::poisson2d::<f32>(4, 4);
+        let mut b = vec![1.0_f32; 16];
+        b[5] = f32::NAN;
+        let err = acamar().run(&a, &b).unwrap_err();
+        assert_eq!(
+            err,
+            SparseError::NonFiniteValue {
+                what: "right-hand side",
+                index: 5
+            }
+        );
+        let b = vec![1.0_f32; 16];
+        let mut x0 = vec![0.0_f32; 16];
+        x0[2] = f32::INFINITY;
+        let err = acamar().run_with_guess(&a, &b, Some(&x0)).unwrap_err();
+        assert_eq!(
+            err,
+            SparseError::NonFiniteValue {
+                what: "initial guess",
+                index: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_dimension_mismatches_before_solving() {
+        let a = generate::poisson2d::<f32>(4, 4);
+        let err = acamar().run(&a, &[1.0_f32; 15]).unwrap_err();
+        assert!(matches!(
+            err,
+            SparseError::DimensionMismatch {
+                what: "right-hand side length",
+                ..
+            }
+        ));
+        let b = vec![1.0_f32; 16];
+        let err = acamar()
+            .run_with_guess(&a, &b, Some(&[0.0_f32; 3]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SparseError::DimensionMismatch {
+                what: "initial guess length",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn forced_solver_runs_exactly_one_attempt() {
+        let a = generate::poisson2d::<f32>(8, 8);
+        let b = vec![1.0_f32; 64];
+        let ac = acamar();
+        let artifacts = ac.analyze(&a);
+        let opts = RunOptions {
+            solver: Some(SolverKind::Gmres),
+            ..RunOptions::default()
+        };
+        let rep = ac
+            .run_with_plan_opts(&a, &b, None, &artifacts, opts)
+            .unwrap();
+        assert_eq!(rep.attempts.len(), 1);
+        assert_eq!(rep.final_solver(), SolverKind::Gmres);
+        assert!(rep.converged());
+    }
+
+    #[test]
+    fn default_options_replay_the_plain_run_exactly() {
+        let a = generate::poisson2d::<f32>(10, 10);
+        let b = vec![1.0_f32; 100];
+        let ac = acamar();
+        let artifacts = ac.analyze(&a);
+        let plain = ac.run_with_plan(&a, &b, None, &artifacts).unwrap();
+        let opted = ac
+            .run_with_plan_opts(&a, &b, None, &artifacts, RunOptions::default())
+            .unwrap();
+        assert_eq!(plain.solve.solution, opted.solve.solution);
+        assert_eq!(plain.solve.iterations, opted.solve.iterations);
+        assert_eq!(plain.stats.cycles, opted.stats.cycles);
     }
 
     #[test]

@@ -45,14 +45,16 @@ mod config;
 mod fine_grained;
 pub mod metrics;
 mod msid;
+mod rescue;
 mod solver_modifier;
 mod structure_unit;
 mod trace;
 
-pub use acamar::{Acamar, AcamarRunReport, AnalysisArtifacts, SolveAttempt};
+pub use acamar::{Acamar, AcamarRunReport, AnalysisArtifacts, RunOptions, SolveAttempt};
 pub use config::AcamarConfig;
 pub use fine_grained::{FineGrainedPlan, FineGrainedReconfigUnit};
 pub use msid::MsidChain;
+pub use rescue::{RescuePolicy, RescueStep};
 pub use solver_modifier::SolverModifier;
 pub use structure_unit::{MatrixStructureUnit, StructureDecision};
 pub use trace::{RowLengthTrace, TBuffer};

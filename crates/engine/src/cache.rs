@@ -14,6 +14,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to run [`Acamar::analyze`].
     pub misses: u64,
+    /// Lookups whose stored entry failed provenance verification (an
+    /// FNV-1a digest collision, or injected corruption) and were
+    /// re-analyzed; every collision is also counted as a miss.
+    pub collisions: u64,
     /// Distinct patterns currently cached.
     pub entries: usize,
     /// Host decision-loop work avoided by hits, in row/entry traversals
@@ -38,9 +42,28 @@ impl CacheStats {
         CacheStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
+            collisions: self.collisions - earlier.collisions,
             entries: self.entries,
             plan_build_cycles_saved: self.plan_build_cycles_saved - earlier.plan_build_cycles_saved,
         }
+    }
+}
+
+/// One cached pattern: the artifacts plus the provenance of the matrix
+/// they were built from. The digest inside the [`PatternFingerprint`] key
+/// is not collision-proof, so a hit must re-verify the cheap invariants
+/// before trusting the entry.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    artifacts: Arc<AnalysisArtifacts>,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+}
+
+impl CacheEntry {
+    fn verifies_against<T: Scalar>(&self, a: &CsrMatrix<T>) -> bool {
+        self.nrows == a.nrows() && self.ncols == a.ncols() && self.nnz == a.nnz()
     }
 }
 
@@ -54,11 +77,19 @@ impl CacheStats {
 /// requester of the same pattern blocks briefly and then *hits* — the
 /// accounting invariant `misses == distinct patterns` holds even under
 /// contention, which the batch engine's tests rely on.
+///
+/// A hit additionally verifies the entry's stored `(nrows, ncols, nnz)`
+/// provenance against the incoming matrix: the FNV-1a digest alone is
+/// not collision-proof, and serving another pattern's plan would at best
+/// fail the schedule-coverage check and at worst mis-schedule the SpMV
+/// walk. A verification failure counts as a collision *and* a miss, and
+/// the entry is rebuilt from the incoming matrix.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    map: RwLock<HashMap<PatternFingerprint, Arc<AnalysisArtifacts>>>,
+    map: RwLock<HashMap<PatternFingerprint, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    collisions: AtomicU64,
     saved: AtomicU64,
 }
 
@@ -68,36 +99,67 @@ impl PlanCache {
         PlanCache::default()
     }
 
-    /// Returns `a`'s artifacts, analyzing on first sight of its pattern.
+    /// Returns `a`'s artifacts, analyzing on first sight of its pattern
+    /// (or on a verification failure of the stored entry).
     pub fn get_or_analyze<T: Scalar>(
         &self,
         acamar: &Acamar,
         a: &CsrMatrix<T>,
     ) -> Arc<AnalysisArtifacts> {
         let fp = PatternFingerprint::of(a);
-        if let Some(art) = self.map.read().expect("cache lock poisoned").get(&fp) {
-            self.record_hit(art);
-            return Arc::clone(art);
+        if let Some(entry) = self.map.read().expect("cache lock poisoned").get(&fp) {
+            if entry.verifies_against(a) {
+                self.record_hit(&entry.artifacts);
+                return Arc::clone(&entry.artifacts);
+            }
+            // Collision or corruption: fall through to the exclusive path
+            // and rebuild.
         }
         let mut map = self.map.write().expect("cache lock poisoned");
-        if let Some(art) = map.get(&fp) {
-            // Another worker built it between our read and write locks.
-            self.record_hit(art);
-            return Arc::clone(art);
+        if let Some(entry) = map.get(&fp) {
+            if entry.verifies_against(a) {
+                // Another worker built (or repaired) it between our locks.
+                self.record_hit(&entry.artifacts);
+                return Arc::clone(&entry.artifacts);
+            }
+            self.collisions.fetch_add(1, Ordering::Relaxed);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let art = Arc::new(acamar.analyze(a));
-        map.insert(fp, Arc::clone(&art));
+        map.insert(
+            fp,
+            CacheEntry {
+                artifacts: Arc::clone(&art),
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+                nnz: a.nnz(),
+            },
+        );
         art
     }
 
-    /// The cached artifacts for `fp`, if present (no counter updates).
+    /// The cached artifacts for `fp`, if present (no counter updates, no
+    /// verification).
     pub fn peek(&self, fp: &PatternFingerprint) -> Option<Arc<AnalysisArtifacts>> {
         self.map
             .read()
             .expect("cache lock poisoned")
             .get(fp)
-            .cloned()
+            .map(|e| Arc::clone(&e.artifacts))
+    }
+
+    /// Fault-injection seam: corrupts the stored provenance of `fp`'s
+    /// entry (if cached) so the next lookup fails verification. Returns
+    /// `true` if an entry was corrupted.
+    pub fn corrupt_entry(&self, fp: &PatternFingerprint) -> bool {
+        let mut map = self.map.write().expect("cache lock poisoned");
+        match map.get_mut(fp) {
+            Some(entry) => {
+                entry.nnz = entry.nnz.wrapping_add(1);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Current counters.
@@ -105,6 +167,7 @@ impl PlanCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
             entries: self.map.read().expect("cache lock poisoned").len(),
             plan_build_cycles_saved: self.saved.load(Ordering::Relaxed),
         }
@@ -141,6 +204,7 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &again));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.collisions, 0);
         assert_eq!(s.plan_build_cycles_saved, first.build_cost);
         assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
     }
@@ -154,6 +218,29 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
         assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn corrupted_entry_is_detected_and_rebuilt() {
+        let cache = PlanCache::new();
+        let ac = acamar();
+        let a = generate::poisson2d::<f64>(8, 8);
+        let fp = PatternFingerprint::of(&a);
+        let first = cache.get_or_analyze(&ac, &a);
+        assert!(cache.corrupt_entry(&fp));
+        let repaired = cache.get_or_analyze(&ac, &a);
+        // The rebuilt artifacts are equal but freshly allocated.
+        assert!(!Arc::ptr_eq(&first, &repaired));
+        assert_eq!(*first, *repaired);
+        let s = cache.stats();
+        assert_eq!(s.collisions, 1);
+        assert_eq!(s.misses, 2, "the collision re-analyzes as a miss");
+        assert_eq!(s.hits, 0);
+        // The repaired entry verifies again.
+        cache.get_or_analyze(&ac, &a);
+        assert_eq!(cache.stats().hits, 1);
+        // Corrupting an uncached pattern is a no-op.
+        assert!(!cache.corrupt_entry(&PatternFingerprint::of(&generate::poisson2d::<f64>(3, 3))));
     }
 
     #[test]
@@ -177,17 +264,19 @@ mod tests {
         let before = CacheStats {
             hits: 3,
             misses: 2,
+            collisions: 0,
             entries: 2,
             plan_build_cycles_saved: 100,
         };
         let after = CacheStats {
             hits: 10,
             misses: 3,
+            collisions: 1,
             entries: 3,
             plan_build_cycles_saved: 450,
         };
         let d = after.since(&before);
-        assert_eq!((d.hits, d.misses), (7, 1));
+        assert_eq!((d.hits, d.misses, d.collisions), (7, 1, 1));
         assert_eq!(d.plan_build_cycles_saved, 350);
         assert_eq!(d.entries, 3);
     }

@@ -1,16 +1,24 @@
 //! The thread-pool-sharded batch solve engine.
 
 use crate::cache::{CacheStats, PlanCache};
-use acamar_core::{Acamar, AcamarRunReport};
+use crate::error::SolveError;
+use crate::fingerprint::PatternFingerprint;
+use crate::robustness::{JobDisposition, RobustnessReport};
+use acamar_core::{
+    Acamar, AcamarRunReport, AnalysisArtifacts, RescuePolicy, RunOptions, SolveAttempt,
+};
 use acamar_fabric::FabricRunStats;
+use acamar_faultline::{FaultContext, FaultInjector, InjectedPanic, WorkerDisruption};
 use acamar_solvers::SolverKind;
-use acamar_sparse::{CsrMatrix, Scalar, SparseError};
+use acamar_sparse::{CsrMatrix, Scalar};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One job's outcome slot, filled by whichever worker ran it.
-type ResultSlot<T> = Mutex<Option<Result<AcamarRunReport<T>, SparseError>>>;
+type ResultSlot<T> = Mutex<Option<JobOutcome<T>>>;
 
 /// One `(matrix, rhs)` solve request for [`Engine::solve_jobs`].
 ///
@@ -43,13 +51,63 @@ impl<T> SolveJob<T> {
     }
 }
 
+/// Engine-level hardening knobs, all off by default (a default engine
+/// behaves exactly like the pre-hardening one on healthy inputs).
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceConfig {
+    /// Rescue ladder climbed when a job's primary run fails (worker
+    /// panic, divergence after the Solver Modifier's own switches, or a
+    /// solver error). `None` disables engine-level rescue entirely.
+    pub rescue: Option<RescuePolicy>,
+    /// Per-job wall-clock deadline, checked between attempts; a job over
+    /// it fails with [`SolveError::DeadlineExceeded`] instead of climbing
+    /// further.
+    pub deadline: Option<Duration>,
+    /// Per-job loop-iteration budget across all attempts; once spent, no
+    /// further rescue rungs are climbed.
+    pub iteration_budget: Option<usize>,
+}
+
+impl ResilienceConfig {
+    /// The full ladder with default backoff, no deadline, no budget.
+    pub fn hardened() -> ResilienceConfig {
+        ResilienceConfig {
+            rescue: Some(RescuePolicy::default()),
+            ..ResilienceConfig::default()
+        }
+    }
+
+    /// Sets the per-job wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> ResilienceConfig {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the per-job iteration budget.
+    pub fn with_iteration_budget(mut self, budget: usize) -> ResilienceConfig {
+        self.iteration_budget = Some(budget);
+        self
+    }
+}
+
+/// Everything one job's execution produced: its result plus the
+/// engine-level telemetry the [`RobustnessReport`] is assembled from.
+#[derive(Debug)]
+struct JobOutcome<T> {
+    result: Result<AcamarRunReport<T>, SolveError>,
+    rungs: usize,
+    panics: u64,
+    deadline_missed: bool,
+}
+
 /// Aggregate report of one [`Engine::solve_jobs`] / [`Engine::solve_batch`]
 /// call.
 #[derive(Debug, Clone)]
 pub struct BatchReport<T> {
     /// Per-job outcomes, in submission order (independent of which worker
-    /// ran each job).
-    pub results: Vec<Result<AcamarRunReport<T>, SparseError>>,
+    /// ran each job). A job that climbed rescue rungs reports the merged
+    /// attempt list and fabric stats of *every* attempt.
+    pub results: Vec<Result<AcamarRunReport<T>, SolveError>>,
     /// Jobs whose final attempt converged.
     pub converged: usize,
     /// Solver attempts across all jobs, indexed by
@@ -63,6 +121,10 @@ pub struct BatchReport<T> {
     /// ([`CacheStats::since`] of the surrounding snapshots; concurrent
     /// batches on a shared engine may interleave their deltas).
     pub cache: CacheStats,
+    /// Fault/rescue accounting for the batch. All-zero tallies when no
+    /// fault injector is installed; the rescue-depth histogram, panic and
+    /// deadline counters describe real engine activity either way.
+    pub robustness: RobustnessReport,
     /// Wall-clock seconds spent in the batch call.
     pub wall_seconds: f64,
 }
@@ -88,7 +150,7 @@ impl<T> BatchReport<T> {
     }
 
     /// Total solver attempts (≥ jobs; the excess is Solver Modifier
-    /// interventions plus GMRES fallbacks).
+    /// interventions, GMRES fallbacks, and rescue rungs).
     pub fn total_attempts(&self) -> u64 {
         self.attempts_by_solver.iter().sum()
     }
@@ -123,6 +185,19 @@ pub struct EngineCounters {
 /// and, because [`Acamar::run_with_plan`] is deterministic, every
 /// solution vector — is independent of scheduling.
 ///
+/// # Hardening
+///
+/// Every job runs inside [`catch_unwind`]: a panicking worker fails only
+/// its own job ([`SolveError::Panicked`]) and the rest of the batch
+/// completes normally. [`Engine::with_resilience`] adds per-job
+/// deadlines, iteration budgets, and the [`RescuePolicy`] ladder
+/// (retry → next solver → preconditioned → GMRES, with geometric budget
+/// backoff). [`Engine::with_fault_injection`] installs a deterministic
+/// [`FaultInjector`] whose injections are reconciled into the batch's
+/// [`RobustnessReport`]. Input validation is always on: a non-finite
+/// right-hand side or guess, or a dimension mismatch, fails the job with
+/// [`SolveError::Invalid`] before any fabric work, and is never retried.
+///
 /// ```
 /// use acamar_core::{Acamar, AcamarConfig};
 /// use acamar_engine::Engine;
@@ -136,12 +211,16 @@ pub struct EngineCounters {
 /// assert!(batch.all_converged());
 /// // One analysis served all eight right-hand sides:
 /// assert_eq!(engine.counters().cache.misses, 1);
+/// // No injector installed: the robustness ledger is clean.
+/// assert_eq!(batch.robustness.injected_total(), 0);
 /// ```
 #[derive(Debug)]
 pub struct Engine {
     acamar: Acamar,
     workers: usize,
     cache: PlanCache,
+    resilience: ResilienceConfig,
+    injector: Option<Arc<FaultInjector>>,
     jobs_completed: AtomicU64,
     attempts: [AtomicU64; SolverKind::COUNT],
 }
@@ -162,9 +241,32 @@ impl Engine {
             acamar,
             workers: workers.max(1),
             cache: PlanCache::new(),
+            resilience: ResilienceConfig::default(),
+            injector: None,
             jobs_completed: AtomicU64::new(0),
             attempts: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    /// Sets the engine's hardening configuration (rescue ladder,
+    /// deadlines, iteration budgets).
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Engine {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Installs a deterministic fault injector: its seams fire inside
+    /// every subsequent job, and each batch report reconciles the
+    /// injector's ledger into its [`RobustnessReport`]. Also silences the
+    /// default panic hook for injected panics so chaos runs don't spam
+    /// stderr.
+    ///
+    /// Each batch drains the ledger; sharing one injector across
+    /// concurrently running batches mixes their events.
+    pub fn with_fault_injection(mut self, injector: Arc<FaultInjector>) -> Engine {
+        acamar_faultline::silence_injected_panics();
+        self.injector = Some(injector);
+        self
     }
 
     /// The wrapped accelerator.
@@ -182,6 +284,16 @@ impl Engine {
         &self.cache
     }
 
+    /// The engine's hardening configuration.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
+    /// The installed fault injector, if any.
+    pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
     /// Lifetime counters: jobs completed, per-solver attempt histogram,
     /// and cache hits/misses/cycles-saved.
     pub fn counters(&self) -> EngineCounters {
@@ -192,23 +304,22 @@ impl Engine {
         }
     }
 
-    /// Solves a single system through the cache (no worker threads).
+    /// Solves a single system through the cache (no worker threads) with
+    /// the same hardening as a batch job.
     ///
     /// # Errors
     ///
-    /// Returns [`SparseError`] for shape problems, as [`Acamar::run`].
+    /// [`SolveError::Invalid`] for rejected inputs, [`SolveError::Solver`]
+    /// for mid-solve accelerator errors, [`SolveError::Panicked`] /
+    /// [`SolveError::DeadlineExceeded`] from the hardening layer.
     pub fn solve_one<T: Scalar>(
         &self,
         a: &CsrMatrix<T>,
         b: &[T],
-    ) -> Result<AcamarRunReport<T>, SparseError> {
-        let artifacts = self.cache.get_or_analyze(&self.acamar, a);
-        let report = self.acamar.run_with_plan(a, b, None, &artifacts)?;
-        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
-        for at in &report.attempts {
-            self.attempts[at.solver.index()].fetch_add(1, Ordering::Relaxed);
-        }
-        Ok(report)
+    ) -> Result<AcamarRunReport<T>, SolveError> {
+        let outcome = self.run_job(0, a, b, None);
+        self.account_job(&outcome);
+        outcome.result
     }
 
     /// Multi-RHS fast path: solves `A x = b` for every `b` in `rhss`,
@@ -217,13 +328,14 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns the first shape error encountered; per-job numerical
-    /// outcomes (including divergence) are inside the report's `results`.
+    /// Never fails at the batch level; per-job outcomes (including
+    /// rejected inputs and divergence) are inside the report's `results`.
+    /// The `Result` return is kept for signature stability.
     pub fn solve_batch<T: Scalar>(
         &self,
         a: &CsrMatrix<T>,
         rhss: &[Vec<T>],
-    ) -> Result<BatchReport<T>, SparseError> {
+    ) -> Result<BatchReport<T>, SolveError> {
         let matrix = Arc::new(a.clone());
         let jobs: Vec<SolveJob<T>> = rhss
             .iter()
@@ -237,8 +349,9 @@ impl Engine {
     ///
     /// Jobs are pulled from a shared queue (no static sharding, so a few
     /// slow systems cannot idle the other workers) and results land in
-    /// submission order. Shape errors are reported per job; they do not
-    /// abort the batch.
+    /// submission order. Per-job failures — rejected inputs, solver
+    /// errors, isolated panics, missed deadlines — are reported in their
+    /// own slot; nothing aborts the batch.
     pub fn solve_jobs<T: Scalar>(&self, jobs: Vec<SolveJob<T>>) -> BatchReport<T> {
         let start = Instant::now();
         let cache_before = self.cache.stats();
@@ -258,32 +371,38 @@ impl Engine {
                         break;
                     }
                     let job = &jobs[i];
-                    let artifacts = self.cache.get_or_analyze(&self.acamar, &job.matrix);
-                    let result = self.acamar.run_with_plan(
-                        &job.matrix,
-                        &job.rhs,
-                        job.guess.as_deref(),
-                        &artifacts,
-                    );
-                    if let Ok(report) = &result {
-                        for at in &report.attempts {
-                            self.attempts[at.solver.index()].fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    self.jobs_completed.fetch_add(1, Ordering::Relaxed);
-                    *slots_ref[i].lock().expect("result slot poisoned") = Some(result);
+                    let outcome = self.run_job(i, &job.matrix, &job.rhs, job.guess.as_deref());
+                    self.account_job(&outcome);
+                    *slots_ref[i].lock().expect("result slot poisoned") = Some(outcome);
                 });
             }
         });
 
-        let results: Vec<Result<AcamarRunReport<T>, SparseError>> = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every slot is filled before the scope ends")
-            })
-            .collect();
+        let mut results = Vec::with_capacity(n);
+        let mut dispositions = Vec::with_capacity(n);
+        let mut panics_caught = 0u64;
+        let mut deadline_misses = 0u64;
+        for slot in slots {
+            let outcome = slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot is filled before the scope ends");
+            dispositions.push(JobDisposition {
+                converged: matches!(&outcome.result, Ok(r) if r.converged()),
+                rungs: outcome.rungs,
+            });
+            panics_caught += outcome.panics;
+            deadline_misses += u64::from(outcome.deadline_missed);
+            results.push(outcome.result);
+        }
+
+        let events = match &self.injector {
+            Some(inj) => inj.take_events(),
+            None => Vec::new(),
+        };
+        let mut robustness = RobustnessReport::reconcile(&events, &dispositions);
+        robustness.panics_caught = panics_caught;
+        robustness.deadline_misses = deadline_misses;
 
         let mut attempts_by_solver = [0u64; SolverKind::COUNT];
         let mut stats = FabricRunStats::empty();
@@ -304,8 +423,244 @@ impl Engine {
             attempts_by_solver,
             stats,
             cache: self.cache.stats().since(&cache_before),
+            robustness,
             wall_seconds: start.elapsed().as_secs_f64(),
         }
+    }
+
+    /// Runs one job end to end: intake seams, cached analysis, the
+    /// panic-isolated primary attempt, then the rescue ladder under the
+    /// deadline and iteration budget.
+    fn run_job<T: Scalar>(
+        &self,
+        index: usize,
+        matrix: &CsrMatrix<T>,
+        rhs: &[T],
+        guess: Option<&[T]>,
+    ) -> JobOutcome<T> {
+        let start = Instant::now();
+        let job = index as u64;
+        let mut panics = 0u64;
+
+        // Intake seams. The poisoned copy (if any) replaces the caller's
+        // RHS for every attempt; input validation then rejects it as a
+        // typed, non-retryable error — that rejection *is* the detection.
+        let poisoned: Option<Vec<T>> = self.injector.as_ref().and_then(|inj| {
+            let mut copy = rhs.to_vec();
+            inj.poison_rhs(job, &mut copy).then_some(copy)
+        });
+        let rhs: &[T] = poisoned.as_deref().unwrap_or(rhs);
+        if let Some(inj) = &self.injector {
+            if inj.corrupt_cache(job) {
+                // The cache's provenance guard turns this into a counted
+                // collision + re-analysis on the lookup just below.
+                self.cache.corrupt_entry(&PatternFingerprint::of(matrix));
+            }
+        }
+        let artifacts = self.cache.get_or_analyze(&self.acamar, matrix);
+
+        // Primary attempt: the accelerator's own defenses (Solver
+        // Modifier switching, GMRES fallback) run inside it.
+        let mut result = self.attempt(matrix, rhs, guess, &artifacts, job, 0, None, &mut panics);
+        let mut rungs = 0usize;
+        let mut deadline_missed = false;
+
+        let done = matches!(&result, Ok(r) if r.converged())
+            || matches!(&result, Err(e) if e.is_invalid_input());
+        if !done {
+            if let Some(policy) = self.resilience.rescue {
+                let base = self.acamar.config().criteria;
+                let primary = artifacts.structure.solver;
+                let mut climb = Climb::new();
+                if let Ok(r) = &result {
+                    climb.absorb(r);
+                }
+
+                for &step in policy.ladder() {
+                    if let Some(limit) = self.resilience.deadline {
+                        let elapsed = start.elapsed();
+                        if elapsed >= limit {
+                            result = Err(SolveError::DeadlineExceeded {
+                                elapsed_ms: elapsed.as_millis() as u64,
+                                limit_ms: limit.as_millis() as u64,
+                            });
+                            deadline_missed = true;
+                            break;
+                        }
+                    }
+                    if let Some(budget) = self.resilience.iteration_budget {
+                        if climb.iters_spent >= budget {
+                            break;
+                        }
+                    }
+                    let Some(kind) = policy.solver_for(step, primary, &climb.tried) else {
+                        // Nothing new to offer; skip without burning depth.
+                        continue;
+                    };
+                    rungs += 1;
+                    let criteria = policy.rung_criteria(&base, rungs);
+                    let next = self.attempt(
+                        matrix,
+                        rhs,
+                        guess,
+                        &artifacts,
+                        job,
+                        rungs as u64,
+                        Some((criteria, kind)),
+                        &mut panics,
+                    );
+                    if let Ok(r) = &next {
+                        climb.absorb(r);
+                    }
+                    let rescued = matches!(&next, Ok(r) if r.converged());
+                    let invalid = matches!(&next, Err(e) if e.is_invalid_input());
+                    match (&result, next) {
+                        // A numerical report from an earlier attempt is
+                        // more informative than a later rung's panic.
+                        (Ok(_), Err(_)) => {}
+                        (_, next) => result = next,
+                    }
+                    if rescued || invalid {
+                        break;
+                    }
+                }
+
+                // The job's report describes the whole climb, not just the
+                // final rung.
+                if rungs > 0 {
+                    if let Ok(r) = &mut result {
+                        r.attempts = climb.attempts;
+                        r.stats = climb.stats;
+                    }
+                }
+            }
+        }
+
+        JobOutcome {
+            result,
+            rungs,
+            panics,
+            deadline_missed,
+        }
+    }
+
+    /// One panic-isolated solver attempt. `forced` carries a rescue
+    /// rung's `(criteria, solver)`; `None` runs the accelerator's own
+    /// decision chain. The worker-disruption seam fires *inside* the
+    /// unwind boundary, so an injected panic exercises the same isolation
+    /// path a genuine one would.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt<T: Scalar>(
+        &self,
+        matrix: &CsrMatrix<T>,
+        rhs: &[T],
+        guess: Option<&[T]>,
+        artifacts: &AnalysisArtifacts,
+        job: u64,
+        rung: u64,
+        forced: Option<(acamar_solvers::ConvergenceCriteria, SolverKind)>,
+        panics: &mut u64,
+    ) -> Result<AcamarRunReport<T>, SolveError> {
+        // Salting by rung gives each rescue attempt a fresh site
+        // namespace; an un-salted retry would re-draw the exact faults
+        // that killed the run it is rescuing.
+        let fault = self
+            .injector
+            .as_ref()
+            .map(|inj| FaultContext::new(Arc::clone(inj), job).with_salt(rung));
+        let disruption = self
+            .injector
+            .as_ref()
+            .and_then(|inj| inj.disrupt_worker(job, rung));
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            match disruption {
+                Some(WorkerDisruption::Panic) => std::panic::panic_any(InjectedPanic { job }),
+                Some(WorkerDisruption::Stall { millis }) => {
+                    std::thread::sleep(Duration::from_millis(millis))
+                }
+                None => {}
+            }
+            let (criteria, solver) = match forced {
+                Some((c, s)) => (Some(c), Some(s)),
+                None => (None, None),
+            };
+            self.acamar.run_with_plan_opts(
+                matrix,
+                rhs,
+                guess,
+                artifacts,
+                RunOptions {
+                    criteria,
+                    solver,
+                    fault,
+                },
+            )
+        }));
+        match run {
+            Ok(result) => result.map_err(SolveError::from),
+            Err(payload) => {
+                *panics += 1;
+                Err(SolveError::Panicked {
+                    message: describe_panic(payload.as_ref()),
+                })
+            }
+        }
+    }
+
+    /// Lifetime-counter bookkeeping shared by `solve_one` and the batch
+    /// workers.
+    fn account_job<T>(&self, outcome: &JobOutcome<T>) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        if let Ok(report) = &outcome.result {
+            for at in &report.attempts {
+                self.attempts[at.solver.index()].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Running accumulation of a job's climb up the rescue ladder: every
+/// attempt made, the merged fabric stats, the solver kinds already
+/// tried, and the iteration budget spent.
+struct Climb {
+    attempts: Vec<SolveAttempt>,
+    stats: FabricRunStats,
+    tried: Vec<SolverKind>,
+    iters_spent: usize,
+}
+
+impl Climb {
+    fn new() -> Climb {
+        Climb {
+            attempts: Vec::new(),
+            stats: FabricRunStats::empty(),
+            tried: Vec::new(),
+            iters_spent: 0,
+        }
+    }
+
+    fn absorb<T>(&mut self, r: &AcamarRunReport<T>) {
+        for at in &r.attempts {
+            self.iters_spent += at.iterations;
+            if !self.tried.contains(&at.solver) {
+                self.tried.push(at.solver);
+            }
+        }
+        self.attempts.extend(r.attempts.iter().cloned());
+        self.stats = self.stats.merge(&r.stats);
+    }
+}
+
+/// Best-effort description of a caught panic payload.
+fn describe_panic(payload: &(dyn Any + Send)) -> String {
+    if let Some(p) = payload.downcast_ref::<InjectedPanic>() {
+        format!("injected worker panic (job {})", p.job)
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
     }
 }
 
@@ -314,13 +669,36 @@ mod tests {
     use super::*;
     use acamar_core::AcamarConfig;
     use acamar_fabric::FabricSpec;
+    use acamar_faultline::{FaultCategory, FaultPlan};
     use acamar_solvers::ConvergenceCriteria;
     use acamar_sparse::generate::{self, RowDistribution};
+    use acamar_sparse::SparseError;
 
     fn engine(workers: usize) -> Engine {
         let cfg = AcamarConfig::paper()
             .with_criteria(ConvergenceCriteria::paper().with_max_iterations(2000));
         Engine::with_workers(Acamar::new(FabricSpec::alveo_u55c(), cfg), workers)
+    }
+
+    /// An engine whose base iteration budget is far too small to
+    /// converge, so the primary run always fails and the rescue ladder
+    /// (whose `min_iterations` floor restores a real budget) is the only
+    /// path to convergence.
+    fn starved_engine(workers: usize, resilience: ResilienceConfig) -> Engine {
+        let cfg = AcamarConfig::paper()
+            .with_criteria(ConvergenceCriteria::paper().with_max_iterations(4));
+        Engine::with_workers(Acamar::new(FabricSpec::alveo_u55c(), cfg), workers)
+            .with_resilience(resilience)
+    }
+
+    fn rescue_with_floor(min_iterations: usize) -> ResilienceConfig {
+        ResilienceConfig {
+            rescue: Some(RescuePolicy {
+                min_iterations,
+                ..RescuePolicy::default()
+            }),
+            ..ResilienceConfig::default()
+        }
     }
 
     #[test]
@@ -347,6 +725,11 @@ mod tests {
         assert_eq!(batch.cache.hits, 8);
         assert!(batch.cache.plan_build_cycles_saved > 0);
         assert!(batch.jobs_per_second() > 0.0);
+        // Quiet engine: clean ledger, everyone finished on the primary run.
+        assert_eq!(batch.robustness.injected_total(), 0);
+        assert!(batch.robustness.accounted());
+        assert_eq!(batch.robustness.rescue_depths[0], 9);
+        assert_eq!(batch.robustness.panics_caught, 0);
     }
 
     #[test]
@@ -377,10 +760,38 @@ mod tests {
         ];
         let batch = e.solve_jobs(jobs);
         assert!(batch.results[0].is_ok());
-        assert!(batch.results[1].is_err());
+        assert!(matches!(&batch.results[1], Err(e) if e.is_invalid_input()));
         assert!(batch.results[2].is_ok());
         assert_eq!(batch.converged, 2);
         assert!(!batch.all_converged());
+        assert_eq!(batch.robustness.exhausted_jobs, vec![1]);
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_with_typed_errors() {
+        let e = engine(1);
+        let a = generate::poisson2d::<f64>(6, 6);
+        let mut b = vec![1.0_f64; 36];
+        b[7] = f64::NAN;
+        match e.solve_one(&a, &b) {
+            Err(SolveError::Invalid(SparseError::NonFiniteValue { what, index })) => {
+                assert_eq!(what, "right-hand side");
+                assert_eq!(index, 7);
+            }
+            other => panic!("expected a typed rejection, got {other:?}"),
+        }
+        // A poisoned warm-start guess is rejected the same way, and —
+        // being deterministic — never climbs the rescue ladder even on a
+        // rescue-enabled engine.
+        let e = engine(1).with_resilience(ResilienceConfig::hardened());
+        let am = Arc::new(a);
+        let mut x0 = vec![0.0_f64; 36];
+        x0[0] = f64::INFINITY;
+        let batch = e.solve_jobs(vec![
+            SolveJob::new(Arc::clone(&am), vec![1.0_f64; 36]).with_guess(x0)
+        ]);
+        assert!(matches!(&batch.results[0], Err(err) if err.is_invalid_input()));
+        assert_eq!(batch.robustness.rescue_depths[0], 1, "no rescue climbed");
     }
 
     #[test]
@@ -391,6 +802,7 @@ mod tests {
         assert_eq!(batch.total_attempts(), 0);
         assert_eq!(batch.jobs_per_second(), 0.0);
         assert!(batch.all_converged());
+        assert!(batch.robustness.accounted());
     }
 
     #[test]
@@ -418,5 +830,123 @@ mod tests {
         assert!(w.converged());
         let c = cold.results[0].as_ref().unwrap();
         assert!(w.solve.iterations <= c.solve.iterations);
+    }
+
+    #[test]
+    fn quiet_injector_reproduces_the_plain_run_exactly() {
+        let a = generate::poisson2d::<f64>(10, 10);
+        let rhss: Vec<Vec<f64>> = (0..4).map(|k| vec![1.0 + k as f64; 100]).collect();
+        let plain = engine(2).solve_batch(&a, &rhss).unwrap();
+        let injector = Arc::new(FaultInjector::new(FaultPlan::new(7)));
+        let chaos_off = engine(2)
+            .with_fault_injection(Arc::clone(&injector))
+            .with_resilience(ResilienceConfig::hardened())
+            .solve_batch(&a, &rhss)
+            .unwrap();
+        assert_eq!(injector.injected_total(), 0);
+        for (p, c) in plain.results.iter().zip(&chaos_off.results) {
+            let (p, c) = (p.as_ref().unwrap(), c.as_ref().unwrap());
+            assert_eq!(p.solve.solution, c.solve.solution);
+            assert_eq!(p.solve.iterations, c.solve.iterations);
+            assert_eq!(p.stats.cycles.total(), c.stats.cycles.total());
+        }
+    }
+
+    #[test]
+    fn panicking_jobs_are_isolated_and_the_batch_completes() {
+        let plan = FaultPlan::new(42).with_rate(FaultCategory::WorkerDisruption, 1.0);
+        let injector = Arc::new(FaultInjector::new(plan));
+        // No rescue: a panicked primary run fails its job outright.
+        let e = engine(4).with_fault_injection(Arc::clone(&injector));
+        let a = generate::poisson2d::<f64>(8, 8);
+        let rhss: Vec<Vec<f64>> = (0..8).map(|k| vec![1.0 + k as f64; 64]).collect();
+        let batch = e.solve_batch(&a, &rhss).unwrap();
+        assert_eq!(batch.jobs(), 8, "every slot filled");
+        let panicked = batch
+            .results
+            .iter()
+            .filter(|r| matches!(r, Err(SolveError::Panicked { .. })))
+            .count();
+        // Disruptions are 50/50 panic vs stall per job; seed 42 yields
+        // both kinds across eight jobs, deterministically.
+        assert!(panicked >= 1, "at least one injected panic");
+        assert!(batch.converged >= 1, "stalled jobs still converge");
+        assert_eq!(panicked + batch.converged, 8);
+        assert_eq!(batch.robustness.panics_caught as usize, panicked);
+        assert!(batch.robustness.accounted());
+        let t = batch.robustness.tallies[FaultCategory::WorkerDisruption.index()];
+        assert_eq!(t.injected, 8);
+        assert_eq!(t.exhausted as usize, panicked);
+    }
+
+    #[test]
+    fn rescue_ladder_recovers_a_starved_job() {
+        // Base budget of 4 iterations cannot converge; the first rescue
+        // rung re-runs with the policy's 2000-iteration floor and does.
+        let e = starved_engine(1, rescue_with_floor(2000));
+        let a = generate::poisson2d::<f64>(10, 10);
+        let batch = e.solve_batch(&a, &[vec![1.0_f64; 100]]).unwrap();
+        assert!(batch.all_converged());
+        assert_eq!(batch.robustness.rescue_depths[1], 1, "one rung climbed");
+        assert_eq!(batch.robustness.rescued_jobs(), 1);
+        let report = batch.results[0].as_ref().unwrap();
+        assert!(
+            report.attempts.len() >= 2,
+            "merged report keeps the failed primary attempts"
+        );
+        assert!(report.converged());
+    }
+
+    #[test]
+    fn rescue_without_recovery_marks_the_job_exhausted() {
+        // The floor is as starved as the base: no rung can converge.
+        let e = starved_engine(1, rescue_with_floor(4));
+        let a = generate::poisson2d::<f64>(10, 10);
+        let batch = e.solve_batch(&a, &[vec![1.0_f64; 100]]).unwrap();
+        assert_eq!(batch.converged, 0);
+        assert_eq!(batch.robustness.exhausted_jobs, vec![0]);
+        assert!(batch.robustness.rescued_jobs() >= 1, "it did try");
+    }
+
+    #[test]
+    fn zero_deadline_fails_fast_with_a_typed_error() {
+        let e = starved_engine(1, rescue_with_floor(2000).with_deadline(Duration::ZERO));
+        let a = generate::poisson2d::<f64>(10, 10);
+        let batch = e.solve_batch(&a, &[vec![1.0_f64; 100]]).unwrap();
+        assert!(matches!(
+            batch.results[0],
+            Err(SolveError::DeadlineExceeded { limit_ms: 0, .. })
+        ));
+        assert_eq!(batch.robustness.deadline_misses, 1);
+        assert_eq!(batch.robustness.exhausted_jobs, vec![0]);
+    }
+
+    #[test]
+    fn iteration_budget_stops_the_climb() {
+        // The primary run spends ≥ 1 iteration, exhausting a budget of 1
+        // before any rung is climbed.
+        let e = starved_engine(1, rescue_with_floor(2000).with_iteration_budget(1));
+        let a = generate::poisson2d::<f64>(10, 10);
+        let batch = e.solve_batch(&a, &[vec![1.0_f64; 100]]).unwrap();
+        assert_eq!(batch.converged, 0);
+        assert_eq!(batch.robustness.rescue_depths[0], 1, "no rung climbed");
+        assert_eq!(batch.robustness.rescued_jobs(), 0);
+    }
+
+    #[test]
+    fn cache_corruption_is_absorbed_by_the_provenance_guard() {
+        let plan = FaultPlan::new(11).with_rate(FaultCategory::CacheCorruption, 1.0);
+        let injector = Arc::new(FaultInjector::new(plan));
+        let e = engine(1).with_fault_injection(Arc::clone(&injector));
+        let a = generate::poisson2d::<f64>(8, 8);
+        let rhss: Vec<Vec<f64>> = (0..4).map(|k| vec![1.0 + k as f64; 64]).collect();
+        let batch = e.solve_batch(&a, &rhss).unwrap();
+        assert!(batch.all_converged(), "corruption never reaches a solve");
+        let t = batch.robustness.tallies[FaultCategory::CacheCorruption.index()];
+        assert_eq!(t.injected, 4);
+        assert_eq!(t.detected, 4, "absorbed with zero rescues");
+        // Jobs 2..4 corrupt an existing entry, which the guard counts.
+        assert!(batch.cache.collisions >= 1);
+        assert!(batch.robustness.accounted());
     }
 }

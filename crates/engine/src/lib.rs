@@ -27,6 +27,19 @@
 //! artifacts)`, so a batch's solution vectors are bitwise identical
 //! whatever the worker count or scheduling.
 //!
+//! # Hardening and fault injection
+//!
+//! Every job runs panic-isolated; inputs are validated up front
+//! ([`SolveError::Invalid`]); [`ResilienceConfig`] adds per-job
+//! deadlines, iteration budgets, and the
+//! [`RescuePolicy`](acamar_core::RescuePolicy) rescue ladder; and
+//! [`Engine::with_fault_injection`] wires a deterministic
+//! [`FaultInjector`](acamar_faultline::FaultInjector) through every seam
+//! (RHS intake, plan cache, reconfiguration, SpMV datapath, the workers
+//! themselves). Each batch reconciles the injector's ledger against job
+//! outcomes into a [`RobustnessReport`], whose invariant
+//! `detected + recovered + exhausted == injected` holds per category.
+//!
 //! ```
 //! use acamar_core::{Acamar, AcamarConfig};
 //! use acamar_engine::Engine;
@@ -52,8 +65,12 @@
 
 mod cache;
 mod engine;
+mod error;
 mod fingerprint;
+mod robustness;
 
 pub use cache::{CacheStats, PlanCache};
-pub use engine::{BatchReport, Engine, EngineCounters, SolveJob};
+pub use engine::{BatchReport, Engine, EngineCounters, ResilienceConfig, SolveJob};
+pub use error::SolveError;
 pub use fingerprint::PatternFingerprint;
+pub use robustness::{FaultTally, JobDisposition, RobustnessReport, DEPTH_BUCKETS};

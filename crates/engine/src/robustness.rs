@@ -1,0 +1,191 @@
+//! Fault accounting for a batch: what was injected, what happened to it.
+
+use acamar_core::RescueStep;
+use acamar_faultline::{FaultCategory, FaultEvent};
+
+/// Number of rescue-depth buckets: depth 0 (no rescue needed) through the
+/// full ladder.
+pub const DEPTH_BUCKETS: usize = RescueStep::LADDER.len() + 1;
+
+/// Per-category reconciliation of injected faults against job outcomes.
+///
+/// The three outcome buckets are disjoint and every injected fault lands
+/// in exactly one, so `detected + recovered + exhausted == injected`
+/// always holds (see [`RobustnessReport::accounted`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    /// Faults the harness injected into jobs of this batch.
+    pub injected: u64,
+    /// Faults whose job still converged without engine-level rescue: the
+    /// in-run defenses (divergence classification + Solver Modifier
+    /// switch, reconfiguration degrade, cache-collision guard) absorbed
+    /// them.
+    pub detected: u64,
+    /// Faults whose job converged only after climbing ≥ 1 rescue rung.
+    pub recovered: u64,
+    /// Faults whose job ultimately failed (typed error or divergence
+    /// after every rescue).
+    pub exhausted: u64,
+}
+
+/// What one job looked like when the batch finished — the input to the
+/// per-fault bucketing.
+#[derive(Debug, Clone, Copy)]
+pub struct JobDisposition {
+    /// The job's final attempt converged.
+    pub converged: bool,
+    /// Rescue rungs the engine climbed for it (0 = primary run only).
+    pub rungs: usize,
+}
+
+/// Robustness summary attached to every
+/// [`BatchReport`](crate::BatchReport).
+///
+/// Without an installed fault injector all tallies are zero but the
+/// rescue/panic/deadline counters still describe real engine activity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RobustnessReport {
+    /// Reconciliation per fault category, indexed by
+    /// [`FaultCategory::index`].
+    pub tallies: [FaultTally; FaultCategory::COUNT],
+    /// Histogram of rescue depth over jobs: `rescue_depths[d]` jobs
+    /// finished after climbing exactly `d` rungs.
+    pub rescue_depths: [u64; DEPTH_BUCKETS],
+    /// Submission indices of jobs that failed after every rescue (typed
+    /// error or final divergence).
+    pub exhausted_jobs: Vec<usize>,
+    /// Worker panics caught and isolated by the engine.
+    pub panics_caught: u64,
+    /// Jobs cut off by their wall-clock deadline.
+    pub deadline_misses: u64,
+}
+
+impl RobustnessReport {
+    /// Builds the report by bucketing each injected fault according to
+    /// the disposition of the job it targeted. Events whose job index
+    /// falls outside `jobs` (impossible under the engine's keying) count
+    /// as exhausted so they are never silently dropped.
+    pub fn reconcile(events: &[FaultEvent], jobs: &[JobDisposition]) -> RobustnessReport {
+        let mut report = RobustnessReport::default();
+        for (i, job) in jobs.iter().enumerate() {
+            report.rescue_depths[job.rungs.min(DEPTH_BUCKETS - 1)] += 1;
+            if !job.converged {
+                report.exhausted_jobs.push(i);
+            }
+        }
+        for e in events {
+            let tally = &mut report.tallies[e.category.index()];
+            tally.injected += 1;
+            match jobs.get(e.job as usize) {
+                Some(j) if j.converged && j.rungs == 0 => tally.detected += 1,
+                Some(j) if j.converged => tally.recovered += 1,
+                _ => tally.exhausted += 1,
+            }
+        }
+        report
+    }
+
+    /// Total faults injected across all categories.
+    pub fn injected_total(&self) -> u64 {
+        self.tallies.iter().map(|t| t.injected).sum()
+    }
+
+    /// Total faults whose jobs converged (with or without rescue).
+    pub fn survived_total(&self) -> u64 {
+        self.tallies.iter().map(|t| t.detected + t.recovered).sum()
+    }
+
+    /// `true` when every category satisfies
+    /// `detected + recovered + exhausted == injected` — the ledger and
+    /// the job outcomes agree and no fault went unaccounted.
+    pub fn accounted(&self) -> bool {
+        self.tallies
+            .iter()
+            .all(|t| t.detected + t.recovered + t.exhausted == t.injected)
+    }
+
+    /// Jobs that needed at least one rescue rung.
+    pub fn rescued_jobs(&self) -> u64 {
+        self.rescue_depths[1..].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(category: FaultCategory, job: u64) -> FaultEvent {
+        FaultEvent {
+            category,
+            job,
+            site: 0,
+        }
+    }
+
+    #[test]
+    fn reconcile_buckets_by_job_disposition() {
+        let jobs = [
+            JobDisposition {
+                converged: true,
+                rungs: 0,
+            },
+            JobDisposition {
+                converged: true,
+                rungs: 2,
+            },
+            JobDisposition {
+                converged: false,
+                rungs: 4,
+            },
+        ];
+        let events = [
+            event(FaultCategory::RhsPoison, 2),
+            event(FaultCategory::SpmvBitFlip, 0),
+            event(FaultCategory::SpmvBitFlip, 1),
+            event(FaultCategory::WorkerDisruption, 1),
+        ];
+        let r = RobustnessReport::reconcile(&events, &jobs);
+        assert!(r.accounted());
+        assert_eq!(r.injected_total(), 4);
+        let flips = r.tallies[FaultCategory::SpmvBitFlip.index()];
+        assert_eq!(
+            (flips.detected, flips.recovered, flips.exhausted),
+            (1, 1, 0)
+        );
+        assert_eq!(r.tallies[FaultCategory::RhsPoison.index()].exhausted, 1);
+        assert_eq!(r.rescue_depths[0], 1);
+        assert_eq!(r.rescue_depths[2], 1);
+        assert_eq!(r.rescue_depths[4], 1);
+        assert_eq!(r.rescued_jobs(), 2);
+        assert_eq!(r.exhausted_jobs, vec![2]);
+        assert_eq!(r.survived_total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_events_are_never_dropped() {
+        let jobs = [JobDisposition {
+            converged: true,
+            rungs: 0,
+        }];
+        let events = [event(FaultCategory::CacheCorruption, 99)];
+        let r = RobustnessReport::reconcile(&events, &jobs);
+        assert!(r.accounted());
+        assert_eq!(
+            r.tallies[FaultCategory::CacheCorruption.index()].exhausted,
+            1
+        );
+    }
+
+    #[test]
+    fn quiet_batch_reconciles_to_all_zero_tallies() {
+        let jobs = [JobDisposition {
+            converged: true,
+            rungs: 0,
+        }];
+        let r = RobustnessReport::reconcile(&[], &jobs);
+        assert!(r.accounted());
+        assert_eq!(r.injected_total(), 0);
+        assert!(r.exhausted_jobs.is_empty());
+        assert_eq!(r.rescue_depths[0], 1);
+    }
+}

@@ -12,6 +12,7 @@ use crate::reconfig::{ReconfigController, RegionKind};
 use crate::spec::{FabricSpec, ResourceVector};
 use crate::spmv::{execute_rows, SpmvExecution};
 use crate::trace::{ExecutionTrace, TraceEvent};
+use acamar_faultline::{FaultContext, FaultInjector};
 use acamar_solvers::{Kernels, OpCounts, Phase};
 use acamar_sparse::{CsrMatrix, Scalar};
 use std::ops::Range;
@@ -161,6 +162,17 @@ pub struct FabricRunStats {
     pub peak_area_mm2: f64,
     /// Whether the initialize phase used its static SpMV engine.
     pub used_init_spmv: bool,
+    /// ICAP swaps of the nested SpMV region that aborted mid-stream
+    /// (only nonzero under fault injection).
+    pub reconfig_aborts: usize,
+    /// Loop-phase SpMV cycles run on a larger engine than the schedule
+    /// planned, after an abort degraded the kernel to its static
+    /// max-unroll configuration — the area-efficiency price of surviving
+    /// a reconfiguration failure.
+    pub lost_area_cycles: u64,
+    /// Whether a reconfiguration failure pinned the Dynamic SpMV Kernel
+    /// to its static max-unroll fallback for the rest of the run.
+    pub degraded_to_static: bool,
 }
 
 impl FabricRunStats {
@@ -186,6 +198,9 @@ impl FabricRunStats {
             avg_area_mm2: 0.0,
             peak_area_mm2: 0.0,
             used_init_spmv: false,
+            reconfig_aborts: 0,
+            lost_area_cycles: 0,
+            degraded_to_static: false,
         }
     }
 
@@ -213,6 +228,9 @@ impl FabricRunStats {
             avg_area_mm2: avg_area,
             peak_area_mm2: self.peak_area_mm2.max(other.peak_area_mm2),
             used_init_spmv: self.used_init_spmv || other.used_init_spmv,
+            reconfig_aborts: self.reconfig_aborts + other.reconfig_aborts,
+            lost_area_cycles: self.lost_area_cycles + other.lost_area_cycles,
+            degraded_to_static: self.degraded_to_static || other.degraded_to_static,
         }
     }
 }
@@ -257,6 +275,20 @@ pub struct FabricKernels {
     overlap_reconfig: bool,
     last_segment_cycles: u64,
     trace: Option<ExecutionTrace>,
+    /// Fault-injection seam; `None` (the default) leaves every hook inert.
+    fault: Option<FaultContext>,
+    /// Solver-attempt counter (bumped by [`FabricKernels::set_schedule`])
+    /// keying per-attempt fault decisions.
+    attempt: u64,
+    /// Raw draw of the stuck SpMV datapath bit afflicting the current
+    /// attempt, if one was injected.
+    stuck_raw: Option<u64>,
+    /// Set once an ICAP abort pinned the nested region to max-unroll.
+    degraded: bool,
+    /// Loop-phase cycles run on an oversized engine while degraded.
+    lost_area_cycles: u64,
+    /// Ordinal of the next scheduled nested-region swap (fault site key).
+    swap_site: u64,
 }
 
 impl FabricKernels {
@@ -292,7 +324,28 @@ impl FabricKernels {
             overlap_reconfig: false,
             last_segment_cycles: 0,
             trace: None,
+            fault: None,
+            attempt: 0,
+            stuck_raw: None,
+            degraded: false,
+            lost_area_cycles: 0,
+            swap_site: 0,
         }
+    }
+
+    /// Installs a fault-injection context: subsequent solver attempts may
+    /// suffer stuck SpMV datapath bits and ICAP reconfiguration aborts,
+    /// per the context's plan. Without this call every hook is inert and
+    /// execution is bit-identical to a harness-free build.
+    pub fn with_fault_context(mut self, ctx: FaultContext) -> Self {
+        self.fault = Some(ctx);
+        self
+    }
+
+    /// Whether an ICAP abort has degraded the Dynamic SpMV Kernel to its
+    /// static max-unroll fallback for the rest of this run.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Enables a cycle-stamped execution trace holding up to
@@ -325,10 +378,31 @@ impl FabricKernels {
     }
 
     /// Replaces the loop-phase schedule (used by the Solver Modifier when
-    /// it restarts with a different solver on the same matrix).
+    /// it restarts with a different solver on the same matrix). Marks the
+    /// start of a new solver attempt for fault-injection purposes: a
+    /// stuck datapath bit is rolled per attempt and cleared by the region
+    /// rewrite that accompanies the solver swap.
     pub fn set_schedule(&mut self, schedule: UnrollSchedule) {
-        self.current_unroll = schedule.entries().first().map(|e| e.unroll);
+        self.attempt += 1;
+        if self.degraded {
+            // Stay static: re-pin to the new schedule's largest engine
+            // with one full-region recovery swap if the size changes.
+            let max = schedule.max_unroll();
+            if self.current_unroll != Some(max) {
+                let cycles = self
+                    .reconfig
+                    .reconfigure(RegionKind::SpmvKernel, &spmv_engine(max));
+                self.cycles.reconfig += cycles;
+                self.current_unroll = Some(max);
+            }
+        } else {
+            self.current_unroll = schedule.entries().first().map(|e| e.unroll);
+        }
         self.schedule = schedule;
+        self.stuck_raw = self
+            .fault
+            .as_ref()
+            .and_then(|c| c.injector().stuck_flip(c.job(), c.site(self.attempt)));
     }
 
     /// Charges a reconfiguration of the *outer* solver region holding
@@ -381,7 +455,47 @@ impl FabricKernels {
             avg_area_mm2: avg_area,
             peak_area_mm2: peak_area,
             used_init_spmv: self.used_init_spmv,
+            reconfig_aborts: self.reconfig.abort_count(),
+            lost_area_cycles: self.lost_area_cycles,
+            degraded_to_static: self.degraded,
         }
+    }
+
+    /// Handles an injected ICAP abort while swapping toward
+    /// `target_unroll`: charges the wasted stream, performs one reliable
+    /// full-region recovery swap to the schedule's max unroll, and pins
+    /// the region there for the rest of the run.
+    fn abort_and_degrade(&mut self, target_unroll: usize) {
+        let wasted = self
+            .reconfig
+            .record_abort(RegionKind::SpmvKernel, &spmv_engine(target_unroll));
+        let stall = if self.overlap_reconfig {
+            wasted.saturating_sub(self.last_segment_cycles)
+        } else {
+            wasted
+        };
+        let at = self.cycles.total();
+        self.record(TraceEvent::Reconfig {
+            region: RegionKind::SpmvKernel,
+            cycle: at,
+            duration: stall,
+        });
+        self.cycles.reconfig += stall;
+        let max = self.schedule.max_unroll();
+        if self.current_unroll != Some(max) {
+            let cycles = self
+                .reconfig
+                .reconfigure(RegionKind::SpmvKernel, &spmv_engine(max));
+            let at = self.cycles.total();
+            self.record(TraceEvent::Reconfig {
+                region: RegionKind::SpmvKernel,
+                cycle: at,
+                duration: cycles,
+            });
+            self.cycles.reconfig += cycles;
+            self.current_unroll = Some(max);
+        }
+        self.degraded = true;
     }
 
     /// Area of the engine sitting (idle or busy) in the DFX region between
@@ -439,7 +553,9 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
             }
             Phase::Loop => {
                 // Dynamic SpMV Kernel: walk the schedule, reconfiguring
-                // the nested region on unroll changes.
+                // the nested region on unroll changes. A swap may suffer
+                // an injected ICAP abort, after which the region is
+                // pinned to max unroll and the walk stops reconfiguring.
                 let entries: Vec<ScheduleEntry> = self.schedule.entries().to_vec();
                 for e in entries {
                     if e.rows.end > a.nrows() {
@@ -447,34 +563,55 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
                         // Jacobi's iteration matrix T has the same shape.
                         continue;
                     }
-                    if self.current_unroll != Some(e.unroll) {
-                        let cycles = self
-                            .reconfig
-                            .reconfigure(RegionKind::SpmvKernel, &spmv_engine(e.unroll));
-                        let stall = if self.overlap_reconfig {
-                            cycles.saturating_sub(self.last_segment_cycles)
+                    if !self.degraded && self.current_unroll != Some(e.unroll) {
+                        let site = self.swap_site;
+                        self.swap_site += 1;
+                        let aborts = self
+                            .fault
+                            .as_ref()
+                            .is_some_and(|c| c.injector().reconfig_aborts(c.job(), c.site(site)));
+                        if aborts {
+                            self.abort_and_degrade(e.unroll);
                         } else {
-                            cycles
-                        };
-                        let at = self.cycles.total();
-                        self.record(TraceEvent::Reconfig {
-                            region: RegionKind::SpmvKernel,
-                            cycle: at,
-                            duration: stall,
-                        });
-                        self.cycles.reconfig += stall;
-                        self.current_unroll = Some(e.unroll);
+                            let cycles = self
+                                .reconfig
+                                .reconfigure(RegionKind::SpmvKernel, &spmv_engine(e.unroll));
+                            let stall = if self.overlap_reconfig {
+                                cycles.saturating_sub(self.last_segment_cycles)
+                            } else {
+                                cycles
+                            };
+                            let at = self.cycles.total();
+                            self.record(TraceEvent::Reconfig {
+                                region: RegionKind::SpmvKernel,
+                                cycle: at,
+                                duration: stall,
+                            });
+                            self.cycles.reconfig += stall;
+                            self.current_unroll = Some(e.unroll);
+                        }
                     }
+                    let engaged = if self.degraded {
+                        self.current_unroll.unwrap_or(e.unroll)
+                    } else {
+                        e.unroll
+                    };
                     let before = self.cycles.spmv;
                     let at = self.cycles.total();
-                    self.run_engine(a, e.rows.clone(), e.unroll);
+                    self.run_engine(a, e.rows.clone(), engaged);
                     self.last_segment_cycles = self.cycles.spmv - before;
+                    if engaged != e.unroll {
+                        self.lost_area_cycles += self.last_segment_cycles;
+                    }
                     self.record(TraceEvent::SpmvSegment {
                         rows: e.rows.clone(),
-                        unroll: e.unroll,
+                        unroll: engaged,
                         cycle: at,
                         duration: self.last_segment_cycles,
                     });
+                }
+                if let Some(raw) = self.stuck_raw {
+                    FaultInjector::apply_flip(raw, y);
                 }
             }
         }
@@ -716,6 +853,84 @@ mod tests {
         assert!(t > 0.0 && t <= 1.0, "throughput {t}");
         assert!(stats.avg_area_mm2 > 0.0);
         assert!(stats.peak_area_mm2 >= stats.avg_area_mm2 * 0.99);
+    }
+
+    #[test]
+    fn injected_abort_degrades_to_static_max_unroll() {
+        use acamar_faultline::{FaultCategory, FaultContext, FaultInjector, FaultPlan};
+        use std::sync::Arc;
+
+        let a =
+            generate::random_pattern::<f32>(64, RowDistribution::Uniform { min: 2, max: 10 }, 5);
+        let schedule = UnrollSchedule::from_entries(
+            64,
+            vec![
+                ScheduleEntry {
+                    rows: 0..32,
+                    unroll: 2,
+                },
+                ScheduleEntry {
+                    rows: 32..64,
+                    unroll: 8,
+                },
+            ],
+        );
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::new(9).with_rate(FaultCategory::ReconfigAbort, 1.0),
+        ));
+        let mut hw = FabricKernels::new(spec(), schedule, 4)
+            .with_fault_context(FaultContext::new(Arc::clone(&inj), 0));
+        let x = vec![1.0_f32; 64];
+        let mut y = vec![0.0_f32; 64];
+        Kernels::<f32>::set_phase(&mut hw, Phase::Loop);
+        // First pass: the 2→8 swap aborts; recovery pins the region at
+        // max unroll (8). Second pass: no further swaps, and the rows
+        // planned for unroll 2 run on the oversized engine.
+        Kernels::<f32>::spmv(&mut hw, &a, &x, &mut y);
+        assert!(hw.is_degraded());
+        let after_first = hw.reconfig_controller().count(RegionKind::SpmvKernel);
+        Kernels::<f32>::spmv(&mut hw, &a, &x, &mut y);
+        assert_eq!(
+            hw.reconfig_controller().count(RegionKind::SpmvKernel),
+            after_first,
+            "degraded region must never reconfigure again"
+        );
+        let stats = hw.finish();
+        assert!(stats.degraded_to_static);
+        assert_eq!(stats.reconfig_aborts, 1);
+        assert!(
+            stats.lost_area_cycles > 0,
+            "oversized-engine cycles uncounted"
+        );
+        assert_eq!(inj.injected()[FaultCategory::ReconfigAbort.index()], 1);
+    }
+
+    #[test]
+    fn injected_stuck_bit_corrupts_loop_spmv_only() {
+        use acamar_faultline::{FaultCategory, FaultContext, FaultInjector, FaultPlan};
+        use std::sync::Arc;
+
+        let a = generate::poisson2d::<f64>(6, 6);
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::new(3).with_rate(FaultCategory::SpmvBitFlip, 1.0),
+        ));
+        let mut hw = FabricKernels::new(spec(), UnrollSchedule::uniform(36, 4), 4)
+            .with_fault_context(FaultContext::new(Arc::clone(&inj), 7));
+        let x = vec![1.0_f64; 36];
+        let mut y = vec![0.0_f64; 36];
+        // Initialize phase runs the static engine: never corrupted, even
+        // after the attempt's stuck bit has been rolled.
+        hw.set_schedule(UnrollSchedule::uniform(36, 4));
+        Kernels::<f64>::spmv(&mut hw, &a, &x, &mut y);
+        assert!(y.iter().all(|v| v.is_finite() && v.abs() < 1e3));
+        Kernels::<f64>::set_phase(&mut hw, Phase::Loop);
+        Kernels::<f64>::spmv(&mut hw, &a, &x, &mut y);
+        let loud = y
+            .iter()
+            .filter(|v| !v.is_finite() || v.abs() > 1e100)
+            .count();
+        assert_eq!(loud, 1, "exactly one stuck output element per attempt");
+        assert_eq!(inj.injected()[FaultCategory::SpmvBitFlip.index()], 1);
     }
 
     #[test]

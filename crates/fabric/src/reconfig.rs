@@ -35,6 +35,8 @@ pub struct ReconfigController {
     spec: FabricSpec,
     events: Vec<ReconfigEvent>,
     total_cycles: u64,
+    aborts: usize,
+    aborted_cycles: u64,
 }
 
 impl ReconfigController {
@@ -44,6 +46,8 @@ impl ReconfigController {
             spec,
             events: Vec::new(),
             total_cycles: 0,
+            aborts: 0,
+            aborted_cycles: 0,
         }
     }
 
@@ -61,7 +65,31 @@ impl ReconfigController {
         cycles
     }
 
-    /// All events in order.
+    /// Records an *aborted* reconfiguration of `region`: the partial
+    /// bitstream for a module occupying `rv` streamed through ICAP but
+    /// the swap failed, leaving the previously loaded module active. The
+    /// wasted streaming time is still wall-clock stall, so it is charged
+    /// like a successful event; the caller must not update its notion of
+    /// the loaded configuration. Returns the cycles charged.
+    pub fn record_abort(&mut self, region: RegionKind, rv: &ResourceVector) -> u64 {
+        let cycles = self.reconfigure(region, rv);
+        self.aborts += 1;
+        self.aborted_cycles += cycles;
+        cycles
+    }
+
+    /// Number of aborted reconfiguration attempts.
+    pub fn abort_count(&self) -> usize {
+        self.aborts
+    }
+
+    /// ICAP cycles wasted streaming bitstreams whose swap aborted.
+    pub fn aborted_cycles(&self) -> u64 {
+        self.aborted_cycles
+    }
+
+    /// All events in order (aborted attempts included — they stream the
+    /// same bits and stall the same cycles).
     pub fn events(&self) -> &[ReconfigEvent] {
         &self.events
     }
@@ -96,6 +124,18 @@ mod tests {
         assert_eq!(c.events().len(), 1);
         assert_eq!(c.count(RegionKind::SpmvKernel), 1);
         assert_eq!(c.count(RegionKind::Solver), 0);
+    }
+
+    #[test]
+    fn aborted_swaps_still_cost_icap_time() {
+        let mut c = ReconfigController::new(FabricSpec::alveo_u55c());
+        let ok = c.reconfigure(RegionKind::SpmvKernel, &spmv_engine(4));
+        let wasted = c.record_abort(RegionKind::SpmvKernel, &spmv_engine(4));
+        assert_eq!(ok, wasted, "the failed stream moves the same bits");
+        assert_eq!(c.abort_count(), 1);
+        assert_eq!(c.aborted_cycles(), wasted);
+        assert_eq!(c.total_cycles(), ok + wasted);
+        assert_eq!(c.events().len(), 2);
     }
 
     #[test]

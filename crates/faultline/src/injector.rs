@@ -1,0 +1,340 @@
+//! The shared injector: rolls the plan at each seam and keeps the
+//! ground-truth ledger of what was actually injected.
+
+use crate::plan::{FaultCategory, FaultPlan};
+use acamar_sparse::Scalar;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+
+/// Stuck-at-1 mask over the two high exponent bits of an `f64`: OR-ing
+/// it in forces the exponent to at least 2^513, turning values of any
+/// magnitude into astronomically large (or non-finite) ones, so a
+/// corrupted SpMV is always *numerically loud* enough for divergence
+/// detection to see.
+const EXPONENT_STUCK: u64 = 0x6000_0000_0000_0000;
+
+/// One injected fault, as recorded by the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Category injected.
+    pub category: FaultCategory,
+    /// Batch-local job index the fault targeted.
+    pub job: u64,
+    /// Seam-specific site (attempt number, reconfiguration event index).
+    pub site: u64,
+}
+
+/// What an injected worker disruption does to the thread running the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerDisruption {
+    /// The worker panics mid-job (must be caught by the engine).
+    Panic,
+    /// The worker stalls for this many milliseconds before proceeding
+    /// (must be caught by the engine's deadline check).
+    Stall {
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+}
+
+/// Panic payload used by injected worker panics, so a quiet hook (and
+/// tests) can tell harness-made panics from genuine bugs.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedPanic {
+    /// Batch-local index of the job whose worker was disrupted.
+    pub job: u64,
+}
+
+/// Replaces the default panic hook with one that stays silent for
+/// [`InjectedPanic`] payloads and defers to the previous hook otherwise.
+/// Idempotent; chaos tests call it to keep their output readable.
+pub fn silence_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Rolls a [`FaultPlan`] at every seam and records each fault that
+/// actually fired.
+///
+/// The injector is shared (`Arc`) between the engine, the fabric kernel
+/// executor, and the test observing the run; all counters are atomic and
+/// the event ledger is mutex-guarded, so concurrent workers can inject
+/// without coordination. Determinism comes from the plan: which faults
+/// fire depends only on `(seed, category, job, site)`.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    injected: [AtomicU64; FaultCategory::COUNT],
+    events: Mutex<Vec<FaultEvent>>,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            injected: std::array::from_fn(|_| AtomicU64::new(0)),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Lifetime injected-fault counts, indexed by
+    /// [`FaultCategory::index`].
+    pub fn injected(&self) -> [u64; FaultCategory::COUNT] {
+        std::array::from_fn(|i| self.injected[i].load(Ordering::Relaxed))
+    }
+
+    /// Total faults injected across all categories.
+    pub fn injected_total(&self) -> u64 {
+        self.injected().iter().sum()
+    }
+
+    /// Snapshot of the event ledger.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.events.lock().expect("fault ledger poisoned").clone()
+    }
+
+    /// Drains the event ledger (counters keep their lifetime totals); the
+    /// engine calls this once per batch to attribute events to jobs.
+    pub fn take_events(&self) -> Vec<FaultEvent> {
+        std::mem::take(&mut *self.events.lock().expect("fault ledger poisoned"))
+    }
+
+    fn record(&self, category: FaultCategory, job: u64, site: u64) {
+        self.injected[category.index()].fetch_add(1, Ordering::Relaxed);
+        self.events
+            .lock()
+            .expect("fault ledger poisoned")
+            .push(FaultEvent {
+                category,
+                job,
+                site,
+            });
+    }
+
+    /// Seam: poisons one element of `rhs` with NaN or Inf. Returns `true`
+    /// when the fault fired (the caller must then treat `rhs` as tainted).
+    pub fn poison_rhs<T: Scalar>(&self, job: u64, rhs: &mut [T]) -> bool {
+        if rhs.is_empty() || !self.plan.roll(FaultCategory::RhsPoison, job, 0) {
+            return false;
+        }
+        let mut rng = self.plan.rng(FaultCategory::RhsPoison, job, 1);
+        let idx = rng.gen_range(0..rhs.len());
+        rhs[idx] = T::from_f64(if rng.gen_bool(0.5) {
+            f64::NAN
+        } else {
+            f64::INFINITY
+        });
+        self.record(FaultCategory::RhsPoison, job, 0);
+        true
+    }
+
+    /// Seam: decides whether solver attempt `attempt` of `job` runs with a
+    /// stuck bit in the SpMV datapath. `Some(raw)` means every loop-phase
+    /// SpMV of that attempt must pass its output through
+    /// [`FaultInjector::apply_flip`] with this raw draw.
+    pub fn stuck_flip(&self, job: u64, attempt: u64) -> Option<u64> {
+        if !self.plan.roll(FaultCategory::SpmvBitFlip, job, attempt) {
+            return None;
+        }
+        self.record(FaultCategory::SpmvBitFlip, job, attempt);
+        Some(
+            self.plan
+                .rng(FaultCategory::SpmvBitFlip, job, attempt ^ u64::MAX)
+                .next_u64(),
+        )
+    }
+
+    /// Applies the stuck-bit corruption to one element of `y` (chosen by
+    /// `raw`, stable across the attempt's SpMV calls).
+    pub fn apply_flip<T: Scalar>(raw: u64, y: &mut [T]) {
+        if y.is_empty() {
+            return;
+        }
+        let idx = (raw % y.len() as u64) as usize;
+        let bits = y[idx].to_f64().to_bits() | EXPONENT_STUCK;
+        y[idx] = T::from_f64(f64::from_bits(bits));
+    }
+
+    /// Seam: does the `site`-th scheduled nested-region swap of `job`'s
+    /// solve abort mid-stream?
+    pub fn reconfig_aborts(&self, job: u64, site: u64) -> bool {
+        if !self.plan.roll(FaultCategory::ReconfigAbort, job, site) {
+            return false;
+        }
+        self.record(FaultCategory::ReconfigAbort, job, site);
+        true
+    }
+
+    /// Seam: is `job`'s plan-cache entry corrupted before its lookup?
+    pub fn corrupt_cache(&self, job: u64) -> bool {
+        if !self.plan.roll(FaultCategory::CacheCorruption, job, 0) {
+            return false;
+        }
+        self.record(FaultCategory::CacheCorruption, job, 0);
+        true
+    }
+
+    /// Seam: is the worker disrupted while running rescue rung `rung` of
+    /// `job` (rung 0 is the primary attempt)?
+    pub fn disrupt_worker(&self, job: u64, rung: u64) -> Option<WorkerDisruption> {
+        if !self.plan.roll(FaultCategory::WorkerDisruption, job, rung) {
+            return None;
+        }
+        self.record(FaultCategory::WorkerDisruption, job, rung);
+        let mut rng = self
+            .plan
+            .rng(FaultCategory::WorkerDisruption, job, rung ^ u64::MAX);
+        Some(if rng.gen_bool(0.5) {
+            WorkerDisruption::Panic
+        } else {
+            WorkerDisruption::Stall {
+                millis: 2 + rng.gen_range(0..8usize) as u64,
+            }
+        })
+    }
+}
+
+/// A cheap per-job handle pairing a shared [`FaultInjector`] with the
+/// batch-local job index, so deep layers (the fabric kernel executor)
+/// can roll job-keyed decisions without knowing about the engine.
+#[derive(Debug, Clone)]
+pub struct FaultContext {
+    injector: Arc<FaultInjector>,
+    job: u64,
+    salt: u64,
+}
+
+impl FaultContext {
+    /// A context for `job` drawing from `injector`.
+    pub fn new(injector: Arc<FaultInjector>, job: u64) -> FaultContext {
+        FaultContext {
+            injector,
+            job,
+            salt: 0,
+        }
+    }
+
+    /// Namespaces this context's injection sites, e.g. by rescue-ladder
+    /// rung. Without a distinct salt, a re-run of the same job would
+    /// replay the exact site sequence of the previous run and re-draw
+    /// identical faults — a retry could then never dodge a stuck bit.
+    pub fn with_salt(mut self, salt: u64) -> FaultContext {
+        self.salt = salt;
+        self
+    }
+
+    /// The shared injector.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// The batch-local job index.
+    pub fn job(&self) -> u64 {
+        self.job
+    }
+
+    /// Maps a run-local site counter into this context's namespace
+    /// (identity when the salt is zero, so un-salted callers keep their
+    /// site numbering).
+    pub fn site(&self, local: u64) -> u64 {
+        local | (self.salt << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poison_rhs_writes_a_non_finite_value_and_records_it() {
+        let inj = FaultInjector::new(FaultPlan::new(11).with_rate(FaultCategory::RhsPoison, 1.0));
+        let mut rhs = vec![1.0_f64; 16];
+        assert!(inj.poison_rhs(3, &mut rhs));
+        assert_eq!(rhs.iter().filter(|v| !v.is_finite()).count(), 1);
+        assert_eq!(inj.injected()[FaultCategory::RhsPoison.index()], 1);
+        let events = inj.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].job, 3);
+        assert_eq!(events[0].category, FaultCategory::RhsPoison);
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let inj = FaultInjector::new(FaultPlan::new(0));
+        let mut rhs = vec![1.0_f64; 8];
+        for job in 0..64 {
+            assert!(!inj.poison_rhs(job, &mut rhs));
+            assert!(inj.stuck_flip(job, 1).is_none());
+            assert!(!inj.reconfig_aborts(job, 0));
+            assert!(!inj.corrupt_cache(job));
+            assert!(inj.disrupt_worker(job, 0).is_none());
+        }
+        assert_eq!(inj.injected_total(), 0);
+        assert!(inj.events().is_empty());
+    }
+
+    #[test]
+    fn stuck_flip_makes_values_numerically_loud() {
+        for v in [0.0_f64, 1.0, -3.25, 1e-8, 512.0] {
+            let mut y = vec![v; 4];
+            FaultInjector::apply_flip(1, &mut y);
+            let corrupted = y[1].abs();
+            assert!(
+                !corrupted.is_finite() || corrupted > 1e100,
+                "flip of {v} gave {corrupted}, too quiet to detect"
+            );
+        }
+    }
+
+    #[test]
+    fn flip_is_stable_within_an_attempt_and_keyed_across_attempts() {
+        let inj = FaultInjector::new(FaultPlan::uniform(5, 0.5));
+        let first = inj.stuck_flip(9, 1);
+        let again = inj.stuck_flip(9, 1);
+        assert_eq!(first, again, "same (job, attempt) must redraw identically");
+        // Counters double-recorded on the replay: callers roll once per
+        // attempt; this test just exercises purity.
+    }
+
+    #[test]
+    fn take_events_drains_but_keeps_counters() {
+        let inj =
+            FaultInjector::new(FaultPlan::new(2).with_rate(FaultCategory::CacheCorruption, 1.0));
+        assert!(inj.corrupt_cache(0));
+        assert!(inj.corrupt_cache(1));
+        assert_eq!(inj.take_events().len(), 2);
+        assert!(inj.events().is_empty());
+        assert_eq!(inj.injected_total(), 2);
+    }
+
+    #[test]
+    fn disruption_mixes_panics_and_stalls() {
+        let inj =
+            FaultInjector::new(FaultPlan::new(4).with_rate(FaultCategory::WorkerDisruption, 1.0));
+        let (mut panics, mut stalls) = (0, 0);
+        for job in 0..64 {
+            match inj.disrupt_worker(job, 0) {
+                Some(WorkerDisruption::Panic) => panics += 1,
+                Some(WorkerDisruption::Stall { millis }) => {
+                    assert!((2..10).contains(&millis));
+                    stalls += 1;
+                }
+                None => unreachable!("rate 1.0 must always disrupt"),
+            }
+        }
+        assert!(panics > 8 && stalls > 8, "panics {panics} stalls {stalls}");
+    }
+}

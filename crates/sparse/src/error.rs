@@ -41,6 +41,14 @@ pub enum SparseError {
         /// Row of the offending diagonal entry.
         row: usize,
     },
+    /// A NaN or infinite value was supplied where the operation requires
+    /// finite input (e.g. a right-hand side or initial guess).
+    NonFiniteValue {
+        /// What held the offending value (e.g. `"right-hand side"`).
+        what: &'static str,
+        /// Index of the first non-finite element.
+        index: usize,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -65,6 +73,9 @@ impl fmt::Display for SparseError {
             }
             SparseError::ZeroDiagonal { row } => {
                 write!(f, "zero or missing diagonal entry at row {row}")
+            }
+            SparseError::NonFiniteValue { what, index } => {
+                write!(f, "non-finite value in {what} at index {index}")
             }
         }
     }
@@ -139,6 +150,18 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("column index 9"));
         assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn non_finite_value_names_the_container() {
+        let e = SparseError::NonFiniteValue {
+            what: "right-hand side",
+            index: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "non-finite value in right-hand side at index 4"
+        );
     }
 
     #[test]

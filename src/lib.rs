@@ -30,7 +30,12 @@
 //!   datasets (Table II);
 //! * [`core`] — the Acamar accelerator itself;
 //! * [`engine`] — a concurrent batch-solve service that fingerprints
-//!   sparsity patterns and caches structure/plan decisions across jobs.
+//!   sparsity patterns and caches structure/plan decisions across jobs,
+//!   with panic isolation, per-job deadlines, and a rescue ladder;
+//! * [`faultline`] — a seeded deterministic fault-injection harness for
+//!   exercising every recovery path (see the fault-model section of
+//!   DESIGN.md and the `fault-injection` cargo feature, which gates the
+//!   chaos test suite and example).
 //!
 //! ## Quickstart
 //!
@@ -67,6 +72,7 @@ pub use acamar_core as core;
 pub use acamar_datasets as datasets;
 pub use acamar_engine as engine;
 pub use acamar_fabric as fabric;
+pub use acamar_faultline as faultline;
 pub use acamar_gpu as gpu;
 pub use acamar_solvers as solvers;
 pub use acamar_sparse as sparse;
@@ -83,9 +89,14 @@ pub use acamar_sparse as sparse;
 /// assert!(report.converged());
 /// ```
 pub mod prelude {
-    pub use acamar_core::{Acamar, AcamarConfig, AcamarRunReport, AnalysisArtifacts};
-    pub use acamar_engine::{BatchReport, Engine, SolveJob};
+    pub use acamar_core::{
+        Acamar, AcamarConfig, AcamarRunReport, AnalysisArtifacts, RescuePolicy, RunOptions,
+    };
+    pub use acamar_engine::{
+        BatchReport, Engine, ResilienceConfig, RobustnessReport, SolveError, SolveJob,
+    };
     pub use acamar_fabric::{FabricSpec, StaticAccelerator, UnrollSchedule};
+    pub use acamar_faultline::{FaultCategory, FaultInjector, FaultPlan};
     pub use acamar_gpu::{model_csr_spmv, GpuSpec};
     pub use acamar_solvers::{
         ConvergenceCriteria, Outcome, SoftwareKernels, SolveReport, SolverKind,
