@@ -1,0 +1,478 @@
+//! Wall-clock benchmark harness for the zero-allocation solve hot path.
+//!
+//! Measures, per Table II dataset (std::time only, no external crates):
+//!
+//! - **cold single-solve**: a fresh single-worker [`Engine`] per solve —
+//!   pays pool spawn, pattern analysis, and every buffer allocation;
+//! - **warm single-solve**: repeated [`Engine::solve_one`] on one live
+//!   engine — plan cache hit, pooled scratch buffers;
+//! - **warm multi-RHS batch**: one [`Engine::solve_batch`] over many
+//!   right-hand sides on a pre-warmed engine with a full worker pool;
+//! - **loop allocations**: a counting global allocator asserts that a warm
+//!   solve performs zero heap allocations per solver-loop iteration
+//!   (doubling the iteration budget must not change the allocation count).
+//!
+//! Writes `BENCH_PR3.json` (repo root when run from there) and panics if
+//! the geometric-mean warm-batch speedup over the suite fails to beat the
+//! cold baseline (2x with >= 2 pool workers; 1.05x on a single-CPU host,
+//! where only the pooling/caching win is measurable) or the
+//! loop-allocation check fails, so CI's bench-smoke job fails on
+//! regression-by-panic only.
+//!
+//! Usage: `cargo run --release -p acamar-bench --bin bench [-- --quick]`
+
+use acamar_core::{Acamar, AcamarConfig};
+use acamar_datasets::{suite, Dataset};
+use acamar_engine::Engine;
+use acamar_fabric::FabricSpec;
+use acamar_solvers::{ConvergenceCriteria, Kernels, SoftwareKernels};
+use acamar_sparse::{generate, CsrMatrix};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation so warm solves can be proven
+/// allocation-free in the solver loop.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn criteria() -> ConvergenceCriteria {
+    ConvergenceCriteria::paper().with_max_iterations(2000)
+}
+
+fn acamar() -> Acamar {
+    Acamar::new(
+        FabricSpec::alveo_u55c(),
+        AcamarConfig::paper().with_criteria(criteria()),
+    )
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    samples[samples.len() / 2]
+}
+
+struct DatasetResult {
+    id: String,
+    name: String,
+    rows: usize,
+    nnz: usize,
+    cold_solve_ms: f64,
+    warm_solve_ms: f64,
+    cold_solves_per_sec: f64,
+    batch_jobs: usize,
+    batch_wall_seconds: f64,
+    batch_jobs_per_sec: f64,
+    batch_speedup_vs_cold: f64,
+    batch_converged: usize,
+}
+
+fn bench_dataset(d: &Dataset, batch_jobs: usize, samples: usize) -> DatasetResult {
+    let a = d.matrix_f64();
+    let b = vec![1.0_f64; a.nrows()];
+    let nnz = a.nnz();
+
+    // Cold path: stand up a fresh engine for every solve — pool spawn,
+    // pattern analysis, and every scratch-buffer allocation are paid
+    // inside the timed region, exactly as a one-shot caller would.
+    let mut cold = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        let engine = Engine::with_workers(acamar(), 1);
+        let rep = engine.solve_one(&a, &b).expect("cold solve failed");
+        cold.push(t.elapsed().as_secs_f64());
+        assert!(rep.converged(), "{}: cold solve diverged", d.name);
+    }
+    let cold_solve_s = median(&mut cold);
+
+    // Warm path: one live engine, plan cached, buffers pooled.
+    let engine = Engine::new(acamar());
+    engine.solve_one(&a, &b).expect("warm-up solve failed");
+    let mut warm = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        let rep = engine.solve_one(&a, &b).expect("warm solve failed");
+        warm.push(t.elapsed().as_secs_f64());
+        assert!(rep.converged(), "{}: warm solve diverged", d.name);
+    }
+    let warm_solve_s = median(&mut warm);
+
+    // Warm multi-RHS batch on the same engine (pool + cache hot).
+    let rhss: Vec<Vec<f64>> = (0..batch_jobs)
+        .map(|k| vec![1.0 + (k % 13) as f64 * 0.1; a.nrows()])
+        .collect();
+    let batch = engine.solve_batch(&a, &rhss).expect("batch failed");
+    let cold_solves_per_sec = 1.0 / cold_solve_s;
+
+    DatasetResult {
+        id: d.id.to_string(),
+        name: d.name.to_string(),
+        rows: a.nrows(),
+        nnz,
+        cold_solve_ms: cold_solve_s * 1e3,
+        warm_solve_ms: warm_solve_s * 1e3,
+        cold_solves_per_sec,
+        batch_jobs,
+        batch_wall_seconds: batch.wall_seconds,
+        batch_jobs_per_sec: batch.jobs_per_second(),
+        batch_speedup_vs_cold: batch.jobs_per_second() / cold_solves_per_sec,
+        batch_converged: batch.converged,
+    }
+}
+
+struct AllocCheck {
+    solver: &'static str,
+    delta: i64,
+    iterations_base: usize,
+    iterations_double: usize,
+}
+
+/// Proves a warm solver loop allocation-free: with the tolerance pinned to
+/// zero the solve runs its full iteration budget (budget exhaustion is the
+/// only stop), so doubling that budget doubles loop work while everything
+/// outside the loop — report, history vector, solution escape — stays
+/// constant. An equal allocation count at both budgets means zero heap
+/// allocations per iteration.
+fn loop_allocation_deltas() -> Vec<AllocCheck> {
+    use acamar_sparse::generate::{self, RowDistribution};
+
+    fn measure<F>(solver: &'static str, a: CsrMatrix<f64>, solve: F) -> AllocCheck
+    where
+        F: Fn(&CsrMatrix<f64>, &[f64], &ConvergenceCriteria, &mut SoftwareKernels) -> usize,
+    {
+        let b = vec![1.0_f64; a.nrows()];
+        let count_run = |max_iter: usize| -> (u64, usize) {
+            let ws = acamar_solvers::WorkspaceHandle::new();
+            let mut k = SoftwareKernels::new().with_workspace(ws);
+            let crit = ConvergenceCriteria {
+                tolerance: 0.0,
+                ..ConvergenceCriteria::paper()
+            }
+            .with_max_iterations(max_iter);
+            // Two warm-ups settle the buffer pool into its steady state
+            // (the first populates it, the second replaces the escaped
+            // solution buffer); the third run is measured.
+            let _ = solve(&a, &b, &crit, &mut k);
+            let _ = solve(&a, &b, &crit, &mut k);
+            let before = allocations();
+            let iters = solve(&a, &b, &crit, &mut k);
+            (allocations() - before, iters)
+        };
+        let (base, iterations_base) = count_run(60);
+        let (double, iterations_double) = count_run(120);
+        AllocCheck {
+            solver,
+            delta: double as i64 - base as i64,
+            iterations_base,
+            iterations_double,
+        }
+    }
+
+    vec![
+        measure("cg", generate::poisson2d(40, 40), |a, b, c, k| {
+            acamar_solvers::conjugate_gradient(a, b, None, c, k)
+                .expect("cg shape")
+                .iterations
+        }),
+        measure(
+            "bicgstab",
+            generate::convection_diffusion_2d(30, 30, 2.0),
+            |a, b, c, k| {
+                acamar_solvers::bicgstab(a, b, None, c, k)
+                    .expect("bicgstab shape")
+                    .iterations
+            },
+        ),
+        measure(
+            "jacobi",
+            generate::diagonally_dominant(
+                1200,
+                RowDistribution::Uniform { min: 2, max: 6 },
+                1.05,
+                7,
+            ),
+            |a, b, c, k| {
+                acamar_solvers::jacobi(a, b, None, c, k)
+                    .expect("jacobi shape")
+                    .iterations
+            },
+        ),
+    ]
+}
+
+struct SpmvResult {
+    rows: usize,
+    nnz: usize,
+    threads: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    bitwise_identical: bool,
+}
+
+/// Serial vs row-partitioned parallel SpMV on a matrix large enough to
+/// clear `PARALLEL_SPMV_MIN_NNZ`.
+fn bench_parallel_spmv(threads: usize, reps: usize) -> SpmvResult {
+    let a: CsrMatrix<f64> = generate::poisson2d(360, 360);
+    let x: Vec<f64> = (0..a.nrows()).map(|i| ((i % 17) as f64) * 0.25).collect();
+    let mut y_serial = vec![0.0_f64; a.nrows()];
+    let mut y_parallel = vec![0.0_f64; a.nrows()];
+
+    let mut serial = SoftwareKernels::new();
+    let t = Instant::now();
+    for _ in 0..reps {
+        serial.spmv(&a, &x, &mut y_serial);
+    }
+    let serial_s = t.elapsed().as_secs_f64() / reps as f64;
+
+    let mut parallel = SoftwareKernels::new().with_spmv_threads(threads);
+    let t = Instant::now();
+    for _ in 0..reps {
+        parallel.spmv(&a, &x, &mut y_parallel);
+    }
+    let parallel_s = t.elapsed().as_secs_f64() / reps as f64;
+
+    SpmvResult {
+        rows: a.nrows(),
+        nnz: a.nnz(),
+        threads,
+        serial_ms: serial_s * 1e3,
+        parallel_ms: parallel_s * 1e3,
+        bitwise_identical: y_serial == y_parallel,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn write_json(
+    path: &str,
+    mode: &str,
+    workers: usize,
+    required_speedup: f64,
+    results: &[DatasetResult],
+    alloc_checks: &[AllocCheck],
+    spmv: &SpmvResult,
+) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str("  \"datasets\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"id\": \"{}\",\n", r.id));
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"rows\": {},\n", r.rows));
+        out.push_str(&format!("      \"nnz\": {},\n", r.nnz));
+        out.push_str(&format!(
+            "      \"cold_solve_ms\": {},\n",
+            json_f(r.cold_solve_ms)
+        ));
+        out.push_str(&format!(
+            "      \"warm_solve_ms\": {},\n",
+            json_f(r.warm_solve_ms)
+        ));
+        out.push_str(&format!(
+            "      \"cold_solves_per_sec\": {},\n",
+            json_f(r.cold_solves_per_sec)
+        ));
+        out.push_str("      \"warm_batch\": {\n");
+        out.push_str(&format!("        \"jobs\": {},\n", r.batch_jobs));
+        out.push_str(&format!("        \"converged\": {},\n", r.batch_converged));
+        out.push_str(&format!(
+            "        \"wall_seconds\": {},\n",
+            json_f(r.batch_wall_seconds)
+        ));
+        out.push_str(&format!(
+            "        \"jobs_per_sec\": {},\n",
+            json_f(r.batch_jobs_per_sec)
+        ));
+        out.push_str(&format!(
+            "        \"speedup_vs_cold\": {}\n",
+            json_f(r.batch_speedup_vs_cold)
+        ));
+        out.push_str("      }\n");
+        out.push_str(if i + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"loop_allocations_per_warm_solve\": [\n");
+    for (i, c) in alloc_checks.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"solver\": \"{}\", \"delta_when_iterations_doubled\": {}, \
+             \"iterations_base\": {}, \"iterations_double\": {} }}{}\n",
+            c.solver,
+            c.delta,
+            c.iterations_base,
+            c.iterations_double,
+            if i + 1 < alloc_checks.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"parallel_spmv\": {\n");
+    out.push_str(&format!("    \"rows\": {},\n", spmv.rows));
+    out.push_str(&format!("    \"nnz\": {},\n", spmv.nnz));
+    out.push_str(&format!("    \"threads\": {},\n", spmv.threads));
+    out.push_str(&format!("    \"serial_ms\": {},\n", json_f(spmv.serial_ms)));
+    out.push_str(&format!(
+        "    \"parallel_ms\": {},\n",
+        json_f(spmv.parallel_ms)
+    ));
+    out.push_str(&format!(
+        "    \"bitwise_identical\": {}\n",
+        spmv.bitwise_identical
+    ));
+    out.push_str("  },\n");
+    let min_speedup = results
+        .iter()
+        .map(|r| r.batch_speedup_vs_cold)
+        .fold(f64::INFINITY, f64::min);
+    let alloc_free = alloc_checks.iter().all(|c| c.delta == 0);
+    out.push_str("  \"summary\": {\n");
+    out.push_str(&format!(
+        "    \"min_batch_speedup_vs_cold\": {},\n",
+        json_f(min_speedup)
+    ));
+    out.push_str(&format!(
+        "    \"geomean_batch_speedup_vs_cold\": {},\n",
+        json_f(geomean_speedup(results))
+    ));
+    out.push_str(&format!(
+        "    \"required_batch_speedup\": {},\n",
+        json_f(required_speedup)
+    ));
+    out.push_str(&format!(
+        "    \"warm_loop_allocation_free\": {alloc_free}\n"
+    ));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    std::fs::write(path, out).expect("write benchmark JSON");
+}
+
+/// Geometric mean of the per-dataset warm-batch speedups. The gate uses
+/// this rather than the per-dataset minimum: on a shared host a single
+/// 3-second batch window can land on a noisy stretch and dip a lone
+/// dataset below its true speedup, while the geometric mean over the
+/// suite is stable run to run.
+fn geomean_speedup(results: &[DatasetResult]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = results.iter().map(|r| r.batch_speedup_vs_cold.ln()).sum();
+    (log_sum / results.len() as f64).exp()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (batch_jobs, samples) = if quick { (128, 3) } else { (1000, 5) };
+
+    let mut datasets = suite();
+    if quick {
+        // Two smallest systems keep the CI smoke run fast.
+        datasets.sort_by_key(|d| d.matrix_rows());
+        datasets.truncate(2);
+    }
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!(
+        "bench: mode={mode} datasets={} batch_jobs={batch_jobs} workers={workers}",
+        datasets.len()
+    );
+
+    let mut results = Vec::new();
+    for d in &datasets {
+        let r = bench_dataset(d, batch_jobs, samples);
+        eprintln!(
+            "  {:<12} cold {:>8.3} ms  warm {:>8.3} ms  batch {:>8.1} jobs/s  ({:.1}x cold)",
+            r.name, r.cold_solve_ms, r.warm_solve_ms, r.batch_jobs_per_sec, r.batch_speedup_vs_cold
+        );
+        results.push(r);
+    }
+
+    let alloc_checks = loop_allocation_deltas();
+    for c in &alloc_checks {
+        eprintln!(
+            "  {:<12} loop-alloc delta (budget {} -> {} iters): {}",
+            c.solver, c.iterations_base, c.iterations_double, c.delta
+        );
+    }
+
+    let spmv = bench_parallel_spmv(workers.clamp(2, 8), if quick { 20 } else { 100 });
+    eprintln!(
+        "  parallel spmv ({} rows, {} nnz, {} threads): serial {:.3} ms, parallel {:.3} ms",
+        spmv.rows, spmv.nnz, spmv.threads, spmv.serial_ms, spmv.parallel_ms
+    );
+
+    // The 2x warm-batch gate needs at least two pool workers (the batch
+    // spreads across the pool; a cold solve cannot). On a single-CPU host
+    // only the pooling/caching component is measurable, so the gate
+    // falls back to requiring a real but smaller win.
+    let required_speedup = if workers >= 2 { 2.0 } else { 1.05 };
+
+    write_json(
+        "BENCH_PR3.json",
+        mode,
+        workers,
+        required_speedup,
+        &results,
+        &alloc_checks,
+        &spmv,
+    );
+    eprintln!("bench: wrote BENCH_PR3.json");
+
+    // Acceptance gates — panic (non-zero exit) on violation.
+    let geomean = geomean_speedup(&results);
+    eprintln!("  geomean batch speedup vs cold: {geomean:.2}x (need >= {required_speedup:.2}x)");
+    assert!(
+        geomean >= required_speedup,
+        "warm batch throughput only {geomean:.2}x the cold baseline across the suite \
+         (need >= {required_speedup:.2}x)"
+    );
+    for c in &alloc_checks {
+        assert_eq!(
+            c.delta, 0,
+            "{}: warm solver loop allocated ({} extra allocations when doubling iterations)",
+            c.solver, c.delta
+        );
+    }
+    assert!(
+        spmv.bitwise_identical,
+        "parallel SpMV diverged from the serial result"
+    );
+    eprintln!("bench: all acceptance gates passed");
+}

@@ -6,7 +6,9 @@ use crate::solver_modifier::SolverModifier;
 use crate::structure_unit::{MatrixStructureUnit, StructureDecision};
 use acamar_fabric::{cost, FabricKernels, FabricRunStats, FabricSpec, HwRun, ResourceVector};
 use acamar_faultline::FaultContext;
-use acamar_solvers::{solve_with, ConvergenceCriteria, Outcome, SolveReport, SolverKind};
+use acamar_solvers::{
+    solve_with, ConvergenceCriteria, Outcome, SolveReport, SolverKind, WorkspaceHandle,
+};
 use acamar_sparse::{CsrMatrix, Scalar, SparseError};
 
 /// The cacheable product of Acamar's two host-side decision loops: the
@@ -124,6 +126,11 @@ pub struct RunOptions {
     pub solver: Option<SolverKind>,
     /// Fault-injection context threaded down to the fabric kernels.
     pub fault: Option<FaultContext>,
+    /// Host-side buffer pool threaded down to the fabric kernels so solver
+    /// scratch vectors are recycled across runs (engine workers install
+    /// their per-thread pool here). Purely a host optimization: cycle and
+    /// FLOP accounting are unchanged.
+    pub workspace: Option<WorkspaceHandle>,
 }
 
 /// The dynamically reconfigurable accelerator.
@@ -327,6 +334,9 @@ impl Acamar {
         .with_overlap(self.config.overlap_reconfiguration);
         if let Some(ctx) = opts.fault {
             hw = hw.with_fault_context(ctx);
+        }
+        if let Some(ws) = opts.workspace {
+            hw = hw.with_workspace(ws);
         }
         let mut attempts = Vec::new();
         let module = self.solver_module(plan.schedule.max_unroll());

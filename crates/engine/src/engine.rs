@@ -9,12 +9,14 @@ use acamar_core::{
 };
 use acamar_fabric::FabricRunStats;
 use acamar_faultline::{FaultContext, FaultInjector, InjectedPanic, WorkerDisruption};
-use acamar_solvers::SolverKind;
+use acamar_solvers::{SolverKind, WorkspaceHandle};
 use acamar_sparse::{CsrMatrix, Scalar};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// One job's outcome slot, filled by whichever worker ran it.
@@ -168,6 +170,136 @@ pub struct EngineCounters {
     pub cache: CacheStats,
 }
 
+/// Work unit shipped to a pool worker: a boxed closure run with the
+/// worker's thread-resident scratch state.
+type Task = Box<dyn FnOnce(&mut WorkerScratch) + Send + 'static>;
+
+/// State owned by one worker thread for the engine's whole lifetime —
+/// most importantly the buffer pool its solves recycle scratch vectors
+/// through, which is what makes warm solves allocation-free.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    workspace: WorkspaceHandle,
+}
+
+/// The engine's persistent worker pool: threads are spawned once at
+/// engine construction, fed batch tasks over a channel, and joined on
+/// drop. No per-batch spawn cost, no detached threads.
+#[derive(Debug)]
+struct WorkerPool {
+    /// `Some` until drop; taking it hangs up the channel so workers exit.
+    sender: Option<Sender<Task>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> WorkerPool {
+        let (sender, receiver) = mpsc::channel::<Task>();
+        let receiver: Arc<Mutex<Receiver<Task>>> = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("acamar-worker-{i}"))
+                    .spawn(move || {
+                        let mut scratch = WorkerScratch::default();
+                        loop {
+                            // Hold the receiver lock only for the dequeue,
+                            // never across task execution.
+                            let task = {
+                                let rx = receiver.lock().unwrap_or_else(|p| p.into_inner());
+                                rx.recv()
+                            };
+                            match task {
+                                Ok(task) => task(&mut scratch),
+                                Err(_) => break, // channel hung up: engine dropped
+                            }
+                        }
+                    })
+                    .expect("failed to spawn engine worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            handles,
+        }
+    }
+
+    fn submit(&self, task: Task) {
+        self.sender
+            .as_ref()
+            .expect("pool sender lives until drop")
+            .send(task)
+            .expect("pool workers live until drop");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Counts one batch's outstanding runner tasks; the submitting thread
+/// blocks until every runner has finished.
+#[derive(Debug)]
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch poisoned");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("latch poisoned");
+        }
+    }
+}
+
+/// Shared state of one in-flight batch: the jobs, their result slots,
+/// the shared intake index, and the completion latch.
+struct BatchCtx<T> {
+    jobs: Vec<SolveJob<T>>,
+    slots: Vec<ResultSlot<T>>,
+    next: AtomicUsize,
+    latch: Latch,
+}
+
+/// One runner task's work loop: drain jobs off the batch's shared index
+/// until none remain. Runner tasks never wait on other tasks, so
+/// concurrent batches on a shared engine cannot deadlock the pool.
+fn drain_batch<T: Scalar>(inner: &EngineInner, ctx: &BatchCtx<T>, workspace: &WorkspaceHandle) {
+    loop {
+        let i = ctx.next.fetch_add(1, Ordering::Relaxed);
+        if i >= ctx.jobs.len() {
+            break;
+        }
+        let job = &ctx.jobs[i];
+        let outcome = inner.run_job(i, &job.matrix, &job.rhs, job.guess.as_deref(), workspace);
+        inner.account_job(&outcome);
+        *ctx.slots[i].lock().expect("result slot poisoned") = Some(outcome);
+    }
+}
+
 /// A thread-pool-sharded batch solve service over one [`Acamar`]
 /// instance.
 ///
@@ -179,11 +311,14 @@ pub struct EngineCounters {
 /// skip both host-side decision loops entirely.
 ///
 /// All methods take `&self`; the engine is `Sync` and is normally shared
-/// across callers via [`Arc`]. Worker threads are scoped per batch call
-/// (no idle pool lingers between calls), pull jobs from a shared atomic
-/// index, and write results back by submission slot, so result order —
-/// and, because [`Acamar::run_with_plan`] is deterministic, every
-/// solution vector — is independent of scheduling.
+/// across callers via [`Arc`]. Worker threads are spawned once at
+/// construction and live until the engine is dropped (which joins them);
+/// each keeps a thread-resident buffer pool, so warm solves recycle
+/// their scratch vectors instead of heap-allocating. Batch jobs are
+/// pulled from a shared atomic index and results land by submission
+/// slot, so result order — and, because [`Acamar::run_with_plan`] is
+/// deterministic and pooled buffers are re-zeroed on reuse, every
+/// solution vector — is independent of scheduling and of pool warmth.
 ///
 /// # Hardening
 ///
@@ -216,6 +351,15 @@ pub struct EngineCounters {
 /// ```
 #[derive(Debug)]
 pub struct Engine {
+    inner: Arc<EngineInner>,
+    pool: WorkerPool,
+}
+
+/// The engine's shared state: everything worker tasks need, behind one
+/// [`Arc`] so batch tasks (which must be `'static` for the pool channel)
+/// can hold it without borrowing the engine.
+#[derive(Debug)]
+struct EngineInner {
     acamar: Acamar,
     workers: usize,
     cache: PlanCache,
@@ -223,6 +367,10 @@ pub struct Engine {
     injector: Option<Arc<FaultInjector>>,
     jobs_completed: AtomicU64,
     attempts: [AtomicU64; SolverKind::COUNT],
+    /// Buffer pool for [`Engine::solve_one`], which runs on the calling
+    /// thread: repeated single solves recycle scratch vectors just like
+    /// pool workers do.
+    solo_workspace: WorkspaceHandle,
 }
 
 impl Engine {
@@ -236,22 +384,43 @@ impl Engine {
     }
 
     /// An engine with an explicit worker count (`0` is clamped to `1`).
+    /// The worker threads are spawned here and live until the engine is
+    /// dropped.
     pub fn with_workers(acamar: Acamar, workers: usize) -> Engine {
+        let workers = workers.max(1);
         Engine {
-            acamar,
-            workers: workers.max(1),
-            cache: PlanCache::new(),
-            resilience: ResilienceConfig::default(),
-            injector: None,
-            jobs_completed: AtomicU64::new(0),
-            attempts: std::array::from_fn(|_| AtomicU64::new(0)),
+            inner: Arc::new(EngineInner {
+                acamar,
+                workers,
+                cache: PlanCache::new(),
+                resilience: ResilienceConfig::default(),
+                injector: None,
+                jobs_completed: AtomicU64::new(0),
+                attempts: std::array::from_fn(|_| AtomicU64::new(0)),
+                solo_workspace: WorkspaceHandle::new(),
+            }),
+            pool: WorkerPool::new(workers),
         }
+    }
+
+    /// Exclusive access to the shared state for the builder methods.
+    ///
+    /// Holding `self` by value means no new [`Arc`] clones can appear
+    /// (cloning requires a `&self` batch call), but a worker may still be
+    /// releasing the clone a just-finished batch task held — its latch
+    /// counts down before the task closure (and the `Arc` it captured) is
+    /// dropped — so spin the handful of instructions until it lets go.
+    fn inner_mut(&mut self) -> &mut EngineInner {
+        while Arc::strong_count(&self.inner) > 1 {
+            std::thread::yield_now();
+        }
+        Arc::get_mut(&mut self.inner).expect("no other engine references can appear")
     }
 
     /// Sets the engine's hardening configuration (rescue ladder,
     /// deadlines, iteration budgets).
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Engine {
-        self.resilience = resilience;
+        self.inner_mut().resilience = resilience;
         self
     }
 
@@ -265,42 +434,44 @@ impl Engine {
     /// concurrently running batches mixes their events.
     pub fn with_fault_injection(mut self, injector: Arc<FaultInjector>) -> Engine {
         acamar_faultline::silence_injected_panics();
-        self.injector = Some(injector);
+        self.inner_mut().injector = Some(injector);
         self
     }
 
     /// The wrapped accelerator.
     pub fn acamar(&self) -> &Acamar {
-        &self.acamar
+        &self.inner.acamar
     }
 
-    /// Worker threads used per batch call.
+    /// Worker threads in the persistent pool.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.inner.workers
     }
 
     /// The engine's structure/plan cache.
     pub fn cache(&self) -> &PlanCache {
-        &self.cache
+        &self.inner.cache
     }
 
     /// The engine's hardening configuration.
     pub fn resilience(&self) -> &ResilienceConfig {
-        &self.resilience
+        &self.inner.resilience
     }
 
     /// The installed fault injector, if any.
     pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
-        self.injector.as_ref()
+        self.inner.injector.as_ref()
     }
 
     /// Lifetime counters: jobs completed, per-solver attempt histogram,
     /// and cache hits/misses/cycles-saved.
     pub fn counters(&self) -> EngineCounters {
         EngineCounters {
-            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
-            attempts_by_solver: std::array::from_fn(|i| self.attempts[i].load(Ordering::Relaxed)),
-            cache: self.cache.stats(),
+            jobs_completed: self.inner.jobs_completed.load(Ordering::Relaxed),
+            attempts_by_solver: std::array::from_fn(|i| {
+                self.inner.attempts[i].load(Ordering::Relaxed)
+            }),
+            cache: self.inner.cache.stats(),
         }
     }
 
@@ -317,8 +488,10 @@ impl Engine {
         a: &CsrMatrix<T>,
         b: &[T],
     ) -> Result<AcamarRunReport<T>, SolveError> {
-        let outcome = self.run_job(0, a, b, None);
-        self.account_job(&outcome);
+        let outcome = self
+            .inner
+            .run_job(0, a, b, None, &self.inner.solo_workspace);
+        self.inner.account_job(&outcome);
         outcome.result
     }
 
@@ -354,39 +527,43 @@ impl Engine {
     /// own slot; nothing aborts the batch.
     pub fn solve_jobs<T: Scalar>(&self, jobs: Vec<SolveJob<T>>) -> BatchReport<T> {
         let start = Instant::now();
-        let cache_before = self.cache.stats();
+        let cache_before = self.inner.cache.stats();
         let n = jobs.len();
-        let slots: Vec<ResultSlot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let jobs = &jobs;
-        let slots_ref = &slots;
-        let next_ref = &next;
-
-        let workers = self.workers.min(n.max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(move || loop {
-                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let job = &jobs[i];
-                    let outcome = self.run_job(i, &job.matrix, &job.rhs, job.guess.as_deref());
-                    self.account_job(&outcome);
-                    *slots_ref[i].lock().expect("result slot poisoned") = Some(outcome);
-                });
-            }
+        let runners = self.inner.workers.min(n);
+        let ctx = Arc::new(BatchCtx {
+            jobs,
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+            latch: Latch::new(runners),
         });
+
+        // One runner task per participating worker; each drains the shared
+        // index until the batch is empty, then counts down the latch. The
+        // submitting thread blocks here, not in the pool, so concurrent
+        // batches interleave their runners without deadlock.
+        for _ in 0..runners {
+            let inner = Arc::clone(&self.inner);
+            let ctx = Arc::clone(&ctx);
+            self.pool.submit(Box::new(move |scratch| {
+                drain_batch(&inner, &ctx, &scratch.workspace);
+                ctx.latch.count_down();
+            }));
+        }
+        ctx.latch.wait();
 
         let mut results = Vec::with_capacity(n);
         let mut dispositions = Vec::with_capacity(n);
         let mut panics_caught = 0u64;
         let mut deadline_misses = 0u64;
-        for slot in slots {
+        // Drain by lock-and-take: a worker may still hold its `ctx` clone
+        // for an instant after the latch fires, so the `Arc` cannot be
+        // unwrapped here.
+        for slot in &ctx.slots {
             let outcome = slot
-                .into_inner()
+                .lock()
                 .expect("result slot poisoned")
-                .expect("every slot is filled before the scope ends");
+                .take()
+                .expect("every slot is filled before the latch opens");
             dispositions.push(JobDisposition {
                 converged: matches!(&outcome.result, Ok(r) if r.converged()),
                 rungs: outcome.rungs,
@@ -396,7 +573,7 @@ impl Engine {
             results.push(outcome.result);
         }
 
-        let events = match &self.injector {
+        let events = match &self.inner.injector {
             Some(inj) => inj.take_events(),
             None => Vec::new(),
         };
@@ -422,21 +599,26 @@ impl Engine {
             converged,
             attempts_by_solver,
             stats,
-            cache: self.cache.stats().since(&cache_before),
+            cache: self.inner.cache.stats().since(&cache_before),
             robustness,
             wall_seconds: start.elapsed().as_secs_f64(),
         }
     }
+}
 
+impl EngineInner {
     /// Runs one job end to end: intake seams, cached analysis, the
     /// panic-isolated primary attempt, then the rescue ladder under the
-    /// deadline and iteration budget.
+    /// deadline and iteration budget. `workspace` is the running thread's
+    /// buffer pool, threaded down to the fabric kernels so every attempt
+    /// recycles its scratch vectors.
     fn run_job<T: Scalar>(
         &self,
         index: usize,
         matrix: &CsrMatrix<T>,
         rhs: &[T],
         guess: Option<&[T]>,
+        workspace: &WorkspaceHandle,
     ) -> JobOutcome<T> {
         let start = Instant::now();
         let job = index as u64;
@@ -461,7 +643,17 @@ impl Engine {
 
         // Primary attempt: the accelerator's own defenses (Solver
         // Modifier switching, GMRES fallback) run inside it.
-        let mut result = self.attempt(matrix, rhs, guess, &artifacts, job, 0, None, &mut panics);
+        let mut result = self.attempt(
+            matrix,
+            rhs,
+            guess,
+            &artifacts,
+            job,
+            0,
+            None,
+            &mut panics,
+            workspace,
+        );
         let mut rungs = 0usize;
         let mut deadline_missed = false;
 
@@ -508,6 +700,7 @@ impl Engine {
                         rungs as u64,
                         Some((criteria, kind)),
                         &mut panics,
+                        workspace,
                     );
                     if let Ok(r) = &next {
                         climb.absorb(r);
@@ -560,6 +753,7 @@ impl Engine {
         rung: u64,
         forced: Option<(acamar_solvers::ConvergenceCriteria, SolverKind)>,
         panics: &mut u64,
+        workspace: &WorkspaceHandle,
     ) -> Result<AcamarRunReport<T>, SolveError> {
         // Salting by rung gives each rescue attempt a fresh site
         // namespace; an un-salted retry would re-draw the exact faults
@@ -593,6 +787,7 @@ impl Engine {
                     criteria,
                     solver,
                     fault,
+                    workspace: Some(workspace.clone()),
                 },
             )
         }));

@@ -42,16 +42,11 @@ pub struct PatternFingerprint {
 impl PatternFingerprint {
     /// Fingerprints the sparsity pattern of `a` (values are ignored).
     pub fn of<T: Scalar>(a: &CsrMatrix<T>) -> PatternFingerprint {
-        let mut h = FNV_OFFSET;
-        for &p in a.row_ptr() {
-            h = fnv1a_u64(h, p as u64);
-        }
+        let mut h = fnv1a_words(FNV_OFFSET, a.row_ptr());
         // Separator distinguishes e.g. an empty col_idx following a long
         // row_ptr from the same words split differently.
-        h = fnv1a_u64(h, u64::MAX);
-        for &c in a.col_idx() {
-            h = fnv1a_u64(h, c as u64);
-        }
+        h = fnv1a_bytes(h, &u64::MAX.to_le_bytes());
+        h = fnv1a_words(h, a.col_idx());
         PatternFingerprint {
             nrows: a.nrows(),
             ncols: a.ncols(),
@@ -61,10 +56,36 @@ impl PatternFingerprint {
     }
 }
 
-fn fnv1a_u64(mut h: u64, word: u64) -> u64 {
-    for byte in word.to_le_bytes() {
-        h ^= byte as u64;
+fn fnv1a_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
         h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hashes a word slice as one contiguous little-endian byte stream.
+///
+/// On 64-bit little-endian targets the slice's raw bytes already *are*
+/// that stream, so the whole array is digested in a single pass with no
+/// per-word widening or chunking.
+#[cfg(all(target_pointer_width = "64", target_endian = "little"))]
+fn fnv1a_words(h: u64, words: &[usize]) -> u64 {
+    // SAFETY: `usize` is plain old data with no padding; viewing the
+    // slice's memory as bytes is always valid, and on this target the
+    // bytes equal each word's `to_le_bytes()` concatenated.
+    let bytes = unsafe {
+        std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), std::mem::size_of_val(words))
+    };
+    fnv1a_bytes(h, bytes)
+}
+
+/// Fallback keeping the digest identical on other targets: each word is
+/// widened to `u64` and hashed via its little-endian bytes.
+#[cfg(not(all(target_pointer_width = "64", target_endian = "little")))]
+fn fnv1a_words(mut h: u64, words: &[usize]) -> u64 {
+    for &w in words {
+        h = fnv1a_bytes(h, &(w as u64).to_le_bytes());
     }
     h
 }
@@ -112,5 +133,62 @@ mod tests {
             PatternFingerprint::of(&a),
             PatternFingerprint::of(&f32_view)
         );
+    }
+
+    /// The original digest walked the arrays one word at a time; the
+    /// byte-slice fast path must reproduce it bit for bit, or every plan
+    /// cache key would silently change.
+    #[test]
+    fn digest_matches_the_per_word_reference() {
+        fn reference<T: Scalar>(a: &CsrMatrix<T>) -> u64 {
+            fn word(mut h: u64, w: u64) -> u64 {
+                for byte in w.to_le_bytes() {
+                    h ^= byte as u64;
+                    h = h.wrapping_mul(FNV_PRIME);
+                }
+                h
+            }
+            let mut h = FNV_OFFSET;
+            for &p in a.row_ptr() {
+                h = word(h, p as u64);
+            }
+            h = word(h, u64::MAX);
+            for &c in a.col_idx() {
+                h = word(h, c as u64);
+            }
+            h
+        }
+        let cases = [
+            csr(1, &[]),
+            csr(1, &[(0, 0, 1.0)]),
+            csr(3, &[(0, 0, 1.0), (1, 2, 2.0), (2, 1, 3.0)]),
+            csr(5, &[(0, 4, 1.0), (2, 2, 1.0), (4, 0, 1.0), (4, 4, 1.0)]),
+        ];
+        for a in &cases {
+            assert_eq!(PatternFingerprint::of(a).hash, reference(a));
+        }
+    }
+
+    /// Collision regression: every distinct pattern on a small grid must
+    /// produce a distinct fingerprint, including pairs that agree on
+    /// shape and `nnz` and differ only in where the entries sit.
+    #[test]
+    fn distinct_small_patterns_never_collide() {
+        let mut prints = Vec::new();
+        // All 2^9 sparsity patterns of a 3x3 matrix.
+        for mask in 0u32..512 {
+            let mut coo = CooMatrix::new(3, 3);
+            for bit in 0..9 {
+                if mask & (1 << bit) != 0 {
+                    coo.push(bit / 3, bit % 3, 1.0).unwrap();
+                }
+            }
+            prints.push((mask, PatternFingerprint::of(&coo.to_csr())));
+        }
+        for (i, (ma, fa)) in prints.iter().enumerate() {
+            for (mb, fb) in &prints[i + 1..] {
+                assert_ne!(fa, fb, "patterns {ma:#b} and {mb:#b} collided");
+            }
+        }
     }
 }

@@ -13,7 +13,7 @@ use crate::spec::{FabricSpec, ResourceVector};
 use crate::spmv::{execute_rows, SpmvExecution};
 use crate::trace::{ExecutionTrace, TraceEvent};
 use acamar_faultline::{FaultContext, FaultInjector};
-use acamar_solvers::{Kernels, OpCounts, Phase};
+use acamar_solvers::{Kernels, OpCounts, Phase, WorkspaceHandle};
 use acamar_sparse::{CsrMatrix, Scalar};
 use std::ops::Range;
 
@@ -289,6 +289,10 @@ pub struct FabricKernels {
     lost_area_cycles: u64,
     /// Ordinal of the next scheduled nested-region swap (fault site key).
     swap_site: u64,
+    /// Host-side buffer pool backing [`Kernels::acquire_buffer`]; `None`
+    /// falls back to plain allocation (cycle model unaffected either way —
+    /// host buffer traffic is not fabric work).
+    workspace: Option<WorkspaceHandle>,
 }
 
 impl FabricKernels {
@@ -330,7 +334,16 @@ impl FabricKernels {
             degraded: false,
             lost_area_cycles: 0,
             swap_site: 0,
+            workspace: None,
         }
+    }
+
+    /// Installs a shared host-side workspace so solver scratch vectors are
+    /// recycled across solves instead of heap-allocated each time. Purely a
+    /// host optimization: cycle and FLOP accounting are unchanged.
+    pub fn with_workspace(mut self, workspace: WorkspaceHandle) -> Self {
+        self.workspace = Some(workspace);
+        self
     }
 
     /// Installs a fault-injection context: subsequent solver attempts may
@@ -556,8 +569,11 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
                 // the nested region on unroll changes. A swap may suffer
                 // an injected ICAP abort, after which the region is
                 // pinned to max unroll and the walk stops reconfiguring.
-                let entries: Vec<ScheduleEntry> = self.schedule.entries().to_vec();
-                for e in entries {
+                // Walk by index: cloning one `ScheduleEntry` (a row range
+                // plus an unroll factor) is stack-only, so the hot solve
+                // loop performs no heap allocation here.
+                for idx in 0..self.schedule.entries().len() {
+                    let e = self.schedule.entries()[idx].clone();
                     if e.rows.end > a.nrows() {
                         // Defensive clamp: schedules are built for A, and
                         // Jacobi's iteration matrix T has the same shape.
@@ -621,6 +637,45 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
         assert_eq!(x.len(), y.len(), "dot length mismatch");
         self.charge_dense(x.len(), 2, true);
         x.iter().zip(y).fold(T::ZERO, |acc, (&a, &b)| acc + a * b)
+    }
+
+    fn spmv_dot(&mut self, a: &CsrMatrix<T>, x: &[T], y: &mut [T], z: &[T]) -> T {
+        // Fusion saves a host memory pass, not fabric work: the dense unit
+        // still streams `y` through its reduction tree, so the charge is
+        // exactly the unfused SpMV + dot pair. The dot runs after the full
+        // SpMV (including any injected stuck-bit flip on `y`) so fault
+        // replay is byte-identical to the unfused path.
+        Kernels::<T>::spmv(self, a, x, y);
+        assert_eq!(y.len(), z.len(), "dot length mismatch");
+        self.charge_dense(y.len(), 2, true);
+        y.iter().zip(z).fold(T::ZERO, |acc, (&a, &b)| acc + a * b)
+    }
+
+    fn axpy_normsq(&mut self, alpha: T, x: &[T], y: &mut [T]) -> T {
+        assert_eq!(x.len(), y.len(), "axpy length mismatch");
+        // Charged as the unfused axpy + dot(y, y) pair; the host loop is a
+        // single pass with the same per-element operation order.
+        self.charge_dense(x.len(), 2, false);
+        self.charge_dense(x.len(), 2, true);
+        let mut acc = T::ZERO;
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+            acc += *yi * *yi;
+        }
+        acc
+    }
+
+    fn acquire_buffer(&mut self, n: usize) -> Vec<T> {
+        match &self.workspace {
+            Some(ws) => ws.take(n),
+            None => vec![T::ZERO; n],
+        }
+    }
+
+    fn release_buffer(&mut self, buf: Vec<T>) {
+        if let Some(ws) = &self.workspace {
+            ws.give(buf);
+        }
     }
 
     fn axpy(&mut self, alpha: T, x: &[T], y: &mut [T]) {
@@ -753,6 +808,96 @@ mod tests {
         assert_eq!(hw_rep.iterations, sw_rep.iterations);
         assert_eq!(hw_rep.solution, sw_rep.solution);
         assert_eq!(hw_rep.counts.spmv_calls, sw_rep.counts.spmv_calls);
+    }
+
+    #[test]
+    fn fused_spmv_dot_matches_unfused_bitwise_counts_and_cycles() {
+        let a = generate::poisson2d::<f64>(9, 9);
+        let x: Vec<f64> = (0..81).map(|i| ((i % 13) as f64) * 0.25 - 1.0).collect();
+        let z: Vec<f64> = (0..81).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let sched = UnrollSchedule::from_entries(
+            81,
+            vec![
+                ScheduleEntry {
+                    rows: 0..40,
+                    unroll: 2,
+                },
+                ScheduleEntry {
+                    rows: 40..81,
+                    unroll: 8,
+                },
+            ],
+        );
+        let mut fused = FabricKernels::new(spec(), sched.clone(), 4);
+        Kernels::<f64>::set_phase(&mut fused, Phase::Loop);
+        let mut y_fused = vec![0.0_f64; 81];
+        let d_fused = fused.spmv_dot(&a, &x, &mut y_fused, &z);
+
+        let mut unfused = FabricKernels::new(spec(), sched, 4);
+        Kernels::<f64>::set_phase(&mut unfused, Phase::Loop);
+        let mut y_ref = vec![0.0_f64; 81];
+        Kernels::<f64>::spmv(&mut unfused, &a, &x, &mut y_ref);
+        let d_ref = unfused.dot(&y_ref, &z);
+
+        assert_eq!(d_fused.to_bits(), d_ref.to_bits());
+        assert_eq!(y_fused, y_ref);
+        assert_eq!(
+            Kernels::<f64>::counts(&fused),
+            Kernels::<f64>::counts(&unfused)
+        );
+        assert_eq!(fused.cycles(), unfused.cycles());
+    }
+
+    #[test]
+    fn fused_axpy_normsq_matches_unfused_bitwise_counts_and_cycles() {
+        let x: Vec<f64> = (0..77).map(|i| ((i % 11) as f64) * 0.5 - 2.0).collect();
+        let y0: Vec<f64> = (0..77).map(|i| ((i % 5) as f64) - 1.0).collect();
+        let alpha = -0.37_f64;
+
+        let mut fused = FabricKernels::new(spec(), UnrollSchedule::uniform(77, 4), 4);
+        let mut y_fused = y0.clone();
+        let nsq_fused = fused.axpy_normsq(alpha, &x, &mut y_fused);
+
+        let mut unfused = FabricKernels::new(spec(), UnrollSchedule::uniform(77, 4), 4);
+        let mut y_ref = y0;
+        unfused.axpy(alpha, &x, &mut y_ref);
+        let nsq_ref = unfused.dot(&y_ref, &y_ref);
+
+        assert_eq!(nsq_fused.to_bits(), nsq_ref.to_bits());
+        assert_eq!(y_fused, y_ref);
+        assert_eq!(
+            Kernels::<f64>::counts(&fused),
+            Kernels::<f64>::counts(&unfused)
+        );
+        assert_eq!(fused.cycles(), unfused.cycles());
+    }
+
+    #[test]
+    fn workspace_buffers_are_recycled_across_fabric_solves() {
+        let a = generate::poisson2d::<f32>(8, 8);
+        let b = vec![1.0_f32; 64];
+        let crit = ConvergenceCriteria::paper();
+        let ws = WorkspaceHandle::new();
+
+        let mut k1 = FabricKernels::new(spec(), UnrollSchedule::uniform(64, 4), 4)
+            .with_workspace(ws.clone());
+        let rep1 = conjugate_gradient(&a, &b, None, &crit, &mut k1).unwrap();
+        let (_, fresh_after_cold) = ws.stats();
+
+        let mut k2 = FabricKernels::new(spec(), UnrollSchedule::uniform(64, 4), 4)
+            .with_workspace(ws.clone());
+        let rep2 = conjugate_gradient(&a, &b, None, &crit, &mut k2).unwrap();
+        let (reuses, fresh_after_warm) = ws.stats();
+
+        assert_eq!(rep1.solution, rep2.solution);
+        assert!(reuses > 0, "warm solve should recycle pooled buffers");
+        // The warm solve allocates at most one fresh buffer (the solution
+        // vector escapes the pool, so its replacement is fresh).
+        assert!(
+            fresh_after_warm - fresh_after_cold <= 1,
+            "warm solve allocated {} fresh buffers",
+            fresh_after_warm - fresh_after_cold
+        );
     }
 
     #[test]

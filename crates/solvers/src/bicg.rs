@@ -50,21 +50,27 @@ pub fn bicg<T: Scalar, K: Kernels<T>>(
 
     kernels.set_phase(Phase::Initialize);
     let at = a.transpose(); // host-side, like the CSC symmetry check
-    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
-    let mut r = vec![T::ZERO; n];
+    let mut x = kernels.acquire_buffer(n);
+    if let Some(x0) = x0 {
+        x.copy_from_slice(x0);
+    }
+    let mut r = kernels.acquire_buffer(n);
     kernels.spmv(a, &x, &mut r);
     kernels.scale(-T::ONE, &mut r);
     kernels.axpy(T::ONE, b, &mut r); // r = b - A x
-    let mut rs = r.clone(); // shadow residual r* = r
-    let mut p = r.clone();
-    let mut ps = rs.clone();
+    let mut rs = kernels.acquire_buffer(n); // shadow residual r* = r
+    rs.copy_from_slice(&r);
+    let mut p = kernels.acquire_buffer(n);
+    p.copy_from_slice(&r);
+    let mut ps = kernels.acquire_buffer(n);
+    ps.copy_from_slice(&rs);
     let mut rho = kernels.dot(&rs, &r);
     let b_norm = kernels.norm2(b).to_f64();
     let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
     let tiny = T::epsilon().to_f64() * T::epsilon().to_f64();
 
-    let mut ap = vec![T::ZERO; n];
-    let mut atps = vec![T::ZERO; n];
+    let mut ap = kernels.acquire_buffer(n);
+    let mut atps = kernels.acquire_buffer(n);
     let mut monitor = Monitor::new(*criteria);
     let mut iterations = 0usize;
 
@@ -102,6 +108,12 @@ pub fn bicg<T: Scalar, K: Kernels<T>>(
         kernels.xpby(&rs, beta, &mut ps); // p* = r* + beta p*
     };
 
+    kernels.release_buffer(r);
+    kernels.release_buffer(rs);
+    kernels.release_buffer(p);
+    kernels.release_buffer(ps);
+    kernels.release_buffer(ap);
+    kernels.release_buffer(atps);
     Ok(SolveReport {
         solver: SolverKind::BiCg,
         outcome,
@@ -132,15 +144,20 @@ pub fn conjugate_residual<T: Scalar, K: Kernels<T>>(
     let start_counts = kernels.counts();
 
     kernels.set_phase(Phase::Initialize);
-    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
-    let mut r = vec![T::ZERO; n];
+    let mut x = kernels.acquire_buffer(n);
+    if let Some(x0) = x0 {
+        x.copy_from_slice(x0);
+    }
+    let mut r = kernels.acquire_buffer(n);
     kernels.spmv(a, &x, &mut r);
     kernels.scale(-T::ONE, &mut r);
     kernels.axpy(T::ONE, b, &mut r);
-    let mut p = r.clone();
-    let mut ar = vec![T::ZERO; n];
+    let mut p = kernels.acquire_buffer(n);
+    p.copy_from_slice(&r);
+    let mut ar = kernels.acquire_buffer(n);
     kernels.spmv(a, &r, &mut ar); // A r
-    let mut ap = ar.clone(); // A p (p = r initially)
+    let mut ap = kernels.acquire_buffer(n); // A p (p = r initially)
+    ap.copy_from_slice(&ar);
     let mut r_ar = kernels.dot(&r, &ar);
     let b_norm = kernels.norm2(b).to_f64();
     let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
@@ -168,8 +185,7 @@ pub fn conjugate_residual<T: Scalar, K: Kernels<T>>(
         }
         kernels.axpy(alpha, &p, &mut x);
         kernels.axpy(-alpha, &ap, &mut r);
-        kernels.spmv(a, &r, &mut ar);
-        let r_ar_new = kernels.dot(&r, &ar);
+        let r_ar_new = kernels.spmv_dot(a, &r, &mut ar, &r);
         let res = kernels.norm2(&r).to_f64() / scale;
         match monitor.observe(res) {
             Verdict::Continue => {}
@@ -184,6 +200,10 @@ pub fn conjugate_residual<T: Scalar, K: Kernels<T>>(
         kernels.xpby(&ar, beta, &mut ap); // Ap = Ar + beta Ap
     };
 
+    kernels.release_buffer(r);
+    kernels.release_buffer(p);
+    kernels.release_buffer(ar);
+    kernels.release_buffer(ap);
     Ok(SolveReport {
         solver: SolverKind::ConjugateResidual,
         outcome,

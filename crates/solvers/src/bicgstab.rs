@@ -45,22 +45,25 @@ pub fn bicgstab<T: Scalar, K: Kernels<T>>(
 
     // --- Initialize (Algorithm 3 lines 2-3) ---
     kernels.set_phase(Phase::Initialize);
-    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
-    let mut r = vec![T::ZERO; n];
+    let mut x = kernels.acquire_buffer(n);
+    if let Some(x0) = x0 {
+        x.copy_from_slice(x0);
+    }
+    let mut r = kernels.acquire_buffer(n);
     kernels.spmv(a, &x, &mut r);
     kernels.scale(-T::ONE, &mut r);
     kernels.axpy(T::ONE, b, &mut r); // r0 = b - A x0
-    let mut r0s = vec![T::ZERO; n];
+    let mut r0s = kernels.acquire_buffer(n);
     kernels.copy(&r, &mut r0s); // r0* = r0 (standard choice)
-    let mut p = vec![T::ZERO; n];
+    let mut p = kernels.acquire_buffer(n);
     kernels.copy(&r, &mut p);
     let mut rho = kernels.dot(&r, &r0s);
     let b_norm = kernels.norm2(b).to_f64();
     let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
 
-    let mut ap = vec![T::ZERO; n];
-    let mut s = vec![T::ZERO; n];
-    let mut as_ = vec![T::ZERO; n];
+    let mut ap = kernels.acquire_buffer(n);
+    let mut s = kernels.acquire_buffer(n);
+    let mut as_ = kernels.acquire_buffer(n);
     let mut monitor = Monitor::new(*criteria);
     let mut iterations = 0usize;
     // Breakdown threshold: relative to the machine epsilon of T and the
@@ -75,8 +78,7 @@ pub fn bicgstab<T: Scalar, K: Kernels<T>>(
             break Outcome::Converged;
         }
         kernels.begin_iteration(iterations);
-        kernels.spmv(a, &p, &mut ap);
-        let denom = kernels.dot(&ap, &r0s);
+        let denom = kernels.spmv_dot(a, &p, &mut ap, &r0s);
         iterations += 1;
         if !denom.is_finite() || denom.to_f64().abs() <= tiny * scale * scale {
             monitor.observe(r_norm / scale);
@@ -101,8 +103,7 @@ pub fn bicgstab<T: Scalar, K: Kernels<T>>(
         kernels.axpy(omega, &s, &mut x);
         // r = s - omega A s
         kernels.copy(&s, &mut r);
-        kernels.axpy(-omega, &as_, &mut r);
-        let res = kernels.norm2(&r).to_f64() / scale;
+        let res = kernels.axpy_normsq(-omega, &as_, &mut r).sqrt().to_f64() / scale;
         match monitor.observe(res) {
             Verdict::Continue => {}
             Verdict::Done(o) => break o,
@@ -121,6 +122,12 @@ pub fn bicgstab<T: Scalar, K: Kernels<T>>(
         kernels.xpby(&r, beta, &mut p);
     };
 
+    kernels.release_buffer(r);
+    kernels.release_buffer(r0s);
+    kernels.release_buffer(p);
+    kernels.release_buffer(ap);
+    kernels.release_buffer(s);
+    kernels.release_buffer(as_);
     Ok(SolveReport {
         solver: SolverKind::BiCgStab,
         outcome,

@@ -43,18 +43,21 @@ pub fn conjugate_gradient<T: Scalar, K: Kernels<T>>(
 
     // --- Initialize (Algorithm 2 line 2): r0 = b - A x0, p0 = r0 ---
     kernels.set_phase(Phase::Initialize);
-    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
-    let mut r = vec![T::ZERO; n];
+    let mut x = kernels.acquire_buffer(n);
+    if let Some(x0) = x0 {
+        x.copy_from_slice(x0);
+    }
+    let mut r = kernels.acquire_buffer(n);
     kernels.spmv(a, &x, &mut r); // r = A x0
     kernels.scale(-T::ONE, &mut r); // r = -A x0
     kernels.axpy(T::ONE, b, &mut r); // r = b - A x0
-    let mut p = vec![T::ZERO; n];
+    let mut p = kernels.acquire_buffer(n);
     kernels.copy(&r, &mut p);
     let mut rr = kernels.dot(&r, &r);
     let b_norm = kernels.norm2(b).to_f64();
     let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
 
-    let mut ap = vec![T::ZERO; n];
+    let mut ap = kernels.acquire_buffer(n);
     let mut monitor = Monitor::new(*criteria);
     let mut iterations = 0usize;
 
@@ -66,8 +69,7 @@ pub fn conjugate_gradient<T: Scalar, K: Kernels<T>>(
             break Outcome::Converged;
         }
         kernels.begin_iteration(iterations);
-        kernels.spmv(a, &p, &mut ap);
-        let p_ap = kernels.dot(&ap, &p);
+        let p_ap = kernels.spmv_dot(a, &p, &mut ap, &p);
         iterations += 1;
         if !p_ap.is_finite() {
             monitor.observe(f64::NAN);
@@ -82,8 +84,7 @@ pub fn conjugate_gradient<T: Scalar, K: Kernels<T>>(
         }
         let alpha = rr / p_ap;
         kernels.axpy(alpha, &p, &mut x); // x += alpha p
-        kernels.axpy(-alpha, &ap, &mut r); // r -= alpha A p
-        let rr_new = kernels.dot(&r, &r);
+        let rr_new = kernels.axpy_normsq(-alpha, &ap, &mut r); // r -= alpha A p
         let res = rr_new.to_f64().max(0.0).sqrt() / scale;
         match monitor.observe(res) {
             Verdict::Continue => {}
@@ -94,6 +95,9 @@ pub fn conjugate_gradient<T: Scalar, K: Kernels<T>>(
         kernels.xpby(&r, beta, &mut p); // p = r + beta p
     };
 
+    kernels.release_buffer(r);
+    kernels.release_buffer(p);
+    kernels.release_buffer(ap);
     Ok(SolveReport {
         solver: SolverKind::ConjugateGradient,
         outcome,

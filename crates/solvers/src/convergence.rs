@@ -128,10 +128,15 @@ pub enum Verdict {
 
 impl Monitor {
     /// Creates a monitor for the given criteria.
+    ///
+    /// The history is reserved up front (capped at 16 Ki entries) so
+    /// [`observe`](Monitor::observe) never reallocates inside a solver
+    /// loop running a sane iteration budget.
     pub fn new(criteria: ConvergenceCriteria) -> Self {
+        let cap = criteria.max_iterations.saturating_add(2).min(16_384);
         Monitor {
             criteria,
-            history: Vec::new(),
+            history: Vec::with_capacity(cap),
             initial: None,
         }
     }

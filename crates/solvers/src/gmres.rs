@@ -55,13 +55,25 @@ pub fn gmres<T: Scalar, K: Kernels<T>>(
     let start_counts = kernels.counts();
 
     kernels.set_phase(Phase::Initialize);
-    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
+    let mut x = kernels.acquire_buffer(n);
+    if let Some(x0) = x0 {
+        x.copy_from_slice(x0);
+    }
     let b_norm = kernels.norm2(b).to_f64();
     let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
 
     let mut monitor = Monitor::new(*criteria);
     let mut iterations = 0usize;
-    let mut r = vec![T::ZERO; n];
+    let mut r = kernels.acquire_buffer(n);
+
+    // Arnoldi basis V, Hessenberg H (h[i][j]), Givens rotations (cs, sn),
+    // residual vector g — all acquired once and reused across restart
+    // cycles; every entry a cycle reads is written earlier in that cycle.
+    let mut v: Vec<Vec<T>> = (0..=m).map(|_| kernels.acquire_buffer(n)).collect();
+    let mut h: Vec<Vec<T>> = (0..=m).map(|_| kernels.acquire_buffer(m)).collect();
+    let mut cs = kernels.acquire_buffer(m);
+    let mut sn = kernels.acquire_buffer(m);
+    let mut g = kernels.acquire_buffer(m + 1);
 
     kernels.set_phase(Phase::Loop);
     let outcome = 'outer: loop {
@@ -79,39 +91,32 @@ pub fn gmres<T: Scalar, K: Kernels<T>>(
             break Outcome::Converged;
         }
 
-        // Arnoldi basis V, Hessenberg H (column-major per inner step),
-        // Givens rotations (cs, sn), residual vector g.
-        let mut v: Vec<Vec<T>> = Vec::with_capacity(m + 1);
-        let mut first = r.clone();
-        kernels.scale(T::ONE / beta, &mut first);
-        v.push(first);
-        let mut h = vec![vec![T::ZERO; m]; m + 1]; // h[i][j]
-        let mut cs = vec![T::ZERO; m];
-        let mut sn = vec![T::ZERO; m];
-        let mut g = vec![T::ZERO; m + 1];
+        v[0].copy_from_slice(&r);
+        kernels.scale(T::ONE / beta, &mut v[0]);
         g[0] = beta;
         let mut inner_used = 0usize;
 
         for j in 0..m {
             kernels.begin_iteration(iterations);
-            let mut w = vec![T::ZERO; n];
-            kernels.spmv(a, &v[j], &mut w);
+            // w is the (j+1)-th basis slot; the split keeps the borrow of
+            // the established basis v[0..=j] disjoint from it.
+            let (basis, rest) = v.split_at_mut(j + 1);
+            let w = &mut rest[0][..];
+            kernels.spmv(a, &basis[j], w);
             // Modified Gram-Schmidt
-            for (i, vi) in v.iter().enumerate().take(j + 1) {
-                let hij = kernels.dot(&w, vi);
+            for (i, vi) in basis.iter().enumerate() {
+                let hij = kernels.dot(w, vi);
                 h[i][j] = hij;
-                kernels.axpy(-hij, vi, &mut w);
+                kernels.axpy(-hij, vi, w);
             }
-            let wnorm = kernels.norm2(&w);
+            let wnorm = kernels.norm2(w);
             h[j + 1][j] = wnorm;
             iterations += 1;
             inner_used = j + 1;
 
             let happy = wnorm.to_f64().abs() < 1e-14 * scale;
             if !happy {
-                let mut next = w;
-                kernels.scale(T::ONE / wnorm, &mut next);
-                v.push(next);
+                kernels.scale(T::ONE / wnorm, w);
             }
 
             // Apply existing Givens rotations to the new column.
@@ -149,6 +154,16 @@ pub fn gmres<T: Scalar, K: Kernels<T>>(
         update_solution(kernels, &mut x, &h, &g, &v, inner_used);
     };
 
+    kernels.release_buffer(r);
+    for buf in v {
+        kernels.release_buffer(buf);
+    }
+    for buf in h {
+        kernels.release_buffer(buf);
+    }
+    kernels.release_buffer(cs);
+    kernels.release_buffer(sn);
+    kernels.release_buffer(g);
     Ok(SolveReport {
         solver: SolverKind::Gmres,
         outcome,
@@ -186,7 +201,7 @@ fn update_solution<T: Scalar, K: Kernels<T>>(
     if k == 0 {
         return;
     }
-    let mut y = vec![T::ZERO; k];
+    let mut y = kernels.acquire_buffer(k);
     for i in (0..k).rev() {
         let mut acc = g[i];
         for j in (i + 1)..k {
@@ -201,6 +216,7 @@ fn update_solution<T: Scalar, K: Kernels<T>>(
     for (j, yj) in y.iter().enumerate() {
         kernels.axpy(*yj, &v[j], x);
     }
+    kernels.release_buffer(y);
 }
 
 #[cfg(test)]

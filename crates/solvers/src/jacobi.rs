@@ -63,7 +63,10 @@ pub fn jacobi<T: Scalar, K: Kernels<T>>(
             counts: kernels.counts().since(&start_counts),
         });
     }
-    let inv_d: Vec<T> = diag.iter().map(|&d| T::ONE / d).collect();
+    let mut inv_d = kernels.acquire_buffer(n);
+    for (slot, &d) in inv_d.iter_mut().zip(&diag) {
+        *slot = T::ONE / d;
+    }
 
     // T = D^{-1}(L + U): all off-diagonal entries of A scaled by 1/d_i.
     let mut coo = CooMatrix::with_capacity(n, n, a.nnz());
@@ -77,17 +80,20 @@ pub fn jacobi<T: Scalar, K: Kernels<T>>(
     let t_mat = coo.to_csr();
 
     // c = D^{-1} b
-    let mut c = vec![T::ZERO; n];
+    let mut c = kernels.acquire_buffer(n);
     kernels.hadamard(&inv_d, b, &mut c);
 
     let b_norm = kernels.norm2(b).to_f64();
     let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
 
-    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
-    let mut tx = vec![T::ZERO; n];
-    let mut x_new = vec![T::ZERO; n];
-    let mut diff = vec![T::ZERO; n];
-    let mut r = vec![T::ZERO; n];
+    let mut x = kernels.acquire_buffer(n);
+    if let Some(x0) = x0 {
+        x.copy_from_slice(x0);
+    }
+    let mut tx = kernels.acquire_buffer(n);
+    let mut x_new = kernels.acquire_buffer(n);
+    let mut diff = kernels.acquire_buffer(n);
+    let mut r = kernels.acquire_buffer(n);
 
     // --- Solver loop (Algorithm 1 lines 8-10) ---
     kernels.set_phase(Phase::Loop);
@@ -115,6 +121,12 @@ pub fn jacobi<T: Scalar, K: Kernels<T>>(
         }
     };
 
+    kernels.release_buffer(inv_d);
+    kernels.release_buffer(c);
+    kernels.release_buffer(tx);
+    kernels.release_buffer(x_new);
+    kernels.release_buffer(diff);
+    kernels.release_buffer(r);
     Ok(SolveReport {
         solver: SolverKind::Jacobi,
         outcome,

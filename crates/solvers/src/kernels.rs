@@ -7,7 +7,12 @@
 //! mirrors the paper's split between the algorithms (Section II-B) and
 //! their hardware execution (Section IV).
 
-use acamar_sparse::{CsrMatrix, Scalar};
+use crate::workspace::WorkspaceHandle;
+use acamar_sparse::{chunk, CsrMatrix, Scalar};
+
+/// Minimum stored entries before [`SoftwareKernels`] considers the
+/// row-partitioned parallel SpMV path worth its thread-dispatch cost.
+pub const PARALLEL_SPMV_MIN_NNZ: usize = 1 << 16;
 
 /// Execution phase of a solver, reported to the kernel executor.
 ///
@@ -109,6 +114,47 @@ pub trait Kernels<T: Scalar> {
         self.dot(x, x).sqrt()
     }
 
+    /// Borrows a zero-filled scratch buffer of length `n`.
+    ///
+    /// Not an arithmetic operation — never counted. The default allocates
+    /// fresh; executors backed by a
+    /// [`WorkspaceHandle`](crate::WorkspaceHandle) recycle buffers
+    /// previously returned through
+    /// [`release_buffer`](Kernels::release_buffer), which is what makes
+    /// warm solves allocation-free.
+    fn acquire_buffer(&mut self, n: usize) -> Vec<T> {
+        vec![T::ZERO; n]
+    }
+
+    /// Hands a scratch buffer back to the executor for reuse.
+    ///
+    /// Dropping a buffer instead of releasing it is always correct; it
+    /// just forfeits the reuse.
+    fn release_buffer(&mut self, buf: Vec<T>) {
+        drop(buf);
+    }
+
+    /// Fused `y = A x` then `yᵀ z` — one pass over the fresh `y`.
+    ///
+    /// Implementations must be bitwise identical to the unfused
+    /// [`spmv`](Kernels::spmv) + [`dot`](Kernels::dot) sequence (same
+    /// accumulation order) and must charge exactly the sum of the two
+    /// operations' counts, which is what the default does.
+    fn spmv_dot(&mut self, a: &CsrMatrix<T>, x: &[T], y: &mut [T], z: &[T]) -> T {
+        self.spmv(a, x, y);
+        self.dot(y, z)
+    }
+
+    /// Fused `y += alpha x` then `‖y‖₂²` (returned *squared*).
+    ///
+    /// Same contract as [`spmv_dot`](Kernels::spmv_dot): bitwise and
+    /// accounting parity with the unfused [`axpy`](Kernels::axpy) +
+    /// [`dot`](Kernels::dot)`(y, y)` pair.
+    fn axpy_normsq(&mut self, alpha: T, x: &[T], y: &mut [T]) -> T {
+        self.axpy(alpha, x, y);
+        self.dot(y, y)
+    }
+
     /// Notifies the executor that the solver entered `phase`.
     fn set_phase(&mut self, phase: Phase) {
         let _ = phase;
@@ -138,9 +184,21 @@ pub trait Kernels<T: Scalar> {
 /// assert_eq!(y, vec![1.0, 2.0, 3.0]);
 /// assert_eq!(Kernels::<f64>::counts(&k).spmv_calls, 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SoftwareKernels {
     counts: OpCounts,
+    workspace: Option<WorkspaceHandle>,
+    spmv_threads: usize,
+}
+
+impl Default for SoftwareKernels {
+    fn default() -> Self {
+        SoftwareKernels {
+            counts: OpCounts::default(),
+            workspace: None,
+            spmv_threads: 1,
+        }
+    }
 }
 
 impl SoftwareKernels {
@@ -149,15 +207,64 @@ impl SoftwareKernels {
         Self::default()
     }
 
+    /// Backs [`Kernels::acquire_buffer`] with a shared scratch-buffer
+    /// workspace so repeated solves stop allocating.
+    pub fn with_workspace(mut self, workspace: WorkspaceHandle) -> Self {
+        self.workspace = Some(workspace);
+        self
+    }
+
+    /// Enables the row-partitioned parallel SpMV path with up to
+    /// `threads` OS threads for matrices of at least
+    /// [`PARALLEL_SPMV_MIN_NNZ`] stored entries. `0` and `1` both mean
+    /// serial. Row partitions write disjoint output slices, so results
+    /// are bitwise identical to the serial path at any thread count.
+    pub fn with_spmv_threads(mut self, threads: usize) -> Self {
+        self.spmv_threads = threads.max(1);
+        self
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&mut self) {
         self.counts = OpCounts::default();
     }
 }
 
+/// `y = A x` with rows partitioned into contiguous chunks (via
+/// [`chunk::row_chunks`]) executed on scoped OS threads. Each chunk owns a
+/// disjoint slice of `y`, so the result is bitwise identical to the
+/// serial row loop.
+fn parallel_spmv<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T], threads: usize) {
+    assert_eq!(x.len(), a.ncols(), "spmv shape mismatch");
+    assert_eq!(y.len(), a.nrows(), "spmv shape mismatch");
+    let chunks = chunk::row_chunks(a, a.nrows().div_ceil(threads).max(1));
+    let mut rest = y;
+    std::thread::scope(|s| {
+        for c in &chunks {
+            let rows = c.rows.clone();
+            let (head, tail) = rest.split_at_mut(rows.len());
+            rest = tail;
+            s.spawn(move || {
+                for (i, yi) in rows.zip(head.iter_mut()) {
+                    let (cols, vals) = a.row(i);
+                    let mut acc = T::ZERO;
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        acc += v * x[c];
+                    }
+                    *yi = acc;
+                }
+            });
+        }
+    });
+}
+
 impl<T: Scalar> Kernels<T> for SoftwareKernels {
     fn spmv(&mut self, a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
-        a.mul_vec_into(x, y).expect("spmv shape mismatch");
+        if self.spmv_threads > 1 && a.nnz() >= PARALLEL_SPMV_MIN_NNZ {
+            parallel_spmv(a, x, y, self.spmv_threads);
+        } else {
+            a.mul_vec_into(x, y).expect("spmv shape mismatch");
+        }
         self.counts.spmv_calls += 1;
         self.counts.spmv_nnz_processed += a.nnz() as u64;
         self.counts.spmv_flops += 2 * a.nnz() as u64;
@@ -210,6 +317,55 @@ impl<T: Scalar> Kernels<T> for SoftwareKernels {
         for ((yi, &ai), &xi) in y.iter_mut().zip(a).zip(x) {
             *yi = ai * xi;
         }
+    }
+
+    fn acquire_buffer(&mut self, n: usize) -> Vec<T> {
+        match &self.workspace {
+            Some(ws) => ws.take(n),
+            None => vec![T::ZERO; n],
+        }
+    }
+
+    fn release_buffer(&mut self, buf: Vec<T>) {
+        if let Some(ws) = &self.workspace {
+            ws.give(buf);
+        }
+    }
+
+    fn spmv_dot(&mut self, a: &CsrMatrix<T>, x: &[T], y: &mut [T], z: &[T]) -> T {
+        assert_eq!(x.len(), a.ncols(), "spmv shape mismatch");
+        assert_eq!(y.len(), a.nrows(), "spmv shape mismatch");
+        assert_eq!(y.len(), z.len(), "dot length mismatch");
+        self.counts.spmv_calls += 1;
+        self.counts.spmv_nnz_processed += a.nnz() as u64;
+        self.counts.spmv_flops += 2 * a.nnz() as u64;
+        self.counts.dense_calls += 1;
+        self.counts.dense_flops += 2 * y.len() as u64;
+        // Rows ascending, accumulation ascending: the same floating-point
+        // order as spmv followed by dot, so the result is bitwise equal.
+        let mut acc = T::ZERO;
+        for (i, (yi, &zi)) in y.iter_mut().zip(z).enumerate() {
+            let (cols, vals) = a.row(i);
+            let mut row = T::ZERO;
+            for (&c, &v) in cols.iter().zip(vals) {
+                row += v * x[c];
+            }
+            *yi = row;
+            acc += row * zi;
+        }
+        acc
+    }
+
+    fn axpy_normsq(&mut self, alpha: T, x: &[T], y: &mut [T]) -> T {
+        assert_eq!(x.len(), y.len(), "axpy length mismatch");
+        self.counts.dense_calls += 2;
+        self.counts.dense_flops += 4 * x.len() as u64;
+        let mut acc = T::ZERO;
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+            acc += *yi * *yi;
+        }
+        acc
     }
 
     fn counts(&self) -> OpCounts {
@@ -274,5 +430,83 @@ mod tests {
     fn dot_panics_on_shape_mismatch() {
         let mut k = SoftwareKernels::new();
         let _ = k.dot(&[1.0_f64, 2.0], &[1.0_f64]);
+    }
+
+    #[test]
+    fn fused_spmv_dot_matches_unfused_bitwise_and_in_counts() {
+        let a = generate::poisson2d::<f64>(9, 7);
+        let n = 63;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let z: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 2.0)).collect();
+
+        let mut unfused = SoftwareKernels::new();
+        let mut y1 = vec![0.0; n];
+        unfused.spmv(&a, &x, &mut y1);
+        let d1 = unfused.dot(&y1, &z);
+
+        let mut fused = SoftwareKernels::new();
+        let mut y2 = vec![0.0; n];
+        let d2 = fused.spmv_dot(&a, &x, &mut y2, &z);
+
+        assert_eq!(d1.to_bits(), d2.to_bits());
+        assert_eq!(y1, y2);
+        assert_eq!(
+            Kernels::<f64>::counts(&unfused),
+            Kernels::<f64>::counts(&fused)
+        );
+    }
+
+    #[test]
+    fn fused_axpy_normsq_matches_unfused_bitwise_and_in_counts() {
+        let n = 63;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let base: Vec<f64> = (0..n).map(|i| (i as f64).sqrt() - 3.0).collect();
+
+        let mut unfused = SoftwareKernels::new();
+        let mut y1 = base.clone();
+        unfused.axpy(-0.625, &x, &mut y1);
+        let d1 = unfused.dot(&y1, &y1);
+
+        let mut fused = SoftwareKernels::new();
+        let mut y2 = base;
+        let d2 = fused.axpy_normsq(-0.625, &x, &mut y2);
+
+        assert_eq!(d1.to_bits(), d2.to_bits());
+        assert_eq!(y1, y2);
+        assert_eq!(
+            Kernels::<f64>::counts(&unfused),
+            Kernels::<f64>::counts(&fused)
+        );
+    }
+
+    #[test]
+    fn parallel_spmv_is_bitwise_identical_to_serial() {
+        // 150x150 five-point grid: 22_500 rows, > 2^16 stored entries.
+        let a = generate::poisson2d::<f64>(150, 150);
+        assert!(a.nnz() >= PARALLEL_SPMV_MIN_NNZ);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.013).sin()).collect();
+        let mut serial = vec![0.0; a.nrows()];
+        Kernels::<f64>::spmv(&mut SoftwareKernels::new(), &a, &x, &mut serial);
+        for threads in [2, 5, 8] {
+            let mut k = SoftwareKernels::new().with_spmv_threads(threads);
+            let mut y = vec![0.0; a.nrows()];
+            k.spmv(&a, &x, &mut y);
+            assert_eq!(serial, y, "{threads} threads");
+            assert_eq!(Kernels::<f64>::counts(&k).spmv_calls, 1);
+        }
+    }
+
+    #[test]
+    fn workspace_backed_buffers_are_recycled_and_zeroed() {
+        use crate::workspace::WorkspaceHandle;
+        let ws = WorkspaceHandle::new();
+        let mut k = SoftwareKernels::new().with_workspace(ws.clone());
+        let mut buf: Vec<f64> = k.acquire_buffer(16);
+        assert_eq!(buf, vec![0.0; 16]);
+        buf.fill(9.0);
+        Kernels::<f64>::release_buffer(&mut k, buf);
+        let again: Vec<f64> = k.acquire_buffer(16);
+        assert_eq!(again, vec![0.0; 16], "recycled buffers come back zeroed");
+        assert_eq!(ws.stats(), (1, 1));
     }
 }

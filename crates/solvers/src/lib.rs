@@ -47,6 +47,7 @@ mod pcg;
 mod report;
 mod selection;
 mod srj;
+mod workspace;
 
 pub use bicg::{bicg, conjugate_residual};
 pub use bicgstab::bicgstab;
@@ -57,11 +58,12 @@ pub use gauss_seidel::{gauss_seidel, sor};
 pub use gmres::gmres;
 pub use ilu::{ilu_pcg, Ilu0};
 pub use jacobi::jacobi;
-pub use kernels::{Kernels, OpCounts, Phase, SoftwareKernels};
+pub use kernels::{Kernels, OpCounts, Phase, SoftwareKernels, PARALLEL_SPMV_MIN_NNZ};
 pub use pcg::preconditioned_cg;
 pub use report::SolveReport;
 pub use selection::{fallback_order, paper_table1, recommend, satisfies, Criterion, SolverKind};
 pub use srj::{chebyshev_weights, jacobi_spectrum_bounds, scheduled_relaxation_jacobi};
+pub use workspace::{SolverWorkspace, WorkspaceHandle};
 
 use acamar_sparse::{CsrMatrix, Scalar, SparseError};
 

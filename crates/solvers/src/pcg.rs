@@ -62,22 +62,28 @@ pub fn preconditioned_cg<T: Scalar, K: Kernels<T>>(
             counts: kernels.counts().since(&start_counts),
         });
     }
-    let inv_d: Vec<T> = diag.iter().map(|&d| T::ONE / d).collect();
+    let mut inv_d = kernels.acquire_buffer(n);
+    for (slot, &d) in inv_d.iter_mut().zip(&diag) {
+        *slot = T::ONE / d;
+    }
 
-    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
-    let mut r = vec![T::ZERO; n];
+    let mut x = kernels.acquire_buffer(n);
+    if let Some(x0) = x0 {
+        x.copy_from_slice(x0);
+    }
+    let mut r = kernels.acquire_buffer(n);
     kernels.spmv(a, &x, &mut r);
     kernels.scale(-T::ONE, &mut r);
     kernels.axpy(T::ONE, b, &mut r); // r = b - A x0
-    let mut z = vec![T::ZERO; n];
+    let mut z = kernels.acquire_buffer(n);
     kernels.hadamard(&inv_d, &r, &mut z); // z = M^{-1} r
-    let mut p = vec![T::ZERO; n];
+    let mut p = kernels.acquire_buffer(n);
     kernels.copy(&z, &mut p);
     let mut rz = kernels.dot(&r, &z);
     let b_norm = kernels.norm2(b).to_f64();
     let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
 
-    let mut ap = vec![T::ZERO; n];
+    let mut ap = kernels.acquire_buffer(n);
     let mut monitor = Monitor::new(*criteria);
     let mut iterations = 0usize;
 
@@ -88,8 +94,7 @@ pub fn preconditioned_cg<T: Scalar, K: Kernels<T>>(
             break Outcome::Converged;
         }
         kernels.begin_iteration(iterations);
-        kernels.spmv(a, &p, &mut ap);
-        let p_ap = kernels.dot(&ap, &p);
+        let p_ap = kernels.spmv_dot(a, &p, &mut ap, &p);
         iterations += 1;
         if !p_ap.is_finite() {
             monitor.observe(f64::NAN);
@@ -116,6 +121,11 @@ pub fn preconditioned_cg<T: Scalar, K: Kernels<T>>(
         kernels.xpby(&z, beta, &mut p); // p = z + beta p
     };
 
+    kernels.release_buffer(inv_d);
+    kernels.release_buffer(r);
+    kernels.release_buffer(z);
+    kernels.release_buffer(p);
+    kernels.release_buffer(ap);
     Ok(SolveReport {
         solver: SolverKind::PreconditionedCg,
         outcome,

@@ -1,0 +1,194 @@
+//! Reusable solver scratch buffers.
+//!
+//! Every iterative solver in this crate needs a handful of length-`n`
+//! work vectors (`r`, `p`, `Ap`, …). Allocating them per solve is cheap
+//! once but expensive a million times: batch workloads re-solve the same
+//! pattern thousands of times, and the allocator becomes a serial
+//! bottleneck the paper's fabric never sees. A [`SolverWorkspace`] keeps
+//! returned buffers on a per-length free list so a *warm* solve performs
+//! zero heap allocations in the solver loop; the batch engine pools one
+//! workspace per worker thread.
+//!
+//! Buffers are zero-filled on loan, so a solve that borrows from the
+//! workspace is bitwise identical to one that allocates fresh.
+
+use acamar_sparse::Scalar;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// An arena of reusable `Vec<T>` scratch buffers keyed by length.
+///
+/// The arena is type-erased internally (one free list per scalar type) so
+/// a single workspace can serve `f32` and `f64` solves interleaved.
+#[derive(Default)]
+pub struct SolverWorkspace {
+    pools: HashMap<TypeId, Box<dyn Any + Send>>,
+    reuses: u64,
+    fresh: u64,
+}
+
+struct TypedPool<T> {
+    free: HashMap<usize, Vec<Vec<T>>>,
+}
+
+impl SolverWorkspace {
+    /// An empty workspace.
+    pub fn new() -> SolverWorkspace {
+        SolverWorkspace::default()
+    }
+
+    /// Borrows a zero-filled buffer of length `n`, recycling a returned
+    /// one when available.
+    pub fn take<T: Scalar>(&mut self, n: usize) -> Vec<T> {
+        let recycled = self
+            .pools
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|p| p.downcast_mut::<TypedPool<T>>())
+            .and_then(|p| p.free.get_mut(&n))
+            .and_then(Vec::pop);
+        match recycled {
+            Some(mut buf) => {
+                self.reuses += 1;
+                buf.fill(T::ZERO);
+                buf
+            }
+            None => {
+                self.fresh += 1;
+                vec![T::ZERO; n]
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list for later reuse.
+    pub fn give<T: Scalar>(&mut self, buf: Vec<T>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let n = buf.len();
+        let pool = self.pools.entry(TypeId::of::<T>()).or_insert_with(|| {
+            Box::new(TypedPool::<T> {
+                free: HashMap::new(),
+            })
+        });
+        if let Some(p) = pool.downcast_mut::<TypedPool<T>>() {
+            p.free.entry(n).or_default().push(buf);
+        }
+    }
+
+    /// Buffers served from the free list so far.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Buffers that had to be freshly allocated (pool misses).
+    pub fn fresh_allocations(&self) -> u64 {
+        self.fresh
+    }
+}
+
+impl fmt::Debug for SolverWorkspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolverWorkspace")
+            .field("reuses", &self.reuses)
+            .field("fresh", &self.fresh)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Shared, clonable handle to a [`SolverWorkspace`].
+///
+/// Kernel executors hold one of these (see
+/// [`Kernels::acquire_buffer`](crate::Kernels::acquire_buffer)); the
+/// batch engine gives each worker thread its own handle so buffer reuse
+/// never contends across workers. The mutex is held only for the
+/// duration of a single take/give — a few times per solve, never per
+/// iteration.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceHandle {
+    inner: Arc<Mutex<SolverWorkspace>>,
+}
+
+impl WorkspaceHandle {
+    /// A handle to a fresh, empty workspace.
+    pub fn new() -> WorkspaceHandle {
+        WorkspaceHandle::default()
+    }
+
+    /// Borrows a zero-filled buffer of length `n`.
+    pub fn take<T: Scalar>(&self, n: usize) -> Vec<T> {
+        self.lock().take(n)
+    }
+
+    /// Returns a buffer for reuse.
+    pub fn give<T: Scalar>(&self, buf: Vec<T>) {
+        self.lock().give(buf);
+    }
+
+    /// `(reuses, fresh_allocations)` counters of the underlying arena.
+    pub fn stats(&self) -> (u64, u64) {
+        let ws = self.lock();
+        (ws.reuses(), ws.fresh_allocations())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SolverWorkspace> {
+        // A poisoned workspace is still structurally valid (worst case a
+        // loaned buffer was lost to the panicking solve), so recover
+        // rather than cascading the panic into healthy jobs.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_recycles_by_length() {
+        let mut ws = SolverWorkspace::new();
+        let a: Vec<f64> = ws.take(8);
+        assert_eq!(a, vec![0.0; 8]);
+        let ptr = a.as_ptr();
+        ws.give(a);
+        let b: Vec<f64> = ws.take(8);
+        assert_eq!(b.as_ptr(), ptr, "same-length buffer is recycled");
+        assert_eq!(b, vec![0.0; 8]);
+        assert_eq!((ws.reuses(), ws.fresh_allocations()), (1, 1));
+        // A different length misses the free list.
+        let c: Vec<f64> = ws.take(4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(ws.fresh_allocations(), 2);
+    }
+
+    #[test]
+    fn returned_buffers_are_rezeroed() {
+        let mut ws = SolverWorkspace::new();
+        let mut a: Vec<f32> = ws.take(3);
+        a.fill(7.5);
+        ws.give(a);
+        assert_eq!(ws.take::<f32>(3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn scalar_types_do_not_mix() {
+        let mut ws = SolverWorkspace::new();
+        let a: Vec<f64> = ws.take(5);
+        ws.give(a);
+        // Same length, different type: must be a fresh allocation.
+        let _b: Vec<f32> = ws.take(5);
+        assert_eq!(ws.fresh_allocations(), 2);
+        assert_eq!(ws.reuses(), 0);
+    }
+
+    #[test]
+    fn handle_is_shared_across_clones() {
+        let h = WorkspaceHandle::new();
+        let h2 = h.clone();
+        h.give(vec![1.0_f64; 6]);
+        assert_eq!(h2.take::<f64>(6), vec![0.0; 6]);
+        assert_eq!(h2.stats(), (1, 0));
+    }
+}

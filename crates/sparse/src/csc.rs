@@ -132,8 +132,31 @@ impl<T: Scalar> CscMatrix<T> {
 
     /// Converts back to CSR storage of the *same* matrix.
     pub fn to_csr(&self) -> CsrMatrix<T> {
-        // CSR of A = transpose of (CSC arrays read as CSR of Aᵀ).
-        self.clone().into_transposed_csr().transpose()
+        // Direct counting sort by row — one scatter pass instead of
+        // cloning the arrays and transposing twice.
+        let nnz = self.nnz();
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        for &r in &self.row_idx {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..self.nrows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![T::ZERO; nnz];
+        let mut next = row_ptr.clone();
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                let k = next[i];
+                col_idx[k] = j;
+                values[k] = v;
+                next[i] += 1;
+            }
+        }
+        // Columns were visited in increasing order, so each row's column
+        // indices are already strictly increasing.
+        CsrMatrix::from_raw_parts_unchecked(self.nrows, self.ncols, row_ptr, col_idx, values)
     }
 }
 

@@ -389,13 +389,15 @@ impl<T: Scalar> CsrMatrix<T> {
         if self.nrows != self.ncols {
             return false;
         }
-        let t = self.transpose();
-        if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
+        // Compare against the CSC view directly: CSC arrays of A are the
+        // CSR arrays of Aᵀ, so no transpose matrix needs materializing.
+        let csc = self.to_csc();
+        if csc.col_ptr() != &self.row_ptr[..] || csc.row_idx() != &self.col_idx[..] {
             return false;
         }
         self.values
             .iter()
-            .zip(&t.values)
+            .zip(csc.values())
             .all(|(&a, &b)| (a - b).abs() <= tol * T::ONE.max(a.abs().max(b.abs())))
     }
 
@@ -404,8 +406,31 @@ impl<T: Scalar> CsrMatrix<T> {
         if self.nrows != self.ncols {
             return false;
         }
-        let t = self.transpose();
-        t.row_ptr == self.row_ptr && t.col_idx == self.col_idx
+        let n = self.ncols;
+        // Column histogram + prefix sum yields the transpose's row_ptr;
+        // reject early if it already disagrees.
+        let mut col_ptr = vec![0usize; n + 1];
+        for &c in &self.col_idx {
+            col_ptr[c + 1] += 1;
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        if col_ptr != self.row_ptr {
+            return false;
+        }
+        // Pattern-only scatter: build just the transpose's column indices,
+        // skipping the value pass a full transpose would pay for.
+        let mut t_col = vec![0usize; self.col_idx.len()];
+        let mut next = col_ptr;
+        for i in 0..n {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            for &c in &self.col_idx[lo..hi] {
+                t_col[next[c]] = i;
+                next[c] += 1;
+            }
+        }
+        t_col == self.col_idx
     }
 
     /// Splits off the strictly-lower, diagonal, and strictly-upper parts:
