@@ -1,4 +1,5 @@
-//! Wall-clock benchmark harness for the zero-allocation solve hot path.
+//! Wall-clock benchmark harness for the zero-allocation solve hot path
+//! and the compiled SpMV execution plans.
 //!
 //! Measures, per Table II dataset (std::time only, no external crates):
 //!
@@ -7,17 +8,29 @@
 //! - **warm single-solve**: repeated [`Engine::solve_one`] on one live
 //!   engine — plan cache hit, pooled scratch buffers;
 //! - **warm multi-RHS batch**: one [`Engine::solve_batch`] over many
-//!   right-hand sides on a pre-warmed engine with a full worker pool;
+//!   right-hand sides on a pre-warmed engine with a full worker pool,
+//!   including the batch's plan-cache hit/miss/analysis-time counters;
+//! - **compiled vs generic SpMV**: warm A/B of the schedule-driven
+//!   [`CompiledSpmv`] plan against the generic CSR walk on the same
+//!   matrix, plus the plan's one-time compile cost and its fraction of
+//!   the batch wall time (amortization);
 //! - **loop allocations**: a counting global allocator asserts that a warm
 //!   solve performs zero heap allocations per solver-loop iteration
-//!   (doubling the iteration budget must not change the allocation count).
+//!   (doubling the iteration budget must not change the allocation count)
+//!   and that the warm compiled SpMV path allocates nothing at all.
 //!
-//! Writes `BENCH_PR3.json` (repo root when run from there) and panics if
-//! the geometric-mean warm-batch speedup over the suite fails to beat the
-//! cold baseline (2x with >= 2 pool workers; 1.05x on a single-CPU host,
-//! where only the pooling/caching win is measurable) or the
-//! loop-allocation check fails, so CI's bench-smoke job fails on
-//! regression-by-panic only.
+//! Writes `BENCH_PR4.json` (repo root when run from there) and panics if
+//! any acceptance gate fails, so CI's bench-smoke job fails on
+//! regression-by-panic only:
+//!
+//! - geometric-mean warm-batch speedup over the suite beats the cold
+//!   baseline (2x with >= 2 pool workers; 1.05x on a single-CPU host,
+//!   where only the pooling/caching win is measurable);
+//! - geometric-mean compiled-SpMV speedup over the generic walk is
+//!   >= 1.15x, with bitwise-identical results;
+//! - every plan compile costs < 5% of its dataset's batch wall time;
+//! - the warm solver loops and the warm compiled SpMV path are
+//!   allocation-free.
 //!
 //! Usage: `cargo run --release -p acamar-bench --bin bench [-- --quick]`
 
@@ -26,7 +39,7 @@ use acamar_datasets::{suite, Dataset};
 use acamar_engine::Engine;
 use acamar_fabric::FabricSpec;
 use acamar_solvers::{ConvergenceCriteria, Kernels, SoftwareKernels};
-use acamar_sparse::{generate, CsrMatrix};
+use acamar_sparse::{generate, CompiledSpmv, CsrMatrix};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -89,6 +102,9 @@ struct DatasetResult {
     batch_jobs_per_sec: f64,
     batch_speedup_vs_cold: f64,
     batch_converged: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_analysis_ms: f64,
 }
 
 fn bench_dataset(d: &Dataset, batch_jobs: usize, samples: usize) -> DatasetResult {
@@ -141,7 +157,129 @@ fn bench_dataset(d: &Dataset, batch_jobs: usize, samples: usize) -> DatasetResul
         batch_jobs_per_sec: batch.jobs_per_second(),
         batch_speedup_vs_cold: batch.jobs_per_second() / cold_solves_per_sec,
         batch_converged: batch.converged,
+        cache_hits: batch.cache.hits,
+        cache_misses: batch.cache.misses,
+        cache_analysis_ms: batch.cache.analysis_nanos as f64 / 1e6,
     }
+}
+
+struct CompiledSpmvBench {
+    id: String,
+    name: String,
+    bands: usize,
+    generic_spmv_us: f64,
+    compiled_spmv_us: f64,
+    speedup: f64,
+    compile_ms: f64,
+    compile_pct_of_batch_wall: f64,
+    bitwise_identical: bool,
+    warm_alloc_delta: i64,
+}
+
+/// Warm A/B of the schedule-driven compiled SpMV plan against the generic
+/// CSR walk, plus the plan's one-time compile cost. `batch_wall_seconds`
+/// is the dataset's 1k-RHS batch wall time, the budget the compile must
+/// amortize into.
+fn bench_compiled_spmv(d: &Dataset, quick: bool, batch_wall_seconds: f64) -> CompiledSpmvBench {
+    let a = d.matrix_f64();
+    let nnz = a.nnz();
+    let x: Vec<f64> = (0..a.ncols())
+        .map(|i| 0.5 + ((i * 7) % 23) as f64 * 0.125)
+        .collect();
+    let mut y_generic = vec![0.0_f64; a.nrows()];
+    let mut y_compiled = vec![0.0_f64; a.nrows()];
+
+    // The plan the engine would cache: compiled from the MSID schedule.
+    let artifacts = acamar().analyze(&a);
+    let hints = artifacts.plan.schedule.band_hints();
+
+    // One-time compile cost (median of fresh compiles).
+    let mut compile_samples = Vec::with_capacity(7);
+    for _ in 0..7 {
+        let t = Instant::now();
+        let p = CompiledSpmv::compile(&a, &hints).expect("schedule tiles the rows");
+        compile_samples.push(t.elapsed().as_secs_f64());
+        assert!(p.matches(&a));
+    }
+    let compile_s = median(&mut compile_samples);
+    let plan = artifacts.compiled;
+
+    // Size each timed sample to a roughly constant amount of work.
+    let inner = (8_000_000 / nnz.max(1)).clamp(16, 50_000) / if quick { 4 } else { 1 };
+    let samples = if quick { 5 } else { 9 };
+
+    a.mul_vec_into(&x, &mut y_generic).expect("generic warm-up");
+    plan.execute(&a, &x, &mut y_compiled)
+        .expect("compiled warm-up");
+
+    // Alternate A/B samples so clock drift and cache-state changes on a
+    // shared host hit both paths evenly instead of biasing whichever side
+    // happens to run second.
+    let mut generic = Vec::with_capacity(samples);
+    let mut compiled = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..inner {
+            a.mul_vec_into(&x, &mut y_generic).expect("generic spmv");
+        }
+        generic.push(t.elapsed().as_secs_f64() / inner as f64);
+
+        let t = Instant::now();
+        for _ in 0..inner {
+            plan.execute(&a, &x, &mut y_compiled)
+                .expect("compiled spmv");
+        }
+        compiled.push(t.elapsed().as_secs_f64() / inner as f64);
+    }
+    let generic_s = median(&mut generic);
+    let compiled_s = median(&mut compiled);
+
+    // The warm compiled path must not touch the heap. The counting
+    // allocator is process-global, so a winding-down pool thread from an
+    // earlier phase can leak a count into the bracket; a deterministic
+    // per-pass allocation survives every attempt, noise does not, so the
+    // minimum over a few attempts isolates the path's own behavior.
+    let mut warm_alloc_delta = i64::MAX;
+    for _ in 0..3 {
+        let before = allocations();
+        for _ in 0..inner {
+            plan.execute(&a, &x, &mut y_compiled)
+                .expect("compiled spmv");
+        }
+        let delta = (allocations() - before) as i64;
+        warm_alloc_delta = warm_alloc_delta.min(delta);
+        if delta == 0 {
+            break;
+        }
+    }
+
+    let bitwise_identical = y_generic.len() == y_compiled.len()
+        && y_generic
+            .iter()
+            .zip(&y_compiled)
+            .all(|(g, c)| g.to_bits() == c.to_bits());
+
+    CompiledSpmvBench {
+        id: d.id.to_string(),
+        name: d.name.to_string(),
+        bands: plan.bands().len(),
+        generic_spmv_us: generic_s * 1e6,
+        compiled_spmv_us: compiled_s * 1e6,
+        speedup: generic_s / compiled_s,
+        compile_ms: compile_s * 1e3,
+        compile_pct_of_batch_wall: 100.0 * compile_s / batch_wall_seconds,
+        bitwise_identical,
+        warm_alloc_delta,
+    }
+}
+
+/// Geometric mean of the per-dataset compiled-over-generic speedups.
+fn geomean_compiled_speedup(results: &[CompiledSpmvBench]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = results.iter().map(|r| r.speedup.ln()).sum();
+    (log_sum / results.len() as f64).exp()
 }
 
 struct AllocCheck {
@@ -273,12 +411,15 @@ fn json_f(v: f64) -> String {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &str,
     mode: &str,
     workers: usize,
     required_speedup: f64,
+    required_compiled_speedup: f64,
     results: &[DatasetResult],
+    compiled: &[CompiledSpmvBench],
     alloc_checks: &[AllocCheck],
     spmv: &SpmvResult,
 ) {
@@ -320,8 +461,54 @@ fn write_json(
             "        \"speedup_vs_cold\": {}\n",
             json_f(r.batch_speedup_vs_cold)
         ));
+        out.push_str("      },\n");
+        out.push_str("      \"plan_cache\": {\n");
+        out.push_str(&format!("        \"hits\": {},\n", r.cache_hits));
+        out.push_str(&format!("        \"misses\": {},\n", r.cache_misses));
+        out.push_str(&format!(
+            "        \"analysis_ms\": {}\n",
+            json_f(r.cache_analysis_ms)
+        ));
         out.push_str("      }\n");
         out.push_str(if i + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"compiled_spmv\": [\n");
+    for (i, c) in compiled.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"id\": \"{}\",\n", c.id));
+        out.push_str(&format!("      \"name\": \"{}\",\n", c.name));
+        out.push_str(&format!("      \"bands\": {},\n", c.bands));
+        out.push_str(&format!(
+            "      \"generic_spmv_us\": {},\n",
+            json_f(c.generic_spmv_us)
+        ));
+        out.push_str(&format!(
+            "      \"compiled_spmv_us\": {},\n",
+            json_f(c.compiled_spmv_us)
+        ));
+        out.push_str(&format!("      \"speedup\": {},\n", json_f(c.speedup)));
+        out.push_str(&format!(
+            "      \"compile_ms\": {},\n",
+            json_f(c.compile_ms)
+        ));
+        out.push_str(&format!(
+            "      \"compile_pct_of_batch_wall\": {},\n",
+            json_f(c.compile_pct_of_batch_wall)
+        ));
+        out.push_str(&format!(
+            "      \"bitwise_identical\": {},\n",
+            c.bitwise_identical
+        ));
+        out.push_str(&format!(
+            "      \"warm_alloc_delta\": {}\n",
+            c.warm_alloc_delta
+        ));
+        out.push_str(if i + 1 < compiled.len() {
             "    },\n"
         } else {
             "    }\n"
@@ -374,6 +561,26 @@ fn write_json(
         json_f(required_speedup)
     ));
     out.push_str(&format!(
+        "    \"geomean_compiled_spmv_speedup\": {},\n",
+        json_f(geomean_compiled_speedup(compiled))
+    ));
+    out.push_str(&format!(
+        "    \"required_compiled_spmv_speedup\": {},\n",
+        json_f(required_compiled_speedup)
+    ));
+    let max_compile_pct = compiled
+        .iter()
+        .map(|c| c.compile_pct_of_batch_wall)
+        .fold(0.0_f64, f64::max);
+    out.push_str(&format!(
+        "    \"max_compile_pct_of_batch_wall\": {},\n",
+        json_f(max_compile_pct)
+    ));
+    let compiled_alloc_free = compiled.iter().all(|c| c.warm_alloc_delta == 0);
+    out.push_str(&format!(
+        "    \"compiled_spmv_allocation_free\": {compiled_alloc_free},\n"
+    ));
+    out.push_str(&format!(
         "    \"warm_loop_allocation_free\": {alloc_free}\n"
     ));
     out.push_str("  }\n");
@@ -415,13 +622,27 @@ fn main() {
     );
 
     let mut results = Vec::new();
+    let mut compiled = Vec::new();
     for d in &datasets {
         let r = bench_dataset(d, batch_jobs, samples);
         eprintln!(
             "  {:<12} cold {:>8.3} ms  warm {:>8.3} ms  batch {:>8.1} jobs/s  ({:.1}x cold)",
             r.name, r.cold_solve_ms, r.warm_solve_ms, r.batch_jobs_per_sec, r.batch_speedup_vs_cold
         );
+        let c = bench_compiled_spmv(d, quick, r.batch_wall_seconds);
+        eprintln!(
+            "  {:<12} spmv generic {:>8.3} us  compiled {:>8.3} us  ({:.2}x, {} bands, \
+             compile {:.3} ms = {:.3}% of batch)",
+            c.name,
+            c.generic_spmv_us,
+            c.compiled_spmv_us,
+            c.speedup,
+            c.bands,
+            c.compile_ms,
+            c.compile_pct_of_batch_wall
+        );
         results.push(r);
+        compiled.push(c);
     }
 
     let alloc_checks = loop_allocation_deltas();
@@ -443,17 +664,25 @@ fn main() {
     // only the pooling/caching component is measurable, so the gate
     // falls back to requiring a real but smaller win.
     let required_speedup = if workers >= 2 { 2.0 } else { 1.05 };
+    // The compiled plan replaces the host SpMV kernel outright, so its
+    // gate holds on a single worker too. The quick smoke run covers only
+    // the two smallest systems (where per-call overhead dominates and the
+    // sample count is tiny), so it gates on parity; the full suite
+    // enforces the real 1.15x geomean.
+    let required_compiled_speedup = if quick { 1.0 } else { 1.15 };
 
     write_json(
-        "BENCH_PR3.json",
+        "BENCH_PR4.json",
         mode,
         workers,
         required_speedup,
+        required_compiled_speedup,
         &results,
+        &compiled,
         &alloc_checks,
         &spmv,
     );
-    eprintln!("bench: wrote BENCH_PR3.json");
+    eprintln!("bench: wrote BENCH_PR4.json");
 
     // Acceptance gates — panic (non-zero exit) on violation.
     let geomean = geomean_speedup(&results);
@@ -474,5 +703,34 @@ fn main() {
         spmv.bitwise_identical,
         "parallel SpMV diverged from the serial result"
     );
+    let compiled_geomean = geomean_compiled_speedup(&compiled);
+    eprintln!(
+        "  geomean compiled spmv speedup vs generic: {compiled_geomean:.2}x \
+         (need >= {required_compiled_speedup:.2}x)"
+    );
+    assert!(
+        compiled_geomean >= required_compiled_speedup,
+        "compiled SpMV only {compiled_geomean:.2}x the generic walk across the suite \
+         (need >= {required_compiled_speedup:.2}x)"
+    );
+    for c in &compiled {
+        assert!(
+            c.bitwise_identical,
+            "{}: compiled SpMV diverged from the generic CSR walk",
+            c.name
+        );
+        assert_eq!(
+            c.warm_alloc_delta, 0,
+            "{}: warm compiled SpMV path allocated",
+            c.name
+        );
+        assert!(
+            c.compile_pct_of_batch_wall < 5.0,
+            "{}: plan compile ({:.3} ms) is {:.2}% of the batch wall time (need < 5%)",
+            c.name,
+            c.compile_ms,
+            c.compile_pct_of_batch_wall
+        );
+    }
     eprintln!("bench: all acceptance gates passed");
 }

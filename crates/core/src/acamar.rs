@@ -9,7 +9,8 @@ use acamar_faultline::FaultContext;
 use acamar_solvers::{
     solve_with, ConvergenceCriteria, Outcome, SolveReport, SolverKind, WorkspaceHandle,
 };
-use acamar_sparse::{CsrMatrix, Scalar, SparseError};
+use acamar_sparse::{CompiledSpmv, CsrMatrix, Scalar, SparseError};
+use std::sync::Arc;
 
 /// The cacheable product of Acamar's two host-side decision loops: the
 /// Matrix Structure unit's solver pick and the Fine-Grained
@@ -27,10 +28,17 @@ pub struct AnalysisArtifacts {
     pub structure: StructureDecision,
     /// The Fine-Grained Reconfiguration unit's plan.
     pub plan: FineGrainedPlan,
+    /// The host SpMV execution plan compiled from the MSID schedule
+    /// ([`CompiledSpmv`]): format-specialized row bands, bitwise identical
+    /// to the generic CSR walk. Pattern-only — safe to share across
+    /// matrices with the same sparsity pattern but different values —
+    /// and behind an `Arc` so replaying it per solve costs nothing.
+    pub compiled: Arc<CompiledSpmv>,
     /// Estimated host-side work of building these artifacts, in
     /// row/entry traversals: the structure unit's CSR→CSC symmetry
     /// compare and dominance scan are each O(nnz), the Row Length Trace
-    /// is O(rows) — this is what a cache hit saves.
+    /// is O(rows), and the SpMV plan compile is one more O(nnz) pass —
+    /// this is what a cache hit saves.
     pub build_cost: u64,
 }
 
@@ -227,9 +235,14 @@ impl Acamar {
         // fabric work is charged cycles.
         let structure = MatrixStructureUnit::new().analyze(a);
         let plan = FineGrainedReconfigUnit::new(self.config.clone()).plan(a);
+        let compiled = Arc::new(
+            CompiledSpmv::compile(a, &plan.schedule.band_hints())
+                .expect("MSID schedules always tile the matrix rows"),
+        );
         AnalysisArtifacts {
             structure,
             plan,
+            compiled,
             build_cost: AnalysisArtifacts::cost_model(a.nrows(), a.nnz()),
         }
     }
@@ -331,7 +344,8 @@ impl Acamar {
             plan.schedule.clone(),
             self.config.init_unroll,
         )
-        .with_overlap(self.config.overlap_reconfiguration);
+        .with_overlap(self.config.overlap_reconfiguration)
+        .with_compiled_plan(Arc::clone(&artifacts.compiled));
         if let Some(ctx) = opts.fault {
             hw = hw.with_fault_context(ctx);
         }
@@ -538,6 +552,37 @@ mod tests {
         assert_eq!(rep.attempts.len(), 1);
         assert_eq!(rep.final_solver(), SolverKind::Gmres);
         assert!(rep.converged());
+    }
+
+    #[test]
+    fn analysis_artifacts_carry_a_valid_compiled_spmv_plan() {
+        let a = generate::random_pattern::<f64>(
+            300,
+            RowDistribution::PowerLaw {
+                min: 1,
+                max: 40,
+                exponent: 2.0,
+            },
+            11,
+        );
+        let ac = acamar();
+        let artifacts = ac.analyze(&a);
+        // The plan was compiled for this exact pattern and tiles every row.
+        assert!(artifacts.compiled.matches(&a));
+        assert!(artifacts.compiled.verify_pattern(&a));
+        // Pattern-only: a same-pattern matrix with different values reuses
+        // the cached plan, which is what PlanCache relies on.
+        let mut scaled = a.clone();
+        for v in scaled.values_mut() {
+            *v *= 3.5;
+        }
+        assert!(artifacts.compiled.matches(&scaled));
+        assert!(artifacts.compiled.verify_pattern(&scaled));
+        // And executing through it is bitwise the generic CSR walk.
+        let x: Vec<f64> = (0..300).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let mut y = vec![0.0_f64; 300];
+        artifacts.compiled.execute(&scaled, &x, &mut y).unwrap();
+        assert_eq!(y, scaled.mul_vec(&x).unwrap());
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub struct CacheStats {
     /// (the sum of each hit entry's
     /// [`build_cost`](AnalysisArtifacts::build_cost)).
     pub plan_build_cycles_saved: u64,
+    /// Wall-clock nanoseconds spent inside [`Acamar::analyze`] on misses
+    /// — structure analysis, MSID planning, and SpMV plan compilation.
+    /// Hits pay none of this; dividing by `misses` gives the one-time
+    /// compile cost a batch amortizes over its remaining solves.
+    pub analysis_nanos: u64,
 }
 
 impl CacheStats {
@@ -45,6 +50,7 @@ impl CacheStats {
             collisions: self.collisions - earlier.collisions,
             entries: self.entries,
             plan_build_cycles_saved: self.plan_build_cycles_saved - earlier.plan_build_cycles_saved,
+            analysis_nanos: self.analysis_nanos - earlier.analysis_nanos,
         }
     }
 }
@@ -91,6 +97,7 @@ pub struct PlanCache {
     misses: AtomicU64,
     collisions: AtomicU64,
     saved: AtomicU64,
+    analysis_nanos: AtomicU64,
 }
 
 impl PlanCache {
@@ -125,7 +132,10 @@ impl PlanCache {
             self.collisions.fetch_add(1, Ordering::Relaxed);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let started = std::time::Instant::now();
         let art = Arc::new(acamar.analyze(a));
+        self.analysis_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         map.insert(
             fp,
             CacheEntry {
@@ -170,6 +180,7 @@ impl PlanCache {
             collisions: self.collisions.load(Ordering::Relaxed),
             entries: self.map.read().expect("cache lock poisoned").len(),
             plan_build_cycles_saved: self.saved.load(Ordering::Relaxed),
+            analysis_nanos: self.analysis_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -267,6 +278,7 @@ mod tests {
             collisions: 0,
             entries: 2,
             plan_build_cycles_saved: 100,
+            analysis_nanos: 1_000,
         };
         let after = CacheStats {
             hits: 10,
@@ -274,10 +286,25 @@ mod tests {
             collisions: 1,
             entries: 3,
             plan_build_cycles_saved: 450,
+            analysis_nanos: 5_500,
         };
         let d = after.since(&before);
         assert_eq!((d.hits, d.misses, d.collisions), (7, 1, 1));
         assert_eq!(d.plan_build_cycles_saved, 350);
         assert_eq!(d.entries, 3);
+        assert_eq!(d.analysis_nanos, 4_500);
+    }
+
+    #[test]
+    fn misses_accrue_analysis_time_and_hits_do_not() {
+        let cache = PlanCache::new();
+        let ac = acamar();
+        let a = generate::poisson2d::<f64>(12, 12);
+        assert_eq!(cache.stats().analysis_nanos, 0);
+        cache.get_or_analyze(&ac, &a);
+        let after_miss = cache.stats().analysis_nanos;
+        assert!(after_miss > 0, "a miss runs (and times) the analysis");
+        cache.get_or_analyze(&ac, &a);
+        assert_eq!(cache.stats().analysis_nanos, after_miss);
     }
 }

@@ -14,8 +14,9 @@ use crate::spmv::{execute_rows, SpmvExecution};
 use crate::trace::{ExecutionTrace, TraceEvent};
 use acamar_faultline::{FaultContext, FaultInjector};
 use acamar_solvers::{Kernels, OpCounts, Phase, WorkspaceHandle};
-use acamar_sparse::{CsrMatrix, Scalar};
+use acamar_sparse::{BandHint, CompiledSpmv, CsrMatrix, Scalar};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Fixed cycle overhead per dense kernel invocation (argument setup,
 /// pipeline ramp for short vector loops).
@@ -95,6 +96,20 @@ impl UnrollSchedule {
     /// Largest unroll factor in the schedule (sizes the DFX region).
     pub fn max_unroll(&self) -> usize {
         self.entries.iter().map(|e| e.unroll).max().unwrap_or(1)
+    }
+
+    /// The schedule as band hints for [`CompiledSpmv::compile`]: the host
+    /// plan compiler specializes each entry's rows without ever crossing an
+    /// entry boundary, so the MSID set structure survives into the compiled
+    /// plan's partition points.
+    pub fn band_hints(&self) -> Vec<BandHint> {
+        self.entries
+            .iter()
+            .map(|e| BandHint {
+                rows: e.rows.clone(),
+                unroll: e.unroll,
+            })
+            .collect()
     }
 }
 
@@ -293,6 +308,12 @@ pub struct FabricKernels {
     /// falls back to plain allocation (cycle model unaffected either way —
     /// host buffer traffic is not fabric work).
     workspace: Option<WorkspaceHandle>,
+    /// Compiled host execution plan for the solve's coefficient matrix.
+    /// Purely a host optimization: the numeric result is bitwise identical
+    /// to the generic CSR walk, and cycle/FLOP accounting are unchanged.
+    /// Operand matrices that don't match the plan's shape (e.g. Jacobi's
+    /// iteration matrix) take the generic path.
+    compiled: Option<Arc<CompiledSpmv>>,
 }
 
 impl FabricKernels {
@@ -335,6 +356,7 @@ impl FabricKernels {
             lost_area_cycles: 0,
             swap_site: 0,
             workspace: None,
+            compiled: None,
         }
     }
 
@@ -343,6 +365,17 @@ impl FabricKernels {
     /// host optimization: cycle and FLOP accounting are unchanged.
     pub fn with_workspace(mut self, workspace: WorkspaceHandle) -> Self {
         self.workspace = Some(workspace);
+        self
+    }
+
+    /// Installs a compiled host SpMV execution plan (normally the one the
+    /// analysis phase compiled from this solve's MSID schedule, shared via
+    /// the plan cache). Host arithmetic for matching matrices runs through
+    /// the plan's format-specialized band kernels — bitwise identical to
+    /// the generic walk — while cycle modeling, fault injection, and all
+    /// accounting are untouched.
+    pub fn with_compiled_plan(mut self, plan: Arc<CompiledSpmv>) -> Self {
+        self.compiled = Some(plan);
         self
     }
 
@@ -551,7 +584,12 @@ impl FabricKernels {
 
 impl<T: Scalar> Kernels<T> for FabricKernels {
     fn spmv(&mut self, a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
-        a.mul_vec_into(x, y).expect("spmv shape mismatch");
+        match &self.compiled {
+            Some(plan) if plan.matches(a) => {
+                plan.execute(a, x, y).expect("spmv shape mismatch");
+            }
+            _ => a.mul_vec_into(x, y).expect("spmv shape mismatch"),
+        }
         self.counts.spmv_calls += 1;
         self.counts.spmv_nnz_processed += a.nnz() as u64;
         self.counts.spmv_flops += 2 * a.nnz() as u64;
@@ -1076,6 +1114,74 @@ mod tests {
             .count();
         assert_eq!(loud, 1, "exactly one stuck output element per attempt");
         assert_eq!(inj.injected()[FaultCategory::SpmvBitFlip.index()], 1);
+    }
+
+    #[test]
+    fn compiled_plan_leaves_numerics_counts_cycles_and_faults_unchanged() {
+        use acamar_faultline::{FaultCategory, FaultContext, FaultInjector, FaultPlan};
+
+        let a =
+            generate::random_pattern::<f64>(96, RowDistribution::Uniform { min: 1, max: 12 }, 21);
+        let schedule = UnrollSchedule::from_entries(
+            96,
+            vec![
+                ScheduleEntry {
+                    rows: 0..48,
+                    unroll: 2,
+                },
+                ScheduleEntry {
+                    rows: 48..96,
+                    unroll: 8,
+                },
+            ],
+        );
+        let plan = Arc::new(CompiledSpmv::compile(&a, &schedule.band_hints()).unwrap());
+        let x: Vec<f64> = (0..96).map(|i| ((i % 9) as f64) * 0.5 - 2.0).collect();
+
+        // Fault-free: compiled host arithmetic is bitwise identical and
+        // the cycle model doesn't notice the host kernel swap.
+        let mut plain = FabricKernels::new(spec(), schedule.clone(), 4);
+        Kernels::<f64>::set_phase(&mut plain, Phase::Loop);
+        let mut y_ref = vec![0.0_f64; 96];
+        Kernels::<f64>::spmv(&mut plain, &a, &x, &mut y_ref);
+
+        let mut comp =
+            FabricKernels::new(spec(), schedule.clone(), 4).with_compiled_plan(Arc::clone(&plan));
+        Kernels::<f64>::set_phase(&mut comp, Phase::Loop);
+        let mut y = vec![0.0_f64; 96];
+        Kernels::<f64>::spmv(&mut comp, &a, &x, &mut y);
+
+        assert_eq!(y, y_ref);
+        assert_eq!(
+            Kernels::<f64>::counts(&comp),
+            Kernels::<f64>::counts(&plain)
+        );
+        assert_eq!(comp.cycles(), plain.cycles());
+
+        // Under an injected stuck bit the corrupted outputs are byte-equal
+        // too: the flip applies to `y` after the SpMV either way.
+        let run_faulty = |with_plan: bool| {
+            let inj = Arc::new(FaultInjector::new(
+                FaultPlan::new(5).with_rate(FaultCategory::SpmvBitFlip, 1.0),
+            ));
+            let mut hw = FabricKernels::new(spec(), schedule.clone(), 4)
+                .with_fault_context(FaultContext::new(inj, 3));
+            if with_plan {
+                hw = hw.with_compiled_plan(Arc::clone(&plan));
+            }
+            hw.set_schedule(schedule.clone());
+            Kernels::<f64>::set_phase(&mut hw, Phase::Loop);
+            let mut y = vec![0.0_f64; 96];
+            let d = hw.spmv_dot(&a, &x, &mut y, &x);
+            (y, d)
+        };
+        let (fy_ref, fd_ref) = run_faulty(false);
+        let (fy, fd) = run_faulty(true);
+        // Byte-compare: the injected flip may have produced a NaN.
+        for (got, want) in fy.iter().zip(&fy_ref) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        assert_eq!(fd.to_bits(), fd_ref.to_bits());
     }
 
     #[test]

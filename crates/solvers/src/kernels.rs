@@ -8,7 +8,8 @@
 //! their hardware execution (Section IV).
 
 use crate::workspace::WorkspaceHandle;
-use acamar_sparse::{chunk, CsrMatrix, Scalar};
+use acamar_sparse::{chunk, CompiledSpmv, CsrMatrix, Scalar};
+use std::sync::Arc;
 
 /// Minimum stored entries before [`SoftwareKernels`] considers the
 /// row-partitioned parallel SpMV path worth its thread-dispatch cost.
@@ -189,6 +190,7 @@ pub struct SoftwareKernels {
     counts: OpCounts,
     workspace: Option<WorkspaceHandle>,
     spmv_threads: usize,
+    plan: Option<Arc<CompiledSpmv>>,
 }
 
 impl Default for SoftwareKernels {
@@ -197,6 +199,7 @@ impl Default for SoftwareKernels {
             counts: OpCounts::default(),
             workspace: None,
             spmv_threads: 1,
+            plan: None,
         }
     }
 }
@@ -222,6 +225,24 @@ impl SoftwareKernels {
     pub fn with_spmv_threads(mut self, threads: usize) -> Self {
         self.spmv_threads = threads.max(1);
         self
+    }
+
+    /// Installs a compiled SpMV execution plan (see
+    /// [`CompiledSpmv`]). [`Kernels::spmv`] and [`Kernels::spmv_dot`] use
+    /// the plan's format-specialized band kernels — bitwise identical to
+    /// the generic CSR walk — whenever the operand matrix matches the
+    /// plan's shape, and fall back to the generic path otherwise (solvers
+    /// like Jacobi pass derived iteration matrices through the same
+    /// executor). The parallel path partitions rows at band boundaries, so
+    /// threads never split a band.
+    pub fn with_compiled_plan(mut self, plan: Arc<CompiledSpmv>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// The installed compiled plan, if any.
+    pub fn compiled_plan(&self) -> Option<&Arc<CompiledSpmv>> {
+        self.plan.as_ref()
     }
 
     /// Resets all counters to zero.
@@ -258,12 +279,51 @@ fn parallel_spmv<T: Scalar>(a: &CsrMatrix<T>, x: &[T], y: &mut [T], threads: usi
     });
 }
 
+/// `y = A x` through a compiled plan, with band spans executed on scoped
+/// OS threads. Partition points are band boundaries
+/// ([`CompiledSpmv::partition`]), so no thread ever splits a band and the
+/// result is bitwise identical to serial plan execution (and to the
+/// generic row loop).
+fn parallel_compiled_spmv<T: Scalar>(
+    plan: &CompiledSpmv,
+    a: &CsrMatrix<T>,
+    x: &[T],
+    y: &mut [T],
+    threads: usize,
+) {
+    assert_eq!(x.len(), a.ncols(), "spmv shape mismatch");
+    assert_eq!(y.len(), a.nrows(), "spmv shape mismatch");
+    let spans = plan.partition(threads);
+    let mut rest = y;
+    let mut row = 0usize;
+    std::thread::scope(|s| {
+        for span in spans {
+            let rows = plan.span_rows(span.clone());
+            debug_assert_eq!(rows.start, row);
+            row = rows.end;
+            let (head, tail) = rest.split_at_mut(rows.len());
+            rest = tail;
+            s.spawn(move || plan.execute_span(span, a, x, head));
+        }
+    });
+}
+
 impl<T: Scalar> Kernels<T> for SoftwareKernels {
     fn spmv(&mut self, a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
-        if self.spmv_threads > 1 && a.nnz() >= PARALLEL_SPMV_MIN_NNZ {
-            parallel_spmv(a, x, y, self.spmv_threads);
-        } else {
-            a.mul_vec_into(x, y).expect("spmv shape mismatch");
+        match &self.plan {
+            Some(plan) if plan.matches(a) => {
+                if self.spmv_threads > 1 && a.nnz() >= PARALLEL_SPMV_MIN_NNZ {
+                    parallel_compiled_spmv(plan, a, x, y, self.spmv_threads);
+                } else {
+                    plan.execute(a, x, y).expect("spmv shape mismatch");
+                }
+            }
+            _ if self.spmv_threads > 1 && a.nnz() >= PARALLEL_SPMV_MIN_NNZ => {
+                parallel_spmv(a, x, y, self.spmv_threads);
+            }
+            _ => {
+                a.mul_vec_into(x, y).expect("spmv shape mismatch");
+            }
         }
         self.counts.spmv_calls += 1;
         self.counts.spmv_nnz_processed += a.nnz() as u64;
@@ -341,6 +401,13 @@ impl<T: Scalar> Kernels<T> for SoftwareKernels {
         self.counts.spmv_flops += 2 * a.nnz() as u64;
         self.counts.dense_calls += 1;
         self.counts.dense_flops += 2 * y.len() as u64;
+        if let Some(plan) = &self.plan {
+            if plan.matches(a) {
+                // Band kernels then a row-ascending dot per band: the same
+                // floating-point order as spmv followed by dot.
+                return plan.execute_dot(a, x, y, z).expect("spmv shape mismatch");
+            }
+        }
         // Rows ascending, accumulation ascending: the same floating-point
         // order as spmv followed by dot, so the result is bitwise equal.
         let mut acc = T::ZERO;
@@ -493,6 +560,73 @@ mod tests {
             k.spmv(&a, &x, &mut y);
             assert_eq!(serial, y, "{threads} threads");
             assert_eq!(Kernels::<f64>::counts(&k).spmv_calls, 1);
+        }
+    }
+
+    #[test]
+    fn compiled_plan_spmv_is_bitwise_identical_and_falls_back() {
+        use acamar_sparse::generate::RowDistribution;
+        let a =
+            generate::random_pattern::<f64>(600, RowDistribution::Uniform { min: 1, max: 24 }, 17);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.29).sin()).collect();
+        let z: Vec<f64> = (0..a.nrows()).map(|i| 1.0 / (i as f64 + 3.0)).collect();
+
+        let mut generic = SoftwareKernels::new();
+        let mut y_ref = vec![0.0; a.nrows()];
+        generic.spmv(&a, &x, &mut y_ref);
+        let d_ref = generic.dot(&y_ref, &z);
+
+        let plan = Arc::new(CompiledSpmv::compile_default(&a));
+        let mut k = SoftwareKernels::new().with_compiled_plan(plan.clone());
+        let mut y = vec![f64::NAN; a.nrows()];
+        k.spmv(&a, &x, &mut y);
+        assert_eq!(y, y_ref);
+        let mut y2 = vec![f64::NAN; a.nrows()];
+        let d = k.spmv_dot(&a, &x, &mut y2, &z);
+        assert_eq!(d.to_bits(), d_ref.to_bits());
+        assert_eq!(y2, y_ref);
+
+        // A matrix of a different shape falls back to the generic walk.
+        let b = generate::poisson1d::<f64>(32);
+        let xb = vec![1.0; 32];
+        let mut yb = vec![0.0; 32];
+        k.spmv(&b, &xb, &mut yb);
+        assert_eq!(yb, b.mul_vec(&xb).unwrap());
+
+        // Counts are charged identically on plan and generic paths.
+        let mut plain = SoftwareKernels::new();
+        let mut yp = vec![0.0; a.nrows()];
+        plain.spmv(&a, &x, &mut yp);
+        let mut yq = vec![0.0; a.nrows()];
+        let _ = plain.spmv_dot(&a, &x, &mut yq, &z);
+        let mut planned = SoftwareKernels::new().with_compiled_plan(plan);
+        let mut yr = vec![0.0; a.nrows()];
+        planned.spmv(&a, &x, &mut yr);
+        let mut ys = vec![0.0; a.nrows()];
+        let _ = planned.spmv_dot(&a, &x, &mut ys, &z);
+        assert_eq!(
+            Kernels::<f64>::counts(&plain),
+            Kernels::<f64>::counts(&planned)
+        );
+    }
+
+    #[test]
+    fn compiled_parallel_spmv_is_bitwise_identical_to_serial() {
+        let a = generate::poisson2d::<f64>(160, 160); // > 2^16 nnz
+        assert!(a.nnz() >= PARALLEL_SPMV_MIN_NNZ);
+        let plan = Arc::new(CompiledSpmv::compile_default(&a));
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.017).cos()).collect();
+        let mut serial = vec![0.0; a.nrows()];
+        let mut sk = SoftwareKernels::new().with_compiled_plan(plan.clone());
+        sk.spmv(&a, &x, &mut serial);
+        assert_eq!(serial, a.mul_vec(&x).unwrap());
+        for threads in [2, 3, 8] {
+            let mut k = SoftwareKernels::new()
+                .with_compiled_plan(plan.clone())
+                .with_spmv_threads(threads);
+            let mut y = vec![f64::NAN; a.nrows()];
+            k.spmv(&a, &x, &mut y);
+            assert_eq!(serial, y, "{threads} threads");
         }
     }
 

@@ -38,7 +38,13 @@ impl RowChunk {
 
 /// Splits `a` into row chunks of at most `chunk_rows` rows.
 ///
-/// The final chunk may be shorter. `chunk_rows == 0` is treated as one.
+/// The final chunk may be shorter.
+///
+/// # Panics
+///
+/// Panics if `chunk_rows == 0` — a zero-row chunk cannot tile a matrix, and
+/// silently coercing it to one row has historically hidden caller bugs
+/// (a miscomputed `rows / threads` quotient would quietly produce n chunks).
 ///
 /// # Examples
 ///
@@ -51,7 +57,8 @@ impl RowChunk {
 /// assert_eq!(chunks[2].rows, 8..10);
 /// ```
 pub fn row_chunks<T: Scalar>(a: &CsrMatrix<T>, chunk_rows: usize) -> Vec<RowChunk> {
-    let step = chunk_rows.max(1);
+    assert!(chunk_rows > 0, "row_chunks requires chunk_rows > 0");
+    let step = chunk_rows;
     let mut out = Vec::with_capacity(a.nrows().div_ceil(step));
     let mut start = 0usize;
     let mut index = 0usize;
@@ -101,10 +108,9 @@ mod tests {
     }
 
     #[test]
-    fn zero_chunk_rows_treated_as_one() {
+    #[should_panic(expected = "chunk_rows > 0")]
+    fn zero_chunk_rows_panics() {
         let a = generate::poisson1d::<f64>(3);
-        let chunks = row_chunks(&a, 0);
-        assert_eq!(chunks.len(), 3);
-        assert!(chunks.iter().all(|c| c.len() == 1));
+        let _ = row_chunks(&a, 0);
     }
 }

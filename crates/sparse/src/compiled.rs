@@ -1,0 +1,1163 @@
+//! Compiled SpMV execution plans.
+//!
+//! The paper's Resource Decision loop (Fig. 3, Algorithm 4) exists to run
+//! each row *set* at its optimal unroll factor via partial reconfiguration.
+//! This module is the host-side twin: it consumes the per-band unroll
+//! schedule chosen by the MSID machinery and *compiles* it into a
+//! format-specialized execution plan, following the SELL-C-σ / OSKI
+//! auto-tuning playbook.
+//!
+//! A [`CompiledSpmv`] tiles the rows into contiguous bands, each executed by
+//! the kernel that best fits its shape:
+//!
+//! * [`BandKind::Fixed`] — a run of rows with identical NNZ `w <= 16`:
+//!   the zero-padding ELL slice. Column slots are packed `u32` in
+//!   `EllMatrix`'s row-major slot layout, value offsets are arithmetic, and
+//!   the inner loop is monomorphized on the width (fully unrolled) with four
+//!   independent row accumulators in flight.
+//! * [`BandKind::Ell`] — a low-variance band: an ELL slice whose padding
+//!   fraction is bounded (the storage analog of the paper's Eq. 5
+//!   underutilization). Slots are packed like `Fixed`, but each lane is
+//!   bounded by its own row length so padding slots are *never* accumulated
+//!   (adding `0.0` is not a bitwise no-op: `-0.0 + 0.0 == +0.0`).
+//! * [`BandKind::Unrolled`] — a moderate band run as a fixed-width unrolled
+//!   CSR loop, monomorphized for U ∈ {1, 2, 4, 8, 16} taken from the MSID
+//!   schedule's unroll factor.
+//! * [`BandKind::Scalar`] — irregular rows on the generic CSR walk.
+//! * [`BandKind::DenseRow`] — heavy outlier rows: deep-unrolled gather, with
+//!   a contiguous-column fast path that reads `x` as a slice.
+//!
+//! The plan is **pattern-only**: it never stores matrix values, so a plan
+//! cached under a `PatternFingerprint` is safe to reuse for a matrix with
+//! the same pattern but different values. Values are always read from the
+//! live CSR through its own `row_ptr`.
+//!
+//! Every kernel preserves the per-row accumulation order of
+//! [`CsrMatrix::mul_vec_into`] exactly — compilation reorders *storage* and
+//! interleaves work *across* rows, never the summation order *within* a row
+//! — so compiled results are bitwise-identical to the generic path.
+//!
+//! Band boundaries double as partition points for row-parallel SpMV:
+//! [`CompiledSpmv::partition`] splits the band list (never a band) into
+//! NNZ-balanced contiguous spans, so the parallel result is the same bytes
+//! at any thread count.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use std::ops::Range;
+
+/// Largest row width handled by the monomorphized [`BandKind::Fixed`] kernel.
+pub const MAX_FIXED_WIDTH: usize = 16;
+
+/// Minimum run length of identical-width rows promoted to a `Fixed` band.
+pub const MIN_FIXED_RUN: usize = 8;
+
+/// Rows with at least this many entries are heavy outliers ([`BandKind::DenseRow`]).
+pub const DENSE_ROW_MIN_NNZ: usize = 128;
+
+/// Maximum slot width for an ELL band.
+pub const ELL_MAX_WIDTH: usize = 32;
+
+/// Maximum padding fraction tolerated for an ELL band (Eq. 5 analog).
+pub const ELL_MAX_PADDING: f64 = 0.5;
+
+/// Bands at or below this width count as *narrow* for ELL selection.
+pub const ELL_NARROW_WIDTH: usize = 12;
+
+/// Tighter padding bound for narrow ELL candidates. Short rows leave the
+/// 4-lane kernel little common prefix to amortize its per-group setup, so
+/// a ragged narrow band (epb3-shaped: width ~9, mean ~6) loses to the
+/// packed-`u32` CSR walk it would otherwise displace — those bands
+/// classify as `Unrolled`/`Scalar` instead, which by construction track
+/// the generic walk with half the index traffic.
+pub const ELL_NARROW_MAX_PADDING: f64 = 0.2;
+
+/// Unroll factors with monomorphized kernels, mirroring the paper's U set.
+pub const UNROLL_FACTORS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Minimum mean row NNZ for an `Unrolled` band; sparser irregular rows fall
+/// back to [`BandKind::Scalar`].
+pub const UNROLL_MIN_MEAN_NNZ: usize = 4;
+
+/// A contiguous row range and the unroll factor the MSID schedule assigned
+/// to it. The plan compiler never emits a band that crosses a hint boundary,
+/// so schedule boundaries survive as partition points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandHint {
+    /// Rows covered by this schedule entry.
+    pub rows: Range<usize>,
+    /// Unroll factor chosen by the Resource Decision loop for these rows.
+    pub unroll: usize,
+}
+
+/// The specialized kernel selected for a band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandKind {
+    /// Every row has exactly `width` entries (`width <= 16`): packed ELL
+    /// slots with arithmetic offsets and a fully unrolled inner loop.
+    Fixed {
+        /// The uniform row width.
+        width: usize,
+    },
+    /// Low-variance band: packed ELL slots of `width`, per-row lengths bound
+    /// each lane so padding is never accumulated.
+    Ell {
+        /// The slot width (max row NNZ in the band).
+        width: usize,
+    },
+    /// Moderate band: CSR walk with a `U`-wide unrolled inner loop.
+    Unrolled {
+        /// The unroll factor, one of [`UNROLL_FACTORS`].
+        unroll: usize,
+    },
+    /// Irregular band: generic scalar CSR walk.
+    Scalar,
+    /// Heavy outlier rows: deep-unrolled gather with a contiguous-column
+    /// fast path.
+    DenseRow,
+}
+
+/// One compiled band: a contiguous row range bound to a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Band {
+    /// Rows covered by the band.
+    pub rows: Range<usize>,
+    /// The kernel that executes the band.
+    pub kind: BandKind,
+    /// Start of this band's slots in the shared slot-column array
+    /// (meaningful for `Fixed` and `Ell` bands only).
+    slot_base: usize,
+    /// Stored entries in the band (drives NNZ-balanced partitioning).
+    nnz: usize,
+}
+
+impl Band {
+    /// Number of rows in the band.
+    pub fn len(&self) -> usize {
+        self.rows.end - self.rows.start
+    }
+
+    /// `true` if the band covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Stored entries in the band.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+}
+
+/// A compiled, pattern-only SpMV execution plan. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use acamar_sparse::{generate, CompiledSpmv};
+///
+/// let a = generate::poisson2d::<f64>(9, 9);
+/// let plan = CompiledSpmv::compile_default(&a);
+/// let x: Vec<f64> = (0..81).map(|i| (i % 7) as f64 - 3.0).collect();
+/// let mut y = vec![0.0; 81];
+/// plan.execute(&a, &x, &mut y)?;
+/// assert_eq!(y, a.mul_vec(&x)?);
+/// # Ok::<(), acamar_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledSpmv {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    bands: Vec<Band>,
+    /// Packed `u32` column slots for every band (half the index traffic of
+    /// the CSR's `usize` columns — SpMV is stream-bound, so this is where
+    /// most of the compiled win comes from). `Fixed` and wide `Ell` bands
+    /// use `EllMatrix`'s row-major slot layout (`width` slots per row,
+    /// padding slots repeat the row's last column and are never read —
+    /// lanes are length-bounded); the other kinds pack their columns
+    /// CSR-contiguous with no padding. Empty when the matrix is too wide to pack
+    /// (`ncols > u32::MAX`), in which case every band runs the generic
+    /// fallback walk over the CSR's own columns.
+    slot_cols: Vec<u32>,
+    /// Whether `slot_cols` is populated (`ncols <= u32::MAX`).
+    packed: bool,
+}
+
+impl CompiledSpmv {
+    /// Compiles a plan for `a` from the MSID schedule's band hints.
+    ///
+    /// `hints` must tile `0..a.nrows()` contiguously in ascending order
+    /// (the contract `UnrollSchedule` already enforces). An empty hint
+    /// slice on a non-empty matrix is rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] if the hints do not tile
+    /// the matrix rows.
+    pub fn compile<T: Scalar>(a: &CsrMatrix<T>, hints: &[BandHint]) -> Result<Self, SparseError> {
+        let mut expected = 0usize;
+        for h in hints {
+            if h.rows.start != expected || h.rows.end < h.rows.start || h.rows.end > a.nrows() {
+                return Err(SparseError::InvalidStructure(format!(
+                    "band hint {:?} does not tile rows contiguously (expected start {expected}, nrows {})",
+                    h.rows,
+                    a.nrows()
+                )));
+            }
+            expected = h.rows.end;
+        }
+        if expected != a.nrows() {
+            return Err(SparseError::InvalidStructure(format!(
+                "band hints cover rows 0..{expected} of {}",
+                a.nrows()
+            )));
+        }
+
+        // Column indices are packed as u32; a matrix too wide for that
+        // (never the case for the paper's datasets) compiles to scalar bands.
+        let packable = a.ncols() <= u32::MAX as usize;
+
+        let mut plan = CompiledSpmv {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            bands: Vec::new(),
+            slot_cols: Vec::new(),
+            packed: packable,
+        };
+        if packable {
+            plan.slot_cols.reserve(a.nnz());
+        }
+        for h in hints {
+            plan.compile_hint(a, h, packable);
+        }
+        Ok(plan)
+    }
+
+    /// Compiles a plan with a single full-matrix hint at unroll 8 — the
+    /// shape used when no MSID schedule is available.
+    pub fn compile_default<T: Scalar>(a: &CsrMatrix<T>) -> Self {
+        let hint = [BandHint {
+            rows: 0..a.nrows(),
+            unroll: 8,
+        }];
+        Self::compile(a, &hint).expect("single full hint always tiles")
+    }
+
+    /// Segments one schedule entry into specialized bands. Bands never
+    /// cross hint boundaries: the MSID schedule segments rows by density,
+    /// so hint edges track width changes and keep each band's slot width
+    /// tight — merging across them was measured to *hurt* the ELL kernels
+    /// by inflating per-band widths and padding.
+    fn compile_hint<T: Scalar>(&mut self, a: &CsrMatrix<T>, hint: &BandHint, packable: bool) {
+        let rp = a.row_ptr();
+        let mut start = hint.rows.start;
+        while start < hint.rows.end {
+            let heavy = rp[start + 1] - rp[start] >= DENSE_ROW_MIN_NNZ;
+            let mut end = start + 1;
+            while end < hint.rows.end && (rp[end + 1] - rp[end] >= DENSE_ROW_MIN_NNZ) == heavy {
+                end += 1;
+            }
+            if heavy {
+                self.push_band(start..end, BandKind::DenseRow, a);
+            } else {
+                self.compile_light_segment(a, start..end, hint.unroll, packable);
+            }
+            start = end;
+        }
+    }
+
+    /// Segments a run of non-heavy rows: uniform runs become `Fixed` bands,
+    /// the gaps become `Ell`, `Unrolled`, or `Scalar` bands.
+    fn compile_light_segment<T: Scalar>(
+        &mut self,
+        a: &CsrMatrix<T>,
+        rows: Range<usize>,
+        unroll: usize,
+        packable: bool,
+    ) {
+        let rp = a.row_ptr();
+        let width = |r: usize| rp[r + 1] - rp[r];
+        let mut pending = rows.start;
+        let mut start = rows.start;
+        while start < rows.end {
+            let w = width(start);
+            let mut end = start + 1;
+            while end < rows.end && width(end) == w {
+                end += 1;
+            }
+            if packable && w <= MAX_FIXED_WIDTH && end - start >= MIN_FIXED_RUN {
+                if pending < start {
+                    self.push_mixed_band(a, pending..start, unroll, packable);
+                }
+                self.push_band(start..end, BandKind::Fixed { width: w }, a);
+                pending = end;
+            }
+            start = end;
+        }
+        if pending < rows.end {
+            self.push_mixed_band(a, pending..rows.end, unroll, packable);
+        }
+    }
+
+    /// Classifies a mixed-width segment as `Ell`, `Unrolled`, or `Scalar`.
+    fn push_mixed_band<T: Scalar>(
+        &mut self,
+        a: &CsrMatrix<T>,
+        rows: Range<usize>,
+        unroll: usize,
+        packable: bool,
+    ) {
+        let rp = a.row_ptr();
+        let nnz = rp[rows.end] - rp[rows.start];
+        let len = rows.end - rows.start;
+        let max_w = rows.clone().map(|r| rp[r + 1] - rp[r]).max().unwrap_or(0);
+        let slots = len * max_w;
+        let padding = if slots == 0 {
+            0.0
+        } else {
+            (slots - nnz) as f64 / slots as f64
+        };
+        let padding_limit = if max_w <= ELL_NARROW_WIDTH {
+            ELL_NARROW_MAX_PADDING
+        } else {
+            ELL_MAX_PADDING
+        };
+        let kind = if packable && max_w <= ELL_MAX_WIDTH && padding <= padding_limit {
+            BandKind::Ell { width: max_w }
+        } else if nnz >= len * UNROLL_MIN_MEAN_NNZ {
+            BandKind::Unrolled {
+                unroll: clamp_unroll(unroll),
+            }
+        } else {
+            BandKind::Scalar
+        };
+        self.push_band(rows, kind, a);
+    }
+
+    /// Records a band, packing its `u32` slot columns: ELL slot layout for
+    /// `Fixed`/`Ell`, CSR-contiguous for the other kinds (skipped entirely
+    /// for an unpackable matrix, whose bands run the generic fallback).
+    fn push_band<T: Scalar>(&mut self, rows: Range<usize>, kind: BandKind, a: &CsrMatrix<T>) {
+        if rows.is_empty() {
+            return;
+        }
+        let rp = a.row_ptr();
+        let slot_base = self.slot_cols.len();
+        match kind {
+            BandKind::Fixed { width } | BandKind::Ell { width } => {
+                self.slot_cols.reserve(rows.len() * width);
+                for r in rows.clone() {
+                    let (cols, _) = a.row(r);
+                    for &c in cols {
+                        self.slot_cols.push(c as u32);
+                    }
+                    // Pad to the slot width with the last real column (or 0
+                    // for an empty row); padding slots are never read.
+                    let pad = cols.last().copied().unwrap_or(0) as u32;
+                    for _ in cols.len()..width {
+                        self.slot_cols.push(pad);
+                    }
+                }
+            }
+            _ if self.packed => {
+                let cols = a.col_idx();
+                self.slot_cols
+                    .extend(cols[rp[rows.start]..rp[rows.end]].iter().map(|&c| c as u32));
+            }
+            _ => {}
+        }
+        self.bands.push(Band {
+            nnz: rp[rows.end] - rp[rows.start],
+            rows,
+            kind,
+            slot_base,
+        });
+    }
+
+    /// Number of rows the plan was compiled for.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns the plan was compiled for.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored entries the plan was compiled for.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The compiled bands, ascending and tiling `0..nrows`.
+    pub fn bands(&self) -> &[Band] {
+        &self.bands
+    }
+
+    /// Cheap provenance check: `true` if `a` has the shape this plan was
+    /// compiled for. Callers that obtained the plan from a pattern cache
+    /// assert (as `PlanCache` does) that a matching shape implies a
+    /// matching pattern; [`Self::verify_pattern`] performs the deep check.
+    pub fn matches<T: Scalar>(&self, a: &CsrMatrix<T>) -> bool {
+        self.nrows == a.nrows() && self.ncols == a.ncols() && self.nnz == a.nnz()
+    }
+
+    /// Deep provenance check: `true` if every packed slot column and band
+    /// boundary agrees with `a`'s pattern. O(nnz); meant for tests and
+    /// debug assertions, not the hot path.
+    pub fn verify_pattern<T: Scalar>(&self, a: &CsrMatrix<T>) -> bool {
+        if !self.matches(a) {
+            return false;
+        }
+        let mut expected = 0usize;
+        for band in &self.bands {
+            if band.rows.start != expected {
+                return false;
+            }
+            expected = band.rows.end;
+            match band.kind {
+                BandKind::Fixed { width } | BandKind::Ell { width } => {
+                    for (i, r) in band.rows.clone().enumerate() {
+                        let (cols, _) = a.row(r);
+                        if cols.len() > width {
+                            return false;
+                        }
+                        let base = band.slot_base + i * width;
+                        if cols
+                            .iter()
+                            .zip(&self.slot_cols[base..base + cols.len()])
+                            .any(|(&c, &s)| c as u32 != s)
+                        {
+                            return false;
+                        }
+                    }
+                }
+                _ if self.packed => {
+                    let rp = a.row_ptr();
+                    let run = &a.col_idx()[rp[band.rows.start]..rp[band.rows.end]];
+                    if run.len() != band.nnz
+                        || run
+                            .iter()
+                            .zip(&self.slot_cols[band.slot_base..band.slot_base + band.nnz])
+                            .any(|(&c, &s)| c as u32 != s)
+                    {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        expected == self.nrows
+    }
+
+    /// Splits the band list into at most `parts` contiguous, NNZ-balanced
+    /// spans of band indices. Threads never split a band, so parallel
+    /// execution is bitwise-identical to serial at any `parts`.
+    ///
+    /// Returned spans are non-empty, ascending, and tile `0..bands.len()`;
+    /// fewer than `parts` spans are returned when there are not enough
+    /// bands (or not enough work) to go around.
+    pub fn partition(&self, parts: usize) -> Vec<Range<usize>> {
+        let parts = parts.max(1);
+        let mut out = Vec::with_capacity(parts.min(self.bands.len()));
+        if self.bands.is_empty() {
+            return out;
+        }
+        let total = self.nnz.max(1);
+        let mut band = 0usize;
+        let mut done = 0usize;
+        for p in 0..parts {
+            if band == self.bands.len() {
+                break;
+            }
+            let remaining_parts = parts - p;
+            let target = done + (total - done).div_ceil(remaining_parts);
+            let start = band;
+            while band < self.bands.len() && (band == start || done < target) {
+                done += self.bands[band].nnz;
+                band += 1;
+            }
+            out.push(start..band);
+        }
+        // Any leftover bands (possible when late bands are empty) join the
+        // final span so the spans always tile the band list.
+        if let Some(last) = out.last_mut() {
+            last.end = self.bands.len();
+        }
+        out
+    }
+
+    /// Rows covered by a contiguous span of bands.
+    pub fn span_rows(&self, bands: Range<usize>) -> Range<usize> {
+        if bands.is_empty() || self.bands.is_empty() {
+            return 0..0;
+        }
+        self.bands[bands.start].rows.start..self.bands[bands.end - 1].rows.end
+    }
+
+    /// Executes the full plan: `y = A x`, bitwise-identical to
+    /// [`CsrMatrix::mul_vec_into`]. Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] on wrong-length `x`/`y`
+    /// and [`SparseError::InvalidStructure`] if `a`'s shape does not match
+    /// the plan (see [`Self::matches`]).
+    pub fn execute<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        x: &[T],
+        y: &mut [T],
+    ) -> Result<(), SparseError> {
+        self.check(a, x, y)?;
+        self.execute_span(0..self.bands.len(), a, x, y);
+        Ok(())
+    }
+
+    /// Executes the full plan fused with a dot product: computes `y = A x`
+    /// and returns `y · z`, both bitwise-identical to the unfused pair
+    /// (SpMV, then a row-ascending dot). Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::execute`], plus a mismatch error for `z`.
+    pub fn execute_dot<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        x: &[T],
+        y: &mut [T],
+        z: &[T],
+    ) -> Result<T, SparseError> {
+        self.check(a, x, y)?;
+        if z.len() != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.nrows,
+                found: z.len(),
+                what: "dot vector length",
+            });
+        }
+        let mut acc = T::ZERO;
+        for b in 0..self.bands.len() {
+            let rows = self.bands[b].rows.clone();
+            self.execute_span(b..b + 1, a, x, &mut y[rows.clone()]);
+            // Accumulate the dot in row-ascending order: bands ascend and
+            // tile the rows, so this matches dot(y, z) after a full SpMV.
+            for (yi, zi) in y[rows.clone()].iter().zip(&z[rows]) {
+                acc += *yi * *zi;
+            }
+        }
+        Ok(acc)
+    }
+
+    fn check<T: Scalar>(&self, a: &CsrMatrix<T>, x: &[T], y: &[T]) -> Result<(), SparseError> {
+        if !self.matches(a) {
+            return Err(SparseError::InvalidStructure(format!(
+                "compiled plan ({}x{}, nnz {}) does not match matrix ({}x{}, nnz {})",
+                self.nrows,
+                self.ncols,
+                self.nnz,
+                a.nrows(),
+                a.ncols(),
+                a.nnz()
+            )));
+        }
+        if x.len() != self.ncols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.ncols,
+                found: x.len(),
+                what: "input vector length",
+            });
+        }
+        if y.len() != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.nrows,
+                found: y.len(),
+                what: "output vector length",
+            });
+        }
+        debug_assert!(self.verify_pattern(a), "compiled plan pattern mismatch");
+        Ok(())
+    }
+
+    /// Executes a contiguous span of bands into `y_span`, which must cover
+    /// exactly [`Self::span_rows`]`(bands)`. This is the unit of work a
+    /// parallel caller hands each thread; disjoint spans write disjoint
+    /// `y` slices. Allocation-free; no dimension checks (crate-visible
+    /// callers go through [`Self::execute`] or validated kernels).
+    pub fn execute_span<T: Scalar>(
+        &self,
+        bands: Range<usize>,
+        a: &CsrMatrix<T>,
+        x: &[T],
+        y_span: &mut [T],
+    ) {
+        let row0 = self.span_rows(bands.clone()).start;
+        let rp = a.row_ptr();
+        let cols = a.col_idx();
+        let vals = a.values();
+        for band in &self.bands[bands] {
+            let y = &mut y_span[band.rows.start - row0..band.rows.end - row0];
+            let band_rp = &rp[band.rows.start..band.rows.end + 1];
+            if !self.packed {
+                // Matrix too wide for u32 slots: every band runs the
+                // generic walk over the CSR's own columns.
+                run_fallback(band_rp, cols, vals, x, y);
+                continue;
+            }
+            match band.kind {
+                BandKind::Fixed { width } => {
+                    let slots = &self.slot_cols[band.slot_base..band.slot_base + y.len() * width];
+                    run_fixed_dispatch(width, band_rp[0], slots, vals, x, y);
+                }
+                BandKind::Ell { width } => {
+                    let slots = &self.slot_cols[band.slot_base..band.slot_base + y.len() * width];
+                    run_ell(width, band_rp, slots, vals, x, y);
+                }
+                BandKind::Unrolled { unroll } => {
+                    let slots = &self.slot_cols[band.slot_base..band.slot_base + band.nnz];
+                    match unroll {
+                        1 => run_unrolled::<T, 1>(band_rp, slots, vals, x, y),
+                        2 => run_unrolled::<T, 2>(band_rp, slots, vals, x, y),
+                        4 => run_unrolled::<T, 4>(band_rp, slots, vals, x, y),
+                        8 => run_unrolled::<T, 8>(band_rp, slots, vals, x, y),
+                        _ => run_unrolled::<T, 16>(band_rp, slots, vals, x, y),
+                    }
+                }
+                BandKind::Scalar => {
+                    let slots = &self.slot_cols[band.slot_base..band.slot_base + band.nnz];
+                    run_scalar(band_rp, slots, vals, x, y);
+                }
+                BandKind::DenseRow => {
+                    let slots = &self.slot_cols[band.slot_base..band.slot_base + band.nnz];
+                    run_dense_row(band_rp, slots, vals, x, y);
+                }
+            }
+        }
+    }
+}
+
+/// Rounds an MSID unroll factor down to the nearest monomorphized factor.
+fn clamp_unroll(unroll: usize) -> usize {
+    let mut best = UNROLL_FACTORS[0];
+    for &u in &UNROLL_FACTORS {
+        if u <= unroll {
+            best = u;
+        }
+    }
+    best
+}
+
+/// Dispatches a `Fixed` band to its monomorphized width.
+fn run_fixed_dispatch<T: Scalar>(
+    width: usize,
+    val_base: usize,
+    slots: &[u32],
+    vals: &[T],
+    x: &[T],
+    y: &mut [T],
+) {
+    match width {
+        0 => y.fill(T::ZERO),
+        1 => run_fixed::<T, 1>(val_base, slots, vals, x, y),
+        2 => run_fixed::<T, 2>(val_base, slots, vals, x, y),
+        3 => run_fixed::<T, 3>(val_base, slots, vals, x, y),
+        4 => run_fixed::<T, 4>(val_base, slots, vals, x, y),
+        5 => run_fixed::<T, 5>(val_base, slots, vals, x, y),
+        6 => run_fixed::<T, 6>(val_base, slots, vals, x, y),
+        7 => run_fixed::<T, 7>(val_base, slots, vals, x, y),
+        8 => run_fixed::<T, 8>(val_base, slots, vals, x, y),
+        9 => run_fixed::<T, 9>(val_base, slots, vals, x, y),
+        10 => run_fixed::<T, 10>(val_base, slots, vals, x, y),
+        11 => run_fixed::<T, 11>(val_base, slots, vals, x, y),
+        12 => run_fixed::<T, 12>(val_base, slots, vals, x, y),
+        13 => run_fixed::<T, 13>(val_base, slots, vals, x, y),
+        14 => run_fixed::<T, 14>(val_base, slots, vals, x, y),
+        15 => run_fixed::<T, 15>(val_base, slots, vals, x, y),
+        _ => run_fixed::<T, 16>(val_base, slots, vals, x, y),
+    }
+}
+
+/// Uniform-width band: four independent row accumulator chains hide FP add
+/// latency; `W` is a compile-time constant so the inner loop fully unrolls
+/// and the per-lane slices become fixed-size arrays (no bounds checks).
+fn run_fixed<T: Scalar, const W: usize>(
+    val_base: usize,
+    slots: &[u32],
+    vals: &[T],
+    x: &[T],
+    y: &mut [T],
+) {
+    let n = y.len();
+    let mut r = 0usize;
+    while r + 4 <= n {
+        let b0 = r * W;
+        let s0: &[u32; W] = slots[b0..b0 + W].try_into().unwrap();
+        let s1: &[u32; W] = slots[b0 + W..b0 + 2 * W].try_into().unwrap();
+        let s2: &[u32; W] = slots[b0 + 2 * W..b0 + 3 * W].try_into().unwrap();
+        let s3: &[u32; W] = slots[b0 + 3 * W..b0 + 4 * W].try_into().unwrap();
+        let v = val_base + b0;
+        let v0: &[T; W] = vals[v..v + W].try_into().unwrap();
+        let v1: &[T; W] = vals[v + W..v + 2 * W].try_into().unwrap();
+        let v2: &[T; W] = vals[v + 2 * W..v + 3 * W].try_into().unwrap();
+        let v3: &[T; W] = vals[v + 3 * W..v + 4 * W].try_into().unwrap();
+        let mut a0 = T::ZERO;
+        let mut a1 = T::ZERO;
+        let mut a2 = T::ZERO;
+        let mut a3 = T::ZERO;
+        for k in 0..W {
+            a0 += v0[k] * x[s0[k] as usize];
+            a1 += v1[k] * x[s1[k] as usize];
+            a2 += v2[k] * x[s2[k] as usize];
+            a3 += v3[k] * x[s3[k] as usize];
+        }
+        y[r] = a0;
+        y[r + 1] = a1;
+        y[r + 2] = a2;
+        y[r + 3] = a3;
+        r += 4;
+    }
+    while r < n {
+        let b = r * W;
+        let s: &[u32; W] = slots[b..b + W].try_into().unwrap();
+        let v: &[T; W] = vals[val_base + b..val_base + b + W].try_into().unwrap();
+        let mut acc = T::ZERO;
+        for k in 0..W {
+            acc += v[k] * x[s[k] as usize];
+        }
+        y[r] = acc;
+        r += 1;
+    }
+}
+
+/// Low-variance ELL band: four lanes run an unconditional common prefix of
+/// `min(len0..len3)` slots, then finish interleaved with per-lane length
+/// guards so the accumulator chains stay independent through the ragged
+/// region. Padding slots are never accumulated, preserving bitwise
+/// identity.
+fn run_ell<T: Scalar>(
+    width: usize,
+    band_rp: &[usize],
+    slots: &[u32],
+    vals: &[T],
+    x: &[T],
+    y: &mut [T],
+) {
+    let n = y.len();
+    let row = |r: usize| (band_rp[r], band_rp[r + 1] - band_rp[r]);
+    let lane = |r: usize, len: usize| &slots[r * width..r * width + len];
+    let mut r = 0usize;
+    while r + 4 <= n {
+        let (o0, l0) = row(r);
+        let (o1, l1) = row(r + 1);
+        let (o2, l2) = row(r + 2);
+        let (o3, l3) = row(r + 3);
+        let (s0, s1, s2, s3) = (
+            lane(r, l0),
+            lane(r + 1, l1),
+            lane(r + 2, l2),
+            lane(r + 3, l3),
+        );
+        let (v0, v1, v2, v3) = (
+            &vals[o0..o0 + l0],
+            &vals[o1..o1 + l1],
+            &vals[o2..o2 + l2],
+            &vals[o3..o3 + l3],
+        );
+        let m = l0.min(l1).min(l2).min(l3);
+        let mut a0 = T::ZERO;
+        let mut a1 = T::ZERO;
+        let mut a2 = T::ZERO;
+        let mut a3 = T::ZERO;
+        for k in 0..m {
+            a0 += v0[k] * x[s0[k] as usize];
+            a1 += v1[k] * x[s1[k] as usize];
+            a2 += v2[k] * x[s2[k] as usize];
+            a3 += v3[k] * x[s3[k] as usize];
+        }
+        // Interleaved, length-guarded continuation: lanes past their own
+        // length skip the slot, so padding is still never accumulated, but
+        // the four accumulator chains stay independent instead of draining
+        // one sequential tail loop per lane.
+        let lmax = l0.max(l1).max(l2).max(l3);
+        for k in m..lmax {
+            if k < l0 {
+                a0 += v0[k] * x[s0[k] as usize];
+            }
+            if k < l1 {
+                a1 += v1[k] * x[s1[k] as usize];
+            }
+            if k < l2 {
+                a2 += v2[k] * x[s2[k] as usize];
+            }
+            if k < l3 {
+                a3 += v3[k] * x[s3[k] as usize];
+            }
+        }
+        y[r] = a0;
+        y[r + 1] = a1;
+        y[r + 2] = a2;
+        y[r + 3] = a3;
+        r += 4;
+    }
+    while r < n {
+        let (o, l) = row(r);
+        let s = lane(r, l);
+        let v = &vals[o..o + l];
+        let mut acc = T::ZERO;
+        for k in 0..l {
+            acc += v[k] * x[s[k] as usize];
+        }
+        y[r] = acc;
+        r += 1;
+    }
+}
+
+/// Moderate band: CSR walk over packed `u32` slot columns with a `U`-wide
+/// unrolled inner loop. One accumulator chain per row keeps the summation
+/// order identical to the generic walk.
+fn run_unrolled<T: Scalar, const U: usize>(
+    band_rp: &[usize],
+    slots: &[u32],
+    vals: &[T],
+    x: &[T],
+    y: &mut [T],
+) {
+    let base = band_rp[0];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let (o, e) = (band_rp[r], band_rp[r + 1]);
+        let rc = &slots[o - base..e - base];
+        let rv = &vals[o..e];
+        let mut acc = T::ZERO;
+        let mut k = 0usize;
+        while k + U <= rc.len() {
+            let ca: &[u32; U] = rc[k..k + U].try_into().unwrap();
+            let va: &[T; U] = rv[k..k + U].try_into().unwrap();
+            for j in 0..U {
+                acc += va[j] * x[ca[j] as usize];
+            }
+            k += U;
+        }
+        for j in k..rc.len() {
+            acc += rv[j] * x[rc[j] as usize];
+        }
+        *yr = acc;
+    }
+}
+
+/// Irregular band: scalar CSR walk over packed `u32` slot columns.
+fn run_scalar<T: Scalar>(band_rp: &[usize], slots: &[u32], vals: &[T], x: &[T], y: &mut [T]) {
+    let base = band_rp[0];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let (o, e) = (band_rp[r], band_rp[r + 1]);
+        let mut acc = T::ZERO;
+        for (&c, &v) in slots[o - base..e - base].iter().zip(&vals[o..e]) {
+            acc += v * x[c as usize];
+        }
+        *yr = acc;
+    }
+}
+
+/// Unpackable matrix (`ncols > u32::MAX`): the generic scalar CSR walk over
+/// the matrix's own columns, verbatim.
+fn run_fallback<T: Scalar>(band_rp: &[usize], cols: &[usize], vals: &[T], x: &[T], y: &mut [T]) {
+    for (r, yr) in y.iter_mut().enumerate() {
+        let (o, e) = (band_rp[r], band_rp[r + 1]);
+        let mut acc = T::ZERO;
+        for (&c, &v) in cols[o..e].iter().zip(&vals[o..e]) {
+            acc += v * x[c];
+        }
+        *yr = acc;
+    }
+}
+
+/// Heavy outlier rows: when the row's columns are one contiguous run
+/// (sorted CSR makes this an O(1) check), stream `x` as a slice with no
+/// gather; otherwise fall back to the 16-wide unrolled gather.
+fn run_dense_row<T: Scalar>(band_rp: &[usize], slots: &[u32], vals: &[T], x: &[T], y: &mut [T]) {
+    let base = band_rp[0];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let (o, e) = (band_rp[r], band_rp[r + 1]);
+        let len = e - o;
+        let rc = &slots[o - base..e - base];
+        if len > 0 && (rc[len - 1] - rc[0]) as usize == len - 1 {
+            let xs = &x[rc[0] as usize..rc[0] as usize + len];
+            let mut acc = T::ZERO;
+            for (v, xv) in vals[o..e].iter().zip(xs) {
+                acc += *v * *xv;
+            }
+            *yr = acc;
+        } else {
+            let rv = &vals[o..e];
+            let mut acc = T::ZERO;
+            let mut k = 0usize;
+            while k + 16 <= rc.len() {
+                let ca: &[u32; 16] = rc[k..k + 16].try_into().unwrap();
+                let va: &[T; 16] = rv[k..k + 16].try_into().unwrap();
+                for j in 0..16 {
+                    acc += va[j] * x[ca[j] as usize];
+                }
+                k += 16;
+            }
+            for j in k..rc.len() {
+                acc += rv[j] * x[rc[j] as usize];
+            }
+            *yr = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{self, RowDistribution};
+    use crate::CooMatrix;
+
+    fn dense_x(ncols: usize) -> Vec<f64> {
+        (0..ncols)
+            .map(|i| ((i % 11) as f64 - 5.0) * 0.37 + if i % 3 == 0 { -0.0 } else { 0.25 })
+            .collect()
+    }
+
+    fn assert_bitwise_equal(a: &CsrMatrix<f64>, plan: &CompiledSpmv) {
+        let x = dense_x(a.ncols());
+        let expected = a.mul_vec(&x).unwrap();
+        let mut y = vec![f64::NAN; a.nrows()];
+        plan.execute(a, &x, &mut y).unwrap();
+        for (i, (got, want)) in y.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "row {i}: compiled {got} != generic {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_matches_generic_on_structured_matrices() {
+        let mats: Vec<CsrMatrix<f64>> = vec![
+            generate::poisson1d(64),
+            generate::poisson2d(13, 17),
+            generate::random_pattern(300, RowDistribution::Uniform { min: 1, max: 40 }, 7),
+            generate::random_pattern(
+                257,
+                RowDistribution::Bimodal {
+                    low: 3,
+                    high: 150,
+                    high_fraction: 0.04,
+                },
+                11,
+            ),
+        ];
+        for a in &mats {
+            let plan = CompiledSpmv::compile_default(a);
+            assert!(plan.verify_pattern(a));
+            assert_bitwise_equal(a, &plan);
+        }
+    }
+
+    #[test]
+    fn compiled_respects_schedule_hints_and_covers_all_kinds() {
+        let a = generate::random_pattern::<f64>(
+            400,
+            RowDistribution::Bimodal {
+                low: 5,
+                high: 200,
+                high_fraction: 0.03,
+            },
+            5,
+        );
+        let hints = vec![
+            BandHint {
+                rows: 0..100,
+                unroll: 2,
+            },
+            BandHint {
+                rows: 100..250,
+                unroll: 8,
+            },
+            BandHint {
+                rows: 250..400,
+                unroll: 32,
+            },
+        ];
+        let plan = CompiledSpmv::compile(&a, &hints).unwrap();
+        // Bands tile the row space contiguously, in order, and never cross
+        // a hint boundary; every Unrolled band carries the (clamped) unroll
+        // factor of the hint that contains it.
+        let mut next = 0usize;
+        for band in plan.bands() {
+            assert_eq!(band.rows.start, next);
+            next = band.rows.end;
+            let h = hints
+                .iter()
+                .find(|h| h.rows.contains(&band.rows.start))
+                .unwrap();
+            assert!(band.rows.end <= h.rows.end, "band crosses a hint edge");
+            if let BandKind::Unrolled { unroll } = band.kind {
+                assert_eq!(unroll, clamp_unroll(h.unroll));
+            }
+        }
+        assert_eq!(next, a.nrows());
+        assert!(plan.verify_pattern(&a));
+        assert_bitwise_equal(&a, &plan);
+    }
+
+    #[test]
+    fn uniform_matrix_compiles_to_fixed_bands() {
+        let a = generate::random_pattern::<f64>(128, RowDistribution::Constant(6), 3);
+        let plan = CompiledSpmv::compile_default(&a);
+        assert!(plan
+            .bands()
+            .iter()
+            .all(|b| b.kind == BandKind::Fixed { width: 7 }));
+        assert_bitwise_equal(&a, &plan);
+    }
+
+    #[test]
+    fn empty_and_zero_row_matrices_execute() {
+        let empty = CooMatrix::<f64>::new(0, 0).to_csr();
+        let plan = CompiledSpmv::compile(&empty, &[]).unwrap();
+        let mut y: Vec<f64> = vec![];
+        plan.execute(&empty, &[], &mut y).unwrap();
+
+        let zeros = CooMatrix::<f64>::new(9, 4).to_csr();
+        let plan = CompiledSpmv::compile_default(&zeros);
+        let mut y = vec![f64::NAN; 9];
+        plan.execute(&zeros, &[1.0; 4], &mut y).unwrap();
+        assert_eq!(y, vec![0.0; 9]);
+    }
+
+    #[test]
+    fn padding_slots_are_never_accumulated() {
+        // Accumulating a padding slot as `+ 0.0 * x[c]` is not a no-op:
+        // with a non-finite x[c] it injects NaN (0.0 * inf). Rows the
+        // pattern says don't touch the inf column must not see it.
+        let mut coo = CooMatrix::<f64>::new(12, 6);
+        for i in 0..12 {
+            if i % 2 == 0 {
+                // Even rows: {0..=4} — these legitimately see the inf.
+                coo.push(i, 0, 1.0).unwrap();
+            }
+            // All rows: {1..=4}. Ragged lengths (4/5) force an Ell band
+            // whose padding stays under the narrow-band budget.
+            for c in 1..5 {
+                coo.push(i, c, 1.0).unwrap();
+            }
+        }
+        let a = coo.to_csr();
+        let plan = CompiledSpmv::compile_default(&a);
+        assert!(plan
+            .bands()
+            .iter()
+            .any(|b| matches!(b.kind, BandKind::Ell { width: 5 })));
+        let x = vec![f64::INFINITY, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let expected = a.mul_vec(&x).unwrap();
+        let mut y = vec![0.0; 12];
+        plan.execute(&a, &x, &mut y).unwrap();
+        for (i, (got, want)) in y.iter().zip(&expected).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "row {i}");
+        }
+        // Odd rows never touch column 0, so they stay exactly 4.0.
+        assert!(y.iter().skip(1).step_by(2).all(|&v| v == 4.0));
+        assert!(y.iter().step_by(2).all(|&v| v == f64::INFINITY));
+    }
+
+    #[test]
+    fn hint_tiling_is_validated() {
+        let a = generate::poisson1d::<f64>(16);
+        let gap = vec![
+            BandHint {
+                rows: 0..8,
+                unroll: 4,
+            },
+            BandHint {
+                rows: 10..16,
+                unroll: 4,
+            },
+        ];
+        assert!(CompiledSpmv::compile(&a, &gap).is_err());
+        let short = vec![BandHint {
+            rows: 0..8,
+            unroll: 4,
+        }];
+        assert!(CompiledSpmv::compile(&a, &short).is_err());
+        assert!(CompiledSpmv::compile(&a, &[]).is_err());
+    }
+
+    #[test]
+    fn plan_shape_mismatch_is_rejected() {
+        let a = generate::poisson1d::<f64>(16);
+        let b = generate::poisson1d::<f64>(17);
+        let plan = CompiledSpmv::compile_default(&a);
+        assert!(!plan.matches(&b));
+        let mut y = vec![0.0; 17];
+        assert!(plan.execute(&b, &[1.0; 17], &mut y).is_err());
+    }
+
+    #[test]
+    fn partitions_tile_bands_and_respect_boundaries() {
+        let a =
+            generate::random_pattern::<f64>(500, RowDistribution::Uniform { min: 1, max: 30 }, 13);
+        let plan = CompiledSpmv::compile_default(&a);
+        for parts in [1, 2, 3, 8, 64] {
+            let spans = plan.partition(parts);
+            assert!(spans.len() <= parts.max(1));
+            let mut next_band = 0usize;
+            let mut next_row = 0usize;
+            for span in &spans {
+                assert_eq!(span.start, next_band);
+                assert!(!span.is_empty());
+                next_band = span.end;
+                let rows = plan.span_rows(span.clone());
+                assert_eq!(rows.start, next_row);
+                next_row = rows.end;
+            }
+            assert_eq!(next_band, plan.bands().len());
+            assert_eq!(next_row, a.nrows());
+        }
+    }
+
+    #[test]
+    fn span_execution_matches_full_execution() {
+        let a =
+            generate::random_pattern::<f64>(311, RowDistribution::Uniform { min: 0, max: 24 }, 29);
+        let plan = CompiledSpmv::compile_default(&a);
+        let x = dense_x(a.ncols());
+        let mut full = vec![0.0f64; a.nrows()];
+        plan.execute(&a, &x, &mut full).unwrap();
+        for parts in [2, 5, 8] {
+            let mut y = vec![f64::NAN; a.nrows()];
+            for span in plan.partition(parts) {
+                let rows = plan.span_rows(span.clone());
+                plan.execute_span(span, &a, &x, &mut y[rows]);
+            }
+            for (got, want) in y.iter().zip(&full) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn execute_dot_matches_unfused() {
+        let a =
+            generate::random_pattern::<f64>(200, RowDistribution::Uniform { min: 1, max: 20 }, 41);
+        let plan = CompiledSpmv::compile_default(&a);
+        let x = dense_x(a.ncols());
+        let z: Vec<f64> = (0..a.nrows()).map(|i| (i as f64).sin()).collect();
+        let mut y_ref = vec![0.0f64; a.nrows()];
+        plan.execute(&a, &x, &mut y_ref).unwrap();
+        let dot_ref: f64 = y_ref
+            .iter()
+            .zip(&z)
+            .map(|(a, b)| a * b)
+            .fold(0.0, |s, v| s + v);
+        let mut y = vec![0.0f64; a.nrows()];
+        let dot = plan.execute_dot(&a, &x, &mut y, &z).unwrap();
+        assert_eq!(dot.to_bits(), dot_ref.to_bits());
+        for (got, want) in y.iter().zip(&y_ref) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+}

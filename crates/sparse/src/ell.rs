@@ -196,4 +196,62 @@ mod tests {
         assert_eq!(e.padding_fraction(), 0.0);
         assert_eq!(e.mul_vec(&[1.0; 3]).unwrap(), vec![0.0; 3]);
     }
+
+    #[test]
+    fn zero_row_matrix_from_csr_is_fully_empty() {
+        // 0 rows, 0 nnz: width collapses to 0 and every slice is empty.
+        let a = crate::CooMatrix::<f64>::new(0, 5).to_csr();
+        let e = EllMatrix::from_csr(&a);
+        assert_eq!(e.nrows(), 0);
+        assert_eq!(e.ncols(), 5);
+        assert_eq!(e.width(), 0);
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.padding_fraction(), 0.0);
+        // width() == 0 slicing: the slot arrays hold nrows * width == 0
+        // entries, so mul_vec on the empty row set yields an empty vector.
+        assert_eq!(e.mul_vec(&[1.0; 5]).unwrap(), Vec::<f64>::new());
+        assert_eq!(e.to_csr(), a);
+    }
+
+    #[test]
+    fn mul_vec_rejects_empty_input_of_wrong_width() {
+        let a = crate::CooMatrix::<f64>::new(0, 5).to_csr();
+        let e = EllMatrix::from_csr(&a);
+        // ncols is 5, so a zero-length x is a dimension mismatch even
+        // though the matrix has no rows.
+        assert!(matches!(
+            e.mul_vec(&[]),
+            Err(SparseError::DimensionMismatch {
+                expected: 5,
+                found: 0,
+                ..
+            })
+        ));
+
+        // A genuinely 0x0 matrix accepts the empty vector.
+        let z = crate::CooMatrix::<f64>::new(0, 0).to_csr();
+        let ez = EllMatrix::from_csr(&z);
+        assert_eq!(ez.width(), 0);
+        assert_eq!(ez.mul_vec(&[]).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn from_csr_with_width_error_reports_offending_row() {
+        let a = generate::poisson1d::<f64>(6); // rows 1..=4 hold 3 entries
+        let err = EllMatrix::from_csr_with_width(&a, 2).unwrap_err();
+        match err {
+            SparseError::InvalidStructure(msg) => {
+                assert!(msg.contains("row 1"), "unexpected message: {msg}");
+                assert!(msg.contains("width 2"), "unexpected message: {msg}");
+            }
+            other => panic!("expected InvalidStructure, got {other:?}"),
+        }
+        // Width 0 is an error as soon as any row is non-empty...
+        assert!(EllMatrix::from_csr_with_width(&a, 0).is_err());
+        // ...but valid for an all-empty matrix.
+        let empty = crate::CooMatrix::<f64>::new(4, 4).to_csr();
+        let e = EllMatrix::from_csr_with_width(&empty, 0).unwrap();
+        assert_eq!(e.width(), 0);
+        assert_eq!(e.mul_vec(&[2.0; 4]).unwrap(), vec![0.0; 4]);
+    }
 }

@@ -33,12 +33,15 @@
 //! * [`io`] — Matrix Market reader/writer.
 //! * [`stats`] — NNZ/row statistics and per-set averages (paper Eq. 7–9).
 //! * [`chunk`] — 4096-row chunking (paper §V-B).
+//! * [`compiled`] — format-specialized SpMV execution plans compiled from
+//!   the MSID unroll schedule (paper Fig. 3 / Eq. 5, host twin).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
 pub mod chunk;
+pub mod compiled;
 mod coo;
 mod csc;
 mod csr;
@@ -54,6 +57,7 @@ mod scalar;
 pub mod stats;
 
 pub use analysis::{Definiteness, StructureReport};
+pub use compiled::{Band, BandHint, BandKind, CompiledSpmv};
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::{CsrMatrix, RowIter};

@@ -1,0 +1,132 @@
+//! Property test for the compiled SpMV execution plans: the band-parallel
+//! walk must be **bitwise identical** to the serial compiled walk (and the
+//! serial compiled walk to the generic CSR walk) at 1, 2, and 8 threads.
+//!
+//! Band boundaries double as partition points, so a thread never splits a
+//! band and every row keeps its single-accumulator summation chain — the
+//! result cannot depend on the thread count. This suite pins that claim
+//! across 64 seeded random patterns drawn from every `RowDistribution`
+//! family, with plans compiled both from the default hint and from the
+//! MSID schedule the fine-grained reconfiguration unit actually produces.
+
+use acamar::core::{Acamar, AcamarConfig};
+use acamar::fabric::FabricSpec;
+use acamar::sparse::generate::{self, RowDistribution};
+use acamar::sparse::rng::DetRng;
+use acamar::sparse::{CompiledSpmv, CsrMatrix};
+
+/// Seeded random patterns per distribution family.
+const CASES_PER_FAMILY: u64 = 16;
+
+/// Thread counts the partition must be exact under.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn families(case: u64) -> RowDistribution {
+    match case % 4 {
+        0 => RowDistribution::Constant(3 + (case % 5) as usize),
+        1 => RowDistribution::Uniform {
+            min: 1,
+            max: 9 + (case % 8) as usize,
+        },
+        2 => RowDistribution::Bimodal {
+            low: 2,
+            high: 24 + (case % 16) as usize,
+            high_fraction: 0.1,
+        },
+        _ => RowDistribution::PowerLaw {
+            min: 1,
+            max: 60,
+            exponent: 1.8,
+        },
+    }
+}
+
+/// Runs the plan over `x` with `threads` workers, each executing a span of
+/// whole bands into its slice of `y` — the same decomposition
+/// `SoftwareKernels` uses for its band-parallel path.
+fn parallel_execute(
+    plan: &CompiledSpmv,
+    a: &CsrMatrix<f64>,
+    x: &[f64],
+    threads: usize,
+) -> Vec<f64> {
+    let mut y = vec![0.0_f64; a.nrows()];
+    let spans = plan.partition(threads);
+    std::thread::scope(|s| {
+        let mut rest = y.as_mut_slice();
+        for span in spans {
+            let rows = plan.span_rows(span.clone());
+            let (head, tail) = rest.split_at_mut(rows.len());
+            rest = tail;
+            s.spawn(move || plan.execute_span(span, a, x, head));
+        }
+    });
+    y
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{ctx}: row {i} differs ({g:?} vs {w:?})"
+        );
+    }
+}
+
+#[test]
+fn parallel_compiled_spmv_is_bitwise_identical_to_serial() {
+    let acamar = Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper());
+    let total = CASES_PER_FAMILY * 4;
+    for case in 0..total {
+        let seed = 0xC0DE_0000 + case;
+        let n = 48 + (case as usize * 29) % 320;
+        let a = generate::random_pattern::<f64>(n, families(case), seed);
+        let mut rng = DetRng::seed_from_u64(seed ^ 0x5EED);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
+
+        // Serial compiled walk must reproduce the generic CSR walk exactly.
+        let expected = a.mul_vec(&x).unwrap();
+        let schedule_plan = acamar.analyze(&a).compiled;
+        let default_plan = CompiledSpmv::compile_default(&a);
+        for (plan, tag) in [(&*schedule_plan, "schedule"), (&default_plan, "default")] {
+            let mut serial = vec![0.0_f64; n];
+            plan.execute(&a, &x, &mut serial).unwrap();
+            assert_bits_eq(&serial, &expected, &format!("case {case} {tag} serial"));
+
+            // ...and the band-parallel walk must reproduce the serial one
+            // at every thread count.
+            for threads in THREADS {
+                let par = parallel_execute(plan, &a, &x, threads);
+                assert_bits_eq(
+                    &par,
+                    &serial,
+                    &format!("case {case} {tag} threads={threads}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_tiles_bands_for_every_thread_count() {
+    for case in 0..16u64 {
+        let n = 64 + (case as usize * 37) % 200;
+        let a = generate::random_pattern::<f64>(n, families(case), 0x0BAD_5EED + case);
+        let plan = CompiledSpmv::compile_default(&a);
+        for threads in [1, 2, 3, 8, 64] {
+            let spans = plan.partition(threads);
+            assert!(!spans.is_empty());
+            assert!(spans.len() <= threads.max(1));
+            // Spans tile the row space in order, never splitting a band.
+            let mut next_row = 0;
+            for span in spans {
+                let rows = plan.span_rows(span);
+                assert_eq!(rows.start, next_row);
+                next_row = rows.end;
+            }
+            assert_eq!(next_row, n);
+        }
+    }
+}
