@@ -17,11 +17,16 @@
 //! - **loop allocations**: a counting global allocator asserts that a warm
 //!   solve performs zero heap allocations per solver-loop iteration
 //!   (doubling the iteration budget must not change the allocation count)
-//!   and that the warm compiled SpMV path allocates nothing at all.
+//!   and that the warm compiled SpMV path allocates nothing at all;
+//! - **telemetry overhead and fidelity**: an A/B of the warm batch with
+//!   the sink disabled vs a live [`RingRecorder`], plus a trace-fidelity
+//!   batch whose exported events must reconstruct the engine's own
+//!   `FabricRunStats`/`CacheStats` accounting exactly.
 //!
-//! Writes `BENCH_PR4.json` (repo root when run from there) and panics if
-//! any acceptance gate fails, so CI's bench-smoke job fails on
-//! regression-by-panic only:
+//! Writes `BENCH_PR4.json` plus the machine-diffable `BENCH_SUMMARY.json`
+//! and the telemetry artifacts `bench_trace.jsonl` / `bench_metrics.prom`
+//! (repo root when run from there), and panics if any acceptance gate
+//! fails, so CI's bench jobs fail on regression-by-panic only:
 //!
 //! - geometric-mean warm-batch speedup over the suite beats the cold
 //!   baseline (2x with >= 2 pool workers; 1.05x on a single-CPU host,
@@ -30,9 +35,17 @@
 //!   >= 1.15x, with bitwise-identical results;
 //! - every plan compile costs < 5% of its dataset's batch wall time;
 //! - the warm solver loops and the warm compiled SpMV path are
-//!   allocation-free.
+//!   allocation-free;
+//! - the telemetry trace reconstructs the fabric/cache statistics, and
+//!   (full mode) the live ring's overhead stays under the 5% budget.
 //!
-//! Usage: `cargo run --release -p acamar-bench --bin bench [-- --quick]`
+//! Usage:
+//! `cargo run --release -p acamar-bench --bin bench [-- --quick] \
+//!  [--check-regression BENCH_BASELINE.json]`
+//!
+//! `--check-regression` compares the run's geomeans against a committed
+//! baseline and fails on a > 10% drop (skipped with a warning when the
+//! baseline's worker class — single vs pooled — does not match the host).
 
 use acamar_core::{Acamar, AcamarConfig};
 use acamar_datasets::{suite, Dataset};
@@ -40,8 +53,11 @@ use acamar_engine::Engine;
 use acamar_fabric::FabricSpec;
 use acamar_solvers::{ConvergenceCriteria, Kernels, SoftwareKernels};
 use acamar_sparse::{generate, CompiledSpmv, CsrMatrix};
+use acamar_telemetry::export::json_lines;
+use acamar_telemetry::{timeline, Counter, RingRecorder};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Counts every heap allocation so warm solves can be proven
@@ -403,6 +419,116 @@ fn bench_parallel_spmv(threads: usize, reps: usize) -> SpmvResult {
     }
 }
 
+/// Telemetry overhead and trace-fidelity measurement on one dataset.
+struct TelemetryBench {
+    id: String,
+    name: String,
+    jobs: usize,
+    disabled_batch_s: f64,
+    ring_batch_s: f64,
+    /// Wall-clock overhead of a live `RingRecorder` over the disabled
+    /// sink, in percent (negative = within noise, ring side faster).
+    overhead_pct: f64,
+    /// Events drained from the trace-fidelity batch.
+    trace_events: usize,
+    trace_dropped: u64,
+    /// SpMV reconfigurations reconstructed from the trace vs the fabric's
+    /// own accounting — must match exactly.
+    trace_spmv_reconfigs: u64,
+    stats_spmv_reconfigs: u64,
+    trace_matches_stats: bool,
+    /// JSON-lines trace, Prometheus snapshot, and rendered timeline of
+    /// the trace-fidelity batch (written as CI artifacts).
+    trace_jsonl: String,
+    prometheus: String,
+    timeline: String,
+}
+
+fn bench_telemetry(d: &Dataset, batch_jobs: usize, samples: usize) -> TelemetryBench {
+    let a = d.matrix_f64();
+    let rhss: Vec<Vec<f64>> = (0..batch_jobs)
+        .map(|k| vec![1.0 + (k % 13) as f64 * 0.1; a.nrows()])
+        .collect();
+
+    // Reference: the default (disabled) sink, warm engine.
+    let engine = Engine::new(acamar());
+    engine.solve_batch(&a, &rhss).expect("telemetry warm-up");
+    let mut disabled = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        engine.solve_batch(&a, &rhss).expect("disabled batch");
+        disabled.push(t.elapsed().as_secs_f64());
+    }
+    let disabled_s = median(&mut disabled);
+
+    // Live lock-free ring. Drained between samples so every timed batch
+    // pays the full (successful-push) recording cost rather than the
+    // cheaper drop-on-full path.
+    let rec = Arc::new(RingRecorder::new(1 << 18));
+    let engine = Engine::new(acamar()).with_recorder(rec.clone());
+    engine.solve_batch(&a, &rhss).expect("telemetry warm-up");
+    let mut ring = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        rec.drain();
+        let t = Instant::now();
+        engine.solve_batch(&a, &rhss).expect("ring batch");
+        ring.push(t.elapsed().as_secs_f64());
+    }
+    let ring_s = median(&mut ring);
+    let overhead_pct = (ring_s / disabled_s - 1.0) * 100.0;
+
+    // Trace fidelity on a small batch with a ring sized to hold every
+    // event: the reconstructed reconfiguration counts must equal the
+    // fabric's own statistics, and the counter array (which never drops)
+    // must agree with the batch report.
+    let rec = Arc::new(RingRecorder::new(1 << 19));
+    let engine = Engine::new(acamar()).with_recorder(rec.clone());
+    let small: Vec<Vec<f64>> = rhss.iter().take(8).cloned().collect();
+    let batch = engine.solve_batch(&a, &small).expect("trace batch");
+    assert!(batch.all_converged(), "{}: trace batch diverged", d.name);
+    let events = rec.drain();
+    let dropped = rec.dropped();
+    let counts = timeline::reconfig_counts(&events, None);
+    let counters = rec.counters();
+    assert_eq!(
+        counters[Counter::SpmvReconfigs.index()],
+        batch.stats.spmv_reconfig_events as u64,
+        "{}: telemetry counters disagree with FabricRunStats",
+        d.name
+    );
+    assert_eq!(
+        counters[Counter::CacheMisses.index()],
+        batch.cache.misses,
+        "{}: telemetry counters disagree with CacheStats",
+        d.name
+    );
+    assert_eq!(
+        counters[Counter::AnalysisNanos.index()],
+        batch.cache.analysis_nanos,
+        "{}: analysis time has two sources of truth",
+        d.name
+    );
+    let trace_matches_stats =
+        dropped == 0 && counts.spmv == batch.stats.spmv_reconfig_events as u64;
+
+    TelemetryBench {
+        id: d.id.to_string(),
+        name: d.name.to_string(),
+        jobs: batch_jobs,
+        disabled_batch_s: disabled_s,
+        ring_batch_s: ring_s,
+        overhead_pct,
+        trace_events: events.len(),
+        trace_dropped: dropped,
+        trace_spmv_reconfigs: counts.spmv,
+        stats_spmv_reconfigs: batch.stats.spmv_reconfig_events as u64,
+        trace_matches_stats,
+        trace_jsonl: json_lines(&events),
+        prometheus: batch.prometheus_text(),
+        timeline: timeline::render_summary(&events),
+    }
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
@@ -422,6 +548,7 @@ fn write_json(
     compiled: &[CompiledSpmvBench],
     alloc_checks: &[AllocCheck],
     spmv: &SpmvResult,
+    telem: &TelemetryBench,
 ) {
     let mut out = String::new();
     out.push_str("{\n");
@@ -542,6 +669,40 @@ fn write_json(
         spmv.bitwise_identical
     ));
     out.push_str("  },\n");
+    out.push_str("  \"telemetry\": {\n");
+    out.push_str(&format!("    \"id\": \"{}\",\n", telem.id));
+    out.push_str(&format!("    \"name\": \"{}\",\n", telem.name));
+    out.push_str(&format!("    \"batch_jobs\": {},\n", telem.jobs));
+    out.push_str(&format!(
+        "    \"disabled_batch_seconds\": {},\n",
+        json_f(telem.disabled_batch_s)
+    ));
+    out.push_str(&format!(
+        "    \"ring_batch_seconds\": {},\n",
+        json_f(telem.ring_batch_s)
+    ));
+    out.push_str(&format!(
+        "    \"ring_overhead_pct\": {},\n",
+        json_f(telem.overhead_pct)
+    ));
+    out.push_str(&format!("    \"trace_events\": {},\n", telem.trace_events));
+    out.push_str(&format!(
+        "    \"trace_dropped\": {},\n",
+        telem.trace_dropped
+    ));
+    out.push_str(&format!(
+        "    \"trace_spmv_reconfigs\": {},\n",
+        telem.trace_spmv_reconfigs
+    ));
+    out.push_str(&format!(
+        "    \"stats_spmv_reconfigs\": {},\n",
+        telem.stats_spmv_reconfigs
+    ));
+    out.push_str(&format!(
+        "    \"trace_matches_stats\": {}\n",
+        telem.trace_matches_stats
+    ));
+    out.push_str("  },\n");
     let min_speedup = results
         .iter()
         .map(|r| r.batch_speedup_vs_cold)
@@ -581,7 +742,15 @@ fn write_json(
         "    \"compiled_spmv_allocation_free\": {compiled_alloc_free},\n"
     ));
     out.push_str(&format!(
-        "    \"warm_loop_allocation_free\": {alloc_free}\n"
+        "    \"warm_loop_allocation_free\": {alloc_free},\n"
+    ));
+    out.push_str(&format!(
+        "    \"telemetry_overhead_pct\": {},\n",
+        json_f(telem.overhead_pct)
+    ));
+    out.push_str(&format!(
+        "    \"telemetry_trace_matches_stats\": {}\n",
+        telem.trace_matches_stats
     ));
     out.push_str("  }\n");
     out.push_str("}\n");
@@ -601,8 +770,94 @@ fn geomean_speedup(results: &[DatasetResult]) -> f64 {
     (log_sum / results.len() as f64).exp()
 }
 
+/// Machine-diffable one-level summary, committed alongside the full
+/// report so CI can compare runs without a JSON parser.
+fn write_summary(path: &str, mode: &str, workers: usize, batch: f64, compiled: f64, telem: f64) {
+    let out = format!(
+        "{{\n  \"mode\": \"{mode}\",\n  \"workers\": {workers},\n  \
+         \"geomean_batch_speedup_vs_cold\": {},\n  \
+         \"geomean_compiled_spmv_speedup\": {},\n  \
+         \"telemetry_overhead_pct\": {}\n}}\n",
+        json_f(batch),
+        json_f(compiled),
+        json_f(telem)
+    );
+    std::fs::write(path, out).expect("write benchmark summary JSON");
+}
+
+/// Pull `"key": <number>` out of a flat summary/baseline file without a
+/// JSON parser (the workspace is std-only by design).
+fn json_field_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    for line in text.lines() {
+        if let Some(rest) = line.split(&needle).nth(1) {
+            let value = rest
+                .trim_start_matches(':')
+                .trim_start_matches(|c: char| c == ':' || c.is_whitespace())
+                .trim_end_matches(|c: char| c == ',' || c.is_whitespace())
+                .trim_matches('"');
+            if let Ok(v) = value.parse::<f64>() {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+/// `--check-regression <baseline>`: fail the run if either geomean fell
+/// more than 10% below the committed baseline (full mode). Wall-clock
+/// throughput is only comparable within a worker class (the 2x batch gate
+/// needs a real pool; a single-CPU host measures a different quantity),
+/// so a mismatch downgrades the hard gate to a warning — the absolute
+/// gates in `main` still guard correctness and the floor speedups. The
+/// quick smoke run (two tiny systems, 3 samples) sees run-to-run swings
+/// far beyond 10%, so it gates only catastrophic (> 50%) drops.
+fn check_regression(baseline_path: &str, quick: bool, workers: usize, batch: f64, compiled: f64) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read bench baseline {baseline_path}: {e}"));
+    let base_workers = json_field_f64(&text, "workers").unwrap_or(0.0) as usize;
+    let base_batch = json_field_f64(&text, "geomean_batch_speedup_vs_cold")
+        .expect("baseline missing geomean_batch_speedup_vs_cold");
+    let base_compiled = json_field_f64(&text, "geomean_compiled_spmv_speedup")
+        .expect("baseline missing geomean_compiled_spmv_speedup");
+    let same_class = (workers >= 2) == (base_workers >= 2);
+    if !same_class {
+        eprintln!(
+            "bench: baseline recorded with {base_workers} worker(s), this host has {workers}; \
+             skipping the hard regression gate (absolute gates still apply)"
+        );
+        return;
+    }
+    let full_comparison = !quick && text.contains("\"mode\": \"full\"");
+    let tolerance = if full_comparison { 0.90 } else { 0.50 };
+    eprintln!(
+        "bench: regression check vs {baseline_path}: batch {batch:.3}x (baseline {base_batch:.3}x), \
+         compiled {compiled:.3}x (baseline {base_compiled:.3}x), tolerance {tolerance}"
+    );
+    let max_drop_pct = (1.0 - tolerance) * 100.0;
+    assert!(
+        batch >= base_batch * tolerance,
+        "warm-batch geomean regressed: {batch:.3}x vs baseline {base_batch:.3}x \
+         (> {max_drop_pct:.0}% drop)"
+    );
+    assert!(
+        compiled >= base_compiled * tolerance,
+        "compiled-SpMV geomean regressed: {compiled:.3}x vs baseline {base_compiled:.3}x \
+         (> {max_drop_pct:.0}% drop)"
+    );
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let baseline = args
+        .iter()
+        .position(|a| a == "--check-regression")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--check-regression needs a baseline path")
+                .clone()
+        });
     let (batch_jobs, samples) = if quick { (128, 3) } else { (1000, 5) };
 
     let mut datasets = suite();
@@ -659,6 +914,20 @@ fn main() {
         spmv.rows, spmv.nnz, spmv.threads, spmv.serial_ms, spmv.parallel_ms
     );
 
+    let telem = bench_telemetry(&datasets[0], batch_jobs, samples);
+    eprintln!(
+        "  {:<12} telemetry: disabled {:.3} s, ring {:.3} s ({:+.2}% overhead), \
+         trace {} events ({} dropped), reconfigs trace {} / stats {}",
+        telem.name,
+        telem.disabled_batch_s,
+        telem.ring_batch_s,
+        telem.overhead_pct,
+        telem.trace_events,
+        telem.trace_dropped,
+        telem.trace_spmv_reconfigs,
+        telem.stats_spmv_reconfigs
+    );
+
     // The 2x warm-batch gate needs at least two pool workers (the batch
     // spreads across the pool; a cold solve cannot). On a single-CPU host
     // only the pooling/caching component is measurable, so the gate
@@ -681,8 +950,21 @@ fn main() {
         &compiled,
         &alloc_checks,
         &spmv,
+        &telem,
     );
     eprintln!("bench: wrote BENCH_PR4.json");
+    std::fs::write("bench_trace.jsonl", &telem.trace_jsonl).expect("write telemetry trace");
+    std::fs::write("bench_metrics.prom", &telem.prometheus).expect("write Prometheus snapshot");
+    write_summary(
+        "BENCH_SUMMARY.json",
+        mode,
+        workers,
+        geomean_speedup(&results),
+        geomean_compiled_speedup(&compiled),
+        telem.overhead_pct,
+    );
+    eprintln!("bench: wrote BENCH_SUMMARY.json, bench_trace.jsonl, bench_metrics.prom");
+    eprintln!("{}", telem.timeline);
 
     // Acceptance gates — panic (non-zero exit) on violation.
     let geomean = geomean_speedup(&results);
@@ -730,6 +1012,35 @@ fn main() {
             c.name,
             c.compile_ms,
             c.compile_pct_of_batch_wall
+        );
+    }
+    assert!(
+        telem.trace_matches_stats,
+        "telemetry trace failed to reconstruct FabricRunStats (reconfigs trace {} / stats {}, \
+         {} events dropped)",
+        telem.trace_spmv_reconfigs, telem.stats_spmv_reconfigs, telem.trace_dropped
+    );
+    // Overhead is a timing measurement; on the quick smoke run (tiny
+    // systems, 3 samples) it is report-only, the full run enforces the
+    // < 5% budget from the issue's acceptance criteria.
+    eprintln!(
+        "  telemetry ring overhead: {:+.2}% (budget < 5% in full mode)",
+        telem.overhead_pct
+    );
+    if !quick {
+        assert!(
+            telem.overhead_pct < 5.0,
+            "RingRecorder overhead {:.2}% exceeds the 5% budget",
+            telem.overhead_pct
+        );
+    }
+    if let Some(path) = baseline {
+        check_regression(
+            &path,
+            quick,
+            workers,
+            geomean_speedup(&results),
+            geomean_compiled_speedup(&compiled),
         );
     }
     eprintln!("bench: all acceptance gates passed");

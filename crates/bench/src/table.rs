@@ -57,7 +57,7 @@ impl TextTable {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
                 out.push_str(cell);
                 let pad = w.saturating_sub(cell.chars().count());
-                out.extend(std::iter::repeat_n(' ', pad + 2));
+                out.extend(std::iter::repeat(' ').take(pad + 2));
             }
             out.trim_end().to_string()
         };

@@ -10,6 +10,7 @@ use acamar_solvers::{
     solve_with, ConvergenceCriteria, Outcome, SolveReport, SolverKind, WorkspaceHandle,
 };
 use acamar_sparse::{CompiledSpmv, CsrMatrix, Scalar, SparseError};
+use acamar_telemetry::TelemetrySink;
 use std::sync::Arc;
 
 /// The cacheable product of Acamar's two host-side decision loops: the
@@ -139,6 +140,11 @@ pub struct RunOptions {
     /// their per-thread pool here). Purely a host optimization: cycle and
     /// FLOP accounting are unchanged.
     pub workspace: Option<WorkspaceHandle>,
+    /// Structured telemetry sink threaded down to the fabric kernels
+    /// (reconfiguration events, per-set SpMV segments, sampled residuals).
+    /// The default disabled sink keeps the run observation-free; any sink
+    /// is purely observational — numerics and cycle charges are unchanged.
+    pub telemetry: TelemetrySink,
 }
 
 /// The dynamically reconfigurable accelerator.
@@ -351,6 +357,9 @@ impl Acamar {
         }
         if let Some(ws) = opts.workspace {
             hw = hw.with_workspace(ws);
+        }
+        if opts.telemetry.enabled() {
+            hw = hw.with_telemetry(opts.telemetry);
         }
         let mut attempts = Vec::new();
         let module = self.solver_module(plan.schedule.max_unroll());

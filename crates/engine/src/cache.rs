@@ -3,6 +3,7 @@
 use crate::fingerprint::PatternFingerprint;
 use acamar_core::{Acamar, AnalysisArtifacts};
 use acamar_sparse::{CsrMatrix, Scalar};
+use acamar_telemetry::{Counter, EventKind, TelemetrySink};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -113,10 +114,28 @@ impl PlanCache {
         acamar: &Acamar,
         a: &CsrMatrix<T>,
     ) -> Arc<AnalysisArtifacts> {
+        self.get_or_analyze_with(acamar, a, &TelemetrySink::disabled())
+    }
+
+    /// [`PlanCache::get_or_analyze`] with the lookup's outcome mirrored
+    /// into `sink`: a [`EventKind::CacheHit`], [`EventKind::CacheMiss`]
+    /// (carrying the measured analysis time), or
+    /// [`EventKind::CacheCollision`] event plus the matching counters. The
+    /// cache's own statistics and the telemetry counters are fed from the
+    /// same observations, so a batch's [`CacheStats`] delta and its
+    /// exported metrics always agree.
+    pub fn get_or_analyze_with<T: Scalar>(
+        &self,
+        acamar: &Acamar,
+        a: &CsrMatrix<T>,
+        sink: &TelemetrySink,
+    ) -> Arc<AnalysisArtifacts> {
         let fp = PatternFingerprint::of(a);
         if let Some(entry) = self.map.read().expect("cache lock poisoned").get(&fp) {
             if entry.verifies_against(a) {
                 self.record_hit(&entry.artifacts);
+                sink.emit(EventKind::CacheHit);
+                sink.counter_add(Counter::CacheHits, 1);
                 return Arc::clone(&entry.artifacts);
             }
             // Collision or corruption: fall through to the exclusive path
@@ -127,15 +146,23 @@ impl PlanCache {
             if entry.verifies_against(a) {
                 // Another worker built (or repaired) it between our locks.
                 self.record_hit(&entry.artifacts);
+                sink.emit(EventKind::CacheHit);
+                sink.counter_add(Counter::CacheHits, 1);
                 return Arc::clone(&entry.artifacts);
             }
             self.collisions.fetch_add(1, Ordering::Relaxed);
+            sink.emit(EventKind::CacheCollision);
+            sink.counter_add(Counter::CacheCollisions, 1);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let started = std::time::Instant::now();
         let art = Arc::new(acamar.analyze(a));
+        let analysis_nanos = started.elapsed().as_nanos() as u64;
         self.analysis_nanos
-            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(analysis_nanos, Ordering::Relaxed);
+        sink.emit(EventKind::CacheMiss { analysis_nanos });
+        sink.counter_add(Counter::CacheMisses, 1);
+        sink.counter_add(Counter::AnalysisNanos, analysis_nanos);
         map.insert(
             fp,
             CacheEntry {

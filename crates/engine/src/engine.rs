@@ -11,6 +11,8 @@ use acamar_fabric::FabricRunStats;
 use acamar_faultline::{FaultContext, FaultInjector, InjectedPanic, WorkerDisruption};
 use acamar_solvers::{SolverKind, WorkspaceHandle};
 use acamar_sparse::{CsrMatrix, Scalar};
+use acamar_telemetry::export::PrometheusWriter;
+use acamar_telemetry::{Counter, EventKind, FaultResolution, Recorder, Span, TelemetrySink};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -127,6 +129,11 @@ pub struct BatchReport<T> {
     /// fault injector is installed; the rescue-depth histogram, panic and
     /// deadline counters describe real engine activity either way.
     pub robustness: RobustnessReport,
+    /// Nanoseconds pool workers spent blocked waiting for work during this
+    /// batch (accrued when a wait ends, so a worker that never woke again
+    /// during the batch is not counted — this measures observed hand-off
+    /// gaps, not end-of-batch slack).
+    pub pool_idle_nanos: u64,
     /// Wall-clock seconds spent in the batch call.
     pub wall_seconds: f64,
 }
@@ -156,6 +163,85 @@ impl<T> BatchReport<T> {
     pub fn total_attempts(&self) -> u64 {
         self.attempts_by_solver.iter().sum()
     }
+
+    /// Renders the batch as a Prometheus text-format snapshot.
+    ///
+    /// Metric names reuse the [`Counter`] vocabulary so a scrape of this
+    /// snapshot and a scrape of a live
+    /// [`RingRecorder`](acamar_telemetry::RingRecorder) agree on naming —
+    /// both are fed from the same engine accounting (cache statistics,
+    /// fabric run statistics, the robustness ledger).
+    pub fn prometheus_text(&self) -> String {
+        let mut w = PrometheusWriter::new();
+        let c = |c: Counter| (c.metric_name(), c.help());
+        let (n, h) = c(Counter::JobsCompleted);
+        w.counter(n, h, self.jobs() as u64);
+        let (n, h) = c(Counter::CacheHits);
+        w.counter(n, h, self.cache.hits);
+        let (n, h) = c(Counter::CacheMisses);
+        w.counter(n, h, self.cache.misses);
+        let (n, h) = c(Counter::CacheCollisions);
+        w.counter(n, h, self.cache.collisions);
+        let (n, h) = c(Counter::AnalysisNanos);
+        w.counter(n, h, self.cache.analysis_nanos);
+        let (n, h) = c(Counter::PoolIdleNanos);
+        w.counter(n, h, self.pool_idle_nanos);
+        let (n, h) = c(Counter::SpmvReconfigs);
+        w.counter(n, h, self.stats.spmv_reconfig_events as u64);
+        let (n, h) = c(Counter::ReconfigAborts);
+        w.counter(n, h, self.stats.reconfig_aborts as u64);
+        let (n, h) = c(Counter::FaultsInjected);
+        w.counter(n, h, self.robustness.injected_total());
+        let (n, h) = c(Counter::FaultsDetected);
+        let detected = self.robustness.tallies.iter().map(|t| t.detected).sum();
+        w.counter(n, h, detected);
+        let (n, h) = c(Counter::FaultsRecovered);
+        let recovered = self.robustness.tallies.iter().map(|t| t.recovered).sum();
+        w.counter(n, h, recovered);
+        let (n, h) = c(Counter::FaultsExhausted);
+        let exhausted = self.robustness.tallies.iter().map(|t| t.exhausted).sum();
+        w.counter(n, h, exhausted);
+        let (n, h) = c(Counter::RescueRungs);
+        let rungs = self
+            .robustness
+            .rescue_depths
+            .iter()
+            .enumerate()
+            .map(|(d, &jobs)| d as u64 * jobs)
+            .sum();
+        w.counter(n, h, rungs);
+        w.counter(
+            "acamar_jobs_converged_total",
+            "Jobs whose final attempt converged",
+            self.converged as u64,
+        );
+        w.counter(
+            "acamar_solver_attempts_total",
+            "Solver attempts across all jobs",
+            self.total_attempts(),
+        );
+        w.counter(
+            "acamar_panics_caught_total",
+            "Worker panics caught and isolated",
+            self.robustness.panics_caught,
+        );
+        w.counter(
+            "acamar_deadline_misses_total",
+            "Jobs cut off by their wall-clock deadline",
+            self.robustness.deadline_misses,
+        );
+        w.gauge(
+            "acamar_batch_wall_seconds",
+            "Wall-clock seconds spent in the batch call",
+            self.wall_seconds,
+        );
+        w.gauge(
+            "acamar_batch_jobs_per_second",
+            "Batch throughput",
+            self.jobs_per_second(),
+        );
+        w.finish()
+    }
 }
 
 /// Lifetime counters of one [`Engine`].
@@ -168,6 +254,9 @@ pub struct EngineCounters {
     pub attempts_by_solver: [u64; SolverKind::COUNT],
     /// Lifetime cache counters.
     pub cache: CacheStats,
+    /// Lifetime nanoseconds pool workers spent blocked waiting for work
+    /// (accrued when each wait ends).
+    pub pool_idle_nanos: u64,
 }
 
 /// Work unit shipped to a pool worker: a boxed closure run with the
@@ -193,22 +282,31 @@ struct WorkerPool {
 }
 
 impl WorkerPool {
-    fn new(workers: usize) -> WorkerPool {
+    fn new(workers: usize, idle_nanos: Arc<AtomicU64>) -> WorkerPool {
         let (sender, receiver) = mpsc::channel::<Task>();
         let receiver: Arc<Mutex<Receiver<Task>>> = Arc::new(Mutex::new(receiver));
         let handles = (0..workers)
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
+                let idle_nanos = Arc::clone(&idle_nanos);
                 std::thread::Builder::new()
                     .name(format!("acamar-worker-{i}"))
                     .spawn(move || {
                         let mut scratch = WorkerScratch::default();
                         loop {
                             // Hold the receiver lock only for the dequeue,
-                            // never across task execution.
+                            // never across task execution. The blocked
+                            // interval is charged to the shared idle clock
+                            // once the wait ends.
                             let task = {
                                 let rx = receiver.lock().unwrap_or_else(|p| p.into_inner());
-                                rx.recv()
+                                let waited = Instant::now();
+                                let task = rx.recv();
+                                idle_nanos.fetch_add(
+                                    waited.elapsed().as_nanos() as u64,
+                                    Ordering::Relaxed,
+                                );
+                                task
                             };
                             match task {
                                 Ok(task) => task(&mut scratch),
@@ -365,6 +463,13 @@ struct EngineInner {
     cache: PlanCache,
     resilience: ResilienceConfig,
     injector: Option<Arc<FaultInjector>>,
+    /// Engine-level sink; per-job copies are made with the job id routed
+    /// in. Disabled (a single branch per site) until a recorder is
+    /// installed via [`Engine::with_recorder`].
+    telemetry: TelemetrySink,
+    /// Shared with the worker pool's threads, which charge their blocked
+    /// `recv` intervals here.
+    pool_idle: Arc<AtomicU64>,
     jobs_completed: AtomicU64,
     attempts: [AtomicU64; SolverKind::COUNT],
     /// Buffer pool for [`Engine::solve_one`], which runs on the calling
@@ -388,6 +493,7 @@ impl Engine {
     /// dropped.
     pub fn with_workers(acamar: Acamar, workers: usize) -> Engine {
         let workers = workers.max(1);
+        let pool_idle = Arc::new(AtomicU64::new(0));
         Engine {
             inner: Arc::new(EngineInner {
                 acamar,
@@ -395,11 +501,13 @@ impl Engine {
                 cache: PlanCache::new(),
                 resilience: ResilienceConfig::default(),
                 injector: None,
+                telemetry: TelemetrySink::disabled(),
+                pool_idle: Arc::clone(&pool_idle),
                 jobs_completed: AtomicU64::new(0),
                 attempts: std::array::from_fn(|_| AtomicU64::new(0)),
                 solo_workspace: WorkspaceHandle::new(),
             }),
-            pool: WorkerPool::new(workers),
+            pool: WorkerPool::new(workers, pool_idle),
         }
     }
 
@@ -438,6 +546,33 @@ impl Engine {
         self
     }
 
+    /// Installs a telemetry recorder: every subsequent job emits its span,
+    /// cache, attempt, reconfiguration, and fault events into it, and the
+    /// engine folds its internal statistics (plan-cache analysis time,
+    /// pool idle time) into the recorder's counters.
+    ///
+    /// Telemetry is purely observational — solutions, iteration counts,
+    /// and modeled cycle charges are bitwise identical with or without a
+    /// recorder. Installing a
+    /// [`NullRecorder`](acamar_telemetry::NullRecorder) is exactly
+    /// equivalent to installing nothing: the sink collapses it away and
+    /// every instrumentation site stays a single branch.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Engine {
+        let stride = self.inner.telemetry.residual_stride();
+        self.inner_mut().telemetry = TelemetrySink::new(recorder).with_residual_stride(stride);
+        self
+    }
+
+    /// Sets the residual sampling stride: solver loops emit one
+    /// [`EventKind::Residual`] event every `stride` iterations (`0`, the
+    /// default, disables the stream — it is the highest-volume signal, so
+    /// it is opt-in even with a recorder installed).
+    pub fn with_residual_stride(mut self, stride: u32) -> Engine {
+        let inner = self.inner_mut();
+        inner.telemetry = inner.telemetry.with_residual_stride(stride);
+        self
+    }
+
     /// The wrapped accelerator.
     pub fn acamar(&self) -> &Acamar {
         &self.inner.acamar
@@ -463,6 +598,12 @@ impl Engine {
         self.inner.injector.as_ref()
     }
 
+    /// The engine-level telemetry sink (disabled until
+    /// [`Engine::with_recorder`]).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.inner.telemetry
+    }
+
     /// Lifetime counters: jobs completed, per-solver attempt histogram,
     /// and cache hits/misses/cycles-saved.
     pub fn counters(&self) -> EngineCounters {
@@ -472,6 +613,7 @@ impl Engine {
                 self.inner.attempts[i].load(Ordering::Relaxed)
             }),
             cache: self.inner.cache.stats(),
+            pool_idle_nanos: self.inner.pool_idle.load(Ordering::Relaxed),
         }
     }
 
@@ -528,6 +670,7 @@ impl Engine {
     pub fn solve_jobs<T: Scalar>(&self, jobs: Vec<SolveJob<T>>) -> BatchReport<T> {
         let start = Instant::now();
         let cache_before = self.inner.cache.stats();
+        let idle_before = self.inner.pool_idle.load(Ordering::Relaxed);
         let n = jobs.len();
         let runners = self.inner.workers.min(n);
         let ctx = Arc::new(BatchCtx {
@@ -581,6 +724,35 @@ impl Engine {
         robustness.panics_caught = panics_caught;
         robustness.deadline_misses = deadline_misses;
 
+        // Join the injector's ledger into the trace: each injected fault
+        // is re-emitted against its job together with the resolution the
+        // reconciliation assigned it, using the same disposition logic as
+        // `RobustnessReport::reconcile` so trace and ledger always agree.
+        if self.inner.telemetry.enabled() {
+            for e in &events {
+                let sink = self.inner.telemetry.with_job(e.job);
+                sink.emit(e.telemetry_kind());
+                sink.counter_add(Counter::FaultsInjected, 1);
+                let resolution = match dispositions.get(e.job as usize) {
+                    Some(j) if j.converged && j.rungs == 0 => FaultResolution::Detected,
+                    Some(j) if j.converged => FaultResolution::Recovered,
+                    _ => FaultResolution::Exhausted,
+                };
+                sink.emit(EventKind::FaultOutcome {
+                    category: e.category.index().min(u8::MAX as usize) as u8,
+                    resolution,
+                });
+                sink.counter_add(
+                    match resolution {
+                        FaultResolution::Detected => Counter::FaultsDetected,
+                        FaultResolution::Recovered => Counter::FaultsRecovered,
+                        FaultResolution::Exhausted => Counter::FaultsExhausted,
+                    },
+                    1,
+                );
+            }
+        }
+
         let mut attempts_by_solver = [0u64; SolverKind::COUNT];
         let mut stats = FabricRunStats::empty();
         let mut converged = 0usize;
@@ -594,6 +766,15 @@ impl Engine {
             stats = stats.merge(&report.stats);
         }
 
+        let pool_idle_nanos = self
+            .inner
+            .pool_idle
+            .load(Ordering::Relaxed)
+            .saturating_sub(idle_before);
+        self.inner
+            .telemetry
+            .counter_add(Counter::PoolIdleNanos, pool_idle_nanos);
+
         BatchReport {
             results,
             converged,
@@ -601,6 +782,7 @@ impl Engine {
             stats,
             cache: self.inner.cache.stats().since(&cache_before),
             robustness,
+            pool_idle_nanos,
             wall_seconds: start.elapsed().as_secs_f64(),
         }
     }
@@ -623,10 +805,13 @@ impl EngineInner {
         let start = Instant::now();
         let job = index as u64;
         let mut panics = 0u64;
+        let sink = self.telemetry.with_job(job);
+        sink.emit(EventKind::JobStart);
 
         // Intake seams. The poisoned copy (if any) replaces the caller's
         // RHS for every attempt; input validation then rejects it as a
         // typed, non-retryable error — that rejection *is* the detection.
+        let intake = sink.span(Span::Intake);
         let poisoned: Option<Vec<T>> = self.injector.as_ref().and_then(|inj| {
             let mut copy = rhs.to_vec();
             inj.poison_rhs(job, &mut copy).then_some(copy)
@@ -639,21 +824,29 @@ impl EngineInner {
                 self.cache.corrupt_entry(&PatternFingerprint::of(matrix));
             }
         }
-        let artifacts = self.cache.get_or_analyze(&self.acamar, matrix);
+        drop(intake);
+        let artifacts = {
+            let _analyze = sink.span(Span::Analyze);
+            self.cache.get_or_analyze_with(&self.acamar, matrix, &sink)
+        };
 
         // Primary attempt: the accelerator's own defenses (Solver
         // Modifier switching, GMRES fallback) run inside it.
-        let mut result = self.attempt(
-            matrix,
-            rhs,
-            guess,
-            &artifacts,
-            job,
-            0,
-            None,
-            &mut panics,
-            workspace,
-        );
+        let mut result = {
+            let _solve = sink.span(Span::Solve);
+            self.attempt(
+                matrix,
+                rhs,
+                guess,
+                &artifacts,
+                job,
+                0,
+                None,
+                &mut panics,
+                workspace,
+                &sink,
+            )
+        };
         let mut rungs = 0usize;
         let mut deadline_missed = false;
 
@@ -661,6 +854,7 @@ impl EngineInner {
             || matches!(&result, Err(e) if e.is_invalid_input());
         if !done {
             if let Some(policy) = self.resilience.rescue {
+                let _rescue = sink.span(Span::Rescue);
                 let base = self.acamar.config().criteria;
                 let primary = artifacts.structure.solver;
                 let mut climb = Climb::new();
@@ -690,6 +884,11 @@ impl EngineInner {
                         continue;
                     };
                     rungs += 1;
+                    sink.emit(EventKind::RescueStep {
+                        step: rungs.min(u8::MAX as usize) as u8,
+                        solver: kind.index() as u8,
+                    });
+                    sink.counter_add(Counter::RescueRungs, 1);
                     let criteria = policy.rung_criteria(&base, rungs);
                     let next = self.attempt(
                         matrix,
@@ -701,6 +900,7 @@ impl EngineInner {
                         Some((criteria, kind)),
                         &mut panics,
                         workspace,
+                        &sink,
                     );
                     if let Ok(r) = &next {
                         climb.absorb(r);
@@ -729,6 +929,10 @@ impl EngineInner {
             }
         }
 
+        sink.emit(EventKind::JobEnd {
+            converged: matches!(&result, Ok(r) if r.converged()),
+            rungs: rungs as u32,
+        });
         JobOutcome {
             result,
             rungs,
@@ -754,7 +958,20 @@ impl EngineInner {
         forced: Option<(acamar_solvers::ConvergenceCriteria, SolverKind)>,
         panics: &mut u64,
         workspace: &WorkspaceHandle,
+        sink: &TelemetrySink,
     ) -> Result<AcamarRunReport<T>, SolveError> {
+        // The planned solver: a rescue rung's forced kind, or the Matrix
+        // Structure pick (the Solver Modifier may still switch mid-run —
+        // `AttemptEnd` reports the solver that actually finished).
+        let planned = forced
+            .as_ref()
+            .map(|(_, s)| *s)
+            .unwrap_or(artifacts.structure.solver);
+        let rung_u8 = rung.min(u8::MAX as u64) as u8;
+        sink.emit(EventKind::AttemptStart {
+            solver: planned.index() as u8,
+            rung: rung_u8,
+        });
         // Salting by rung gives each rescue attempt a fresh site
         // namespace; an un-salted retry would re-draw the exact faults
         // that killed the run it is rescuing.
@@ -788,10 +1005,11 @@ impl EngineInner {
                     solver,
                     fault,
                     workspace: Some(workspace.clone()),
+                    telemetry: sink.clone(),
                 },
             )
         }));
-        match run {
+        let result = match run {
             Ok(result) => result.map_err(SolveError::from),
             Err(payload) => {
                 *panics += 1;
@@ -799,13 +1017,31 @@ impl EngineInner {
                     message: describe_panic(payload.as_ref()),
                 })
             }
+        };
+        if sink.enabled() {
+            let (solver, converged, iterations) = match &result {
+                Ok(r) => (
+                    r.solve.solver.index() as u8,
+                    r.converged(),
+                    r.solve.iterations.min(u32::MAX as usize) as u32,
+                ),
+                Err(_) => (planned.index() as u8, false, 0),
+            };
+            sink.emit(EventKind::AttemptEnd {
+                solver,
+                rung: rung_u8,
+                converged,
+                iterations,
+            });
         }
+        result
     }
 
     /// Lifetime-counter bookkeeping shared by `solve_one` and the batch
     /// workers.
     fn account_job<T>(&self, outcome: &JobOutcome<T>) {
         self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter_add(Counter::JobsCompleted, 1);
         if let Ok(report) = &outcome.result {
             for at in &report.attempts {
                 self.attempts[at.solver.index()].fetch_add(1, Ordering::Relaxed);

@@ -15,6 +15,7 @@ use crate::trace::{ExecutionTrace, TraceEvent};
 use acamar_faultline::{FaultContext, FaultInjector};
 use acamar_solvers::{Kernels, OpCounts, Phase, WorkspaceHandle};
 use acamar_sparse::{BandHint, CompiledSpmv, CsrMatrix, Scalar};
+use acamar_telemetry::{Counter, EventKind, TelemetrySink};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -314,6 +315,10 @@ pub struct FabricKernels {
     /// Operand matrices that don't match the plan's shape (e.g. Jacobi's
     /// iteration matrix) take the generic path.
     compiled: Option<Arc<CompiledSpmv>>,
+    /// Structured telemetry sink. Disabled by default; every emission site
+    /// is a single branch when no recorder is installed, so the hot solve
+    /// loop is unchanged (numerics, cycles, and allocations alike).
+    telemetry: TelemetrySink,
 }
 
 impl FabricKernels {
@@ -357,6 +362,7 @@ impl FabricKernels {
             swap_site: 0,
             workspace: None,
             compiled: None,
+            telemetry: TelemetrySink::disabled(),
         }
     }
 
@@ -406,6 +412,21 @@ impl FabricKernels {
         self.trace.as_ref()
     }
 
+    /// Routes structured telemetry (reconfiguration events, per-set SpMV
+    /// segments, phase/iteration marks, sampled residuals) into `sink`.
+    ///
+    /// Every telemetry [`EventKind::Reconfig`] on the SpMV region
+    /// corresponds one-to-one with an ICAP swap counted by
+    /// [`FabricRunStats::spmv_reconfig_events`], and every
+    /// [`EventKind::ReconfigAbort`] with [`FabricRunStats::reconfig_aborts`],
+    /// so a drained trace reconstructs the run's reconfiguration ledger
+    /// exactly. Observational only: numerics, cycle charges, and fault
+    /// replay are unchanged with any sink installed.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
     fn record(&mut self, e: TraceEvent) {
         if let Some(t) = self.trace.as_mut() {
             t.record(e);
@@ -440,6 +461,12 @@ impl FabricKernels {
                     .reconfigure(RegionKind::SpmvKernel, &spmv_engine(max));
                 self.cycles.reconfig += cycles;
                 self.current_unroll = Some(max);
+                self.telemetry.emit(EventKind::Reconfig {
+                    region: acamar_telemetry::Region::SpmvKernel,
+                    unroll: max.min(u8::MAX as usize) as u8,
+                    set: 0,
+                });
+                self.telemetry.counter_add(Counter::SpmvReconfigs, 1);
             }
         } else {
             self.current_unroll = schedule.entries().first().map(|e| e.unroll);
@@ -456,6 +483,12 @@ impl FabricKernels {
     pub fn charge_solver_reconfig(&mut self, module: &ResourceVector) {
         let cycles = self.reconfig.reconfigure(RegionKind::Solver, module);
         self.cycles.reconfig += cycles;
+        self.telemetry.emit(EventKind::Reconfig {
+            region: acamar_telemetry::Region::Solver,
+            unroll: 0,
+            set: 0,
+        });
+        self.telemetry.counter_add(Counter::SolverReconfigs, 1);
     }
 
     /// The device specification.
@@ -526,6 +559,10 @@ impl FabricKernels {
             cycle: at,
             duration: stall,
         });
+        self.telemetry.emit(EventKind::ReconfigAbort {
+            region: acamar_telemetry::Region::SpmvKernel,
+        });
+        self.telemetry.counter_add(Counter::ReconfigAborts, 1);
         self.cycles.reconfig += stall;
         let max = self.schedule.max_unroll();
         if self.current_unroll != Some(max) {
@@ -538,6 +575,12 @@ impl FabricKernels {
                 cycle: at,
                 duration: cycles,
             });
+            self.telemetry.emit(EventKind::Reconfig {
+                region: acamar_telemetry::Region::SpmvKernel,
+                unroll: max.min(u8::MAX as usize) as u8,
+                set: 0,
+            });
+            self.telemetry.counter_add(Counter::SpmvReconfigs, 1);
             self.cycles.reconfig += cycles;
             self.current_unroll = Some(max);
         }
@@ -641,6 +684,12 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
                                 cycle: at,
                                 duration: stall,
                             });
+                            self.telemetry.emit(EventKind::Reconfig {
+                                region: acamar_telemetry::Region::SpmvKernel,
+                                unroll: e.unroll.min(u8::MAX as usize) as u8,
+                                set: idx as u32,
+                            });
+                            self.telemetry.counter_add(Counter::SpmvReconfigs, 1);
                             self.cycles.reconfig += stall;
                             self.current_unroll = Some(e.unroll);
                         }
@@ -663,6 +712,13 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
                         cycle: at,
                         duration: self.last_segment_cycles,
                     });
+                    self.telemetry.emit(EventKind::SpmvSegment {
+                        set: idx as u32,
+                        rows: e.rows.len().min(u32::MAX as usize) as u32,
+                        unroll: engaged.min(u8::MAX as usize) as u8,
+                        cycles: self.last_segment_cycles,
+                    });
+                    self.telemetry.counter_add(Counter::SpmvSegments, 1);
                 }
                 if let Some(raw) = self.stuck_raw {
                     FaultInjector::apply_flip(raw, y);
@@ -760,6 +816,12 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
     fn set_phase(&mut self, phase: Phase) {
         let at = self.cycles.total();
         self.record(TraceEvent::PhaseStart { phase, cycle: at });
+        self.telemetry.emit(EventKind::PhaseStart {
+            phase: match phase {
+                Phase::Initialize => 0,
+                Phase::Loop => 1,
+            },
+        });
         self.phase = phase;
     }
 
@@ -769,6 +831,13 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
             iteration: iter,
             cycle: at,
         });
+        self.telemetry.emit(EventKind::IterationStart {
+            iteration: iter.min(u32::MAX as usize) as u32,
+        });
+    }
+
+    fn observe_residual(&mut self, iter: usize, relative: f64) {
+        self.telemetry.observe_residual(iter, relative);
     }
 
     fn counts(&self) -> OpCounts {

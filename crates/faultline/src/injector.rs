@@ -24,6 +24,19 @@ pub struct FaultEvent {
     pub site: u64,
 }
 
+impl FaultEvent {
+    /// The event as a structured telemetry payload. The engine emits this
+    /// (attributed to [`FaultEvent::job`]) when it joins the injector
+    /// ledger against job dispositions, so a drained trace carries the
+    /// same injection record the robustness report reconciles.
+    pub fn telemetry_kind(&self) -> acamar_telemetry::EventKind {
+        acamar_telemetry::EventKind::FaultInjected {
+            category: self.category.index().min(u8::MAX as usize) as u8,
+            site: self.site,
+        }
+    }
+}
+
 /// What an injected worker disruption does to the thread running the job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkerDisruption {

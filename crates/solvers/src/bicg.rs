@@ -95,6 +95,7 @@ pub fn bicg<T: Scalar, K: Kernels<T>>(
         kernels.axpy(-alpha, &atps, &mut rs);
         let rho_new = kernels.dot(&rs, &r);
         let res = kernels.norm2(&r).to_f64() / scale;
+        kernels.observe_residual(monitor.history().len(), res);
         match monitor.observe(res) {
             Verdict::Continue => {}
             Verdict::Done(o) => break o,
@@ -187,6 +188,7 @@ pub fn conjugate_residual<T: Scalar, K: Kernels<T>>(
         kernels.axpy(-alpha, &ap, &mut r);
         let r_ar_new = kernels.spmv_dot(a, &r, &mut ar, &r);
         let res = kernels.norm2(&r).to_f64() / scale;
+        kernels.observe_residual(monitor.history().len(), res);
         match monitor.observe(res) {
             Verdict::Continue => {}
             Verdict::Done(o) => break o,

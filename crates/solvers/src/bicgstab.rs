@@ -104,6 +104,7 @@ pub fn bicgstab<T: Scalar, K: Kernels<T>>(
         // r = s - omega A s
         kernels.copy(&s, &mut r);
         let res = kernels.axpy_normsq(-omega, &as_, &mut r).sqrt().to_f64() / scale;
+        kernels.observe_residual(monitor.history().len(), res);
         match monitor.observe(res) {
             Verdict::Continue => {}
             Verdict::Done(o) => break o,

@@ -86,6 +86,7 @@ pub fn conjugate_gradient<T: Scalar, K: Kernels<T>>(
         kernels.axpy(alpha, &p, &mut x); // x += alpha p
         let rr_new = kernels.axpy_normsq(-alpha, &ap, &mut r); // r -= alpha A p
         let res = rr_new.to_f64().max(0.0).sqrt() / scale;
+        kernels.observe_residual(monitor.history().len(), res);
         match monitor.observe(res) {
             Verdict::Continue => {}
             Verdict::Done(o) => break o,

@@ -135,6 +135,7 @@ pub fn gmres<T: Scalar, K: Kernels<T>>(
             g[j] = c * g[j];
 
             let res = g[j + 1].to_f64().abs() / scale;
+            kernels.observe_residual(monitor.history().len(), res);
             match monitor.observe(res) {
                 Verdict::Continue => {}
                 Verdict::Done(Outcome::Converged) => {

@@ -115,6 +115,7 @@ pub fn jacobi<T: Scalar, K: Kernels<T>>(
         let res = kernels.norm2(&r).to_f64() / scale;
         std::mem::swap(&mut x, &mut x_new);
         iterations += 1;
+        kernels.observe_residual(monitor.history().len(), res);
         match monitor.observe(res) {
             Verdict::Continue => {}
             Verdict::Done(o) => break o,

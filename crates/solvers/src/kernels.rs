@@ -9,6 +9,7 @@
 
 use crate::workspace::WorkspaceHandle;
 use acamar_sparse::{chunk, CompiledSpmv, CsrMatrix, Scalar};
+use acamar_telemetry::TelemetrySink;
 use std::sync::Arc;
 
 /// Minimum stored entries before [`SoftwareKernels`] considers the
@@ -166,6 +167,17 @@ pub trait Kernels<T: Scalar> {
         let _ = iter;
     }
 
+    /// Reports the relative residual the solver's convergence monitor
+    /// observed at loop iteration `iter`.
+    ///
+    /// Purely observational — implementations must not influence the
+    /// solve. Executors carrying a telemetry sink forward the sample into
+    /// the (stride-sampled) residual event stream; the default discards
+    /// it, so uninstrumented executors pay nothing.
+    fn observe_residual(&mut self, iter: usize, relative: f64) {
+        let _ = (iter, relative);
+    }
+
     /// Current accumulated operation counts.
     fn counts(&self) -> OpCounts;
 }
@@ -191,6 +203,7 @@ pub struct SoftwareKernels {
     workspace: Option<WorkspaceHandle>,
     spmv_threads: usize,
     plan: Option<Arc<CompiledSpmv>>,
+    telemetry: TelemetrySink,
 }
 
 impl Default for SoftwareKernels {
@@ -200,6 +213,7 @@ impl Default for SoftwareKernels {
             workspace: None,
             spmv_threads: 1,
             plan: None,
+            telemetry: TelemetrySink::disabled(),
         }
     }
 }
@@ -243,6 +257,14 @@ impl SoftwareKernels {
     /// The installed compiled plan, if any.
     pub fn compiled_plan(&self) -> Option<&Arc<CompiledSpmv>> {
         self.plan.as_ref()
+    }
+
+    /// Routes [`Kernels::observe_residual`] samples into `sink`'s residual
+    /// event stream (subject to the sink's sampling stride). A disabled
+    /// sink — the default — keeps the executor observation-free.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
     }
 
     /// Resets all counters to zero.
@@ -433,6 +455,10 @@ impl<T: Scalar> Kernels<T> for SoftwareKernels {
             acc += *yi * *yi;
         }
         acc
+    }
+
+    fn observe_residual(&mut self, iter: usize, relative: f64) {
+        self.telemetry.observe_residual(iter, relative);
     }
 
     fn counts(&self) -> OpCounts {

@@ -112,6 +112,7 @@ pub fn preconditioned_cg<T: Scalar, K: Kernels<T>>(
         kernels.hadamard(&inv_d, &r, &mut z);
         let rz_new = kernels.dot(&r, &z);
         let res = kernels.norm2(&r).to_f64() / scale;
+        kernels.observe_residual(monitor.history().len(), res);
         match monitor.observe(res) {
             Verdict::Continue => {}
             Verdict::Done(o) => break o,

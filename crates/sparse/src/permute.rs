@@ -1,7 +1,7 @@
 //! Symmetric permutations (reordering).
 //!
 //! The paper's related work includes reordering-based SpMV optimization
-//! (reference [39]); for Acamar, sorting rows by population makes each
+//! (reference \[39\]); for Acamar, sorting rows by population makes each
 //! *set* of rows homogeneous, which tightens the fit of the per-set
 //! unroll factor. This module provides validated symmetric permutations
 //! `B = P A Pᵀ` and the NNZ-sorting permutation, so that study is

@@ -15,12 +15,18 @@ use acamar::engine::{Engine, SolveJob};
 use acamar::fabric::FabricSpec;
 use acamar::solvers::{ConvergenceCriteria, SolverKind};
 use acamar::sparse::generate;
+use acamar::telemetry::{timeline, RingRecorder};
 use std::sync::Arc;
 
 fn main() {
     let cfg =
         AcamarConfig::paper().with_criteria(ConvergenceCriteria::paper().with_max_iterations(2500));
-    let engine = Engine::new(Acamar::new(FabricSpec::alveo_u55c(), cfg));
+    // A live event ring turns the service observable: every span, cache
+    // decision, and fabric reconfiguration lands here, ready for the
+    // timeline renderer or a JSON-lines/Prometheus export.
+    let recorder = Arc::new(RingRecorder::new(1 << 16));
+    let engine =
+        Engine::new(Acamar::new(FabricSpec::alveo_u55c(), cfg)).with_recorder(recorder.clone());
     println!(
         "batch service: {} workers over one Alveo U55C model\n",
         engine.workers()
@@ -91,6 +97,8 @@ fn main() {
                 .collect()
         })
         .collect();
+    // Drain phase 1's events so the timeline below shows phase 2 alone.
+    let _phase1_events = recorder.drain();
     let multi = engine.solve_batch(a, &rhss).unwrap();
     println!("phase 2 — 8 RHS against warm {name}");
     println!(
@@ -107,6 +115,22 @@ fn main() {
         multi.stats.peak_area_mm2
     );
 
+    // --- Telemetry: timeline + metrics snapshot ----------------------
+    let events = recorder.drain();
+    println!("phase 2 telemetry — reconfiguration timeline");
+    println!("{}", timeline::render_summary(&events));
+    println!("{}", timeline::render_job(&events, 0, 72));
+    println!("prometheus snapshot (batch report)");
+    for line in multi
+        .prometheus_text()
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .take(8)
+    {
+        println!("  {line}");
+    }
+    println!();
+
     // --- Lifetime counters -------------------------------------------
     let c = engine.counters();
     println!("engine lifetime");
@@ -117,5 +141,10 @@ fn main() {
     println!(
         "  total plan-build work saved: {} traversals",
         c.cache.plan_build_cycles_saved
+    );
+    println!(
+        "  pool idle (observed hand-off gaps): {:.3} ms; telemetry events dropped: {}",
+        c.pool_idle_nanos as f64 / 1e6,
+        recorder.dropped()
     );
 }

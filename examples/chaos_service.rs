@@ -17,6 +17,7 @@ use acamar::fabric::FabricSpec;
 use acamar::faultline::{FaultCategory, FaultInjector, FaultPlan};
 use acamar::solvers::ConvergenceCriteria;
 use acamar::sparse::generate;
+use acamar::telemetry::{Counter, EventKind, RingRecorder};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,7 +29,12 @@ fn main() {
 
     let cfg =
         AcamarConfig::paper().with_criteria(ConvergenceCriteria::paper().with_max_iterations(2000));
+    // The recorder captures the injection/outcome event stream alongside
+    // the ledger; because the faults replay deterministically, so does
+    // the normalized telemetry trace (see the chaos-replay test).
+    let recorder = Arc::new(RingRecorder::new(1 << 17));
     let engine = Engine::new(Acamar::new(FabricSpec::alveo_u55c(), cfg))
+        .with_recorder(recorder.clone())
         .with_resilience(
             ResilienceConfig::hardened()
                 .with_deadline(Duration::from_secs(5))
@@ -131,4 +137,35 @@ fn main() {
         };
         println!("\nexample typed failure ({kind}): {e}");
     }
+
+    // --- Telemetry joins the ledger ----------------------------------
+    // The fault counters are the same numbers as the reconciled ledger,
+    // published through a second independent channel; the event stream
+    // additionally carries the (category, site) of every injection.
+    let counters = recorder.counters();
+    let events = recorder.drain();
+    let injected_events = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::FaultInjected { .. }))
+        .count();
+    println!("\ntelemetry fault join:");
+    println!(
+        "  counters: injected {}, detected {}, recovered {}, exhausted {} \
+         (ledger injected: {})",
+        counters[Counter::FaultsInjected.index()],
+        counters[Counter::FaultsDetected.index()],
+        counters[Counter::FaultsRecovered.index()],
+        counters[Counter::FaultsExhausted.index()],
+        r.injected_total()
+    );
+    println!(
+        "  event stream: {} FaultInjected events over {} total events ({} dropped)",
+        injected_events,
+        events.len(),
+        recorder.dropped()
+    );
+    println!(
+        "  replay note: re-running with seed {seed:#x} reproduces this trace \
+         (normalize timestamps to compare)"
+    );
 }

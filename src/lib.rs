@@ -35,7 +35,12 @@
 //! * [`faultline`] — a seeded deterministic fault-injection harness for
 //!   exercising every recovery path (see the fault-model section of
 //!   DESIGN.md and the `fault-injection` cargo feature, which gates the
-//!   chaos test suite and example).
+//!   chaos test suite and example);
+//! * [`telemetry`] — zero-overhead-when-disabled structured observability:
+//!   per-job spans, monotonic counters, a lock-free event ring, JSON-lines
+//!   and Prometheus exporters, and the Fig. 13-style reconfiguration
+//!   timeline renderer (the `telemetry` cargo feature gates the
+//!   observability test suite; the layer itself is always available).
 //!
 //! ## Quickstart
 //!
@@ -76,6 +81,7 @@ pub use acamar_faultline as faultline;
 pub use acamar_gpu as gpu;
 pub use acamar_solvers as solvers;
 pub use acamar_sparse as sparse;
+pub use acamar_telemetry as telemetry;
 
 /// Convenience prelude importing the most common types.
 ///
@@ -102,4 +108,5 @@ pub mod prelude {
         ConvergenceCriteria, Outcome, SoftwareKernels, SolveReport, SolverKind,
     };
     pub use acamar_sparse::{generate, CooMatrix, CsrMatrix, Scalar, SparseError};
+    pub use acamar_telemetry::{NullRecorder, Recorder, RingRecorder, TelemetrySink};
 }
