@@ -21,7 +21,13 @@
 //! - **telemetry overhead and fidelity**: an A/B of the warm batch with
 //!   the sink disabled vs a live [`RingRecorder`], plus a trace-fidelity
 //!   batch whose exported events must reconstruct the engine's own
-//!   `FabricRunStats`/`CacheStats` accounting exactly.
+//!   `FabricRunStats`/`CacheStats` accounting exactly;
+//! - **serving-layer routing A/B**: an open-loop load generator drives
+//!   the same seeded request stream through two 4-shard [`Service`]
+//!   instances — fingerprint-affinity routing vs seeded random routing —
+//!   at a paced arrival rate, and reports p50/p99/p999 request latency
+//!   (admission to completion) plus per-shard plan-cache hit/miss
+//!   totals for each arm.
 //!
 //! Writes `BENCH_PR4.json` plus the machine-diffable `BENCH_SUMMARY.json`
 //! and the telemetry artifacts `bench_trace.jsonl` / `bench_metrics.prom`
@@ -37,7 +43,10 @@
 //! - the warm solver loops and the warm compiled SpMV path are
 //!   allocation-free;
 //! - the telemetry trace reconstructs the fabric/cache statistics, and
-//!   (full mode) the live ring's overhead stays under the 5% budget.
+//!   (full mode) the live ring's overhead stays under the 5% budget;
+//! - affinity routing analyzes each pattern on exactly one shard while
+//!   random routing smears patterns across shards (deterministic), and
+//!   (full mode) affinity's warm p99 latency beats random's.
 //!
 //! Usage:
 //! `cargo run --release -p acamar-bench --bin bench [-- --quick] \
@@ -49,16 +58,18 @@
 
 use acamar_core::{Acamar, AcamarConfig};
 use acamar_datasets::{suite, Dataset};
-use acamar_engine::Engine;
+use acamar_engine::{Engine, PatternFingerprint};
 use acamar_fabric::FabricSpec;
+use acamar_service::{RoutingPolicy, Service, ServiceConfig, ServiceRequest};
 use acamar_solvers::{ConvergenceCriteria, Kernels, SoftwareKernels};
+use acamar_sparse::rng::DetRng;
 use acamar_sparse::{generate, CompiledSpmv, CsrMatrix};
 use acamar_telemetry::export::json_lines;
 use acamar_telemetry::{timeline, Counter, RingRecorder};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Counts every heap allocation so warm solves can be proven
 /// allocation-free in the solver loop.
@@ -529,6 +540,227 @@ fn bench_telemetry(d: &Dataset, batch_jobs: usize, samples: usize) -> TelemetryB
     }
 }
 
+/// One routing arm of the serving-layer A/B.
+struct RouteArm {
+    label: &'static str,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+struct ServiceBench {
+    shards: usize,
+    patterns: usize,
+    requests: usize,
+    inter_arrival_us: f64,
+    affinity: RouteArm,
+    random: RouteArm,
+    /// `random.p99 / affinity.p99` — > 1 means affinity routing served
+    /// the warm tail faster.
+    p99_speedup_vs_random: f64,
+}
+
+/// Nearest-rank percentile over an already-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Drives the seeded request stream through a fresh service at a fixed
+/// arrival pace and measures admission-to-completion latency per ticket.
+/// The warm-up pass (one request per pattern, untimed) puts each arm in
+/// its steady state first: under affinity every later request lands on
+/// its pattern's warm shard, while random routing keeps paying analyses
+/// on shards that have not seen the pattern yet — which is exactly the
+/// tail the A/B exists to expose.
+fn run_service_arm(
+    label: &'static str,
+    routing: RoutingPolicy,
+    shards: usize,
+    pats: &[Arc<CsrMatrix<f64>>],
+    stream: &[(usize, f64)],
+    inter_arrival: Duration,
+    burst: usize,
+) -> RouteArm {
+    let service = Service::<f64>::new(
+        acamar(),
+        ServiceConfig::default()
+            .with_shards(shards)
+            .with_queue_capacity(stream.len() + pats.len())
+            .with_routing(routing),
+    );
+    let warm: Vec<_> = pats
+        .iter()
+        .map(|a| {
+            service
+                .submit(ServiceRequest::new(Arc::clone(a), vec![1.0; a.nrows()]))
+                .expect("warm-up fits the queue bound")
+        })
+        .collect();
+    for t in warm {
+        assert!(t.wait().expect("warm-up solves").converged());
+    }
+
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(stream.len());
+    for (i, (p, scale)) in stream.iter().enumerate() {
+        // Open loop: arrivals follow the schedule regardless of how the
+        // service is keeping up, so queueing delay shows up as latency
+        // instead of silently throttling the generator. Arrivals come in
+        // bursts (as a time-stepping client would send them) at the same
+        // mean rate: a burst's requests queue behind each other, so a
+        // cache miss inside a burst delays everything after it and the
+        // tail reflects routing quality rather than scheduler jitter.
+        let due = inter_arrival * (i - i % burst) as u32;
+        let elapsed = start.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+        let a = &pats[*p];
+        tickets.push(
+            service
+                .submit(ServiceRequest::new(Arc::clone(a), vec![*scale; a.nrows()]))
+                .expect("queue capacity is sized to the whole stream"),
+        );
+    }
+    let mut latencies_ms: Vec<f64> = tickets
+        .into_iter()
+        .map(|t| {
+            let (result, latency) = t.wait_timed();
+            assert!(result.expect("healthy systems solve").converged());
+            latency.as_secs_f64() * 1e3
+        })
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+
+    let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+    for s in 0..service.shards() {
+        let c = service.engine(s).counters();
+        cache_hits += c.cache.hits;
+        cache_misses += c.cache.misses;
+    }
+    assert_eq!(service.total_queue_depth(), 0);
+    RouteArm {
+        label,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        p999_ms: percentile(&latencies_ms, 0.999),
+        cache_hits,
+        cache_misses,
+    }
+}
+
+/// Open-loop load-generator A/B: affinity vs seeded-random routing over
+/// the same seeded stream of recurring sparsity patterns.
+fn bench_service(quick: bool) -> ServiceBench {
+    let shards = 4;
+    let burst = 8;
+    let (n_patterns, n_requests, n_rows) = if quick {
+        (32, 256, 2000)
+    } else {
+        (64, 768, 4000)
+    };
+
+    // One random-structure configuration, many seeds: every pattern is
+    // structurally distinct (distinct fingerprint, so it routes and
+    // caches independently) but statistically identical, so warm solve
+    // cost is uniform across the pool. That isolates the A/B: with no
+    // pattern-mix variance to queue behind, the only systematic
+    // difference between the arms is the analysis each cache miss pays —
+    // and on this structure a miss costs ~1.6x a warm solve.
+    let pats: Vec<Arc<CsrMatrix<f64>>> = (0..n_patterns)
+        .map(|k| {
+            Arc::new(generate::diagonally_dominant::<f64>(
+                n_rows,
+                generate::RowDistribution::Uniform { min: 2, max: 6 },
+                6.0,
+                1 + k as u64,
+            ))
+        })
+        .collect();
+    let fingerprints: std::collections::HashSet<PatternFingerprint> =
+        pats.iter().map(|a| PatternFingerprint::of(a)).collect();
+    assert_eq!(
+        fingerprints.len(),
+        pats.len(),
+        "service bench patterns must be structurally distinct"
+    );
+
+    // Both arms replay this exact stream. DetRng-chosen patterns (not
+    // cycling) so neither arm can luck into accidental affinity.
+    let mut rng = DetRng::seed_from_u64(0x10ad_5e88);
+    let stream: Vec<(usize, f64)> = (0..n_requests)
+        .map(|_| {
+            (
+                (rng.next_u64() % n_patterns as u64) as usize,
+                1.0 + rng.gen_f64(),
+            )
+        })
+        .collect();
+
+    // Calibrate the arrival pace to the host: mean warm solve time across
+    // the pattern set, then offered load ~= 1/2 of one core's capacity so
+    // queues stay shallow and the tail is dominated by per-request work
+    // (warm solve vs analysis-laden miss), not by a saturated queue. The
+    // floor keeps dispatcher wakeup/locking overhead — which calibration
+    // cannot see — from saturating the host when the solves are tiny.
+    let engine = Engine::with_workers(acamar(), 1);
+    for a in &pats {
+        engine
+            .solve_one(a, &vec![1.0; a.nrows()])
+            .expect("calibration warm-up");
+    }
+    let t = Instant::now();
+    for a in &pats {
+        engine
+            .solve_one(a, &vec![1.0; a.nrows()])
+            .expect("calibration solve");
+    }
+    let mean_warm = t.elapsed() / pats.len() as u32;
+    let inter_arrival = (mean_warm * 5 / 2).max(Duration::from_micros(200));
+
+    // ABBA order with a per-arm minimum: each arm runs once early and
+    // once late, so allocator/CPU warm-up drift cancels instead of
+    // biasing whichever arm runs first, and the min discards samples a
+    // scheduling hiccup landed on. The cache counts are deterministic —
+    // identical across repeats — so merging asserts rather than picks.
+    let run = |label, routing| {
+        run_service_arm(label, routing, shards, &pats, &stream, inter_arrival, burst)
+    };
+    let random_policy = RoutingPolicy::Random { seed: 0xA3 };
+    let a1 = run("affinity", RoutingPolicy::Affinity);
+    let r1 = run("random", random_policy);
+    let r2 = run("random", random_policy);
+    let a2 = run("affinity", RoutingPolicy::Affinity);
+    let merge = |x: RouteArm, y: RouteArm| {
+        assert_eq!(x.cache_misses, y.cache_misses, "routing is deterministic");
+        assert_eq!(x.cache_hits, y.cache_hits, "routing is deterministic");
+        RouteArm {
+            label: x.label,
+            p50_ms: x.p50_ms.min(y.p50_ms),
+            p99_ms: x.p99_ms.min(y.p99_ms),
+            p999_ms: x.p999_ms.min(y.p999_ms),
+            cache_hits: x.cache_hits,
+            cache_misses: x.cache_misses,
+        }
+    };
+    let affinity = merge(a1, a2);
+    let random = merge(r1, r2);
+    let p99_speedup_vs_random = random.p99_ms / affinity.p99_ms;
+
+    ServiceBench {
+        shards,
+        patterns: n_patterns,
+        requests: n_requests,
+        inter_arrival_us: inter_arrival.as_secs_f64() * 1e6,
+        affinity,
+        random,
+        p99_speedup_vs_random,
+    }
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
@@ -549,6 +781,7 @@ fn write_json(
     alloc_checks: &[AllocCheck],
     spmv: &SpmvResult,
     telem: &TelemetryBench,
+    service: &ServiceBench,
 ) {
     let mut out = String::new();
     out.push_str("{\n");
@@ -703,6 +936,28 @@ fn write_json(
         telem.trace_matches_stats
     ));
     out.push_str("  },\n");
+    out.push_str("  \"service\": {\n");
+    out.push_str(&format!("    \"shards\": {},\n", service.shards));
+    out.push_str(&format!("    \"patterns\": {},\n", service.patterns));
+    out.push_str(&format!("    \"requests\": {},\n", service.requests));
+    out.push_str(&format!(
+        "    \"inter_arrival_us\": {},\n",
+        json_f(service.inter_arrival_us)
+    ));
+    for arm in [&service.affinity, &service.random] {
+        out.push_str(&format!("    \"{}\": {{\n", arm.label));
+        out.push_str(&format!("      \"p50_ms\": {},\n", json_f(arm.p50_ms)));
+        out.push_str(&format!("      \"p99_ms\": {},\n", json_f(arm.p99_ms)));
+        out.push_str(&format!("      \"p999_ms\": {},\n", json_f(arm.p999_ms)));
+        out.push_str(&format!("      \"cache_hits\": {},\n", arm.cache_hits));
+        out.push_str(&format!("      \"cache_misses\": {}\n", arm.cache_misses));
+        out.push_str("    },\n");
+    }
+    out.push_str(&format!(
+        "    \"p99_speedup_vs_random\": {}\n",
+        json_f(service.p99_speedup_vs_random)
+    ));
+    out.push_str("  },\n");
     let min_speedup = results
         .iter()
         .map(|r| r.batch_speedup_vs_cold)
@@ -749,6 +1004,10 @@ fn write_json(
         json_f(telem.overhead_pct)
     ));
     out.push_str(&format!(
+        "    \"service_p99_speedup_vs_random\": {},\n",
+        json_f(service.p99_speedup_vs_random)
+    ));
+    out.push_str(&format!(
         "    \"telemetry_trace_matches_stats\": {}\n",
         telem.trace_matches_stats
     ));
@@ -772,15 +1031,25 @@ fn geomean_speedup(results: &[DatasetResult]) -> f64 {
 
 /// Machine-diffable one-level summary, committed alongside the full
 /// report so CI can compare runs without a JSON parser.
-fn write_summary(path: &str, mode: &str, workers: usize, batch: f64, compiled: f64, telem: f64) {
+fn write_summary(
+    path: &str,
+    mode: &str,
+    workers: usize,
+    batch: f64,
+    compiled: f64,
+    telem: f64,
+    service: f64,
+) {
     let out = format!(
         "{{\n  \"mode\": \"{mode}\",\n  \"workers\": {workers},\n  \
          \"geomean_batch_speedup_vs_cold\": {},\n  \
          \"geomean_compiled_spmv_speedup\": {},\n  \
-         \"telemetry_overhead_pct\": {}\n}}\n",
+         \"telemetry_overhead_pct\": {},\n  \
+         \"service_p99_speedup_vs_random\": {}\n}}\n",
         json_f(batch),
         json_f(compiled),
-        json_f(telem)
+        json_f(telem),
+        json_f(service)
     );
     std::fs::write(path, out).expect("write benchmark summary JSON");
 }
@@ -812,7 +1081,19 @@ fn json_field_f64(text: &str, key: &str) -> Option<f64> {
 /// gates in `main` still guard correctness and the floor speedups. The
 /// quick smoke run (two tiny systems, 3 samples) sees run-to-run swings
 /// far beyond 10%, so it gates only catastrophic (> 50%) drops.
-fn check_regression(baseline_path: &str, quick: bool, workers: usize, batch: f64, compiled: f64) {
+///
+/// The serving-layer p99 ratio is a tail-latency measurement — far
+/// noisier than a geomean of medians — so it gates only on halving in
+/// either mode, and a baseline predating the field is skipped with a
+/// warning rather than failed.
+fn check_regression(
+    baseline_path: &str,
+    quick: bool,
+    workers: usize,
+    batch: f64,
+    compiled: f64,
+    service: f64,
+) {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("read bench baseline {baseline_path}: {e}"));
     let base_workers = json_field_f64(&text, "workers").unwrap_or(0.0) as usize;
@@ -845,6 +1126,23 @@ fn check_regression(baseline_path: &str, quick: bool, workers: usize, batch: f64
         "compiled-SpMV geomean regressed: {compiled:.3}x vs baseline {base_compiled:.3}x \
          (> {max_drop_pct:.0}% drop)"
     );
+    match json_field_f64(&text, "service_p99_speedup_vs_random") {
+        Some(base_service) => {
+            eprintln!(
+                "bench: regression check vs {baseline_path}: service p99 speedup {service:.3}x \
+                 (baseline {base_service:.3}x, tolerance 0.5)"
+            );
+            assert!(
+                service >= base_service * 0.5,
+                "service affinity-vs-random p99 speedup regressed: {service:.3}x vs \
+                 baseline {base_service:.3}x (> 50% drop)"
+            );
+        }
+        None => eprintln!(
+            "bench: baseline {baseline_path} predates service_p99_speedup_vs_random; \
+             skipping the service gate"
+        ),
+    }
 }
 
 fn main() {
@@ -928,6 +1226,25 @@ fn main() {
         telem.stats_spmv_reconfigs
     );
 
+    let service = bench_service(quick);
+    for arm in [&service.affinity, &service.random] {
+        eprintln!(
+            "  service {:<9} p50 {:>7.3} ms  p99 {:>7.3} ms  p999 {:>7.3} ms  \
+             cache {} hits / {} misses ({} shards, {} patterns, {} reqs, \
+             arrivals every {:.0} us)",
+            arm.label,
+            arm.p50_ms,
+            arm.p99_ms,
+            arm.p999_ms,
+            arm.cache_hits,
+            arm.cache_misses,
+            service.shards,
+            service.patterns,
+            service.requests,
+            service.inter_arrival_us
+        );
+    }
+
     // The 2x warm-batch gate needs at least two pool workers (the batch
     // spreads across the pool; a cold solve cannot). On a single-CPU host
     // only the pooling/caching component is measurable, so the gate
@@ -951,6 +1268,7 @@ fn main() {
         &alloc_checks,
         &spmv,
         &telem,
+        &service,
     );
     eprintln!("bench: wrote BENCH_PR4.json");
     std::fs::write("bench_trace.jsonl", &telem.trace_jsonl).expect("write telemetry trace");
@@ -962,6 +1280,7 @@ fn main() {
         geomean_speedup(&results),
         geomean_compiled_speedup(&compiled),
         telem.overhead_pct,
+        service.p99_speedup_vs_random,
     );
     eprintln!("bench: wrote BENCH_SUMMARY.json, bench_trace.jsonl, bench_metrics.prom");
     eprintln!("{}", telem.timeline);
@@ -1034,6 +1353,34 @@ fn main() {
             telem.overhead_pct
         );
     }
+    // Serving-layer gates. The cache counts are deterministic (the plan
+    // cache guarantees misses == distinct patterns per shard), so they
+    // hold exactly in both modes; the p99 ratio is a timing measurement,
+    // so the quick smoke run only rejects a blowout.
+    assert_eq!(
+        service.affinity.cache_misses, service.patterns as u64,
+        "affinity routing must analyze each pattern on exactly one shard"
+    );
+    assert!(
+        service.random.cache_misses > service.patterns as u64,
+        "random routing should smear patterns across shards \
+         ({} misses vs {} patterns)",
+        service.random.cache_misses,
+        service.patterns
+    );
+    eprintln!(
+        "  service warm p99: affinity {:.3} ms vs random {:.3} ms ({:.2}x)",
+        service.affinity.p99_ms, service.random.p99_ms, service.p99_speedup_vs_random
+    );
+    let required_service_speedup = if quick { 0.7 } else { 1.0 };
+    assert!(
+        service.p99_speedup_vs_random >= required_service_speedup,
+        "affinity routing p99 ({:.3} ms) did not beat random routing p99 ({:.3} ms): \
+         {:.2}x (need >= {required_service_speedup:.2}x)",
+        service.affinity.p99_ms,
+        service.random.p99_ms,
+        service.p99_speedup_vs_random
+    );
     if let Some(path) = baseline {
         check_regression(
             &path,
@@ -1041,6 +1388,7 @@ fn main() {
             workers,
             geomean_speedup(&results),
             geomean_compiled_speedup(&compiled),
+            service.p99_speedup_vs_random,
         );
     }
     eprintln!("bench: all acceptance gates passed");

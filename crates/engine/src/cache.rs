@@ -175,6 +175,17 @@ impl PlanCache {
         art
     }
 
+    /// Whether `fp`'s pattern is already cached (no counter updates, no
+    /// verification). The serving layer's affinity router and its tests
+    /// use this to ask "is this shard warm for this pattern?" without
+    /// perturbing the hit/miss accounting.
+    pub fn contains(&self, fp: &PatternFingerprint) -> bool {
+        self.map
+            .read()
+            .expect("cache lock poisoned")
+            .contains_key(fp)
+    }
+
     /// The cached artifacts for `fp`, if present (no counter updates, no
     /// verification).
     pub fn peek(&self, fp: &PatternFingerprint) -> Option<Arc<AnalysisArtifacts>> {

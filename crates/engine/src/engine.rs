@@ -588,6 +588,13 @@ impl Engine {
         &self.inner.cache
     }
 
+    /// Whether this engine already holds a compiled plan for `a`'s
+    /// sparsity pattern — i.e. whether a solve of `a` would be a warm
+    /// cache hit. Does not perturb the cache's hit/miss accounting.
+    pub fn is_warm<T: Scalar>(&self, a: &CsrMatrix<T>) -> bool {
+        self.inner.cache.contains(&PatternFingerprint::of(a))
+    }
+
     /// The engine's hardening configuration.
     pub fn resilience(&self) -> &ResilienceConfig {
         &self.inner.resilience

@@ -1,0 +1,184 @@
+//! Service construction knobs.
+
+use acamar_engine::ResilienceConfig;
+use std::time::Duration;
+
+/// How admitted jobs are mapped onto engine shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Route by [`PatternFingerprint`] affinity: the shard is a pure
+    /// function of the matrix's sparsity pattern
+    /// ([`shard_for`](crate::shard_for)), so repeat structural classes
+    /// always land on the shard that already holds the warm compiled
+    /// plan and pooled workspaces.
+    ///
+    /// [`PatternFingerprint`]: acamar_engine::PatternFingerprint
+    Affinity,
+    /// Cycle shards in admission order, ignoring the pattern. The A/B
+    /// baseline the affinity bench and tests compare against.
+    RoundRobin,
+    /// Pick a shard pseudo-randomly (deterministic in `seed` and the
+    /// admission sequence). The open-loop load-generator's "no affinity"
+    /// arm.
+    Random {
+        /// Stream seed; the same seed and submission order reproduce the
+        /// same shard choices.
+        seed: u64,
+    },
+}
+
+/// Scheduling class of one admitted job. Lower classes dispatch first;
+/// [`ServiceConfig::starvation_bound`] promotes any job that has waited
+/// too long to the front class, so low-priority tenants cannot starve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic; dispatched before all other classes.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Throughput/batch traffic; yields to the other classes until the
+    /// starvation bound promotes it.
+    Low,
+}
+
+impl Priority {
+    /// Number of scheduling classes.
+    pub const COUNT: usize = 3;
+
+    /// Every class, dispatch order first.
+    pub const ALL: [Priority; Priority::COUNT] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Dense class index (`High = 0` … `Low = 2`).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Configuration of a [`Service`](crate::Service).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Engine shards; each owns its own [`PlanCache`], workspace pool,
+    /// and worker threads. Clamped to at least 1.
+    ///
+    /// [`PlanCache`]: acamar_engine::PlanCache
+    pub shards: usize,
+    /// Worker threads per shard engine (also the dispatch wave size).
+    /// Clamped to at least 1.
+    pub workers_per_shard: usize,
+    /// Bound on each shard's admission queue; a submit that would exceed
+    /// it is rejected with
+    /// [`AdmissionError::QueueFull`](crate::AdmissionError::QueueFull)
+    /// carrying a retry-after estimate. Clamped to at least 1.
+    pub queue_capacity: usize,
+    /// Shard routing policy.
+    pub routing: RoutingPolicy,
+    /// Once a queued job has waited this long it is promoted to the
+    /// front scheduling class regardless of its [`Priority`] — the
+    /// bounded-wait guarantee against priority inversion.
+    pub starvation_bound: Duration,
+    /// Lower bound on the retry-after carried by queue-full rejections
+    /// (the estimate is `depth × EWMA(per-job service time) / workers`,
+    /// floored here so an idle service never advertises zero).
+    pub retry_after_floor: Duration,
+    /// Hardening configuration installed on every shard engine.
+    pub resilience: ResilienceConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            queue_capacity: 64,
+            routing: RoutingPolicy::Affinity,
+            starvation_bound: Duration::from_millis(250),
+            retry_after_floor: Duration::from_millis(1),
+            resilience: ResilienceConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> ServiceConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard worker count.
+    pub fn with_workers_per_shard(mut self, workers: usize) -> ServiceConfig {
+        self.workers_per_shard = workers;
+        self
+    }
+
+    /// Sets the per-shard queue bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServiceConfig {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the routing policy.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> ServiceConfig {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the anti-starvation promotion bound.
+    pub fn with_starvation_bound(mut self, bound: Duration) -> ServiceConfig {
+        self.starvation_bound = bound;
+        self
+    }
+
+    /// Sets the retry-after floor.
+    pub fn with_retry_after_floor(mut self, floor: Duration) -> ServiceConfig {
+        self.retry_after_floor = floor;
+        self
+    }
+
+    /// Sets the shard engines' hardening configuration.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> ServiceConfig {
+        self.resilience = resilience;
+        self
+    }
+
+    /// The config with its count fields clamped to their minima.
+    pub(crate) fn normalized(mut self) -> ServiceConfig {
+        self.shards = self.shards.max(1);
+        self.workers_per_shard = self.workers_per_shard.max(1);
+        self.queue_capacity = self.queue_capacity.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_indices_are_dense_and_ordered() {
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::Normal < Priority::Low);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn normalized_clamps_zero_counts() {
+        let cfg = ServiceConfig::default()
+            .with_shards(0)
+            .with_workers_per_shard(0)
+            .with_queue_capacity(0)
+            .normalized();
+        assert_eq!(
+            (cfg.shards, cfg.workers_per_shard, cfg.queue_capacity),
+            (1, 1, 1)
+        );
+    }
+}

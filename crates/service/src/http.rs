@@ -1,0 +1,169 @@
+//! Minimal std-only scrape endpoint.
+//!
+//! One accept-loop thread serving three `GET` routes over HTTP/1.1
+//! (connection-per-request, `Connection: close`):
+//!
+//! - `/metrics` — the service's Prometheus snapshot
+//!   ([`Service::prometheus_text`]);
+//! - `/trace` — drains the ring recorder as JSON lines
+//!   ([`Service::trace_json`]);
+//! - `/healthz` — liveness (`ok`).
+//!
+//! This is a scrape endpoint, not a web server: no keep-alive, no
+//! chunking, no TLS. Bind it to loopback (`127.0.0.1:0` picks a free
+//! port; [`ScrapeServer::addr`] reports it).
+
+use crate::service::Service;
+use acamar_sparse::Scalar;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running scrape endpoint; dropping it stops the accept loop.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `bind` (e.g. `"127.0.0.1:0"`) and serves `service`'s
+    /// metrics and trace until dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind<T: Scalar>(service: Arc<Service<T>>, bind: &str) -> std::io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = std::thread::spawn({
+            let shutdown = Arc::clone(&shutdown);
+            move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(mut stream) = stream {
+                        let _ = handle(&mut stream, &service);
+                    }
+                }
+            }
+        });
+        Ok(ScrapeServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop awake so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle<T: Scalar>(stream: &mut TcpStream, service: &Service<T>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let mut n = 0;
+    // Read until the end of the request head (or the buffer fills —
+    // anything longer than 1 KiB is not a scrape we serve).
+    while n < buf.len() {
+        let got = stream.read(&mut buf[n..])?;
+        if got == 0 {
+            break;
+        }
+        n += got;
+        if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            String::from("GET only\n"),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                service.prometheus_text(),
+            ),
+            "/trace" => ("200 OK", "application/jsonlines", service.trace_json()),
+            "/healthz" => ("200 OK", "text/plain", String::from("ok\n")),
+            _ => ("404 Not Found", "text/plain", String::from("not found\n")),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServiceConfig, ServiceRequest};
+    use acamar_core::{Acamar, AcamarConfig};
+    use acamar_fabric::FabricSpec;
+    use acamar_sparse::generate;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("response");
+        out
+    }
+
+    #[test]
+    fn scrape_routes_serve_metrics_trace_and_health() {
+        let acamar = Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper());
+        let service = Arc::new(Service::<f64>::new(
+            acamar,
+            ServiceConfig::default().with_shards(2),
+        ));
+        let a = Arc::new(generate::poisson2d::<f64>(8, 8));
+        service
+            .submit(ServiceRequest::new(Arc::clone(&a), vec![1.0; a.nrows()]))
+            .expect("admits")
+            .wait()
+            .expect("solves");
+        let server = ScrapeServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let metrics = get(server.addr(), "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("acamar_service_shard_jobs_total"));
+        assert!(metrics.contains("acamar_service_queue_depth 0"));
+        let health = get(server.addr(), "/healthz");
+        assert!(health.ends_with("ok\n"));
+        // No ring installed: the trace is served but empty.
+        let trace = get(server.addr(), "/trace");
+        assert!(trace.starts_with("HTTP/1.1 200 OK"));
+        let missing = get(server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        drop(server);
+    }
+}

@@ -1,0 +1,91 @@
+//! Fingerprint-affinity shard routing.
+
+use acamar_engine::PatternFingerprint;
+
+/// The shard owning `fp`'s structural class, as a pure function of the
+/// fingerprint: no process-local state, no [`RandomState`], nothing that
+/// varies across restarts — the same pattern maps to the same shard in
+/// every process that ever computes it, so a restarted service re-warms
+/// exactly the shards the old one had warm.
+///
+/// The fingerprint's FNV-1a digest is already well mixed over patterns
+/// that differ structurally, but patterns can also differ only in shape
+/// (same digest-relevant arrays are impossible, yet nearby generators
+/// often produce correlated low bits), so the dimensions are folded in
+/// and the combination is run through a splitmix64-style finalizer
+/// before the modulo.
+///
+/// [`RandomState`]: std::collections::hash_map::RandomState
+pub fn shard_for(fp: &PatternFingerprint, shards: usize) -> usize {
+    let x = fp.hash
+        ^ (fp.nrows as u64).rotate_left(17)
+        ^ (fp.ncols as u64).rotate_left(34)
+        ^ (fp.nnz as u64).rotate_left(51);
+    (mix64(x) % shards.max(1) as u64) as usize
+}
+
+/// splitmix64 finalizer: a cheap bijective avalanche over `u64`.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(nrows: usize, ncols: usize, nnz: usize, hash: u64) -> PatternFingerprint {
+        PatternFingerprint {
+            nrows,
+            ncols,
+            nnz,
+            hash,
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 7, 16] {
+            for k in 0..64u64 {
+                let f = fp(10 + k as usize, 10 + k as usize, 50, k.wrapping_mul(0x9e37));
+                let s = shard_for(&f, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(&f, shards), "pure function of the fingerprint");
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_collapses_everything() {
+        for k in 0..32u64 {
+            assert_eq!(shard_for(&fp(k as usize, 1, 1, k), 1), 0);
+        }
+    }
+
+    #[test]
+    fn distinct_patterns_spread_over_shards() {
+        // 256 synthetic fingerprints over 4 shards: every shard should see
+        // a reasonable share (the finalizer avalanches even sequential
+        // inputs).
+        let shards = 4;
+        let mut counts = [0usize; 4];
+        for k in 0..256u64 {
+            let f = fp(8 + (k % 13) as usize, 8, (k * 3) as usize, k << 3);
+            counts[shard_for(&f, shards)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 256 / 16, "shard {s} starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn mix64_is_not_identity_on_small_inputs() {
+        let outs: std::collections::HashSet<u64> = (0..128).map(mix64).collect();
+        assert_eq!(outs.len(), 128);
+        assert!(!outs.contains(&0) || mix64(0) == 0);
+    }
+}

@@ -1,0 +1,824 @@
+//! The serving front-end: bounded admission, shard dispatch, tickets.
+
+use crate::config::{Priority, RoutingPolicy, ServiceConfig};
+use crate::queue::Scheduler;
+use crate::router::{mix64, shard_for};
+use acamar_core::{Acamar, AcamarRunReport};
+use acamar_engine::{Engine, PatternFingerprint, SolveError, SolveJob};
+use acamar_faultline::{FaultCategory, FaultInjector, FaultPlan};
+use acamar_sparse::{CsrMatrix, Scalar};
+use acamar_telemetry::export::{json_lines, PrometheusWriter};
+use acamar_telemetry::{Counter, EventKind, Recorder, RingRecorder, TelemetrySink};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One admission request: a solve job plus its serving metadata.
+#[derive(Debug, Clone)]
+pub struct ServiceRequest<T> {
+    /// Coefficient matrix (shared, so repeat submissions of one system
+    /// don't clone the CSR arrays).
+    pub matrix: Arc<CsrMatrix<T>>,
+    /// Right-hand side.
+    pub rhs: Vec<T>,
+    /// Optional warm-start guess.
+    pub guess: Option<Vec<T>>,
+    /// Submitting tenant (accounting only; scheduling keys on
+    /// `priority`, not identity).
+    pub tenant: u32,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Wall-clock budget measured from admission; a job still queued
+    /// when it expires is shed before solving
+    /// ([`ServiceError::Shed`]).
+    pub deadline: Option<Duration>,
+}
+
+impl<T> ServiceRequest<T> {
+    /// A normal-priority, deadline-free request from tenant 0.
+    pub fn new(matrix: Arc<CsrMatrix<T>>, rhs: Vec<T>) -> ServiceRequest<T> {
+        ServiceRequest {
+            matrix,
+            rhs,
+            guess: None,
+            tenant: 0,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+
+    /// Sets the warm-start guess.
+    pub fn with_guess(mut self, x0: Vec<T>) -> ServiceRequest<T> {
+        self.guess = Some(x0);
+        self
+    }
+
+    /// Sets the submitting tenant.
+    pub fn with_tenant(mut self, tenant: u32) -> ServiceRequest<T> {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> ServiceRequest<T> {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the admission-relative deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> ServiceRequest<T> {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a submission was refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The routed shard's queue is at capacity. Back off for at least
+    /// `retry_after` (estimated drain time of the queue ahead of you)
+    /// before resubmitting.
+    QueueFull {
+        /// The shard the job routed to.
+        shard: usize,
+        /// Its queue depth at rejection time.
+        depth: usize,
+        /// The configured bound.
+        capacity: usize,
+        /// Estimated time until the shard can accept again.
+        retry_after: Duration,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull {
+                shard,
+                depth,
+                capacity,
+                retry_after,
+            } => write!(
+                f,
+                "shard {shard} queue full ({depth}/{capacity}); retry after {retry_after:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+impl AdmissionError {
+    /// The rejection's backoff hint.
+    pub fn retry_after(&self) -> Duration {
+        match self {
+            AdmissionError::QueueFull { retry_after, .. } => *retry_after,
+        }
+    }
+}
+
+/// Why an *admitted* job did not produce a solution.
+#[derive(Debug, Clone)]
+pub enum ServiceError {
+    /// The job's deadline expired while it was still queued; it was shed
+    /// before reaching a solver.
+    Shed {
+        /// The shard that shed it.
+        shard: usize,
+        /// How long it had been queued when shed.
+        waited: Duration,
+    },
+    /// The solve itself failed (invalid input, divergence past the
+    /// rescue ladder, isolated panic, engine-level deadline).
+    Solve(SolveError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Shed { shard, waited } => {
+                write!(f, "shed on shard {shard} after queueing {waited:?}")
+            }
+            ServiceError::Solve(e) => write!(f, "solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl ServiceError {
+    /// `true` for queue-side shedding (the solver never ran).
+    pub fn is_shed(&self) -> bool {
+        matches!(self, ServiceError::Shed { .. })
+    }
+}
+
+/// What fulfilling a ticket delivers: the outcome plus serving metadata.
+type Outcome<T> = (Result<AcamarRunReport<T>, ServiceError>, u64, Duration);
+
+/// Completion slot shared between a [`Ticket`] and the shard dispatcher.
+pub(crate) struct TicketState<T: Scalar> {
+    slot: Mutex<Option<Outcome<T>>>,
+    cv: Condvar,
+}
+
+impl<T: Scalar> TicketState<T> {
+    fn new() -> TicketState<T> {
+        TicketState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fulfill(
+        &self,
+        result: Result<AcamarRunReport<T>, ServiceError>,
+        index: u64,
+        latency: Duration,
+    ) {
+        *self.slot.lock().expect("ticket lock poisoned") = Some((result, index, latency));
+        self.cv.notify_all();
+    }
+}
+
+impl<T: Scalar> fmt::Debug for TicketState<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TicketState").finish_non_exhaustive()
+    }
+}
+
+/// Handle to one admitted job; [`Ticket::wait`] blocks until a shard
+/// dispatcher fulfills it. The service's [`Drop`] drains every queue, so
+/// a ticket from a dropped service still resolves.
+#[derive(Debug)]
+pub struct Ticket<T: Scalar> {
+    state: Arc<TicketState<T>>,
+    shard: usize,
+    seq: u64,
+    tenant: u32,
+}
+
+impl<T: Scalar> Ticket<T> {
+    /// The shard the job routed to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The job's admission sequence number (also its telemetry job id).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The submitting tenant.
+    pub fn tenant(&self) -> u32 {
+        self.tenant
+    }
+
+    /// Blocks until the job completes (solved, failed, or shed).
+    pub fn wait(self) -> Result<AcamarRunReport<T>, ServiceError> {
+        self.wait_outcome().0
+    }
+
+    /// [`Ticket::wait`] plus the job's global completion index (the
+    /// order shard dispatchers finished jobs in, across the whole
+    /// service) — what the scheduling tests assert exact orders on.
+    pub fn wait_with_index(self) -> (Result<AcamarRunReport<T>, ServiceError>, u64) {
+        let (result, index, _) = self.wait_outcome();
+        (result, index)
+    }
+
+    /// [`Ticket::wait`] plus the job's admission-to-completion latency
+    /// (queue wait + solve, as the dispatcher observed it) — what the
+    /// open-loop load-generator bench records.
+    pub fn wait_timed(self) -> (Result<AcamarRunReport<T>, ServiceError>, Duration) {
+        let (result, _, latency) = self.wait_outcome();
+        (result, latency)
+    }
+
+    fn wait_outcome(self) -> Outcome<T> {
+        let mut slot = self.state.slot.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(out) = slot.take() {
+                return out;
+            }
+            slot = self.state.cv.wait(slot).expect("ticket lock poisoned");
+        }
+    }
+}
+
+/// One queued job as the shard dispatcher sees it.
+struct Waiting<T: Scalar> {
+    job: SolveJob<T>,
+    seq: u64,
+    admitted_at: Instant,
+    deadline: Option<Instant>,
+    ticket: Arc<TicketState<T>>,
+}
+
+/// State shared between the admission path and one shard's dispatcher.
+struct ShardShared<T: Scalar> {
+    state: Mutex<ShardState<T>>,
+    cv: Condvar,
+    /// Mirror of the queue depth for lock-free scrapes.
+    depth: AtomicUsize,
+    /// EWMA of per-job service nanos, feeding retry-after estimates.
+    ema_nanos: AtomicU64,
+}
+
+struct ShardState<T: Scalar> {
+    sched: Scheduler<Waiting<T>>,
+    paused: bool,
+    shutdown: bool,
+}
+
+/// The serving front-end over `N` engine shards.
+///
+/// Construction spawns one dispatcher thread per shard, each owning an
+/// [`Engine`] (its own plan cache, workspace pool, and worker threads).
+/// [`Service::submit`] routes by the configured [`RoutingPolicy`] —
+/// affinity routing sends every repeat of a sparsity pattern to the one
+/// shard that already compiled its plan — and either enqueues the job
+/// (returning a [`Ticket`]) or rejects it with a typed, retry-after-
+/// carrying [`AdmissionError`] when that shard's bounded queue is full.
+///
+/// Dropping the service is a clean shutdown: every queued job is drained
+/// (solved or shed) so no ticket is left dangling, then the dispatcher
+/// threads are joined.
+///
+/// ```
+/// use acamar_core::{Acamar, AcamarConfig};
+/// use acamar_fabric::FabricSpec;
+/// use acamar_service::{Service, ServiceConfig, ServiceRequest};
+/// use acamar_sparse::generate;
+/// use std::sync::Arc;
+///
+/// let acamar = Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper());
+/// let service = Service::<f64>::new(acamar, ServiceConfig::default().with_shards(2));
+/// let a = Arc::new(generate::poisson2d::<f64>(12, 12));
+/// let ticket = service
+///     .submit(ServiceRequest::new(Arc::clone(&a), vec![1.0; a.nrows()]))
+///     .unwrap();
+/// assert!(ticket.wait().unwrap().converged());
+/// ```
+pub struct Service<T: Scalar> {
+    cfg: ServiceConfig,
+    shards: Vec<Arc<ShardShared<T>>>,
+    engines: Vec<Arc<Engine>>,
+    threads: Vec<JoinHandle<()>>,
+    seq: AtomicU64,
+    rr: AtomicU64,
+    rand: AtomicU64,
+    completions: Arc<AtomicU64>,
+    sink: TelemetrySink,
+    ring: Option<Arc<RingRecorder>>,
+}
+
+impl<T: Scalar> fmt::Debug for Service<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service")
+            .field("shards", &self.shards.len())
+            .field("queued", &self.total_queue_depth())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Scalar> Service<T> {
+    /// A service over `acamar` with no telemetry and no fault injection.
+    pub fn new(acamar: Acamar, cfg: ServiceConfig) -> Service<T> {
+        Service::build(acamar, cfg, None, None)
+    }
+
+    /// A service whose shards and admission path record into `ring`:
+    /// admission/shed/dispatch events and counters from the front-end,
+    /// plus every engine-level event from the shards. The ring also
+    /// powers [`Service::trace_json`] and the scrape endpoint's
+    /// `/trace` route.
+    pub fn with_recorder(
+        acamar: Acamar,
+        cfg: ServiceConfig,
+        ring: Arc<RingRecorder>,
+    ) -> Service<T> {
+        Service::build(acamar, cfg, Some(ring), None)
+    }
+
+    /// A chaos service: each shard gets its own [`FaultInjector`] derived
+    /// from `plan` with a per-shard seed (`seed ^ (shard + 1)`), so
+    /// concurrent shard batches never share an injector ledger while the
+    /// whole run stays reproducible from one seed. Optionally records
+    /// into `ring` as in [`Service::with_recorder`].
+    pub fn with_fault_plan(
+        acamar: Acamar,
+        cfg: ServiceConfig,
+        plan: FaultPlan,
+        ring: Option<Arc<RingRecorder>>,
+    ) -> Service<T> {
+        Service::build(acamar, cfg, ring, Some(plan))
+    }
+
+    fn build(
+        acamar: Acamar,
+        cfg: ServiceConfig,
+        ring: Option<Arc<RingRecorder>>,
+        faults: Option<FaultPlan>,
+    ) -> Service<T> {
+        let cfg = cfg.normalized();
+        let completions = Arc::new(AtomicU64::new(0));
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut engines = Vec::with_capacity(cfg.shards);
+        let mut threads = Vec::with_capacity(cfg.shards);
+        for shard in 0..cfg.shards {
+            let mut engine = Engine::with_workers(acamar.clone(), cfg.workers_per_shard)
+                .with_resilience(cfg.resilience.clone());
+            if let Some(r) = &ring {
+                engine = engine.with_recorder(Arc::clone(r) as Arc<dyn Recorder>);
+            }
+            if let Some(plan) = &faults {
+                let mut p = FaultPlan::new(plan.seed() ^ (shard as u64 + 1));
+                for cat in FaultCategory::ALL {
+                    p = p.with_rate(cat, plan.rate(cat));
+                }
+                engine = engine.with_fault_injection(Arc::new(FaultInjector::new(p)));
+            }
+            let engine = Arc::new(engine);
+            let shared = Arc::new(ShardShared {
+                state: Mutex::new(ShardState {
+                    sched: Scheduler::new(),
+                    paused: false,
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+                depth: AtomicUsize::new(0),
+                ema_nanos: AtomicU64::new(0),
+            });
+            threads.push(std::thread::spawn({
+                let shared = Arc::clone(&shared);
+                let engine = Arc::clone(&engine);
+                let cfg = cfg.clone();
+                let completions = Arc::clone(&completions);
+                let ring = ring.clone();
+                move || dispatcher(shared, engine, shard, cfg, completions, ring)
+            }));
+            shards.push(shared);
+            engines.push(engine);
+        }
+        let sink = match &ring {
+            Some(r) => TelemetrySink::new(Arc::clone(r) as Arc<dyn Recorder>),
+            None => TelemetrySink::disabled(),
+        };
+        let rand_seed = match cfg.routing {
+            RoutingPolicy::Random { seed } => seed,
+            _ => 0,
+        };
+        Service {
+            cfg,
+            shards,
+            engines,
+            threads,
+            seq: AtomicU64::new(0),
+            rr: AtomicU64::new(0),
+            rand: AtomicU64::new(rand_seed),
+            completions,
+            sink,
+            ring,
+        }
+    }
+
+    /// Routes a matrix under the configured policy. Affinity is a pure
+    /// function of the pattern ([`shard_for`]); the stateful policies
+    /// (round-robin, random) advance their cursor on every call.
+    pub fn route(&self, matrix: &CsrMatrix<T>) -> usize {
+        match self.cfg.routing {
+            RoutingPolicy::Affinity => shard_for(&PatternFingerprint::of(matrix), self.cfg.shards),
+            RoutingPolicy::RoundRobin => {
+                (self.rr.fetch_add(1, Ordering::Relaxed) % self.cfg.shards as u64) as usize
+            }
+            RoutingPolicy::Random { .. } => {
+                let n = self
+                    .rand
+                    .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15);
+                (mix64(n) % self.cfg.shards as u64) as usize
+            }
+        }
+    }
+
+    /// Admits `req` or rejects it with backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::QueueFull`] when the routed shard's queue is at
+    /// capacity; the error carries the shard, its depth, and a
+    /// retry-after estimate (`depth × EWMA service time / workers`,
+    /// floored at [`ServiceConfig::retry_after_floor`]).
+    pub fn submit(&self, req: ServiceRequest<T>) -> Result<Ticket<T>, AdmissionError> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let shard = self.route(&req.matrix);
+        let shared = &self.shards[shard];
+        let mut st = shared.state.lock().expect("shard lock poisoned");
+        let depth = st.sched.len();
+        if depth >= self.cfg.queue_capacity {
+            drop(st);
+            self.sink.with_job(seq).emit(EventKind::JobRejected {
+                shard: shard as u16,
+                depth: depth as u32,
+            });
+            self.sink.counter_add(Counter::JobsRejected, 1);
+            return Err(AdmissionError::QueueFull {
+                shard,
+                depth,
+                capacity: self.cfg.queue_capacity,
+                retry_after: self.retry_after(shard, depth),
+            });
+        }
+        let now = Instant::now();
+        let deadline = req.deadline.map(|d| now + d);
+        let ticket = Arc::new(TicketState::new());
+        st.sched.push(
+            req.priority,
+            deadline,
+            seq,
+            now,
+            Waiting {
+                job: SolveJob {
+                    matrix: req.matrix,
+                    rhs: req.rhs,
+                    guess: req.guess,
+                },
+                seq,
+                admitted_at: now,
+                deadline,
+                ticket: Arc::clone(&ticket),
+            },
+        );
+        let depth_now = st.sched.len();
+        shared.depth.store(depth_now, Ordering::Relaxed);
+        drop(st);
+        shared.cv.notify_one();
+        self.sink.with_job(seq).emit(EventKind::JobAdmitted {
+            shard: shard as u16,
+            depth: depth_now as u32,
+        });
+        self.sink.counter_add(Counter::JobsAdmitted, 1);
+        Ok(Ticket {
+            state: ticket,
+            shard,
+            seq,
+            tenant: req.tenant,
+        })
+    }
+
+    fn retry_after(&self, shard: usize, depth: usize) -> Duration {
+        let ema = self.shards[shard].ema_nanos.load(Ordering::Relaxed);
+        let est = (depth as u64).saturating_mul(ema) / self.cfg.workers_per_shard as u64;
+        self.cfg.retry_after_floor.max(Duration::from_nanos(est))
+    }
+
+    /// Holds every dispatcher: queued jobs stay queued until
+    /// [`Service::resume`]. Admission stays open (up to the queue
+    /// bounds). The deterministic tests use this to build a known queue
+    /// before any dispatch happens.
+    pub fn pause(&self) {
+        for s in &self.shards {
+            s.state.lock().expect("shard lock poisoned").paused = true;
+        }
+    }
+
+    /// Releases [`Service::pause`].
+    pub fn resume(&self) {
+        for s in &self.shards {
+            s.state.lock().expect("shard lock poisoned").paused = false;
+            s.cv.notify_all();
+        }
+    }
+
+    /// Number of engine shards.
+    pub fn shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The configuration (normalized: counts clamped to their minima).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Shard `shard`'s engine (its plan cache, counters, and telemetry
+    /// are all per-shard).
+    pub fn engine(&self, shard: usize) -> &Engine {
+        &self.engines[shard]
+    }
+
+    /// Whether shard `shard` already holds a compiled plan for `a`'s
+    /// pattern.
+    pub fn is_warm(&self, shard: usize, a: &CsrMatrix<T>) -> bool {
+        self.engines[shard].is_warm(a)
+    }
+
+    /// Queued jobs on one shard.
+    pub fn queue_depth(&self, shard: usize) -> usize {
+        self.shards[shard].depth.load(Ordering::Relaxed)
+    }
+
+    /// Queued jobs across all shards.
+    pub fn total_queue_depth(&self) -> usize {
+        (0..self.shards.len()).map(|s| self.queue_depth(s)).sum()
+    }
+
+    /// Jobs finished (solved, failed, or shed) since construction.
+    pub fn completions(&self) -> u64 {
+        self.completions.load(Ordering::SeqCst)
+    }
+
+    /// Events the ring recorder dropped on overflow (0 without a ring).
+    pub fn dropped_events(&self) -> u64 {
+        self.ring.as_ref().map(|r| r.dropped()).unwrap_or(0)
+    }
+
+    /// The installed ring recorder, if any.
+    pub fn ring(&self) -> Option<&Arc<RingRecorder>> {
+        self.ring.as_ref()
+    }
+
+    /// Prometheus text-format snapshot of the whole service: the full
+    /// telemetry counter set (when a ring recorder is installed) plus
+    /// per-shard labeled jobs/cache-hit/cache-miss counters and queue
+    /// gauges. This is what the scrape endpoint's `/metrics` serves.
+    pub fn prometheus_text(&self) -> String {
+        let mut w = PrometheusWriter::new();
+        if let Some(ring) = &self.ring {
+            w.counters(&ring.counters());
+        }
+        let sample = |f: &dyn Fn(usize) -> u64| -> Vec<(String, u64)> {
+            (0..self.engines.len())
+                .map(|s| (s.to_string(), f(s)))
+                .collect()
+        };
+        w.counter_samples(
+            "acamar_service_shard_jobs_total",
+            "Jobs completed per engine shard",
+            "shard",
+            &sample(&|s| self.engines[s].counters().jobs_completed),
+        );
+        w.counter_samples(
+            "acamar_service_shard_cache_hits_total",
+            "Plan-cache hits per engine shard",
+            "shard",
+            &sample(&|s| self.engines[s].counters().cache.hits),
+        );
+        w.counter_samples(
+            "acamar_service_shard_cache_misses_total",
+            "Plan-cache misses per engine shard",
+            "shard",
+            &sample(&|s| self.engines[s].counters().cache.misses),
+        );
+        w.counter_samples(
+            "acamar_service_shard_queue_depth",
+            "Queued jobs per shard at scrape time",
+            "shard",
+            &sample(&|s| self.queue_depth(s) as u64),
+        );
+        w.gauge(
+            "acamar_service_shards",
+            "Engine shards in the service",
+            self.engines.len() as f64,
+        );
+        w.gauge(
+            "acamar_service_queue_depth",
+            "Queued jobs across all shards at scrape time",
+            self.total_queue_depth() as f64,
+        );
+        w.finish()
+    }
+
+    /// Drains the ring recorder's trace as JSON lines (empty without a
+    /// ring). This is what the scrape endpoint's `/trace` serves.
+    pub fn trace_json(&self) -> String {
+        self.ring
+            .as_ref()
+            .map(|r| json_lines(&r.drain()))
+            .unwrap_or_default()
+    }
+}
+
+impl<T: Scalar> Drop for Service<T> {
+    fn drop(&mut self) {
+        for s in &self.shards {
+            let mut st = s.state.lock().expect("shard lock poisoned");
+            st.shutdown = true;
+            st.paused = false;
+            drop(st);
+            s.cv.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One shard's dispatcher loop: wait for work, pop a wave (up to the
+/// shard's worker count), shed expired-deadline jobs before they reach a
+/// solver, run the rest through the shard engine, and fulfill tickets in
+/// the wave's submission order. On shutdown the remaining queue is
+/// drained (still shedding what has expired) before the thread exits, so
+/// every ticket resolves.
+fn dispatcher<T: Scalar>(
+    shared: Arc<ShardShared<T>>,
+    engine: Arc<Engine>,
+    shard: usize,
+    cfg: ServiceConfig,
+    completions: Arc<AtomicU64>,
+    ring: Option<Arc<RingRecorder>>,
+) {
+    let sink = match ring {
+        Some(r) => TelemetrySink::new(r as Arc<dyn Recorder>),
+        None => TelemetrySink::disabled(),
+    };
+    loop {
+        let wave = {
+            let mut st = shared.state.lock().expect("shard lock poisoned");
+            loop {
+                if st.shutdown || (!st.paused && st.sched.len() > 0) {
+                    break;
+                }
+                st = shared.cv.wait(st).expect("shard lock poisoned");
+            }
+            if st.shutdown && st.sched.len() == 0 {
+                return;
+            }
+            let now = Instant::now();
+            let mut wave = Vec::with_capacity(cfg.workers_per_shard);
+            while wave.len() < cfg.workers_per_shard {
+                match st.sched.pop(now, cfg.starvation_bound) {
+                    Some(w) => wave.push(w),
+                    None => break,
+                }
+            }
+            shared.depth.store(st.sched.len(), Ordering::Relaxed);
+            wave
+        };
+        let now = Instant::now();
+        let mut jobs = Vec::with_capacity(wave.len());
+        let mut tickets = Vec::with_capacity(wave.len());
+        for w in wave {
+            let waited = now.saturating_duration_since(w.admitted_at);
+            if w.deadline.is_some_and(|d| now >= d) {
+                sink.with_job(w.seq).emit(EventKind::JobShed {
+                    shard: shard as u16,
+                    waited_nanos: waited.as_nanos() as u64,
+                });
+                sink.counter_add(Counter::JobsShed, 1);
+                let index = completions.fetch_add(1, Ordering::SeqCst);
+                w.ticket
+                    .fulfill(Err(ServiceError::Shed { shard, waited }), index, waited);
+                continue;
+            }
+            sink.with_job(w.seq).emit(EventKind::JobDispatched {
+                shard: shard as u16,
+                wait_nanos: waited.as_nanos() as u64,
+            });
+            sink.counter_add(Counter::QueueWaitNanos, waited.as_nanos() as u64);
+            jobs.push(w.job);
+            tickets.push((w.ticket, w.admitted_at));
+        }
+        if jobs.is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let report = engine.solve_jobs(jobs);
+        let per_job = started.elapsed().as_nanos() as u64 / tickets.len() as u64;
+        let old = shared.ema_nanos.load(Ordering::Relaxed);
+        let ema = if old == 0 {
+            per_job
+        } else {
+            // EWMA with α = 1/4: cheap, integer-only, and responsive
+            // enough for retry-after estimates.
+            old - old / 4 + per_job / 4
+        };
+        shared.ema_nanos.store(ema, Ordering::Relaxed);
+        let done = Instant::now();
+        for ((ticket, admitted_at), result) in tickets.into_iter().zip(report.results) {
+            let index = completions.fetch_add(1, Ordering::SeqCst);
+            let latency = done.saturating_duration_since(admitted_at);
+            ticket.fulfill(result.map_err(ServiceError::Solve), index, latency);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acamar_core::AcamarConfig;
+    use acamar_fabric::FabricSpec;
+    use acamar_sparse::generate;
+
+    fn acamar() -> Acamar {
+        Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper())
+    }
+
+    #[test]
+    fn submit_and_wait_round_trips() {
+        let service = Service::<f64>::new(acamar(), ServiceConfig::default().with_shards(2));
+        let a = Arc::new(generate::poisson2d::<f64>(10, 10));
+        let ticket = service
+            .submit(ServiceRequest::new(Arc::clone(&a), vec![1.0; a.nrows()]))
+            .expect("queue empty");
+        let shard = ticket.shard();
+        assert!(ticket.wait().expect("solves").converged());
+        assert!(service.is_warm(shard, &a));
+        assert_eq!(service.completions(), 1);
+    }
+
+    #[test]
+    fn drop_drains_outstanding_tickets() {
+        let service = Service::<f64>::new(acamar(), ServiceConfig::default().with_shards(1));
+        service.pause();
+        let a = Arc::new(generate::poisson2d::<f64>(8, 8));
+        let tickets: Vec<_> = (0..4)
+            .map(|_| {
+                service
+                    .submit(ServiceRequest::new(Arc::clone(&a), vec![1.0; a.nrows()]))
+                    .expect("under capacity")
+            })
+            .collect();
+        drop(service);
+        for t in tickets {
+            assert!(t.wait().expect("drained on drop").converged());
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_shards() {
+        let service = Service::<f64>::new(
+            acamar(),
+            ServiceConfig::default()
+                .with_shards(3)
+                .with_routing(RoutingPolicy::RoundRobin),
+        );
+        let a = generate::poisson2d::<f64>(6, 6);
+        let picks: Vec<usize> = (0..6).map(|_| service.route(&a)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_routing_is_seed_deterministic() {
+        let mk = || {
+            Service::<f64>::new(
+                acamar(),
+                ServiceConfig::default()
+                    .with_shards(4)
+                    .with_routing(RoutingPolicy::Random { seed: 7 }),
+            )
+        };
+        let a = generate::poisson2d::<f64>(6, 6);
+        let s1 = mk();
+        let s2 = mk();
+        let p1: Vec<usize> = (0..16).map(|_| s1.route(&a)).collect();
+        let p2: Vec<usize> = (0..16).map(|_| s2.route(&a)).collect();
+        assert_eq!(p1, p2);
+        assert!(
+            p1.iter().any(|&s| s != p1[0]),
+            "spreads over shards: {p1:?}"
+        );
+    }
+}

@@ -128,6 +128,29 @@ pub fn event_json(e: &Event) -> String {
                 ",\"kind\":\"rescue_step\",\"step\":{step},\"solver\":{solver}"
             ));
         }
+        EventKind::JobAdmitted { shard, depth } => {
+            s.push_str(&format!(
+                ",\"kind\":\"job_admitted\",\"shard\":{shard},\"depth\":{depth}"
+            ));
+        }
+        EventKind::JobRejected { shard, depth } => {
+            s.push_str(&format!(
+                ",\"kind\":\"job_rejected\",\"shard\":{shard},\"depth\":{depth}"
+            ));
+        }
+        EventKind::JobShed {
+            shard,
+            waited_nanos,
+        } => {
+            s.push_str(&format!(
+                ",\"kind\":\"job_shed\",\"shard\":{shard},\"waited_nanos\":{waited_nanos}"
+            ));
+        }
+        EventKind::JobDispatched { shard, wait_nanos } => {
+            s.push_str(&format!(
+                ",\"kind\":\"job_dispatched\",\"shard\":{shard},\"wait_nanos\":{wait_nanos}"
+            ));
+        }
     }
     s.push('}');
     s
@@ -183,6 +206,25 @@ impl PrometheusWriter {
         self.out.push_str(&format!(
             "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
         ));
+        self
+    }
+
+    /// Append one `counter`-typed metric with a label per sample (e.g.
+    /// per-shard counters): the `# HELP`/`# TYPE` preamble is written
+    /// once, then one `name{label="value"} sample` line per entry.
+    pub fn counter_samples(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        samples: &[(String, u64)],
+    ) -> &mut PrometheusWriter {
+        self.out
+            .push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+        for (value, sample) in samples {
+            self.out
+                .push_str(&format!("{name}{{{label}=\"{value}\"}} {sample}\n"));
+        }
         self
     }
 

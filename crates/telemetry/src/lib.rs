@@ -227,6 +227,37 @@ pub enum EventKind {
         /// Solver ordinal chosen for the rung.
         solver: u8,
     },
+    /// The serving layer admitted a job into a shard's bounded queue.
+    JobAdmitted {
+        /// Shard the router assigned (by fingerprint affinity or the
+        /// configured fallback policy).
+        shard: u16,
+        /// Queue depth immediately after the enqueue.
+        depth: u32,
+    },
+    /// The serving layer rejected a job because the target shard's
+    /// admission queue was full (backpressure).
+    JobRejected {
+        /// Shard whose queue was full.
+        shard: u16,
+        /// Queue depth observed at rejection (== capacity).
+        depth: u32,
+    },
+    /// A queued job's deadline expired before dispatch; it was shed
+    /// without running any solve.
+    JobShed {
+        /// Shard the job was queued on.
+        shard: u16,
+        /// Wall-clock nanoseconds the job waited before being shed.
+        waited_nanos: u64,
+    },
+    /// The serving layer dequeued a job and handed it to a shard engine.
+    JobDispatched {
+        /// Shard executing the job.
+        shard: u16,
+        /// Wall-clock nanoseconds the job spent queued.
+        wait_nanos: u64,
+    },
 }
 
 /// A single recorded telemetry event.
@@ -249,6 +280,8 @@ impl Event {
         match &mut self.kind {
             EventKind::SpanExit { nanos, .. } => *nanos = 0,
             EventKind::CacheMiss { analysis_nanos } => *analysis_nanos = 0,
+            EventKind::JobShed { waited_nanos, .. } => *waited_nanos = 0,
+            EventKind::JobDispatched { wait_nanos, .. } => *wait_nanos = 0,
             _ => {}
         }
         self
@@ -296,13 +329,21 @@ pub enum Counter {
     FaultsExhausted,
     /// Rescue rungs climbed across all jobs.
     RescueRungs,
+    /// Jobs admitted into a serving-layer shard queue.
+    JobsAdmitted,
+    /// Jobs rejected at admission (queue full, backpressure).
+    JobsRejected,
+    /// Queued jobs shed because their deadline expired before dispatch.
+    JobsShed,
+    /// Wall-clock nanoseconds admitted jobs spent queued before dispatch.
+    QueueWaitNanos,
     /// Trace events dropped because the ring was full.
     EventsDropped,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 22;
 
     /// Every counter, in `repr` order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -323,6 +364,10 @@ impl Counter {
         Counter::FaultsRecovered,
         Counter::FaultsExhausted,
         Counter::RescueRungs,
+        Counter::JobsAdmitted,
+        Counter::JobsRejected,
+        Counter::JobsShed,
+        Counter::QueueWaitNanos,
         Counter::EventsDropped,
     ];
 
@@ -351,6 +396,10 @@ impl Counter {
             Counter::FaultsRecovered => "acamar_faults_recovered_total",
             Counter::FaultsExhausted => "acamar_faults_exhausted_total",
             Counter::RescueRungs => "acamar_rescue_rungs_total",
+            Counter::JobsAdmitted => "acamar_service_jobs_admitted_total",
+            Counter::JobsRejected => "acamar_service_jobs_rejected_total",
+            Counter::JobsShed => "acamar_service_jobs_shed_total",
+            Counter::QueueWaitNanos => "acamar_service_queue_wait_nanos_total",
             Counter::EventsDropped => "acamar_trace_events_dropped_total",
         }
     }
@@ -375,6 +424,10 @@ impl Counter {
             Counter::FaultsRecovered => "Faults recovered via the rescue ladder",
             Counter::FaultsExhausted => "Faults whose job exhausted the rescue ladder",
             Counter::RescueRungs => "Rescue-ladder rungs climbed",
+            Counter::JobsAdmitted => "Jobs admitted into a serving-layer shard queue",
+            Counter::JobsRejected => "Jobs rejected at admission (queue full)",
+            Counter::JobsShed => "Queued jobs shed on an expired deadline",
+            Counter::QueueWaitNanos => "Nanoseconds admitted jobs spent queued",
             Counter::EventsDropped => "Trace events dropped (ring full)",
         }
     }

@@ -1,150 +1,191 @@
-//! A batch solve service over the Acamar accelerator.
+//! The serving front-end, end to end: admission → shards → scrape.
 //!
-//! Simulates the workload the `acamar-engine` crate exists for: a stream
-//! of `(matrix, rhs)` jobs in which most matrices repeat a sparsity
-//! pattern the service has already seen — time steps of the same PDE,
-//! parameter sweeps, and multi-RHS solves. The engine fingerprints each
-//! pattern and caches the structure decision + fine-grained unroll plan,
-//! so only the first job per pattern pays for Acamar's host-side decision
-//! loops.
+//! Drives `acamar-service` the way a deployment would: a stream of
+//! requests with mixed priorities and deadlines is *submitted* (not
+//! batch-called) into a 2-shard service with fingerprint-affinity
+//! routing, backpressure is demonstrated against a deliberately tiny
+//! queue, and the Prometheus snapshot + ring trace are scraped over the
+//! HTTP endpoint. Doubles as the CI `service-smoke` job: it asserts
+//! every ticket resolves, zero telemetry events are dropped, and
+//! shutdown is clean (drop drains the queues and joins every thread).
 //!
 //! Run with `cargo run --release --example batch_service`.
 
 use acamar::core::{Acamar, AcamarConfig};
-use acamar::engine::{Engine, SolveJob};
 use acamar::fabric::FabricSpec;
-use acamar::solvers::{ConvergenceCriteria, SolverKind};
+use acamar::service::{
+    AdmissionError, Priority, RoutingPolicy, ScrapeServer, Service, ServiceConfig, ServiceRequest,
+};
+use acamar::solvers::ConvergenceCriteria;
 use acamar::sparse::generate;
-use acamar::telemetry::{timeline, RingRecorder};
+use acamar::telemetry::RingRecorder;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
+
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("scrape endpoint up");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n").expect("request");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("response");
+    out
+}
 
 fn main() {
     let cfg =
         AcamarConfig::paper().with_criteria(ConvergenceCriteria::paper().with_max_iterations(2500));
-    // A live event ring turns the service observable: every span, cache
-    // decision, and fabric reconfiguration lands here, ready for the
-    // timeline renderer or a JSON-lines/Prometheus export.
-    let recorder = Arc::new(RingRecorder::new(1 << 16));
-    let engine =
-        Engine::new(Acamar::new(FabricSpec::alveo_u55c(), cfg)).with_recorder(recorder.clone());
+    let acamar = Acamar::new(FabricSpec::alveo_u55c(), cfg);
+    let ring = Arc::new(RingRecorder::new(1 << 16));
+    let service = Arc::new(Service::<f64>::with_recorder(
+        acamar,
+        ServiceConfig::default()
+            .with_shards(2)
+            .with_queue_capacity(128)
+            .with_routing(RoutingPolicy::Affinity),
+        Arc::clone(&ring),
+    ));
     println!(
-        "batch service: {} workers over one Alveo U55C model\n",
-        engine.workers()
+        "service: {} shards × {} worker(s), affinity routing, queue bound {}\n",
+        service.shards(),
+        service.config().workers_per_shard,
+        service.config().queue_capacity
     );
 
-    // --- Phase 1: a heterogeneous job stream -------------------------
-    // Three recurring problem families; 36 jobs cycling through them
-    // with fresh right-hand sides (e.g. successive time steps).
+    // --- Phase 1: a mixed-priority streaming workload ----------------
+    // Three recurring structural families (time steps of the same PDEs);
+    // affinity routing pins each family to one shard, so only the first
+    // request per family pays the analysis.
     let families = [
         (
-            "poisson 32x32",
-            Arc::new(generate::poisson2d::<f64>(32, 32)),
+            "poisson 24x24",
+            Arc::new(generate::poisson2d::<f64>(24, 24)),
         ),
         (
-            "poisson 48x24",
-            Arc::new(generate::poisson2d::<f64>(48, 24)),
+            "poisson 28x14",
+            Arc::new(generate::poisson2d::<f64>(28, 14)),
         ),
         (
-            "convection-diffusion 30x30",
-            Arc::new(generate::convection_diffusion_2d::<f64>(30, 30, 2.0)),
+            "convection-diffusion 20x20",
+            Arc::new(generate::convection_diffusion_2d::<f64>(20, 20, 2.0)),
         ),
     ];
-    let jobs: Vec<SolveJob<f64>> = (0..36)
+    let tickets: Vec<_> = (0..48)
         .map(|k| {
             let (_, a) = &families[k % families.len()];
             let b: Vec<f64> = (0..a.nrows())
                 .map(|i| 1.0 + ((i + 7 * k) % 13) as f64 * 0.05)
                 .collect();
-            SolveJob::new(Arc::clone(a), b)
+            let priority = match k % 3 {
+                0 => Priority::High,
+                1 => Priority::Normal,
+                _ => Priority::Low,
+            };
+            service
+                .submit(
+                    ServiceRequest::new(Arc::clone(a), b)
+                        .with_tenant((k % 4) as u32)
+                        .with_priority(priority)
+                        .with_deadline(Duration::from_secs(30)),
+                )
+                .expect("stream fits the queue bound")
         })
         .collect();
 
-    let batch = engine.solve_jobs(jobs);
-    println!("phase 1 — mixed stream");
-    println!(
-        "  {} jobs, {} converged, {:.0} jobs/s",
-        batch.jobs(),
-        batch.converged,
-        batch.jobs_per_second()
-    );
-    println!(
-        "  cache: {} misses (distinct patterns), {} hits, {:.0}% hit rate",
-        batch.cache.misses,
-        batch.cache.hits,
-        100.0 * batch.cache.hit_rate()
-    );
-    println!(
-        "  decision-loop work avoided: {} row/entry traversals",
-        batch.cache.plan_build_cycles_saved
-    );
-    print!("  attempts by solver:");
-    for kind in SolverKind::ALL {
-        let n = batch.attempts_by_solver[kind.index()];
-        if n > 0 {
-            print!(" {kind}={n}");
-        }
+    let mut converged = 0;
+    for t in tickets {
+        let report = t.wait().expect("healthy systems solve");
+        assert!(report.converged());
+        converged += 1;
     }
-    println!("\n");
-
-    // --- Phase 2: the multi-RHS fast path ----------------------------
-    // Eight right-hand sides against one already-warm matrix: zero
-    // misses, one shared plan.
-    let (name, a) = &families[0];
-    let rhss: Vec<Vec<f64>> = (0..8)
-        .map(|k| {
-            (0..a.nrows())
-                .map(|i| ((i * (k + 1)) % 11) as f64 * 0.1)
-                .collect()
-        })
-        .collect();
-    // Drain phase 1's events so the timeline below shows phase 2 alone.
-    let _phase1_events = recorder.drain();
-    let multi = engine.solve_batch(a, &rhss).unwrap();
-    println!("phase 2 — 8 RHS against warm {name}");
+    println!("phase 1 — 48 mixed-priority requests");
     println!(
-        "  {} jobs, misses {}, hits {}, all converged: {}",
-        multi.jobs(),
-        multi.cache.misses,
-        multi.cache.hits,
-        multi.all_converged()
+        "  converged: {converged}/48, completions: {}",
+        service.completions()
     );
-    println!(
-        "  merged fabric stats: {:.2e} useful FLOPs, {} SpMV reconfigurations, peak area {:.1} mm²\n",
-        multi.stats.useful_flops as f64,
-        multi.stats.spmv_reconfig_events,
-        multi.stats.peak_area_mm2
+    for s in 0..service.shards() {
+        let c = service.engine(s).counters();
+        println!(
+            "  shard {s}: {} jobs, cache {} hits / {} misses",
+            c.jobs_completed, c.cache.hits, c.cache.misses
+        );
+    }
+    let total_misses: u64 = (0..service.shards())
+        .map(|s| service.engine(s).counters().cache.misses)
+        .sum();
+    assert_eq!(
+        total_misses,
+        families.len() as u64,
+        "affinity: exactly one analysis per structural family"
     );
-
-    // --- Telemetry: timeline + metrics snapshot ----------------------
-    let events = recorder.drain();
-    println!("phase 2 telemetry — reconfiguration timeline");
-    println!("{}", timeline::render_summary(&events));
-    println!("{}", timeline::render_job(&events, 0, 72));
-    println!("prometheus snapshot (batch report)");
-    for line in multi
-        .prometheus_text()
-        .lines()
-        .filter(|l| !l.starts_with('#'))
-        .take(8)
-    {
-        println!("  {line}");
+    for (name, a) in &families {
+        let warm: Vec<usize> = (0..service.shards())
+            .filter(|&s| service.is_warm(s, a))
+            .collect();
+        println!("  {name}: warm on shard(s) {warm:?}");
+        assert_eq!(warm.len(), 1, "each family warms exactly one shard");
     }
     println!();
 
-    // --- Lifetime counters -------------------------------------------
-    let c = engine.counters();
-    println!("engine lifetime");
-    println!(
-        "  jobs completed: {}; cache entries: {}; hits/misses: {}/{}",
-        c.jobs_completed, c.cache.entries, c.cache.hits, c.cache.misses
+    // --- Phase 2: backpressure against a tiny queue ------------------
+    let small = Service::<f64>::new(
+        Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper()),
+        ServiceConfig::default()
+            .with_shards(1)
+            .with_queue_capacity(2),
     );
-    println!(
-        "  total plan-build work saved: {} traversals",
-        c.cache.plan_build_cycles_saved
-    );
-    println!(
-        "  pool idle (observed hand-off gaps): {:.3} ms; telemetry events dropped: {}",
-        c.pool_idle_nanos as f64 / 1e6,
-        recorder.dropped()
-    );
+    small.pause();
+    let (_, a) = &families[0];
+    let held: Vec<_> = (0..2)
+        .map(|k| {
+            small
+                .submit(ServiceRequest::new(
+                    Arc::clone(a),
+                    vec![1.0 + k as f64; a.nrows()],
+                ))
+                .expect("under the bound")
+        })
+        .collect();
+    let rejected = small
+        .submit(ServiceRequest::new(Arc::clone(a), vec![9.0; a.nrows()]))
+        .expect_err("third submission overflows capacity 2");
+    let AdmissionError::QueueFull {
+        depth, retry_after, ..
+    } = rejected;
+    println!("phase 2 — backpressure");
+    println!("  queue full at depth {depth}; typed rejection says retry after {retry_after:?}");
+    small.resume();
+    for t in held {
+        assert!(t.wait().expect("held jobs drain after resume").converged());
+    }
+    drop(small);
+    println!("  held jobs drained after resume; small service shut down clean\n");
+
+    // --- Phase 3: the scrape endpoint --------------------------------
+    let server = ScrapeServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    println!("phase 3 — scrape endpoint at http://{}", server.addr());
+    let health = scrape(server.addr(), "/healthz");
+    assert!(health.ends_with("ok\n"), "healthz: {health}");
+    let metrics = scrape(server.addr(), "/metrics");
+    assert!(metrics.contains("acamar_service_jobs_admitted_total 48"));
+    assert!(metrics.contains("acamar_service_shard_jobs_total"));
+    for line in metrics
+        .lines()
+        .filter(|l| l.contains("acamar_service") && !l.starts_with('#'))
+        .take(10)
+    {
+        println!("  {line}");
+    }
+    let trace = scrape(server.addr(), "/trace");
+    let body = trace.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    println!("  /trace drained {} event lines", body.lines().count());
+    drop(server);
+    println!();
+
+    // --- Clean shutdown ----------------------------------------------
+    assert_eq!(service.dropped_events(), 0, "no telemetry events dropped");
+    assert_eq!(service.total_queue_depth(), 0);
+    let service = Arc::try_unwrap(service).expect("scrape server released its handle");
+    drop(service); // joins every dispatcher; queues are already empty
+    println!("clean shutdown: 0 dropped events, queues drained, threads joined");
 }

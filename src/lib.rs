@@ -32,6 +32,10 @@
 //! * [`engine`] — a concurrent batch-solve service that fingerprints
 //!   sparsity patterns and caches structure/plan decisions across jobs,
 //!   with panic isolation, per-job deadlines, and a rescue ladder;
+//! * [`service`] — the long-running serving front-end over the engine:
+//!   bounded admission with typed backpressure, per-tenant priority +
+//!   deadline scheduling, fingerprint-affinity engine shards, and an
+//!   HTTP scrape endpoint for the Prometheus snapshot and ring trace;
 //! * [`faultline`] — a seeded deterministic fault-injection harness for
 //!   exercising every recovery path (see the fault-model section of
 //!   DESIGN.md and the `fault-injection` cargo feature, which gates the
@@ -79,6 +83,7 @@ pub use acamar_engine as engine;
 pub use acamar_fabric as fabric;
 pub use acamar_faultline as faultline;
 pub use acamar_gpu as gpu;
+pub use acamar_service as service;
 pub use acamar_solvers as solvers;
 pub use acamar_sparse as sparse;
 pub use acamar_telemetry as telemetry;
@@ -104,6 +109,10 @@ pub mod prelude {
     pub use acamar_fabric::{FabricSpec, StaticAccelerator, UnrollSchedule};
     pub use acamar_faultline::{FaultCategory, FaultInjector, FaultPlan};
     pub use acamar_gpu::{model_csr_spmv, GpuSpec};
+    pub use acamar_service::{
+        AdmissionError, Priority, RoutingPolicy, ScrapeServer, Service, ServiceConfig,
+        ServiceError, ServiceRequest, Ticket,
+    };
     pub use acamar_solvers::{
         ConvergenceCriteria, Outcome, SoftwareKernels, SolveReport, SolverKind,
     };
