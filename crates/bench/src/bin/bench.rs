@@ -27,7 +27,12 @@
 //!   instances — fingerprint-affinity routing vs seeded random routing —
 //!   at a paced arrival rate, and reports p50/p99/p999 request latency
 //!   (admission to completion) plus per-shard plan-cache hit/miss
-//!   totals for each arm.
+//!   totals for each arm;
+//! - **availability under chaos**: a 4-shard service has one dispatcher
+//!   crash-killed mid-burst; the supervisor respawns it, the breaker
+//!   spills its traffic down the rendezvous ranking, and the gates are
+//!   zero lost jobs, a finite p999, at least one supervisor restart,
+//!   and at least one failover diversion.
 //!
 //! Writes `BENCH_PR4.json` plus the machine-diffable `BENCH_SUMMARY.json`
 //! and the telemetry artifacts `bench_trace.jsonl` / `bench_metrics.prom`
@@ -60,7 +65,7 @@ use acamar_core::{Acamar, AcamarConfig};
 use acamar_datasets::{suite, Dataset};
 use acamar_engine::{Engine, PatternFingerprint};
 use acamar_fabric::FabricSpec;
-use acamar_service::{RoutingPolicy, Service, ServiceConfig, ServiceRequest};
+use acamar_service::{shard_ranking, RoutingPolicy, Service, ServiceConfig, ServiceRequest};
 use acamar_solvers::{ConvergenceCriteria, Kernels, SoftwareKernels};
 use acamar_sparse::rng::DetRng;
 use acamar_sparse::{generate, CompiledSpmv, CsrMatrix};
@@ -761,6 +766,135 @@ fn bench_service(quick: bool) -> ServiceBench {
     }
 }
 
+/// Availability under chaos: one shard of four is crash-killed
+/// mid-burst, and the numbers are what the clients see across the
+/// outage.
+struct AvailabilityBench {
+    shards: usize,
+    requests: usize,
+    crashed_shard: usize,
+    /// Tickets that did not resolve with a converged solution. The gate
+    /// is exactly zero: a dispatcher crash may slow the tail, never eat
+    /// a job.
+    lost_jobs: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    restarts: u64,
+    failovers: u64,
+    health_transitions: u64,
+}
+
+/// Kills one shard's dispatcher thread mid-burst — the home shard of the
+/// first pattern, so its affinity traffic has warm spill targets — and
+/// measures the latency tail the clients see across the outage. The
+/// self-healing machinery this exercises end to end: the supervisor
+/// respawns the crashed dispatcher and requeues whatever it stranded,
+/// the breaker spills the broken shard's traffic down the rendezvous
+/// ranking, and after `probe_after` diversions a half-open probe heals
+/// it. Gates: zero lost jobs (every ticket resolves converged), a
+/// finite p999, at least one supervisor restart, and at least one
+/// failover diversion.
+fn bench_availability(quick: bool) -> AvailabilityBench {
+    let shards = 4;
+    let n_patterns = 8;
+    let (n_requests, n_rows) = if quick { (96, 800) } else { (256, 2000) };
+    let pats: Vec<Arc<CsrMatrix<f64>>> = (0..n_patterns)
+        .map(|k| {
+            Arc::new(generate::diagonally_dominant::<f64>(
+                n_rows,
+                generate::RowDistribution::Uniform { min: 2, max: 6 },
+                6.0,
+                0xAB + k as u64,
+            ))
+        })
+        .collect();
+    let ring = Arc::new(RingRecorder::new(1 << 15));
+    let service = Service::<f64>::with_recorder(
+        acamar(),
+        ServiceConfig::default()
+            .with_shards(shards)
+            .with_queue_capacity(n_requests + n_patterns)
+            .with_retry_budget(2)
+            .with_restart_backoff(Duration::from_millis(1)),
+        Arc::clone(&ring),
+    );
+    // Warm every pattern onto its home shard so the measured tail is the
+    // outage, not first-contact analysis cost.
+    let warm: Vec<_> = pats
+        .iter()
+        .map(|a| {
+            service
+                .submit(ServiceRequest::new(Arc::clone(a), vec![1.0; a.nrows()]))
+                .expect("warm-up fits the queue bound")
+        })
+        .collect();
+    for t in warm {
+        assert!(t.wait().expect("warm-up solves").converged());
+    }
+
+    let victim = shard_ranking(&PatternFingerprint::of(&pats[0]), shards)[0];
+    let submit = |k: usize| {
+        let a = &pats[k % n_patterns];
+        let b: Vec<f64> = (0..a.nrows())
+            .map(|i| 1.0 + ((i + 3 * k) % 11) as f64 * 0.05)
+            .collect();
+        service
+            .submit(ServiceRequest::new(Arc::clone(a), b))
+            .expect("queue capacity covers the stream")
+    };
+    let mut tickets = Vec::with_capacity(n_requests);
+    for k in 0..n_requests / 2 {
+        tickets.push(submit(k));
+    }
+    // Kill the dispatcher mid-burst, then hold the second half of the
+    // stream until the supervisor has respawned it — the respawned shard
+    // is Broken, so the held traffic exercises failover routing and the
+    // half-open probe rather than racing the restart itself.
+    service.crash_shard(victim);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.restarts(victim) == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "supervisor never respawned the crashed dispatcher on shard {victim}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for k in n_requests / 2..n_requests {
+        tickets.push(submit(k));
+    }
+
+    let mut lost = 0usize;
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(n_requests);
+    for t in tickets {
+        let (result, latency) = t.wait_timed();
+        match result {
+            Ok(report) if report.converged() => {
+                latencies_ms.push(latency.as_secs_f64() * 1e3);
+            }
+            _ => lost += 1,
+        }
+    }
+    assert_eq!(
+        lost, 0,
+        "a dispatcher crash must not lose jobs: every ticket resolves converged"
+    );
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let counters = ring.counters();
+    AvailabilityBench {
+        shards,
+        requests: n_requests,
+        crashed_shard: victim,
+        lost_jobs: lost,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        p999_ms: percentile(&latencies_ms, 0.999),
+        restarts: service.restarts(victim),
+        failovers: counters[Counter::Failovers.index()],
+        health_transitions: counters[Counter::HealthTransitions.index()],
+    }
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
@@ -782,6 +916,7 @@ fn write_json(
     spmv: &SpmvResult,
     telem: &TelemetryBench,
     service: &ServiceBench,
+    avail: &AvailabilityBench,
 ) {
     let mut out = String::new();
     out.push_str("{\n");
@@ -956,6 +1091,27 @@ fn write_json(
     out.push_str(&format!(
         "    \"p99_speedup_vs_random\": {}\n",
         json_f(service.p99_speedup_vs_random)
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"availability\": {\n");
+    out.push_str(&format!("    \"shards\": {},\n", avail.shards));
+    out.push_str(&format!("    \"requests\": {},\n", avail.requests));
+    out.push_str(&format!(
+        "    \"crashed_shard\": {},\n",
+        avail.crashed_shard
+    ));
+    out.push_str(&format!("    \"lost_jobs\": {},\n", avail.lost_jobs));
+    out.push_str(&format!("    \"p50_ms\": {},\n", json_f(avail.p50_ms)));
+    out.push_str(&format!("    \"p99_ms\": {},\n", json_f(avail.p99_ms)));
+    out.push_str(&format!("    \"p999_ms\": {},\n", json_f(avail.p999_ms)));
+    out.push_str(&format!(
+        "    \"dispatcher_restarts\": {},\n",
+        avail.restarts
+    ));
+    out.push_str(&format!("    \"failovers\": {},\n", avail.failovers));
+    out.push_str(&format!(
+        "    \"health_transitions\": {}\n",
+        avail.health_transitions
     ));
     out.push_str("  },\n");
     let min_speedup = results
@@ -1245,6 +1401,23 @@ fn main() {
         );
     }
 
+    let avail = bench_availability(quick);
+    eprintln!(
+        "  availability: shard {} of {} crashed mid-burst ({} reqs): p50 {:>7.3} ms  \
+         p99 {:>7.3} ms  p999 {:>7.3} ms, {} lost, {} restarts, {} failovers, \
+         {} health transitions",
+        avail.crashed_shard,
+        avail.shards,
+        avail.requests,
+        avail.p50_ms,
+        avail.p99_ms,
+        avail.p999_ms,
+        avail.lost_jobs,
+        avail.restarts,
+        avail.failovers,
+        avail.health_transitions
+    );
+
     // The 2x warm-batch gate needs at least two pool workers (the batch
     // spreads across the pool; a cold solve cannot). On a single-CPU host
     // only the pooling/caching component is measurable, so the gate
@@ -1269,6 +1442,7 @@ fn main() {
         &spmv,
         &telem,
         &service,
+        &avail,
     );
     eprintln!("bench: wrote BENCH_PR4.json");
     std::fs::write("bench_trace.jsonl", &telem.trace_jsonl).expect("write telemetry trace");
@@ -1380,6 +1554,32 @@ fn main() {
         service.affinity.p99_ms,
         service.random.p99_ms,
         service.p99_speedup_vs_random
+    );
+    // Availability-under-chaos gates. These hold exactly in both modes:
+    // losing a job to a dispatcher crash is a correctness bug, not a
+    // timing regression, and the restart/failover counts are driven by
+    // the count-based health machine, not the clock.
+    assert_eq!(
+        avail.lost_jobs, 0,
+        "crashing shard {} lost {} jobs (every ticket must resolve converged)",
+        avail.crashed_shard, avail.lost_jobs
+    );
+    assert!(
+        avail.p999_ms.is_finite(),
+        "availability p999 must stay finite across the outage"
+    );
+    assert!(
+        avail.restarts >= 1,
+        "the supervisor must restart the crashed dispatcher"
+    );
+    assert!(
+        avail.failovers >= 1,
+        "the broken shard's affinity traffic must spill down the ranking"
+    );
+    eprintln!(
+        "  availability under crash: 0/{} jobs lost, p999 {:.3} ms, \
+         {} restarts, {} failovers",
+        avail.requests, avail.p999_ms, avail.restarts, avail.failovers
     );
     if let Some(path) = baseline {
         check_regression(

@@ -573,6 +573,35 @@ impl Engine {
         self
     }
 
+    /// A fresh engine with this engine's configuration — same accelerator
+    /// model, worker count, resilience policy, fault injector, and
+    /// telemetry sink — but a brand-new worker pool and a cold plan
+    /// cache.
+    ///
+    /// This is the shard-restart hook for the serving layer's supervisor:
+    /// when a dispatcher thread dies, its engine (whose pool or cache may
+    /// be entangled with the crash) is abandoned in place and replaced
+    /// wholesale. The injector `Arc` is *shared*, not cloned, so the
+    /// chaos ledger keeps a single ground truth across the restart.
+    pub fn respawn(&self) -> Engine {
+        let pool_idle = Arc::new(AtomicU64::new(0));
+        Engine {
+            inner: Arc::new(EngineInner {
+                acamar: self.inner.acamar.clone(),
+                workers: self.inner.workers,
+                cache: PlanCache::new(),
+                resilience: self.inner.resilience.clone(),
+                injector: self.inner.injector.clone(),
+                telemetry: self.inner.telemetry.clone(),
+                pool_idle: Arc::clone(&pool_idle),
+                jobs_completed: AtomicU64::new(0),
+                attempts: std::array::from_fn(|_| AtomicU64::new(0)),
+                solo_workspace: WorkspaceHandle::new(),
+            }),
+            pool: WorkerPool::new(self.inner.workers, pool_idle),
+        }
+    }
+
     /// The wrapped accelerator.
     pub fn acamar(&self) -> &Acamar {
         &self.inner.acamar
@@ -1149,6 +1178,29 @@ mod tests {
         assert_eq!(via_engine.solve.solution, direct.solve.solution);
         assert_eq!(via_engine.attempts.len(), direct.attempts.len());
         assert_eq!(e.counters().jobs_completed, 1);
+    }
+
+    #[test]
+    fn respawn_gives_a_cold_equivalent_engine_sharing_the_injector() {
+        let injector = Arc::new(FaultInjector::new(FaultPlan::new(3)));
+        let e = engine(2)
+            .with_resilience(ResilienceConfig::hardened())
+            .with_fault_injection(Arc::clone(&injector));
+        let a = generate::poisson2d::<f64>(8, 8);
+        let b = vec![1.0_f64; 64];
+        let warm = e.solve_one(&a, &b).unwrap();
+        assert!(e.is_warm(&a));
+
+        let fresh = e.respawn();
+        assert!(!fresh.is_warm(&a), "respawn must start with a cold cache");
+        assert_eq!(fresh.workers(), e.workers());
+        assert_eq!(fresh.counters().jobs_completed, 0);
+        assert!(
+            Arc::ptr_eq(fresh.injector().unwrap(), &injector),
+            "the chaos ledger must stay shared across a restart"
+        );
+        let again = fresh.solve_one(&a, &b).unwrap();
+        assert_eq!(again.solve.solution, warm.solve.solution);
     }
 
     #[test]

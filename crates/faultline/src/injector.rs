@@ -218,6 +218,43 @@ impl FaultInjector {
             }
         })
     }
+
+    /// Seam: does the dispatcher panic while holding admission `seq` on
+    /// delivery attempt `attempt`? Keyed by the service-global admission
+    /// sequence (not the shard), so the decision survives failover
+    /// rerouting; a fresh `attempt` gives the retried delivery its own
+    /// roll, so a bounded retry budget can dodge a repeat fault.
+    pub fn dispatcher_panic(&self, seq: u64, attempt: u64) -> bool {
+        if !self.plan.roll(FaultCategory::DispatcherPanic, seq, attempt) {
+            return false;
+        }
+        self.record(FaultCategory::DispatcherPanic, seq, attempt);
+        true
+    }
+
+    /// Seam: does the dispatcher wedge before dispatching admission `seq`
+    /// on attempt `attempt`? Returns the stall length in milliseconds
+    /// when it fires.
+    pub fn dispatcher_stall(&self, seq: u64, attempt: u64) -> Option<u64> {
+        if !self.plan.roll(FaultCategory::DispatcherStall, seq, attempt) {
+            return None;
+        }
+        self.record(FaultCategory::DispatcherStall, seq, attempt);
+        let mut rng = self
+            .plan
+            .rng(FaultCategory::DispatcherStall, seq, attempt ^ u64::MAX);
+        Some(2 + rng.gen_range(0..8usize) as u64)
+    }
+
+    /// Seam: is admission `seq` silently dropped between pop and dispatch
+    /// on attempt `attempt`?
+    pub fn drop_queued(&self, seq: u64, attempt: u64) -> bool {
+        if !self.plan.roll(FaultCategory::QueueDrop, seq, attempt) {
+            return false;
+        }
+        self.record(FaultCategory::QueueDrop, seq, attempt);
+        true
+    }
 }
 
 /// A cheap per-job handle pairing a shared [`FaultInjector`] with the
@@ -294,9 +331,38 @@ mod tests {
             assert!(!inj.reconfig_aborts(job, 0));
             assert!(!inj.corrupt_cache(job));
             assert!(inj.disrupt_worker(job, 0).is_none());
+            assert!(!inj.dispatcher_panic(job, 0));
+            assert!(inj.dispatcher_stall(job, 0).is_none());
+            assert!(!inj.drop_queued(job, 0));
         }
         assert_eq!(inj.injected_total(), 0);
         assert!(inj.events().is_empty());
+    }
+
+    #[test]
+    fn service_seams_record_and_rekey_by_attempt() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(21)
+                .with_rate(FaultCategory::DispatcherPanic, 1.0)
+                .with_rate(FaultCategory::QueueDrop, 1.0)
+                .with_rate(FaultCategory::DispatcherStall, 1.0),
+        );
+        assert!(inj.dispatcher_panic(7, 0));
+        assert!(inj.drop_queued(7, 0));
+        let stall = inj.dispatcher_stall(7, 0).expect("rate 1.0 stalls");
+        assert!((2..10).contains(&stall));
+        assert_eq!(inj.injected()[FaultCategory::DispatcherPanic.index()], 1);
+        assert_eq!(inj.injected()[FaultCategory::QueueDrop.index()], 1);
+        assert_eq!(inj.injected()[FaultCategory::DispatcherStall.index()], 1);
+        // A half-rate plan gives the retried delivery attempt its own
+        // roll: across many seqs, some first attempts fire and their
+        // retries do not — the budget can dodge a repeat fault.
+        let half = FaultInjector::new(FaultPlan::new(9).with_rate(FaultCategory::QueueDrop, 0.5));
+        let dodged = (0..128)
+            .filter(|&s| half.plan().roll(FaultCategory::QueueDrop, s, 0))
+            .filter(|&s| !half.plan().roll(FaultCategory::QueueDrop, s, 1))
+            .count();
+        assert!(dodged > 8, "retries must be independently keyed ({dodged})");
     }
 
     #[test]

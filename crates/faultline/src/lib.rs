@@ -21,6 +21,9 @@
 //! | [`FaultCategory::ReconfigAbort`] | fabric reconfig controller | ICAP swap aborts, old unroll stays |
 //! | [`FaultCategory::CacheCorruption`] | engine plan cache | stored pattern metadata corrupted |
 //! | [`FaultCategory::WorkerDisruption`] | engine worker pool | worker panics or stalls mid-job |
+//! | [`FaultCategory::DispatcherPanic`] | service dispatch loop | dispatcher thread panics holding a wave |
+//! | [`FaultCategory::DispatcherStall`] | service dispatch loop | dispatcher wedges before dispatching |
+//! | [`FaultCategory::QueueDrop`] | service admission queue | queued job vanishes between pop and dispatch |
 //!
 //! The hooks this crate feeds are always compiled into the downstream
 //! crates and are inert unless an injector is installed, so a fault-free

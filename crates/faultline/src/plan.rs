@@ -3,8 +3,13 @@
 use acamar_sparse::rng::DetRng;
 use std::fmt;
 
-/// The five fault categories the harness can inject, one per seam the
-/// resilient engine defends.
+/// The fault categories the harness can inject, one per seam the
+/// resilient engine and the serving layer defend.
+///
+/// The first five target engine/fabric seams (PR 2); the last three
+/// target the serving layer's own seams — the dispatcher threads and the
+/// admission queue — which sit *above* the engine's panic isolation and
+/// therefore need their own supervision to survive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FaultCategory {
     /// A NaN/Inf value written into a right-hand-side vector before the
@@ -24,6 +29,18 @@ pub enum FaultCategory {
     /// A worker thread panicking or stalling mid-job (seam:
     /// `acamar-engine` worker pool).
     WorkerDisruption,
+    /// A shard dispatcher thread panicking while it holds a wave of
+    /// in-flight jobs (seam: `acamar-service` dispatch loop). The
+    /// supervisor must respawn the dispatcher and re-queue the wave.
+    DispatcherPanic,
+    /// A shard dispatcher wedging for a bounded interval before
+    /// dispatching its wave (seam: `acamar-service` dispatch loop). The
+    /// heartbeat watchdog must notice the stall.
+    DispatcherStall,
+    /// A queued job silently dropped between pop and dispatch (seam:
+    /// `acamar-service` admission queue). The retry budget must re-queue
+    /// it or resolve its ticket with a typed error.
+    QueueDrop,
 }
 
 impl FaultCategory {
@@ -34,10 +51,30 @@ impl FaultCategory {
         FaultCategory::ReconfigAbort,
         FaultCategory::CacheCorruption,
         FaultCategory::WorkerDisruption,
+        FaultCategory::DispatcherPanic,
+        FaultCategory::DispatcherStall,
+        FaultCategory::QueueDrop,
     ];
 
     /// Number of categories (length of [`FaultCategory::ALL`]).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 8;
+
+    /// The engine/fabric-seam categories (what `Engine` itself defends).
+    pub const ENGINE: [FaultCategory; 5] = [
+        FaultCategory::RhsPoison,
+        FaultCategory::SpmvBitFlip,
+        FaultCategory::ReconfigAbort,
+        FaultCategory::CacheCorruption,
+        FaultCategory::WorkerDisruption,
+    ];
+
+    /// The service-seam categories (what the serving layer's supervision
+    /// and failover machinery defends).
+    pub const SERVICE: [FaultCategory; 3] = [
+        FaultCategory::DispatcherPanic,
+        FaultCategory::DispatcherStall,
+        FaultCategory::QueueDrop,
+    ];
 
     /// Dense index of this category in [`FaultCategory::ALL`] — the key
     /// for per-category counters and tallies.
@@ -48,7 +85,20 @@ impl FaultCategory {
             FaultCategory::ReconfigAbort => 2,
             FaultCategory::CacheCorruption => 3,
             FaultCategory::WorkerDisruption => 4,
+            FaultCategory::DispatcherPanic => 5,
+            FaultCategory::DispatcherStall => 6,
+            FaultCategory::QueueDrop => 7,
         }
+    }
+
+    /// `true` for the serving-layer seams ([`FaultCategory::SERVICE`]).
+    pub fn is_service_seam(self) -> bool {
+        matches!(
+            self,
+            FaultCategory::DispatcherPanic
+                | FaultCategory::DispatcherStall
+                | FaultCategory::QueueDrop
+        )
     }
 
     /// Short display label.
@@ -59,6 +109,9 @@ impl FaultCategory {
             FaultCategory::ReconfigAbort => "reconfig-abort",
             FaultCategory::CacheCorruption => "cache-corruption",
             FaultCategory::WorkerDisruption => "worker-disruption",
+            FaultCategory::DispatcherPanic => "dispatcher-panic",
+            FaultCategory::DispatcherStall => "dispatcher-stall",
+            FaultCategory::QueueDrop => "queue-drop",
         }
     }
 }

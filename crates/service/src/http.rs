@@ -1,13 +1,15 @@
 //! Minimal std-only scrape endpoint.
 //!
-//! One accept-loop thread serving three `GET` routes over HTTP/1.1
+//! One accept-loop thread serving four `GET` routes over HTTP/1.1
 //! (connection-per-request, `Connection: close`):
 //!
 //! - `/metrics` — the service's Prometheus snapshot
 //!   ([`Service::prometheus_text`]);
 //! - `/trace` — drains the ring recorder as JSON lines
 //!   ([`Service::trace_json`]);
-//! - `/healthz` — liveness (`ok`).
+//! - `/health` — per-shard supervision state as JSON
+//!   ([`Service::health_json`]);
+//! - `/healthz` — process liveness (`ok`).
 //!
 //! This is a scrape endpoint, not a web server: no keep-alive, no
 //! chunking, no TLS. Bind it to loopback (`127.0.0.1:0` picks a free
@@ -112,6 +114,7 @@ fn handle<T: Scalar>(stream: &mut TcpStream, service: &Service<T>) -> std::io::R
                 service.prometheus_text(),
             ),
             "/trace" => ("200 OK", "application/jsonlines", service.trace_json()),
+            "/health" => ("200 OK", "application/json", service.health_json()),
             "/healthz" => ("200 OK", "text/plain", String::from("ok\n")),
             _ => ("404 Not Found", "text/plain", String::from("not found\n")),
         }
@@ -157,8 +160,11 @@ mod tests {
         assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
         assert!(metrics.contains("acamar_service_shard_jobs_total"));
         assert!(metrics.contains("acamar_service_queue_depth 0"));
-        let health = get(server.addr(), "/healthz");
-        assert!(health.ends_with("ok\n"));
+        let healthz = get(server.addr(), "/healthz");
+        assert!(healthz.ends_with("ok\n"));
+        let health = get(server.addr(), "/health");
+        assert!(health.contains("\"state\":\"healthy\""), "{health}");
+        assert!(health.contains("\"completions\":1"), "{health}");
         // No ring installed: the trace is served but empty.
         let trace = get(server.addr(), "/trace");
         assert!(trace.starts_with("HTTP/1.1 200 OK"));

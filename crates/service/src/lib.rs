@@ -24,6 +24,17 @@
 //!    structural class lands where its compiled SpMV plan is already
 //!    warm. The `service` bench's A/B (affinity vs. random routing)
 //!    measures exactly this effect on warm p99 latency.
+//! 4. **Supervision and failover** — every shard has a count-based
+//!    health state machine ([`ShardHealth`]:
+//!    `Healthy → Suspect → Broken → Probing → Healthy`) fed by dispatch
+//!    outcomes; a supervisor thread respawns a crashed dispatcher with a
+//!    fresh engine and requeues what was in flight; a `Broken` shard's
+//!    breaker deterministically spills new traffic down the
+//!    [`shard_ranking`] until a half-open probe heals it; and the three
+//!    service-seam fault categories (dispatcher panic/stall, queue drop)
+//!    are accounted in a [`ServiceLedger`] with the same
+//!    `detected + recovered + exhausted == injected` invariant the
+//!    engine's robustness report uses.
 //!
 //! Scheduling affects *when and where* a job runs, never *what it
 //! computes*: results are bitwise-identical to a direct
@@ -39,12 +50,14 @@
 #![warn(missing_docs)]
 
 mod config;
+mod health;
 mod http;
 mod queue;
 mod router;
 mod service;
 
 pub use config::{Priority, RoutingPolicy, ServiceConfig};
+pub use health::{ServiceLedger, ShardHealth};
 pub use http::ScrapeServer;
-pub use router::shard_for;
+pub use router::{shard_for, shard_ranking};
 pub use service::{AdmissionError, Service, ServiceError, ServiceRequest, Ticket};

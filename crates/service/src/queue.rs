@@ -68,6 +68,10 @@ impl<J> Scheduler<J> {
         self.len
     }
 
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
     pub fn push(
         &mut self,
         priority: Priority,

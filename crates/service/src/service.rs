@@ -1,11 +1,16 @@
 //! The serving front-end: bounded admission, shard dispatch, tickets.
 
 use crate::config::{Priority, RoutingPolicy, ServiceConfig};
+use crate::health::{
+    lock_recover, HealthCell, HealthThresholds, LedgerInner, ServiceLedger, ShardHealth,
+};
 use crate::queue::Scheduler;
-use crate::router::{mix64, shard_for};
+use crate::router::{mix64, shard_for, shard_ranking};
 use acamar_core::{Acamar, AcamarRunReport};
 use acamar_engine::{Engine, PatternFingerprint, SolveError, SolveJob};
-use acamar_faultline::{FaultCategory, FaultInjector, FaultPlan};
+use acamar_faultline::{
+    silence_injected_panics, FaultCategory, FaultInjector, FaultPlan, InjectedPanic,
+};
 use acamar_sparse::{CsrMatrix, Scalar};
 use acamar_telemetry::export::{json_lines, PrometheusWriter};
 use acamar_telemetry::{Counter, EventKind, Recorder, RingRecorder, TelemetrySink};
@@ -133,6 +138,23 @@ pub enum ServiceError {
     /// The solve itself failed (invalid input, divergence past the
     /// rescue ladder, isolated panic, engine-level deadline).
     Solve(SolveError),
+    /// The job was in flight on a dispatcher that panicked, and its
+    /// delivery retry budget ([`ServiceConfig::retry_budget`]) was spent
+    /// before a respawned dispatcher could deliver it.
+    ShardRestarted {
+        /// The shard whose dispatcher crashed.
+        shard: usize,
+        /// Delivery retries the job consumed before giving up.
+        retries: u32,
+    },
+    /// The job was silently dropped between queue and dispatch (a
+    /// `QueueDrop` fault) more times than the retry budget allowed.
+    Dropped {
+        /// The shard that lost the job.
+        shard: usize,
+        /// Delivery retries the job consumed before giving up.
+        retries: u32,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -142,6 +164,13 @@ impl fmt::Display for ServiceError {
                 write!(f, "shed on shard {shard} after queueing {waited:?}")
             }
             ServiceError::Solve(e) => write!(f, "solve failed: {e}"),
+            ServiceError::ShardRestarted { shard, retries } => write!(
+                f,
+                "lost to a dispatcher crash on shard {shard} after {retries} retries"
+            ),
+            ServiceError::Dropped { shard, retries } => {
+                write!(f, "dropped on shard {shard} after {retries} retries")
+            }
         }
     }
 }
@@ -178,7 +207,7 @@ impl<T: Scalar> TicketState<T> {
         index: u64,
         latency: Duration,
     ) {
-        *self.slot.lock().expect("ticket lock poisoned") = Some((result, index, latency));
+        *lock_recover(&self.slot) = Some((result, index, latency));
         self.cv.notify_all();
     }
 }
@@ -238,12 +267,12 @@ impl<T: Scalar> Ticket<T> {
     }
 
     fn wait_outcome(self) -> Outcome<T> {
-        let mut slot = self.state.slot.lock().expect("ticket lock poisoned");
+        let mut slot = lock_recover(&self.state.slot);
         loop {
             if let Some(out) = slot.take() {
                 return out;
             }
-            slot = self.state.cv.wait(slot).expect("ticket lock poisoned");
+            slot = self.state.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -255,6 +284,28 @@ struct Waiting<T: Scalar> {
     admitted_at: Instant,
     deadline: Option<Instant>,
     ticket: Arc<TicketState<T>>,
+    priority: Priority,
+    /// Delivery attempts already consumed (0 on first admission; bumped
+    /// each time a crash/drop requeues the job).
+    attempt: u32,
+}
+
+/// One job the dispatcher has popped but not yet resolved. Entries live
+/// in [`ShardShared::in_flight`] so a crashed dispatcher's supervisor can
+/// see exactly what was stranded and requeue it.
+struct InFlight<T: Scalar> {
+    /// `None` once the job has been handed to the engine (a crash after
+    /// that point cannot retry the work it no longer holds).
+    job: Option<SolveJob<T>>,
+    seq: u64,
+    attempt: u32,
+    priority: Priority,
+    admitted_at: Instant,
+    deadline: Option<Instant>,
+    ticket: Arc<TicketState<T>>,
+    /// Marked by the `QueueDrop` seam: the job is silently lost between
+    /// pop and dispatch and must take the retry path.
+    dropped: bool,
 }
 
 /// State shared between the admission path and one shard's dispatcher.
@@ -265,12 +316,42 @@ struct ShardShared<T: Scalar> {
     depth: AtomicUsize,
     /// EWMA of per-job service nanos, feeding retry-after estimates.
     ema_nanos: AtomicU64,
+    /// The shard's engine, in a swappable slot: the supervisor replaces
+    /// it with a fresh [`Engine::respawn`] after a dispatcher crash.
+    engine: Mutex<Arc<Engine>>,
+    /// Jobs popped but not yet resolved; the supervisor's crash-recovery
+    /// ledger.
+    in_flight: Mutex<Vec<InFlight<T>>>,
+    /// The shard's supervision state machine.
+    health: HealthCell,
+    /// Dispatcher liveness tick, bumped once per wave.
+    heartbeat: AtomicU64,
+    /// Nanos since `epoch` at the last heartbeat, for the explicit
+    /// [`Service::check_stalls`] watchdog.
+    heartbeat_at: AtomicU64,
+    /// Reference point for `heartbeat_at`.
+    epoch: Instant,
+    /// Times the supervisor has respawned this shard's dispatcher.
+    restarts: AtomicU64,
+}
+
+impl<T: Scalar> ShardShared<T> {
+    /// Records dispatcher liveness (pure atomics: no telemetry, so the
+    /// normalized event stream is untouched).
+    fn beat(&self) {
+        self.heartbeat.fetch_add(1, Ordering::Relaxed);
+        self.heartbeat_at
+            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
 }
 
 struct ShardState<T: Scalar> {
     sched: Scheduler<Waiting<T>>,
     paused: bool,
     shutdown: bool,
+    /// Chaos hook ([`Service::crash_shard`]): the dispatcher panics at
+    /// the top of its next loop, exercising the real supervisor path.
+    crash: bool,
 }
 
 /// The serving front-end over `N` engine shards.
@@ -305,7 +386,7 @@ struct ShardState<T: Scalar> {
 pub struct Service<T: Scalar> {
     cfg: ServiceConfig,
     shards: Vec<Arc<ShardShared<T>>>,
-    engines: Vec<Arc<Engine>>,
+    /// Supervisor threads (one per shard); each owns its dispatcher.
     threads: Vec<JoinHandle<()>>,
     seq: AtomicU64,
     rr: AtomicU64,
@@ -313,6 +394,9 @@ pub struct Service<T: Scalar> {
     completions: Arc<AtomicU64>,
     sink: TelemetrySink,
     ring: Option<Arc<RingRecorder>>,
+    /// Service-seam fault accounting (always present; all-zero without a
+    /// fault plan).
+    ledger: Arc<LedgerInner>,
 }
 
 impl<T: Scalar> fmt::Debug for Service<T> {
@@ -365,8 +449,24 @@ impl<T: Scalar> Service<T> {
     ) -> Service<T> {
         let cfg = cfg.normalized();
         let completions = Arc::new(AtomicU64::new(0));
+        let ledger = Arc::new(LedgerInner::new());
+        // The service-seam injector is shared by every shard and keyed by
+        // the *global* admission sequence, so a job's fault decisions are
+        // stable no matter which shard failover lands it on. Engine seams
+        // stay per-shard (below) exactly as before.
+        let svc_injector: Option<Arc<FaultInjector>> = faults.as_ref().and_then(|plan| {
+            let mut p = FaultPlan::new(plan.seed());
+            for cat in FaultCategory::SERVICE {
+                p = p.with_rate(cat, plan.rate(cat));
+            }
+            if p.is_quiet() {
+                None
+            } else {
+                silence_injected_panics();
+                Some(Arc::new(FaultInjector::new(p)))
+            }
+        });
         let mut shards = Vec::with_capacity(cfg.shards);
-        let mut engines = Vec::with_capacity(cfg.shards);
         let mut threads = Vec::with_capacity(cfg.shards);
         for shard in 0..cfg.shards {
             let mut engine = Engine::with_workers(acamar.clone(), cfg.workers_per_shard)
@@ -376,32 +476,56 @@ impl<T: Scalar> Service<T> {
             }
             if let Some(plan) = &faults {
                 let mut p = FaultPlan::new(plan.seed() ^ (shard as u64 + 1));
-                for cat in FaultCategory::ALL {
+                for cat in FaultCategory::ENGINE {
                     p = p.with_rate(cat, plan.rate(cat));
                 }
                 engine = engine.with_fault_injection(Arc::new(FaultInjector::new(p)));
             }
-            let engine = Arc::new(engine);
             let shared = Arc::new(ShardShared {
                 state: Mutex::new(ShardState {
                     sched: Scheduler::new(),
                     paused: false,
                     shutdown: false,
+                    crash: false,
                 }),
                 cv: Condvar::new(),
                 depth: AtomicUsize::new(0),
                 ema_nanos: AtomicU64::new(0),
+                engine: Mutex::new(Arc::new(engine)),
+                in_flight: Mutex::new(Vec::new()),
+                health: HealthCell::new(),
+                heartbeat: AtomicU64::new(0),
+                heartbeat_at: AtomicU64::new(0),
+                epoch: Instant::now(),
+                restarts: AtomicU64::new(0),
             });
-            threads.push(std::thread::spawn({
-                let shared = Arc::clone(&shared);
-                let engine = Arc::clone(&engine);
-                let cfg = cfg.clone();
-                let completions = Arc::clone(&completions);
-                let ring = ring.clone();
-                move || dispatcher(shared, engine, shard, cfg, completions, ring)
-            }));
+            let seed = faults.as_ref().map(|p| p.seed()).unwrap_or(0);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("acamar-supervise-{shard}"))
+                    .spawn({
+                        let shared = Arc::clone(&shared);
+                        let cfg = cfg.clone();
+                        let completions = Arc::clone(&completions);
+                        let ring = ring.clone();
+                        let ledger = Arc::clone(&ledger);
+                        let svc_injector = svc_injector.clone();
+                        move || {
+                            supervise(
+                                shared,
+                                shard,
+                                cfg,
+                                completions,
+                                ring,
+                                ledger,
+                                svc_injector,
+                                seed,
+                            )
+                        }
+                    })
+                    .expect("spawn shard supervisor"),
+            );
             shards.push(shared);
-            engines.push(engine);
         }
         let sink = match &ring {
             Some(r) => TelemetrySink::new(Arc::clone(r) as Arc<dyn Recorder>),
@@ -414,7 +538,6 @@ impl<T: Scalar> Service<T> {
         Service {
             cfg,
             shards,
-            engines,
             threads,
             seq: AtomicU64::new(0),
             rr: AtomicU64::new(0),
@@ -422,6 +545,7 @@ impl<T: Scalar> Service<T> {
             completions,
             sink,
             ring,
+            ledger,
         }
     }
 
@@ -454,9 +578,9 @@ impl<T: Scalar> Service<T> {
     /// floored at [`ServiceConfig::retry_after_floor`]).
     pub fn submit(&self, req: ServiceRequest<T>) -> Result<Ticket<T>, AdmissionError> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let shard = self.route(&req.matrix);
+        let shard = self.admission_shard(&req.matrix, seq);
         let shared = &self.shards[shard];
-        let mut st = shared.state.lock().expect("shard lock poisoned");
+        let mut st = lock_recover(&shared.state);
         let depth = st.sched.len();
         if depth >= self.cfg.queue_capacity {
             drop(st);
@@ -490,6 +614,8 @@ impl<T: Scalar> Service<T> {
                 admitted_at: now,
                 deadline,
                 ticket: Arc::clone(&ticket),
+                priority: req.priority,
+                attempt: 0,
             },
         );
         let depth_now = st.sched.len();
@@ -515,27 +641,72 @@ impl<T: Scalar> Service<T> {
         self.cfg.retry_after_floor.max(Duration::from_nanos(est))
     }
 
+    fn thresholds(&self) -> HealthThresholds {
+        HealthThresholds {
+            suspect_after: self.cfg.suspect_after,
+            break_after: self.cfg.break_after,
+            probe_after: self.cfg.probe_after,
+        }
+    }
+
+    /// The shard admission `seq` actually lands on: the routed shard when
+    /// its breaker is closed (the overwhelmingly common path — zero extra
+    /// work, zero extra events), otherwise either this request is admitted
+    /// as the breaker's half-open probe, or it deterministically spills to
+    /// the next-ranked live shard ([`shard_ranking`] under affinity
+    /// routing, cyclic order otherwise).
+    fn admission_shard(&self, matrix: &CsrMatrix<T>, seq: u64) -> usize {
+        let preferred = self.route(matrix);
+        let health = &self.shards[preferred].health;
+        if health.state() != ShardHealth::Broken {
+            return preferred;
+        }
+        if health.divert_or_probe(preferred, self.thresholds(), &self.sink) {
+            return preferred;
+        }
+        let ranking: Vec<usize> = match self.cfg.routing {
+            RoutingPolicy::Affinity => {
+                shard_ranking(&PatternFingerprint::of(matrix), self.cfg.shards)
+            }
+            _ => (0..self.cfg.shards)
+                .map(|k| (preferred + k) % self.cfg.shards)
+                .collect(),
+        };
+        for &s in ranking.iter().skip(1) {
+            if self.shards[s].health.state() != ShardHealth::Broken {
+                self.sink.with_job(seq).emit(EventKind::Failover {
+                    from: preferred as u16,
+                    to: s as u16,
+                });
+                self.sink.counter_add(Counter::Failovers, 1);
+                return s;
+            }
+        }
+        // Every shard is broken: fall back to affinity rather than refuse.
+        preferred
+    }
+
     /// Holds every dispatcher: queued jobs stay queued until
     /// [`Service::resume`]. Admission stays open (up to the queue
     /// bounds). The deterministic tests use this to build a known queue
     /// before any dispatch happens.
     pub fn pause(&self) {
         for s in &self.shards {
-            s.state.lock().expect("shard lock poisoned").paused = true;
+            lock_recover(&s.state).paused = true;
         }
     }
 
     /// Releases [`Service::pause`].
     pub fn resume(&self) {
         for s in &self.shards {
-            s.state.lock().expect("shard lock poisoned").paused = false;
+            lock_recover(&s.state).paused = false;
             s.cv.notify_all();
         }
     }
 
     /// Number of engine shards.
     pub fn shards(&self) -> usize {
-        self.engines.len()
+        self.shards.len()
     }
 
     /// The configuration (normalized: counts clamped to their minima).
@@ -544,15 +715,105 @@ impl<T: Scalar> Service<T> {
     }
 
     /// Shard `shard`'s engine (its plan cache, counters, and telemetry
-    /// are all per-shard).
-    pub fn engine(&self, shard: usize) -> &Engine {
-        &self.engines[shard]
+    /// are all per-shard). The handle is a snapshot: after a dispatcher
+    /// crash the supervisor swaps a fresh engine into the shard, so a
+    /// long-held handle may describe a retired engine.
+    pub fn engine(&self, shard: usize) -> Arc<Engine> {
+        Arc::clone(&lock_recover(&self.shards[shard].engine))
     }
 
     /// Whether shard `shard` already holds a compiled plan for `a`'s
     /// pattern.
     pub fn is_warm(&self, shard: usize, a: &CsrMatrix<T>) -> bool {
-        self.engines[shard].is_warm(a)
+        self.engine(shard).is_warm(a)
+    }
+
+    /// Shard `shard`'s current supervision state.
+    pub fn shard_health(&self, shard: usize) -> ShardHealth {
+        self.shards[shard].health.state()
+    }
+
+    /// Shard `shard`'s dispatcher liveness tick (bumped once per wave).
+    pub fn heartbeat(&self, shard: usize) -> u64 {
+        self.shards[shard].heartbeat.load(Ordering::Relaxed)
+    }
+
+    /// Times shard `shard`'s dispatcher has been respawned after a crash.
+    pub fn restarts(&self, shard: usize) -> u64 {
+        self.shards[shard].restarts.load(Ordering::SeqCst)
+    }
+
+    /// The heartbeat watchdog: flags `Suspect` every `Healthy` shard that
+    /// has queued work but whose dispatcher has not beaten for at least
+    /// `stale_after`. Returns how many shards were flagged.
+    ///
+    /// This is the *only* wall-clock path into the health state machine,
+    /// and it runs only when explicitly called — deterministic replays
+    /// simply never call it, so their health transitions stay a pure
+    /// function of the admission sequence. Note a paused shard with
+    /// queued work looks stalled to this watchdog.
+    pub fn check_stalls(&self, stale_after: Duration) -> usize {
+        let mut flagged = 0;
+        for (shard, s) in self.shards.iter().enumerate() {
+            if s.depth.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let last = Duration::from_nanos(s.heartbeat_at.load(Ordering::Relaxed));
+            if s.epoch.elapsed().saturating_sub(last) >= stale_after
+                && s.health.mark_suspect(shard, &self.sink)
+            {
+                flagged += 1;
+            }
+        }
+        flagged
+    }
+
+    /// Chaos hook: forces shard `shard`'s breaker open, as if its failure
+    /// streak had just crossed [`ServiceConfig::break_after`]. New
+    /// affinity traffic spills to the next-ranked shard until the breaker
+    /// half-opens and a probe succeeds.
+    pub fn break_shard(&self, shard: usize) {
+        self.shards[shard]
+            .health
+            .force(shard, ShardHealth::Broken, &self.sink);
+    }
+
+    /// Chaos hook: makes shard `shard`'s dispatcher panic at the top of
+    /// its next loop (with the shard lock held, so the supervisor's
+    /// recovery also has to survive the poisoned mutex). Queued jobs stay
+    /// queued; the respawned dispatcher drains them.
+    pub fn crash_shard(&self, shard: usize) {
+        silence_injected_panics();
+        let s = &self.shards[shard];
+        lock_recover(&s.state).crash = true;
+        s.cv.notify_all();
+    }
+
+    /// Snapshot of the service-seam fault ledger (all-zero without a
+    /// fault plan).
+    pub fn service_ledger(&self) -> ServiceLedger {
+        self.ledger.snapshot()
+    }
+
+    /// One-line JSON health summary of every shard (state, queue depth,
+    /// restarts, heartbeat) — what the scrape endpoint's `/health` route
+    /// serves.
+    pub fn health_json(&self) -> String {
+        let mut out = String::from("{\"shards\":[");
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{i},\"state\":\"{}\",\"queue\":{},\"restarts\":{},\"heartbeat\":{}}}",
+                s.health.state().label(),
+                s.depth.load(Ordering::Relaxed),
+                s.restarts.load(Ordering::Relaxed),
+                s.heartbeat.load(Ordering::Relaxed),
+            ));
+        }
+        out.push_str(&format!("],\"completions\":{}}}", self.completions()));
+        out
     }
 
     /// Queued jobs on one shard.
@@ -590,7 +851,7 @@ impl<T: Scalar> Service<T> {
             w.counters(&ring.counters());
         }
         let sample = |f: &dyn Fn(usize) -> u64| -> Vec<(String, u64)> {
-            (0..self.engines.len())
+            (0..self.shards.len())
                 .map(|s| (s.to_string(), f(s)))
                 .collect()
         };
@@ -598,19 +859,19 @@ impl<T: Scalar> Service<T> {
             "acamar_service_shard_jobs_total",
             "Jobs completed per engine shard",
             "shard",
-            &sample(&|s| self.engines[s].counters().jobs_completed),
+            &sample(&|s| self.engine(s).counters().jobs_completed),
         );
         w.counter_samples(
             "acamar_service_shard_cache_hits_total",
             "Plan-cache hits per engine shard",
             "shard",
-            &sample(&|s| self.engines[s].counters().cache.hits),
+            &sample(&|s| self.engine(s).counters().cache.hits),
         );
         w.counter_samples(
             "acamar_service_shard_cache_misses_total",
             "Plan-cache misses per engine shard",
             "shard",
-            &sample(&|s| self.engines[s].counters().cache.misses),
+            &sample(&|s| self.engine(s).counters().cache.misses),
         );
         w.counter_samples(
             "acamar_service_shard_queue_depth",
@@ -618,10 +879,16 @@ impl<T: Scalar> Service<T> {
             "shard",
             &sample(&|s| self.queue_depth(s) as u64),
         );
+        w.counter_samples(
+            "acamar_service_shard_restarts_total",
+            "Dispatcher respawns per shard",
+            "shard",
+            &sample(&|s| self.restarts(s)),
+        );
         w.gauge(
             "acamar_service_shards",
             "Engine shards in the service",
-            self.engines.len() as f64,
+            self.shards.len() as f64,
         );
         w.gauge(
             "acamar_service_queue_depth",
@@ -644,7 +911,7 @@ impl<T: Scalar> Service<T> {
 impl<T: Scalar> Drop for Service<T> {
     fn drop(&mut self) {
         for s in &self.shards {
-            let mut st = s.state.lock().expect("shard lock poisoned");
+            let mut st = lock_recover(&s.state);
             st.shutdown = true;
             st.paused = false;
             drop(st);
@@ -656,34 +923,214 @@ impl<T: Scalar> Drop for Service<T> {
     }
 }
 
+/// Why a stranded in-flight job is taking the retry path.
+enum RetryWhy {
+    /// Its dispatcher panicked mid-wave.
+    Restarted,
+    /// The `QueueDrop` seam silently lost it between pop and dispatch.
+    Dropped,
+}
+
+/// Puts one stranded in-flight job back on the retry path: requeued with
+/// its attempt count bumped while the budget lasts (and while the job
+/// payload is still held), otherwise resolved with the matching typed
+/// error so its ticket never hangs.
+#[allow(clippy::too_many_arguments)]
+fn requeue_or_exhaust<T: Scalar>(
+    st: &mut ShardState<T>,
+    e: InFlight<T>,
+    shard: usize,
+    cfg: &ServiceConfig,
+    completions: &AtomicU64,
+    sink: &TelemetrySink,
+    ledger: &LedgerInner,
+    why: RetryWhy,
+) {
+    if let Some(job) = e.job {
+        if e.attempt < cfg.retry_budget {
+            let attempt = e.attempt + 1;
+            sink.with_job(e.seq).emit(EventKind::JobRetried {
+                shard: shard as u16,
+                attempt,
+            });
+            sink.counter_add(Counter::JobsRetried, 1);
+            st.sched.push(
+                e.priority,
+                e.deadline,
+                e.seq,
+                e.admitted_at,
+                Waiting {
+                    job,
+                    seq: e.seq,
+                    admitted_at: e.admitted_at,
+                    deadline: e.deadline,
+                    ticket: e.ticket,
+                    priority: e.priority,
+                    attempt,
+                },
+            );
+            return;
+        }
+    }
+    ledger.resolve(e.seq, false);
+    let err = match why {
+        RetryWhy::Restarted => ServiceError::ShardRestarted {
+            shard,
+            retries: e.attempt,
+        },
+        RetryWhy::Dropped => ServiceError::Dropped {
+            shard,
+            retries: e.attempt,
+        },
+    };
+    let index = completions.fetch_add(1, Ordering::SeqCst);
+    let waited = e.admitted_at.elapsed();
+    e.ticket.fulfill(Err(err), index, waited);
+}
+
+/// The supervisor's pre-respawn sleep: exponential in the restart count
+/// (capped at `64 × base`) plus a seed-derived jitter below `base`, so a
+/// crash-looping shard backs off deterministically for a given seed.
+fn restart_backoff(seed: u64, shard: usize, restarts: u64, base: Duration) -> Duration {
+    let base_ns = base.as_nanos() as u64;
+    if base_ns == 0 {
+        return Duration::ZERO;
+    }
+    let exp = restarts.saturating_sub(1).min(6) as u32;
+    let jitter = mix64(seed ^ ((shard as u64 + 1) << 32) ^ restarts) % base_ns;
+    Duration::from_nanos((base_ns << exp).saturating_add(jitter))
+}
+
+/// One shard's supervisor: spawns the dispatcher thread and, if it ever
+/// crashes (an injected `DispatcherPanic`, a [`Service::crash_shard`]
+/// chaos call, or a genuine bug), recovers — breaker forced open, a fresh
+/// [`Engine::respawn`] swapped into the shard's engine slot, every
+/// stranded in-flight job requeued (or its ticket resolved with a typed
+/// error once its retry budget is spent), telemetry emitted — and then
+/// respawns the dispatcher after a deterministic backoff. Returns when
+/// the dispatcher exits cleanly (service shutdown).
+#[allow(clippy::too_many_arguments)]
+fn supervise<T: Scalar>(
+    shared: Arc<ShardShared<T>>,
+    shard: usize,
+    cfg: ServiceConfig,
+    completions: Arc<AtomicU64>,
+    ring: Option<Arc<RingRecorder>>,
+    ledger: Arc<LedgerInner>,
+    faults: Option<Arc<FaultInjector>>,
+    seed: u64,
+) {
+    let sink = match &ring {
+        Some(r) => TelemetrySink::new(Arc::clone(r) as Arc<dyn Recorder>),
+        None => TelemetrySink::disabled(),
+    };
+    loop {
+        let handle = std::thread::Builder::new()
+            .name(format!("acamar-dispatch-{shard}"))
+            .spawn({
+                let shared = Arc::clone(&shared);
+                let cfg = cfg.clone();
+                let completions = Arc::clone(&completions);
+                let ring = ring.clone();
+                let ledger = Arc::clone(&ledger);
+                let faults = faults.clone();
+                move || dispatcher(shared, shard, cfg, completions, ring, ledger, faults)
+            })
+            .expect("spawn shard dispatcher");
+        if handle.join().is_ok() {
+            return;
+        }
+        // The dispatcher panicked. Everything it guarded was left
+        // consistent *before* the panic seam fired, so recovery is:
+        // account, re-equip, requeue, respawn.
+        let restarts = shared.restarts.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.health.force(shard, ShardHealth::Broken, &sink);
+        {
+            // A crashed dispatcher's engine may hold wedged worker state;
+            // replace it with a cold equivalent sharing the same injector
+            // ledger and telemetry.
+            let mut slot = lock_recover(&shared.engine);
+            let fresh = slot.respawn();
+            *slot = Arc::new(fresh);
+        }
+        {
+            let mut st = lock_recover(&shared.state);
+            let stranded: Vec<InFlight<T>> = lock_recover(&shared.in_flight).drain(..).collect();
+            for e in stranded {
+                requeue_or_exhaust(
+                    &mut st,
+                    e,
+                    shard,
+                    &cfg,
+                    &completions,
+                    &sink,
+                    &ledger,
+                    RetryWhy::Restarted,
+                );
+            }
+            shared.depth.store(st.sched.len(), Ordering::Relaxed);
+        }
+        sink.emit(EventKind::DispatcherRestarted {
+            shard: shard as u16,
+            restarts: restarts as u32,
+        });
+        sink.counter_add(Counter::DispatcherRestarts, 1);
+        let backoff = restart_backoff(seed, shard, restarts, cfg.restart_backoff);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        shared.cv.notify_all();
+    }
+}
+
 /// One shard's dispatcher loop: wait for work, pop a wave (up to the
 /// shard's worker count), shed expired-deadline jobs before they reach a
 /// solver, run the rest through the shard engine, and fulfill tickets in
 /// the wave's submission order. On shutdown the remaining queue is
 /// drained (still shedding what has expired) before the thread exits, so
 /// every ticket resolves.
+///
+/// With a service-seam fault injector installed, each wave additionally
+/// rolls the three serving seams between pop and dispatch — stall
+/// (absorbed in place), panic (kills this thread with the shard lock
+/// held; the supervisor recovers), and drop (the job silently vanishes
+/// and takes the retry path). Jobs in flight are tracked in
+/// [`ShardShared::in_flight`] the whole way, which is what makes all
+/// three recoverable without losing a ticket.
 fn dispatcher<T: Scalar>(
     shared: Arc<ShardShared<T>>,
-    engine: Arc<Engine>,
     shard: usize,
     cfg: ServiceConfig,
     completions: Arc<AtomicU64>,
     ring: Option<Arc<RingRecorder>>,
+    ledger: Arc<LedgerInner>,
+    faults: Option<Arc<FaultInjector>>,
 ) {
     let sink = match ring {
         Some(r) => TelemetrySink::new(r as Arc<dyn Recorder>),
         None => TelemetrySink::disabled(),
     };
+    let th = HealthThresholds {
+        suspect_after: cfg.suspect_after,
+        break_after: cfg.break_after,
+        probe_after: cfg.probe_after,
+    };
     loop {
         let wave = {
-            let mut st = shared.state.lock().expect("shard lock poisoned");
+            let mut st = lock_recover(&shared.state);
             loop {
-                if st.shutdown || (!st.paused && st.sched.len() > 0) {
+                if st.shutdown || st.crash || (!st.paused && !st.sched.is_empty()) {
                     break;
                 }
-                st = shared.cv.wait(st).expect("shard lock poisoned");
+                st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
-            if st.shutdown && st.sched.len() == 0 {
+            if st.crash {
+                st.crash = false;
+                // Panic with the shard lock held: the poisoned mutex is
+                // exactly what the supervisor's recovery must survive.
+                std::panic::panic_any(InjectedPanic { job: u64::MAX });
+            }
+            if st.shutdown && st.sched.is_empty() {
                 return;
             }
             let now = Instant::now();
@@ -697,9 +1144,9 @@ fn dispatcher<T: Scalar>(
             shared.depth.store(st.sched.len(), Ordering::Relaxed);
             wave
         };
+        shared.beat();
         let now = Instant::now();
-        let mut jobs = Vec::with_capacity(wave.len());
-        let mut tickets = Vec::with_capacity(wave.len());
+        let mut dispatched = 0usize;
         for w in wave {
             let waited = now.saturating_duration_since(w.admitted_at);
             if w.deadline.is_some_and(|d| now >= d) {
@@ -708,6 +1155,7 @@ fn dispatcher<T: Scalar>(
                     waited_nanos: waited.as_nanos() as u64,
                 });
                 sink.counter_add(Counter::JobsShed, 1);
+                ledger.resolve(w.seq, false);
                 let index = completions.fetch_add(1, Ordering::SeqCst);
                 w.ticket
                     .fulfill(Err(ServiceError::Shed { shard, waited }), index, waited);
@@ -718,29 +1166,122 @@ fn dispatcher<T: Scalar>(
                 wait_nanos: waited.as_nanos() as u64,
             });
             sink.counter_add(Counter::QueueWaitNanos, waited.as_nanos() as u64);
-            jobs.push(w.job);
-            tickets.push((w.ticket, w.admitted_at));
+            dispatched += 1;
+            lock_recover(&shared.in_flight).push(InFlight {
+                job: Some(w.job),
+                seq: w.seq,
+                attempt: w.attempt,
+                priority: w.priority,
+                admitted_at: w.admitted_at,
+                deadline: w.deadline,
+                ticket: w.ticket,
+                dropped: false,
+            });
         }
-        if jobs.is_empty() {
+        if dispatched == 0 {
             continue;
         }
-        let started = Instant::now();
-        let report = engine.solve_jobs(jobs);
-        let per_job = started.elapsed().as_nanos() as u64 / tickets.len() as u64;
-        let old = shared.ema_nanos.load(Ordering::Relaxed);
-        let ema = if old == 0 {
-            per_job
-        } else {
-            // EWMA with α = 1/4: cheap, integer-only, and responsive
-            // enough for retry-after estimates.
-            old - old / 4 + per_job / 4
-        };
-        shared.ema_nanos.store(ema, Ordering::Relaxed);
-        let done = Instant::now();
-        for ((ticket, admitted_at), result) in tickets.into_iter().zip(report.results) {
-            let index = completions.fetch_add(1, Ordering::SeqCst);
-            let latency = done.saturating_duration_since(admitted_at);
-            ticket.fulfill(result.map_err(ServiceError::Solve), index, latency);
+        if let Some(inj) = &faults {
+            // Stall seam: absorbed in place — the dispatcher wedges, flags
+            // itself Suspect, and still delivers the wave.
+            let mut stall_ms = 0u64;
+            for e in lock_recover(&shared.in_flight).iter() {
+                if let Some(ms) = inj.dispatcher_stall(e.seq, e.attempt as u64) {
+                    ledger.absorbed(FaultCategory::DispatcherStall);
+                    stall_ms = stall_ms.max(ms);
+                }
+            }
+            if stall_ms > 0 {
+                shared.health.mark_suspect(shard, &sink);
+                std::thread::sleep(Duration::from_millis(stall_ms));
+                shared.beat();
+            }
+            // Panic seam: kill this thread mid-wave, shard lock held.
+            let mut panicked = None;
+            for e in lock_recover(&shared.in_flight).iter() {
+                if inj.dispatcher_panic(e.seq, e.attempt as u64) {
+                    ledger.deferred(FaultCategory::DispatcherPanic, e.seq);
+                    panicked.get_or_insert(e.seq);
+                }
+            }
+            if let Some(job) = panicked {
+                let _poisoner = lock_recover(&shared.state);
+                std::panic::panic_any(InjectedPanic { job });
+            }
+            // Drop seam: the job silently vanishes between pop and
+            // dispatch; the retry path below picks it up.
+            for e in lock_recover(&shared.in_flight).iter_mut() {
+                if inj.drop_queued(e.seq, e.attempt as u64) {
+                    ledger.deferred(FaultCategory::QueueDrop, e.seq);
+                    e.dropped = true;
+                }
+            }
+        }
+        let mut jobs = Vec::with_capacity(dispatched);
+        let mut order: Vec<u64> = Vec::with_capacity(dispatched);
+        for e in lock_recover(&shared.in_flight).iter_mut() {
+            if !e.dropped {
+                if let Some(job) = e.job.take() {
+                    jobs.push(job);
+                    order.push(e.seq);
+                }
+            }
+        }
+        if !jobs.is_empty() {
+            let engine = Arc::clone(&lock_recover(&shared.engine));
+            let started = Instant::now();
+            let report = engine.solve_jobs(jobs);
+            let per_job = started.elapsed().as_nanos() as u64 / order.len() as u64;
+            let old = shared.ema_nanos.load(Ordering::Relaxed);
+            let ema = if old == 0 {
+                per_job
+            } else {
+                // EWMA with α = 1/4: cheap, integer-only, and responsive
+                // enough for retry-after estimates.
+                old - old / 4 + per_job / 4
+            };
+            shared.ema_nanos.store(ema, Ordering::Relaxed);
+            let done = Instant::now();
+            for (seq, result) in order.into_iter().zip(report.results) {
+                let e = {
+                    let mut inf = lock_recover(&shared.in_flight);
+                    let at = inf
+                        .iter()
+                        .position(|e| e.seq == seq)
+                        .expect("in-flight entry for delivered job");
+                    inf.remove(at)
+                };
+                let ok = result.is_ok();
+                ledger.resolve(seq, ok);
+                if ok {
+                    shared.health.record_success(shard, &sink);
+                } else {
+                    shared.health.record_failure(shard, th, &sink);
+                }
+                let index = completions.fetch_add(1, Ordering::SeqCst);
+                let latency = done.saturating_duration_since(e.admitted_at);
+                e.ticket
+                    .fulfill(result.map_err(ServiceError::Solve), index, latency);
+            }
+        }
+        // Anything still in flight was dropped by the seam (or stranded
+        // without its payload): requeue within budget, resolve otherwise.
+        let leftovers: Vec<InFlight<T>> = lock_recover(&shared.in_flight).drain(..).collect();
+        if !leftovers.is_empty() {
+            let mut st = lock_recover(&shared.state);
+            for e in leftovers {
+                requeue_or_exhaust(
+                    &mut st,
+                    e,
+                    shard,
+                    &cfg,
+                    &completions,
+                    &sink,
+                    &ledger,
+                    RetryWhy::Dropped,
+                );
+            }
+            shared.depth.store(st.sched.len(), Ordering::Relaxed);
         }
     }
 }
@@ -798,6 +1339,69 @@ mod tests {
         let a = generate::poisson2d::<f64>(6, 6);
         let picks: Vec<usize> = (0..6).map(|_| service.route(&a)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn crash_recovery_survives_poisoned_locks_and_serves_again() {
+        let service = Service::<f64>::new(
+            acamar(),
+            ServiceConfig::default()
+                .with_shards(1)
+                .with_probe_after(1)
+                .with_restart_backoff(Duration::ZERO),
+        );
+        let a = Arc::new(generate::poisson2d::<f64>(8, 8));
+        let t = service
+            .submit(ServiceRequest::new(Arc::clone(&a), vec![1.0; a.nrows()]))
+            .expect("admits");
+        assert!(t.wait().expect("solves").converged());
+        service.crash_shard(0);
+        // The supervisor notices the crash, recovers the poisoned shard
+        // lock, swaps in a fresh engine, and respawns the dispatcher.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while service.restarts(0) == 0 {
+            assert!(Instant::now() < deadline, "supervisor never restarted");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(service.shard_health(0), ShardHealth::Broken);
+        // probe_after = 1: the next submission probes the broken shard,
+        // succeeds, and heals it — through the recovered lock.
+        let t = service
+            .submit(ServiceRequest::new(Arc::clone(&a), vec![1.0; a.nrows()]))
+            .expect("admits after crash");
+        assert!(t.wait().expect("solves after restart").converged());
+        assert_eq!(service.shard_health(0), ShardHealth::Healthy);
+        // The respawned engine is cold: the pre-crash warm plan is gone.
+        assert_eq!(service.restarts(0), 1);
+    }
+
+    #[test]
+    fn crash_with_queued_work_loses_nothing() {
+        let service = Service::<f64>::new(
+            acamar(),
+            ServiceConfig::default()
+                .with_shards(1)
+                .with_queue_capacity(16)
+                .with_restart_backoff(Duration::ZERO),
+        );
+        service.pause();
+        let a = Arc::new(generate::poisson2d::<f64>(8, 8));
+        let tickets: Vec<_> = (0..8)
+            .map(|_| {
+                service
+                    .submit(ServiceRequest::new(Arc::clone(&a), vec![1.0; a.nrows()]))
+                    .expect("under capacity")
+            })
+            .collect();
+        service.crash_shard(0);
+        service.resume();
+        // Every queued ticket still resolves with a solution: the crash
+        // fired before any pop, so the queue survives into the respawned
+        // dispatcher.
+        for t in tickets {
+            assert!(t.wait().expect("survives the crash").converged());
+        }
+        assert!(service.restarts(0) >= 1);
     }
 
     #[test]

@@ -151,6 +151,32 @@ pub fn event_json(e: &Event) -> String {
                 ",\"kind\":\"job_dispatched\",\"shard\":{shard},\"wait_nanos\":{wait_nanos}"
             ));
         }
+        EventKind::HealthTransition { shard, from, to } => {
+            s.push_str(&format!(
+                ",\"kind\":\"health_transition\",\"shard\":{shard},\
+                 \"from\":\"{}\",\"to\":\"{}\"",
+                from.as_str(),
+                to.as_str()
+            ));
+        }
+        EventKind::Failover { from, to } => {
+            s.push_str(&format!(
+                ",\"kind\":\"failover\",\"from\":{from},\"to\":{to}"
+            ));
+        }
+        EventKind::BreakerProbe { shard } => {
+            s.push_str(&format!(",\"kind\":\"breaker_probe\",\"shard\":{shard}"));
+        }
+        EventKind::JobRetried { shard, attempt } => {
+            s.push_str(&format!(
+                ",\"kind\":\"job_retried\",\"shard\":{shard},\"attempt\":{attempt}"
+            ));
+        }
+        EventKind::DispatcherRestarted { shard, restarts } => {
+            s.push_str(&format!(
+                ",\"kind\":\"dispatcher_restarted\",\"shard\":{shard},\"restarts\":{restarts}"
+            ));
+        }
     }
     s.push('}');
     s
@@ -246,7 +272,7 @@ impl PrometheusWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Region, Span};
+    use crate::{HealthState, Region, Span};
 
     #[test]
     fn event_json_is_one_object_per_kind() {
@@ -272,6 +298,21 @@ mod tests {
             EventKind::Residual {
                 iteration: 3,
                 relative: 1.25e-6,
+            },
+            EventKind::HealthTransition {
+                shard: 2,
+                from: HealthState::Healthy,
+                to: HealthState::Suspect,
+            },
+            EventKind::Failover { from: 2, to: 0 },
+            EventKind::BreakerProbe { shard: 2 },
+            EventKind::JobRetried {
+                shard: 0,
+                attempt: 1,
+            },
+            EventKind::DispatcherRestarted {
+                shard: 2,
+                restarts: 1,
             },
         ];
         for kind in cases {

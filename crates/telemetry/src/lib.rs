@@ -109,6 +109,35 @@ impl FaultResolution {
     }
 }
 
+/// A serving-layer shard's health, as seen by the supervision state
+/// machine. Mirrors the service crate's vocabulary without depending on
+/// it (the dependency runs the other way: the service records into
+/// telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// The shard is serving normally.
+    Healthy,
+    /// Consecutive failures or a stale heartbeat put the shard on watch.
+    Suspect,
+    /// The circuit breaker opened; traffic spills to the next-ranked
+    /// shard.
+    Broken,
+    /// The breaker is half-open: probe requests are being admitted.
+    Probing,
+}
+
+impl HealthState {
+    /// Stable lowercase name used by the JSON-lines exporter.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Broken => "broken",
+            HealthState::Probing => "probing",
+        }
+    }
+}
+
 /// The payload of a recorded event. Every variant is scalar-only and
 /// `Copy`, so events move through the lock-free ring without touching the
 /// heap.
@@ -258,6 +287,44 @@ pub enum EventKind {
         /// Wall-clock nanoseconds the job spent queued.
         wait_nanos: u64,
     },
+    /// A shard's supervision state machine changed state.
+    HealthTransition {
+        /// The shard whose health changed.
+        shard: u16,
+        /// State before the transition.
+        from: HealthState,
+        /// State after the transition.
+        to: HealthState,
+    },
+    /// The router diverted a request away from its affinity shard because
+    /// that shard's circuit breaker was open.
+    Failover {
+        /// The broken affinity shard the request would have gone to.
+        from: u16,
+        /// The next-ranked shard that received it instead.
+        to: u16,
+    },
+    /// A half-open circuit breaker admitted a probe request to a broken
+    /// shard.
+    BreakerProbe {
+        /// The shard being probed.
+        shard: u16,
+    },
+    /// A job that failed delivery (dispatcher panic or queue drop) was
+    /// re-queued under its retry budget.
+    JobRetried {
+        /// Shard the retried delivery was queued on.
+        shard: u16,
+        /// Delivery attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// A shard supervisor respawned a crashed dispatcher thread.
+    DispatcherRestarted {
+        /// The shard whose dispatcher was respawned.
+        shard: u16,
+        /// Lifetime restart count for the shard (1 = first respawn).
+        restarts: u32,
+    },
 }
 
 /// A single recorded telemetry event.
@@ -337,13 +404,23 @@ pub enum Counter {
     JobsShed,
     /// Wall-clock nanoseconds admitted jobs spent queued before dispatch.
     QueueWaitNanos,
+    /// Shard health state-machine transitions.
+    HealthTransitions,
+    /// Requests diverted from a broken affinity shard to a failover shard.
+    Failovers,
+    /// Probe requests admitted by half-open circuit breakers.
+    BreakerProbes,
+    /// Failed deliveries re-queued under the retry budget.
+    JobsRetried,
+    /// Dispatcher threads respawned by shard supervisors.
+    DispatcherRestarts,
     /// Trace events dropped because the ring was full.
     EventsDropped,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 27;
 
     /// Every counter, in `repr` order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -368,6 +445,11 @@ impl Counter {
         Counter::JobsRejected,
         Counter::JobsShed,
         Counter::QueueWaitNanos,
+        Counter::HealthTransitions,
+        Counter::Failovers,
+        Counter::BreakerProbes,
+        Counter::JobsRetried,
+        Counter::DispatcherRestarts,
         Counter::EventsDropped,
     ];
 
@@ -400,6 +482,11 @@ impl Counter {
             Counter::JobsRejected => "acamar_service_jobs_rejected_total",
             Counter::JobsShed => "acamar_service_jobs_shed_total",
             Counter::QueueWaitNanos => "acamar_service_queue_wait_nanos_total",
+            Counter::HealthTransitions => "acamar_service_health_transitions_total",
+            Counter::Failovers => "acamar_service_failovers_total",
+            Counter::BreakerProbes => "acamar_service_breaker_probes_total",
+            Counter::JobsRetried => "acamar_service_jobs_retried_total",
+            Counter::DispatcherRestarts => "acamar_service_dispatcher_restarts_total",
             Counter::EventsDropped => "acamar_trace_events_dropped_total",
         }
     }
@@ -428,6 +515,11 @@ impl Counter {
             Counter::JobsRejected => "Jobs rejected at admission (queue full)",
             Counter::JobsShed => "Queued jobs shed on an expired deadline",
             Counter::QueueWaitNanos => "Nanoseconds admitted jobs spent queued",
+            Counter::HealthTransitions => "Shard health state-machine transitions",
+            Counter::Failovers => "Requests diverted from a broken affinity shard",
+            Counter::BreakerProbes => "Probe requests admitted by half-open breakers",
+            Counter::JobsRetried => "Failed deliveries re-queued under the retry budget",
+            Counter::DispatcherRestarts => "Dispatcher threads respawned by supervisors",
             Counter::EventsDropped => "Trace events dropped (ring full)",
         }
     }

@@ -172,10 +172,13 @@ fn main() {
 
     // --- Fault injection under load: the serving layer under fire ----
     // The same fault plan, now behind admission and sharding: each shard
-    // derives its own injector (`seed ^ (shard + 1)`) so concurrent
-    // shard batches never mix ledgers, and the smoke asserts the service
-    // invariants hold even while faults land — every ticket resolves
-    // with a typed outcome, no telemetry event is dropped, and shutdown
+    // derives its own engine injector (`seed ^ (shard + 1)`) so
+    // concurrent shard batches never mix ledgers, while the three
+    // *service* seams (dispatcher panic/stall, queue drop) roll from one
+    // service-level injector keyed by the global admission sequence. The
+    // smoke asserts the self-healing invariants hold even while faults
+    // land — every ticket resolves with a typed outcome, the service
+    // ledger reconciles, no telemetry event is dropped, and shutdown
     // drains clean.
     let service_ring = Arc::new(RingRecorder::new(1 << 17));
     let service = Service::<f64>::with_fault_plan(
@@ -187,6 +190,8 @@ fn main() {
         ServiceConfig::default()
             .with_shards(2)
             .with_queue_capacity(64)
+            .with_retry_budget(2)
+            .with_restart_backoff(Duration::from_millis(1))
             .with_resilience(
                 ResilienceConfig::hardened()
                     .with_deadline(Duration::from_secs(5))
@@ -206,7 +211,7 @@ fn main() {
                 .expect("stream fits the queue bound")
         })
         .collect();
-    let (mut ok, mut solve_errors, mut shed) = (0u32, 0u32, 0u32);
+    let (mut ok, mut solve_errors, mut shed, mut given_up) = (0u32, 0u32, 0u32, 0u32);
     for t in tickets {
         match t.wait() {
             Ok(report) => {
@@ -215,13 +220,19 @@ fn main() {
             }
             Err(ServiceError::Solve(_)) => solve_errors += 1,
             Err(ServiceError::Shed { .. }) => shed += 1,
+            Err(ServiceError::ShardRestarted { .. }) | Err(ServiceError::Dropped { .. }) => {
+                given_up += 1
+            }
         }
     }
     println!(
         "\nserving layer under fire ({} shards, same rate):",
         service.shards()
     );
-    println!("  32 requests: {ok} converged, {solve_errors} typed solve failures, {shed} shed");
+    println!(
+        "  32 requests: {ok} converged, {solve_errors} typed solve failures, \
+         {shed} shed, {given_up} retry-budget exhausted"
+    );
     let c = service_ring.counters();
     println!(
         "  faults through the front-end: injected {}, recovered {}; \
@@ -230,12 +241,80 @@ fn main() {
         c[Counter::FaultsRecovered.index()],
         c[Counter::RescueRungs.index()],
     );
-    assert_eq!(ok + solve_errors + shed, 32, "every ticket resolves");
+    println!(
+        "  self-healing: {} dispatcher restarts, {} job retries, \
+         {} failovers, {} health transitions",
+        c[Counter::DispatcherRestarts.index()],
+        c[Counter::JobsRetried.index()],
+        c[Counter::Failovers.index()],
+        c[Counter::HealthTransitions.index()],
+    );
+
+    // The service's own seam ledger, in the same reconciliation
+    // vocabulary as the engine's robustness report.
+    let ledger = service.service_ledger();
+    println!("\nservice seam ledger (detected + recovered + exhausted == injected):");
+    println!(
+        "  {:<18} {:>8} {:>9} {:>9} {:>9}",
+        "category", "injected", "detected", "recovered", "exhausted"
+    );
+    for category in FaultCategory::SERVICE {
+        let t = ledger.category(category);
+        println!(
+            "  {:<18} {:>8} {:>9} {:>9} {:>9}",
+            category.label(),
+            t.injected,
+            t.detected,
+            t.recovered,
+            t.exhausted
+        );
+    }
+    println!(
+        "  ledger reconciles: {} ({} injected, {} pending)",
+        ledger.accounted(),
+        ledger.injected_total(),
+        ledger.pending
+    );
+    assert!(ledger.accounted(), "service seam ledger must reconcile");
+    assert_eq!(
+        ok + solve_errors + shed + given_up,
+        32,
+        "every ticket resolves"
+    );
     assert_eq!(
         service.dropped_events(),
         0,
         "no telemetry dropped under fire"
     );
+
+    // Machine-readable artifact for CI: the reconciled seam ledger.
+    if let Ok(path) = std::env::var("CHAOS_LEDGER_OUT") {
+        let mut json = String::from("{\"seed\":");
+        json.push_str(&format!("{seed},\"rate\":{rate},\"categories\":["));
+        for (i, category) in FaultCategory::SERVICE.iter().enumerate() {
+            let t = ledger.category(*category);
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"category\":\"{}\",\"injected\":{},\"detected\":{},\
+                 \"recovered\":{},\"exhausted\":{}}}",
+                category.label(),
+                t.injected,
+                t.detected,
+                t.recovered,
+                t.exhausted
+            ));
+        }
+        json.push_str(&format!(
+            "],\"accounted\":{},\"restarts\":{},\"retries\":{}}}\n",
+            ledger.accounted(),
+            c[Counter::DispatcherRestarts.index()],
+            c[Counter::JobsRetried.index()],
+        ));
+        std::fs::write(&path, json).expect("write chaos ledger artifact");
+        println!("  seam ledger written to {path}");
+    }
     drop(service);
     println!("  service shut down clean under injected faults");
 }

@@ -63,7 +63,10 @@ fn sixty_four_job_chaos_batch_completes_and_accounts_every_fault() {
     let r = &batch.robustness;
     assert!(r.accounted(), "every fault accounted: {r:?}");
     assert_eq!(r.injected_total(), injector.injected_total());
-    for category in FaultCategory::ALL {
+    // Every *engine* seam must fire; the service seams (dispatcher
+    // panic/stall, queue drop) live behind admission and are exercised
+    // by tests/service_failover.rs instead.
+    for category in FaultCategory::ENGINE {
         let t = r.tallies[category.index()];
         assert!(
             t.injected > 0,

@@ -1,0 +1,172 @@
+//! Scrape-endpoint suite: the `ScrapeServer` under concurrent scrapes,
+//! malformed requests, and shutdown.
+//!
+//! The endpoint is a std-only HTTP/1.1 responder; these tests speak raw
+//! TCP to it, the same way a Prometheus scraper (or a confused client)
+//! would.
+
+use acamar::core::{Acamar, AcamarConfig};
+use acamar::fabric::FabricSpec;
+use acamar::service::{ScrapeServer, Service, ServiceConfig, ServiceRequest};
+use acamar::sparse::{generate, CsrMatrix};
+use acamar::telemetry::RingRecorder;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn acamar() -> Acamar {
+    Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper())
+}
+
+fn service_with_ring() -> (Arc<Service<f64>>, Arc<RingRecorder>) {
+    let ring = Arc::new(RingRecorder::new(1 << 14));
+    let service = Arc::new(Service::<f64>::with_recorder(
+        acamar(),
+        ServiceConfig::default()
+            .with_shards(2)
+            .with_queue_capacity(64),
+        Arc::clone(&ring),
+    ));
+    (service, ring)
+}
+
+fn request(a: &Arc<CsrMatrix<f64>>, k: usize) -> ServiceRequest<f64> {
+    let b: Vec<f64> = (0..a.nrows())
+        .map(|i| 1.0 + ((i + k) % 7) as f64 * 0.1)
+        .collect();
+    ServiceRequest::new(Arc::clone(a), b)
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("response");
+    out
+}
+
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(raw).expect("request");
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+/// Scrapes racing a live batch: `/metrics` and `/trace` from several
+/// client threads while jobs stream through the service. Every response
+/// must be a well-formed 200 with a consistent Content-Length.
+#[test]
+fn concurrent_scrapes_during_a_batch_stay_well_formed() {
+    let (service, _ring) = service_with_ring();
+    let server = ScrapeServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    let a = Arc::new(generate::poisson2d::<f64>(10, 10));
+
+    let scrapers: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let path = if i % 2 == 0 { "/metrics" } else { "/trace" };
+                    let resp = get(addr, path);
+                    assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+                    let (head, body) = resp.split_once("\r\n\r\n").expect("head/body split");
+                    let len: usize = head
+                        .lines()
+                        .find_map(|l| l.strip_prefix("Content-Length: "))
+                        .expect("content length")
+                        .parse()
+                        .expect("numeric");
+                    assert_eq!(body.len(), len, "advertised length matches body");
+                }
+            })
+        })
+        .collect();
+
+    // Meanwhile, traffic.
+    for k in 0..32 {
+        let t = service.submit(request(&a, k)).expect("admits");
+        assert!(t.wait().expect("solves").converged());
+    }
+    for s in scrapers {
+        s.join().expect("scraper thread");
+    }
+    // A final metrics scrape reflects the finished batch.
+    let metrics = get(addr, "/metrics");
+    assert!(metrics.contains("acamar_service_shard_jobs_total"));
+    assert!(metrics.contains("acamar_service_shard_restarts_total"));
+    let health = get(addr, "/health");
+    assert!(health.contains("\"completions\":32"), "{health}");
+}
+
+/// Garbage in, typed status out: the endpoint answers malformed request
+/// lines, non-GET methods, and unknown paths without wedging the accept
+/// loop.
+#[test]
+fn malformed_requests_get_typed_statuses_and_do_not_wedge_the_loop() {
+    let (service, _ring) = service_with_ring();
+    let server = ScrapeServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let post = send_raw(addr, b"POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+
+    let missing = send_raw(addr, b"GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    // Not even HTTP. The server answers something (or closes); either
+    // way the next real scrape must still work.
+    let _ = send_raw(addr, b"\x00\x01\x02garbage\r\n\r\n");
+    let _ = send_raw(addr, b"GET\r\n\r\n");
+
+    let metrics = get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+}
+
+/// A client that connects and sends nothing: the per-connection read
+/// timeout frees the loop, and subsequent scrapes succeed.
+#[test]
+fn silent_client_times_out_without_blocking_other_scrapes() {
+    let (service, _ring) = service_with_ring();
+    let server = ScrapeServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    let silent = TcpStream::connect(addr).expect("connect");
+    // The accept loop is single-threaded: once the silent connection's
+    // read times out (500 ms), the pending scrape is served.
+    let metrics = get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+    drop(silent);
+}
+
+/// Dropping the server stops the accept loop promptly and releases the
+/// port; scrapes after shutdown are refused.
+#[test]
+fn shutdown_is_clean_and_prompt() {
+    let (service, _ring) = service_with_ring();
+    let server = ScrapeServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    assert!(get(addr, "/healthz").ends_with("ok\n"));
+    drop(server);
+    // The listener is gone: either the connect fails outright, or an
+    // OS-accepted backlog connection yields no HTTP response.
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut s) => {
+            s.set_read_timeout(Some(Duration::from_millis(500)))
+                .expect("timeout");
+            let _ = write!(s, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            assert!(
+                !out.starts_with("HTTP/1.1 200"),
+                "served after shutdown: {out}"
+            );
+        }
+    }
+    // The service itself is unaffected by the endpoint's shutdown.
+    let a = Arc::new(generate::poisson2d::<f64>(8, 8));
+    let t = service.submit(request(&a, 0)).expect("admits");
+    assert!(t.wait().expect("solves").converged());
+}
