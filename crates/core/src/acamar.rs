@@ -9,7 +9,7 @@ use acamar_faultline::FaultContext;
 use acamar_solvers::{
     solve_with, ConvergenceCriteria, Outcome, SolveReport, SolverKind, WorkspaceHandle,
 };
-use acamar_sparse::{CompiledSpmv, CsrMatrix, Scalar, SparseError};
+use acamar_sparse::{CompiledSpmv, CsrMatrix, DeterminismPolicy, Scalar, SparseError};
 use acamar_telemetry::TelemetrySink;
 use std::sync::Arc;
 
@@ -145,6 +145,12 @@ pub struct RunOptions {
     /// The default disabled sink keeps the run observation-free; any sink
     /// is purely observational — numerics and cycle charges are unchanged.
     pub telemetry: TelemetrySink,
+    /// Determinism tier for host arithmetic (see [`DeterminismPolicy`]).
+    /// The default `Deterministic` preserves the bitwise replay contract;
+    /// `Fast` runs plan-backed SpMV and dense reductions through the
+    /// 4-lane reassociated kernels. Cycle and FLOP charges are identical
+    /// on both tiers.
+    pub policy: DeterminismPolicy,
 }
 
 /// The dynamically reconfigurable accelerator.
@@ -351,7 +357,8 @@ impl Acamar {
             self.config.init_unroll,
         )
         .with_overlap(self.config.overlap_reconfiguration)
-        .with_compiled_plan(Arc::clone(&artifacts.compiled));
+        .with_compiled_plan(Arc::clone(&artifacts.compiled))
+        .with_policy(opts.policy);
         if let Some(ctx) = opts.fault {
             hw = hw.with_fault_context(ctx);
         }

@@ -2,7 +2,7 @@
 
 use crate::fingerprint::PatternFingerprint;
 use acamar_core::{Acamar, AnalysisArtifacts};
-use acamar_sparse::{CsrMatrix, Scalar};
+use acamar_sparse::{CsrMatrix, DeterminismPolicy, Scalar};
 use acamar_telemetry::{Counter, EventKind, TelemetrySink};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,8 +74,15 @@ impl CacheEntry {
     }
 }
 
-/// Concurrent map from [`PatternFingerprint`] to shared
-/// [`AnalysisArtifacts`].
+/// Concurrent map from `(PatternFingerprint, DeterminismPolicy)` to
+/// shared [`AnalysisArtifacts`].
+///
+/// Entries are keyed by determinism tier as well as pattern, so a `Fast`
+/// and a `Deterministic` plan for the same matrix coexist: a mixed
+/// workload never evicts or aliases the other tier's entry, and the two
+/// tiers are free to diverge in what they cache. (Today plan compilation
+/// itself is policy-independent, so a tier's first lookup on an
+/// already-warm pattern still runs its own analysis miss.)
 ///
 /// Reads take the `RwLock` shared, so concurrent workers hitting warm
 /// patterns never serialize. A miss upgrades to the exclusive lock and
@@ -93,7 +100,7 @@ impl CacheEntry {
 /// the entry is rebuilt from the incoming matrix.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    map: RwLock<HashMap<PatternFingerprint, CacheEntry>>,
+    map: RwLock<HashMap<(PatternFingerprint, DeterminismPolicy), CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     collisions: AtomicU64,
@@ -107,14 +114,20 @@ impl PlanCache {
         PlanCache::default()
     }
 
-    /// Returns `a`'s artifacts, analyzing on first sight of its pattern
-    /// (or on a verification failure of the stored entry).
+    /// Returns `a`'s artifacts for the `Deterministic` tier, analyzing on
+    /// first sight of its pattern (or on a verification failure of the
+    /// stored entry).
     pub fn get_or_analyze<T: Scalar>(
         &self,
         acamar: &Acamar,
         a: &CsrMatrix<T>,
     ) -> Arc<AnalysisArtifacts> {
-        self.get_or_analyze_with(acamar, a, &TelemetrySink::disabled())
+        self.get_or_analyze_with(
+            acamar,
+            a,
+            DeterminismPolicy::Deterministic,
+            &TelemetrySink::disabled(),
+        )
     }
 
     /// [`PlanCache::get_or_analyze`] with the lookup's outcome mirrored
@@ -123,14 +136,16 @@ impl PlanCache {
     /// [`EventKind::CacheCollision`] event plus the matching counters. The
     /// cache's own statistics and the telemetry counters are fed from the
     /// same observations, so a batch's [`CacheStats`] delta and its
-    /// exported metrics always agree.
+    /// exported metrics always agree. The entry is keyed by `(pattern,
+    /// policy)`, so each determinism tier warms independently.
     pub fn get_or_analyze_with<T: Scalar>(
         &self,
         acamar: &Acamar,
         a: &CsrMatrix<T>,
+        policy: DeterminismPolicy,
         sink: &TelemetrySink,
     ) -> Arc<AnalysisArtifacts> {
-        let fp = PatternFingerprint::of(a);
+        let fp = (PatternFingerprint::of(a), policy);
         if let Some(entry) = self.map.read().expect("cache lock poisoned").get(&fp) {
             if entry.verifies_against(a) {
                 self.record_hit(&entry.artifacts);
@@ -175,39 +190,49 @@ impl PlanCache {
         art
     }
 
-    /// Whether `fp`'s pattern is already cached (no counter updates, no
-    /// verification). The serving layer's affinity router and its tests
-    /// use this to ask "is this shard warm for this pattern?" without
-    /// perturbing the hit/miss accounting.
+    /// Whether `fp`'s pattern is already cached under *any* determinism
+    /// tier (no counter updates, no verification). The serving layer's
+    /// affinity router and its tests use this to ask "is this shard warm
+    /// for this pattern?" without perturbing the hit/miss accounting —
+    /// affinity cares about pattern warmth, not which tier warmed it.
     pub fn contains(&self, fp: &PatternFingerprint) -> bool {
         self.map
             .read()
             .expect("cache lock poisoned")
-            .contains_key(fp)
+            .keys()
+            .any(|(f, _)| f == fp)
     }
 
-    /// The cached artifacts for `fp`, if present (no counter updates, no
-    /// verification).
-    pub fn peek(&self, fp: &PatternFingerprint) -> Option<Arc<AnalysisArtifacts>> {
+    /// Whether `fp`'s pattern is cached for the specific `policy` tier.
+    pub fn contains_policy(&self, fp: &PatternFingerprint, policy: DeterminismPolicy) -> bool {
         self.map
             .read()
             .expect("cache lock poisoned")
-            .get(fp)
-            .map(|e| Arc::clone(&e.artifacts))
+            .contains_key(&(*fp, policy))
     }
 
-    /// Fault-injection seam: corrupts the stored provenance of `fp`'s
-    /// entry (if cached) so the next lookup fails verification. Returns
-    /// `true` if an entry was corrupted.
+    /// The cached artifacts for `fp`, if present under any tier
+    /// (`Deterministic` preferred; no counter updates, no verification).
+    pub fn peek(&self, fp: &PatternFingerprint) -> Option<Arc<AnalysisArtifacts>> {
+        let map = self.map.read().expect("cache lock poisoned");
+        DeterminismPolicy::ALL
+            .iter()
+            .find_map(|&p| map.get(&(*fp, p)).map(|e| Arc::clone(&e.artifacts)))
+    }
+
+    /// Fault-injection seam: corrupts the stored provenance of every tier's
+    /// entry for `fp` (if cached) so the next lookup fails verification.
+    /// Returns `true` if at least one entry was corrupted.
     pub fn corrupt_entry(&self, fp: &PatternFingerprint) -> bool {
         let mut map = self.map.write().expect("cache lock poisoned");
-        match map.get_mut(fp) {
-            Some(entry) => {
+        let mut corrupted = false;
+        for policy in DeterminismPolicy::ALL {
+            if let Some(entry) = map.get_mut(&(*fp, policy)) {
                 entry.nnz = entry.nnz.wrapping_add(1);
-                true
+                corrupted = true;
             }
-            None => false,
         }
+        corrupted
     }
 
     /// Current counters.
@@ -331,6 +356,34 @@ mod tests {
         assert_eq!(d.plan_build_cycles_saved, 350);
         assert_eq!(d.entries, 3);
         assert_eq!(d.analysis_nanos, 4_500);
+    }
+
+    #[test]
+    fn policies_warm_independently_and_coexist() {
+        let cache = PlanCache::new();
+        let ac = acamar();
+        let a = generate::poisson2d::<f64>(10, 10);
+        let fp = PatternFingerprint::of(&a);
+        let sink = TelemetrySink::disabled();
+        let det = cache.get_or_analyze_with(&ac, &a, DeterminismPolicy::Deterministic, &sink);
+        // The fast tier's first lookup is its own miss, not a hit on the
+        // deterministic entry...
+        let fast = cache.get_or_analyze_with(&ac, &a, DeterminismPolicy::Fast, &sink);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+        // ...and both entries verify per tier thereafter.
+        assert!(cache.contains(&fp));
+        assert!(cache.contains_policy(&fp, DeterminismPolicy::Deterministic));
+        assert!(cache.contains_policy(&fp, DeterminismPolicy::Fast));
+        let det2 = cache.get_or_analyze_with(&ac, &a, DeterminismPolicy::Deterministic, &sink);
+        let fast2 = cache.get_or_analyze_with(&ac, &a, DeterminismPolicy::Fast, &sink);
+        assert!(Arc::ptr_eq(&det, &det2));
+        assert!(Arc::ptr_eq(&fast, &fast2));
+        assert_eq!(cache.stats().hits, 2);
+        // Plan compilation is policy-independent today: same artifacts,
+        // distinct cache entries.
+        assert_eq!(*det, *fast);
+        assert!(cache.peek(&fp).is_some());
     }
 
     #[test]

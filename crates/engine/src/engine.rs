@@ -10,7 +10,7 @@ use acamar_core::{
 use acamar_fabric::FabricRunStats;
 use acamar_faultline::{FaultContext, FaultInjector, InjectedPanic, WorkerDisruption};
 use acamar_solvers::{SolverKind, WorkspaceHandle};
-use acamar_sparse::{CsrMatrix, Scalar};
+use acamar_sparse::{CsrMatrix, DeterminismPolicy, Scalar};
 use acamar_telemetry::export::PrometheusWriter;
 use acamar_telemetry::{Counter, EventKind, FaultResolution, Recorder, Span, TelemetrySink};
 use std::any::Any;
@@ -36,6 +36,9 @@ pub struct SolveJob<T> {
     pub rhs: Vec<T>,
     /// Optional warm-start guess (each solver attempt restarts from it).
     pub guess: Option<Vec<T>>,
+    /// Determinism tier for this job's host arithmetic
+    /// (see [`DeterminismPolicy`]; defaults to `Deterministic`).
+    pub policy: DeterminismPolicy,
 }
 
 impl<T> SolveJob<T> {
@@ -45,12 +48,19 @@ impl<T> SolveJob<T> {
             matrix,
             rhs,
             guess: None,
+            policy: DeterminismPolicy::Deterministic,
         }
     }
 
     /// Sets the warm-start guess.
     pub fn with_guess(mut self, x0: Vec<T>) -> SolveJob<T> {
         self.guess = Some(x0);
+        self
+    }
+
+    /// Sets the determinism tier.
+    pub fn with_policy(mut self, policy: DeterminismPolicy) -> SolveJob<T> {
+        self.policy = policy;
         self
     }
 }
@@ -392,7 +402,14 @@ fn drain_batch<T: Scalar>(inner: &EngineInner, ctx: &BatchCtx<T>, workspace: &Wo
             break;
         }
         let job = &ctx.jobs[i];
-        let outcome = inner.run_job(i, &job.matrix, &job.rhs, job.guess.as_deref(), workspace);
+        let outcome = inner.run_job(
+            i,
+            &job.matrix,
+            &job.rhs,
+            job.guess.as_deref(),
+            job.policy,
+            workspace,
+        );
         inner.account_job(&outcome);
         *ctx.slots[i].lock().expect("result slot poisoned") = Some(outcome);
     }
@@ -666,9 +683,14 @@ impl Engine {
         a: &CsrMatrix<T>,
         b: &[T],
     ) -> Result<AcamarRunReport<T>, SolveError> {
-        let outcome = self
-            .inner
-            .run_job(0, a, b, None, &self.inner.solo_workspace);
+        let outcome = self.inner.run_job(
+            0,
+            a,
+            b,
+            None,
+            DeterminismPolicy::Deterministic,
+            &self.inner.solo_workspace,
+        );
         self.inner.account_job(&outcome);
         outcome.result
     }
@@ -836,13 +858,16 @@ impl EngineInner {
         matrix: &CsrMatrix<T>,
         rhs: &[T],
         guess: Option<&[T]>,
+        policy: DeterminismPolicy,
         workspace: &WorkspaceHandle,
     ) -> JobOutcome<T> {
         let start = Instant::now();
         let job = index as u64;
         let mut panics = 0u64;
         let sink = self.telemetry.with_job(job);
-        sink.emit(EventKind::JobStart);
+        sink.emit(EventKind::JobStart {
+            fast: policy.is_fast(),
+        });
 
         // Intake seams. The poisoned copy (if any) replaces the caller's
         // RHS for every attempt; input validation then rejects it as a
@@ -863,7 +888,8 @@ impl EngineInner {
         drop(intake);
         let artifacts = {
             let _analyze = sink.span(Span::Analyze);
-            self.cache.get_or_analyze_with(&self.acamar, matrix, &sink)
+            self.cache
+                .get_or_analyze_with(&self.acamar, matrix, policy, &sink)
         };
 
         // Primary attempt: the accelerator's own defenses (Solver
@@ -878,6 +904,7 @@ impl EngineInner {
                 job,
                 0,
                 None,
+                policy,
                 &mut panics,
                 workspace,
                 &sink,
@@ -889,7 +916,7 @@ impl EngineInner {
         let done = matches!(&result, Ok(r) if r.converged())
             || matches!(&result, Err(e) if e.is_invalid_input());
         if !done {
-            if let Some(policy) = self.resilience.rescue {
+            if let Some(rescue) = self.resilience.rescue {
                 let _rescue = sink.span(Span::Rescue);
                 let base = self.acamar.config().criteria;
                 let primary = artifacts.structure.solver;
@@ -898,7 +925,7 @@ impl EngineInner {
                     climb.absorb(r);
                 }
 
-                for &step in policy.ladder() {
+                for &step in rescue.ladder() {
                     if let Some(limit) = self.resilience.deadline {
                         let elapsed = start.elapsed();
                         if elapsed >= limit {
@@ -915,7 +942,7 @@ impl EngineInner {
                             break;
                         }
                     }
-                    let Some(kind) = policy.solver_for(step, primary, &climb.tried) else {
+                    let Some(kind) = rescue.solver_for(step, primary, &climb.tried) else {
                         // Nothing new to offer; skip without burning depth.
                         continue;
                     };
@@ -925,7 +952,7 @@ impl EngineInner {
                         solver: kind.index() as u8,
                     });
                     sink.counter_add(Counter::RescueRungs, 1);
-                    let criteria = policy.rung_criteria(&base, rungs);
+                    let criteria = rescue.rung_criteria(&base, rungs);
                     let next = self.attempt(
                         matrix,
                         rhs,
@@ -934,6 +961,7 @@ impl EngineInner {
                         job,
                         rungs as u64,
                         Some((criteria, kind)),
+                        policy,
                         &mut panics,
                         workspace,
                         &sink,
@@ -965,8 +993,15 @@ impl EngineInner {
             }
         }
 
+        let converged = matches!(&result, Ok(r) if r.converged());
+        if policy.is_fast() {
+            sink.counter_add(Counter::FastTierSolves, 1);
+            if converged {
+                sink.counter_add(Counter::FastTierConverged, 1);
+            }
+        }
         sink.emit(EventKind::JobEnd {
-            converged: matches!(&result, Ok(r) if r.converged()),
+            converged,
             rungs: rungs as u32,
         });
         JobOutcome {
@@ -992,6 +1027,7 @@ impl EngineInner {
         job: u64,
         rung: u64,
         forced: Option<(acamar_solvers::ConvergenceCriteria, SolverKind)>,
+        policy: DeterminismPolicy,
         panics: &mut u64,
         workspace: &WorkspaceHandle,
         sink: &TelemetrySink,
@@ -1042,6 +1078,7 @@ impl EngineInner {
                     fault,
                     workspace: Some(workspace.clone()),
                     telemetry: sink.clone(),
+                    policy,
                 },
             )
         }));

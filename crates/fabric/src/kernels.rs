@@ -14,7 +14,7 @@ use crate::spmv::{execute_rows, SpmvExecution};
 use crate::trace::{ExecutionTrace, TraceEvent};
 use acamar_faultline::{FaultContext, FaultInjector};
 use acamar_solvers::{Kernels, OpCounts, Phase, WorkspaceHandle};
-use acamar_sparse::{BandHint, CompiledSpmv, CsrMatrix, Scalar};
+use acamar_sparse::{simd, BandHint, CompiledSpmv, CsrMatrix, DeterminismPolicy, Scalar};
 use acamar_telemetry::{Counter, EventKind, TelemetrySink};
 use std::ops::Range;
 use std::sync::Arc;
@@ -319,6 +319,13 @@ pub struct FabricKernels {
     /// is a single branch when no recorder is installed, so the hot solve
     /// loop is unchanged (numerics, cycles, and allocations alike).
     telemetry: TelemetrySink,
+    /// Determinism tier for host arithmetic. `Deterministic` (the default)
+    /// keeps every reduction in serial CSR order — the bitwise replay
+    /// contract. `Fast` runs plan-backed SpMV and dense reductions through
+    /// the 4-lane reassociated kernels; cycle/FLOP charges and fault-flip
+    /// ordering are identical on both tiers (the model charges the same
+    /// fabric work either way — only host summation order changes).
+    policy: DeterminismPolicy,
 }
 
 impl FabricKernels {
@@ -363,7 +370,25 @@ impl FabricKernels {
             workspace: None,
             compiled: None,
             telemetry: TelemetrySink::disabled(),
+            policy: DeterminismPolicy::Deterministic,
         }
+    }
+
+    /// Selects the determinism tier for host arithmetic (see
+    /// [`DeterminismPolicy`]). Under `Fast`, plan-backed SpMV and the dense
+    /// reductions (`dot`, the fused `spmv_dot` tail, `axpy_normsq`) use the
+    /// 4-lane reassociated kernels; element-wise updates, cycle and FLOP
+    /// charges, and the stuck-bit fault-flip ordering are unchanged, so
+    /// fault replay still corrupts the same element of `y` before any
+    /// fused reduction reads it.
+    pub fn with_policy(mut self, policy: DeterminismPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active determinism tier.
+    pub fn policy(&self) -> DeterminismPolicy {
+        self.policy
     }
 
     /// Installs a shared host-side workspace so solver scratch vectors are
@@ -629,7 +654,11 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
     fn spmv(&mut self, a: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
         match &self.compiled {
             Some(plan) if plan.matches(a) => {
-                plan.execute(a, x, y).expect("spmv shape mismatch");
+                if self.policy.is_fast() {
+                    plan.execute_fast(a, x, y).expect("spmv shape mismatch");
+                } else {
+                    plan.execute(a, x, y).expect("spmv shape mismatch");
+                }
             }
             _ => a.mul_vec_into(x, y).expect("spmv shape mismatch"),
         }
@@ -730,6 +759,9 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
     fn dot(&mut self, x: &[T], y: &[T]) -> T {
         assert_eq!(x.len(), y.len(), "dot length mismatch");
         self.charge_dense(x.len(), 2, true);
+        if self.policy.is_fast() {
+            return simd::dot_fast(x, y);
+        }
         x.iter().zip(y).fold(T::ZERO, |acc, (&a, &b)| acc + a * b)
     }
 
@@ -742,6 +774,9 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
         Kernels::<T>::spmv(self, a, x, y);
         assert_eq!(y.len(), z.len(), "dot length mismatch");
         self.charge_dense(y.len(), 2, true);
+        if self.policy.is_fast() {
+            return simd::dot_fast(y, z);
+        }
         y.iter().zip(z).fold(T::ZERO, |acc, (&a, &b)| acc + a * b)
     }
 
@@ -751,6 +786,9 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
         // single pass with the same per-element operation order.
         self.charge_dense(x.len(), 2, false);
         self.charge_dense(x.len(), 2, true);
+        if self.policy.is_fast() {
+            return simd::axpy_normsq_fast(alpha, x, y);
+        }
         let mut acc = T::ZERO;
         for (yi, &xi) in y.iter_mut().zip(x) {
             *yi += alpha * xi;
@@ -1251,6 +1289,85 @@ mod tests {
             assert_eq!(got.to_bits(), want.to_bits());
         }
         assert_eq!(fd.to_bits(), fd_ref.to_bits());
+    }
+
+    #[test]
+    fn fast_policy_keeps_counts_cycles_and_fault_flip_ordering() {
+        use acamar_faultline::{FaultCategory, FaultContext, FaultInjector, FaultPlan};
+        use acamar_sparse::DeterminismPolicy;
+
+        let a =
+            generate::random_pattern::<f64>(96, RowDistribution::Uniform { min: 1, max: 12 }, 21);
+        let schedule = UnrollSchedule::from_entries(
+            96,
+            vec![
+                ScheduleEntry {
+                    rows: 0..48,
+                    unroll: 2,
+                },
+                ScheduleEntry {
+                    rows: 48..96,
+                    unroll: 8,
+                },
+            ],
+        );
+        let plan = Arc::new(CompiledSpmv::compile(&a, &schedule.band_hints()).unwrap());
+        let x: Vec<f64> = (0..96).map(|i| ((i % 9) as f64) * 0.5 - 2.0).collect();
+
+        // Charges are tier-independent: the fabric model bills the same
+        // work whichever host summation order computes it.
+        let run = |policy: DeterminismPolicy| {
+            let mut hw = FabricKernels::new(spec(), schedule.clone(), 4)
+                .with_compiled_plan(Arc::clone(&plan))
+                .with_policy(policy);
+            Kernels::<f64>::set_phase(&mut hw, Phase::Loop);
+            let mut y = vec![0.0_f64; 96];
+            let d = hw.spmv_dot(&a, &x, &mut y, &x);
+            let n = hw.axpy_normsq(0.25, &x, &mut y);
+            (Kernels::<f64>::counts(&hw), hw.cycles(), y, d, n)
+        };
+        let (counts_det, cycles_det, y_det, d_det, n_det) = run(DeterminismPolicy::Deterministic);
+        let (counts_fast, cycles_fast, y_fast, d_fast, n_fast) = run(DeterminismPolicy::Fast);
+        assert_eq!(counts_det, counts_fast);
+        assert_eq!(cycles_det, cycles_fast);
+        assert!((d_det - d_fast).abs() <= 1e-10 * d_det.abs().max(1.0));
+        assert!((n_det - n_fast).abs() <= 1e-10 * n_det.abs().max(1.0));
+        // Fast SpMV reassociates row sums, so y agrees to rounding only.
+        for (f, d) in y_fast.iter().zip(&y_det) {
+            assert!((f - d).abs() <= 1e-12 * d.abs().max(1.0), "{f} vs {d}");
+        }
+
+        // The stuck-bit flip still lands on `y` before the fused dot reads
+        // it, so both tiers see the corrupted element in the reduction.
+        let run_faulty = |policy: DeterminismPolicy| {
+            let inj = Arc::new(FaultInjector::new(
+                FaultPlan::new(5).with_rate(FaultCategory::SpmvBitFlip, 1.0),
+            ));
+            let mut hw = FabricKernels::new(spec(), schedule.clone(), 4)
+                .with_compiled_plan(Arc::clone(&plan))
+                .with_fault_context(FaultContext::new(inj, 3))
+                .with_policy(policy);
+            hw.set_schedule(schedule.clone());
+            Kernels::<f64>::set_phase(&mut hw, Phase::Loop);
+            let mut y = vec![0.0_f64; 96];
+            let d = hw.spmv_dot(&a, &x, &mut y, &x);
+            (y, d)
+        };
+        let (fy_det, fd_det) = run_faulty(DeterminismPolicy::Deterministic);
+        let (fy_fast, fd_fast) = run_faulty(DeterminismPolicy::Fast);
+        let loud = |y: &[f64]| {
+            y.iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_finite() || v.abs() > 1e50)
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>()
+        };
+        // Same single element corrupted on both tiers...
+        assert_eq!(loud(&fy_det), loud(&fy_fast));
+        assert_eq!(loud(&fy_det).len(), 1);
+        // ...and both fused dots absorbed it.
+        assert!(fd_det.abs() > 1e50 || !fd_det.is_finite());
+        assert!(fd_fast.abs() > 1e50 || !fd_fast.is_finite());
     }
 
     #[test]

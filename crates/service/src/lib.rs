@@ -56,6 +56,7 @@ mod queue;
 mod router;
 mod service;
 
+pub use acamar_sparse::DeterminismPolicy;
 pub use config::{Priority, RoutingPolicy, ServiceConfig};
 pub use health::{ServiceLedger, ShardHealth};
 pub use http::ScrapeServer;

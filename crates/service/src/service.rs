@@ -11,7 +11,7 @@ use acamar_engine::{Engine, PatternFingerprint, SolveError, SolveJob};
 use acamar_faultline::{
     silence_injected_panics, FaultCategory, FaultInjector, FaultPlan, InjectedPanic,
 };
-use acamar_sparse::{CsrMatrix, Scalar};
+use acamar_sparse::{CsrMatrix, DeterminismPolicy, Scalar};
 use acamar_telemetry::export::{json_lines, PrometheusWriter};
 use acamar_telemetry::{Counter, EventKind, Recorder, RingRecorder, TelemetrySink};
 use std::fmt;
@@ -39,6 +39,10 @@ pub struct ServiceRequest<T> {
     /// when it expires is shed before solving
     /// ([`ServiceError::Shed`]).
     pub deadline: Option<Duration>,
+    /// Determinism tier the solve runs under. `Deterministic` (the
+    /// default) keeps the bitwise replay contract; `Fast` routes the
+    /// hot kernels through the reassociated 4-lane paths.
+    pub policy: DeterminismPolicy,
 }
 
 impl<T> ServiceRequest<T> {
@@ -51,6 +55,7 @@ impl<T> ServiceRequest<T> {
             tenant: 0,
             priority: Priority::Normal,
             deadline: None,
+            policy: DeterminismPolicy::Deterministic,
         }
     }
 
@@ -75,6 +80,12 @@ impl<T> ServiceRequest<T> {
     /// Sets the admission-relative deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> ServiceRequest<T> {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the determinism tier.
+    pub fn with_policy(mut self, policy: DeterminismPolicy) -> ServiceRequest<T> {
+        self.policy = policy;
         self
     }
 }
@@ -392,6 +403,9 @@ pub struct Service<T: Scalar> {
     rr: AtomicU64,
     rand: AtomicU64,
     completions: Arc<AtomicU64>,
+    /// Admissions per determinism tier, indexed by
+    /// [`DeterminismPolicy::ALL`] order (Deterministic, Fast).
+    policy_admitted: [AtomicU64; 2],
     sink: TelemetrySink,
     ring: Option<Arc<RingRecorder>>,
     /// Service-seam fault accounting (always present; all-zero without a
@@ -543,6 +557,7 @@ impl<T: Scalar> Service<T> {
             rr: AtomicU64::new(0),
             rand: AtomicU64::new(rand_seed),
             completions,
+            policy_admitted: [AtomicU64::new(0), AtomicU64::new(0)],
             sink,
             ring,
             ledger,
@@ -609,6 +624,7 @@ impl<T: Scalar> Service<T> {
                     matrix: req.matrix,
                     rhs: req.rhs,
                     guess: req.guess,
+                    policy: req.policy,
                 },
                 seq,
                 admitted_at: now,
@@ -627,6 +643,7 @@ impl<T: Scalar> Service<T> {
             depth: depth_now as u32,
         });
         self.sink.counter_add(Counter::JobsAdmitted, 1);
+        self.policy_admitted[req.policy.is_fast() as usize].fetch_add(1, Ordering::Relaxed);
         Ok(Ticket {
             state: ticket,
             shard,
@@ -831,6 +848,11 @@ impl<T: Scalar> Service<T> {
         self.completions.load(Ordering::SeqCst)
     }
 
+    /// Jobs admitted under `policy` since construction.
+    pub fn admitted_for(&self, policy: DeterminismPolicy) -> u64 {
+        self.policy_admitted[policy.is_fast() as usize].load(Ordering::Relaxed)
+    }
+
     /// Events the ring recorder dropped on overflow (0 without a ring).
     pub fn dropped_events(&self) -> u64 {
         self.ring.as_ref().map(|r| r.dropped()).unwrap_or(0)
@@ -884,6 +906,16 @@ impl<T: Scalar> Service<T> {
             "Dispatcher respawns per shard",
             "shard",
             &sample(&|s| self.restarts(s)),
+        );
+        let by_policy: Vec<(String, u64)> = DeterminismPolicy::ALL
+            .iter()
+            .map(|p| (p.label().to_string(), self.admitted_for(*p)))
+            .collect();
+        w.counter_samples(
+            "acamar_service_requests_total",
+            "Jobs admitted per determinism tier",
+            "policy",
+            &by_policy,
         );
         w.gauge(
             "acamar_service_shards",
@@ -1326,6 +1358,42 @@ mod tests {
         for t in tickets {
             assert!(t.wait().expect("drained on drop").converged());
         }
+    }
+
+    #[test]
+    fn fast_policy_round_trips_and_is_metered() {
+        let ring = Arc::new(RingRecorder::new(1 << 14));
+        let service = Service::<f64>::with_recorder(
+            acamar(),
+            ServiceConfig::default().with_shards(1),
+            Arc::clone(&ring),
+        );
+        let a = Arc::new(generate::poisson2d::<f64>(10, 10));
+        let det = service
+            .submit(ServiceRequest::new(Arc::clone(&a), vec![1.0; a.nrows()]))
+            .expect("admits deterministic");
+        let fast = service
+            .submit(
+                ServiceRequest::new(Arc::clone(&a), vec![1.0; a.nrows()])
+                    .with_policy(DeterminismPolicy::Fast),
+            )
+            .expect("admits fast");
+        let det = det.wait().expect("deterministic solves");
+        let fast = fast.wait().expect("fast solves");
+        assert!(det.converged() && fast.converged());
+        assert_eq!(service.admitted_for(DeterminismPolicy::Deterministic), 1);
+        assert_eq!(service.admitted_for(DeterminismPolicy::Fast), 1);
+        let text = service.prometheus_text();
+        assert!(
+            text.contains("acamar_service_requests_total{policy=\"deterministic\"} 1"),
+            "deterministic tier metered in:\n{text}"
+        );
+        assert!(
+            text.contains("acamar_service_requests_total{policy=\"fast\"} 1"),
+            "fast tier metered in:\n{text}"
+        );
+        assert_eq!(ring.counters()[Counter::FastTierSolves.index()], 1);
+        assert_eq!(ring.counters()[Counter::FastTierConverged.index()], 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! their hardware execution (Section IV).
 
 use crate::workspace::WorkspaceHandle;
-use acamar_sparse::{chunk, CompiledSpmv, CsrMatrix, Scalar};
+use acamar_sparse::{chunk, simd, CompiledSpmv, CsrMatrix, DeterminismPolicy, Scalar};
 use acamar_telemetry::TelemetrySink;
 use std::sync::Arc;
 
@@ -204,6 +204,7 @@ pub struct SoftwareKernels {
     spmv_threads: usize,
     plan: Option<Arc<CompiledSpmv>>,
     telemetry: TelemetrySink,
+    policy: DeterminismPolicy,
 }
 
 impl Default for SoftwareKernels {
@@ -214,6 +215,7 @@ impl Default for SoftwareKernels {
             spmv_threads: 1,
             plan: None,
             telemetry: TelemetrySink::disabled(),
+            policy: DeterminismPolicy::Deterministic,
         }
     }
 }
@@ -257,6 +259,25 @@ impl SoftwareKernels {
     /// The installed compiled plan, if any.
     pub fn compiled_plan(&self) -> Option<&Arc<CompiledSpmv>> {
         self.plan.as_ref()
+    }
+
+    /// Selects the numeric determinism tier (see
+    /// [`DeterminismPolicy`]). Under
+    /// [`DeterminismPolicy::Fast`], the reduction kernels
+    /// ([`Kernels::dot`], [`Kernels::norm2`], and the fused pairs) use
+    /// reassociated four-lane partial sums, and plan-backed SpMV runs the
+    /// plan's fast band kernels — results agree with the deterministic
+    /// tier only to accuracy, never bitwise. The generic (plan-less) SpMV
+    /// walk is policy-agnostic. Operation counts are charged identically
+    /// on both tiers.
+    pub fn with_policy(mut self, policy: DeterminismPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The executor's determinism tier.
+    pub fn policy(&self) -> DeterminismPolicy {
+        self.policy
     }
 
     /// Routes [`Kernels::observe_residual`] samples into `sink`'s residual
@@ -312,6 +333,7 @@ fn parallel_compiled_spmv<T: Scalar>(
     x: &[T],
     y: &mut [T],
     threads: usize,
+    policy: DeterminismPolicy,
 ) {
     assert_eq!(x.len(), a.ncols(), "spmv shape mismatch");
     assert_eq!(y.len(), a.nrows(), "spmv shape mismatch");
@@ -325,7 +347,13 @@ fn parallel_compiled_spmv<T: Scalar>(
             row = rows.end;
             let (head, tail) = rest.split_at_mut(rows.len());
             rest = tail;
-            s.spawn(move || plan.execute_span(span, a, x, head));
+            s.spawn(move || {
+                if policy.is_fast() {
+                    plan.execute_span_fast(span, a, x, head);
+                } else {
+                    plan.execute_span(span, a, x, head);
+                }
+            });
         }
     });
 }
@@ -335,7 +363,9 @@ impl<T: Scalar> Kernels<T> for SoftwareKernels {
         match &self.plan {
             Some(plan) if plan.matches(a) => {
                 if self.spmv_threads > 1 && a.nnz() >= PARALLEL_SPMV_MIN_NNZ {
-                    parallel_compiled_spmv(plan, a, x, y, self.spmv_threads);
+                    parallel_compiled_spmv(plan, a, x, y, self.spmv_threads, self.policy);
+                } else if self.policy.is_fast() {
+                    plan.execute_fast(a, x, y).expect("spmv shape mismatch");
                 } else {
                     plan.execute(a, x, y).expect("spmv shape mismatch");
                 }
@@ -356,6 +386,9 @@ impl<T: Scalar> Kernels<T> for SoftwareKernels {
         assert_eq!(x.len(), y.len(), "dot length mismatch");
         self.counts.dense_calls += 1;
         self.counts.dense_flops += 2 * x.len() as u64;
+        if self.policy.is_fast() {
+            return simd::dot_fast(x, y);
+        }
         x.iter().zip(y).fold(T::ZERO, |acc, (&a, &b)| acc + a * b)
     }
 
@@ -425,6 +458,12 @@ impl<T: Scalar> Kernels<T> for SoftwareKernels {
         self.counts.dense_flops += 2 * y.len() as u64;
         if let Some(plan) = &self.plan {
             if plan.matches(a) {
+                if self.policy.is_fast() {
+                    // Fast band kernels with a lane-wise per-band dot.
+                    return plan
+                        .execute_dot_fast(a, x, y, z)
+                        .expect("spmv shape mismatch");
+                }
                 // Band kernels then a row-ascending dot per band: the same
                 // floating-point order as spmv followed by dot.
                 return plan.execute_dot(a, x, y, z).expect("spmv shape mismatch");
@@ -449,6 +488,9 @@ impl<T: Scalar> Kernels<T> for SoftwareKernels {
         assert_eq!(x.len(), y.len(), "axpy length mismatch");
         self.counts.dense_calls += 2;
         self.counts.dense_flops += 4 * x.len() as u64;
+        if self.policy.is_fast() {
+            return simd::axpy_normsq_fast(alpha, x, y);
+        }
         let mut acc = T::ZERO;
         for (yi, &xi) in y.iter_mut().zip(x) {
             *yi += alpha * xi;
@@ -654,6 +696,47 @@ mod tests {
             k.spmv(&a, &x, &mut y);
             assert_eq!(serial, y, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn fast_policy_matches_deterministic_accurately_with_identical_counts() {
+        use acamar_sparse::generate::RowDistribution;
+        let a =
+            generate::random_pattern::<f64>(400, RowDistribution::Uniform { min: 1, max: 24 }, 23);
+        let plan = Arc::new(CompiledSpmv::compile_default(&a));
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.19).sin()).collect();
+        let z: Vec<f64> = (0..a.nrows()).map(|i| 1.0 / (i as f64 + 2.0)).collect();
+
+        let mut det = SoftwareKernels::new().with_compiled_plan(plan.clone());
+        assert!(!det.policy().is_fast());
+        let mut fast = SoftwareKernels::new()
+            .with_compiled_plan(plan)
+            .with_policy(DeterminismPolicy::Fast);
+        assert!(fast.policy().is_fast());
+
+        let mut y_det = vec![0.0; a.nrows()];
+        let d_det = det.spmv_dot(&a, &x, &mut y_det, &z);
+        let mut y_fast = vec![0.0; a.nrows()];
+        let d_fast = fast.spmv_dot(&a, &x, &mut y_fast, &z);
+        assert!((d_fast - d_det).abs() <= 1e-12 * (1.0 + d_det.abs()));
+        for (f, d) in y_fast.iter().zip(&y_det) {
+            assert!((f - d).abs() <= 1e-12 * (1.0 + d.abs()));
+        }
+
+        let dd = det.dot(&x, &x);
+        let df = fast.dot(&x, &x);
+        assert!((df - dd).abs() <= 1e-12 * (1.0 + dd.abs()));
+
+        let mut ya = y_det.clone();
+        let na = det.axpy_normsq(-0.375, &z, &mut ya);
+        let mut yb = y_det.clone();
+        let nb = fast.axpy_normsq(-0.375, &z, &mut yb);
+        // The vector update itself is element-wise on both tiers.
+        assert_eq!(ya, yb);
+        assert!((nb - na).abs() <= 1e-12 * (1.0 + na.abs()));
+
+        // Both tiers charge the same operation counts.
+        assert_eq!(Kernels::<f64>::counts(&det), Kernels::<f64>::counts(&fast));
     }
 
     #[test]

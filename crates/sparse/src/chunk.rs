@@ -26,11 +26,13 @@ pub struct RowChunk {
 
 impl RowChunk {
     /// Number of rows in the chunk.
+    #[inline]
     pub fn len(&self) -> usize {
         self.rows.end - self.rows.start
     }
 
     /// `true` if the chunk covers no rows.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
@@ -64,6 +66,10 @@ pub fn row_chunks<T: Scalar>(a: &CsrMatrix<T>, chunk_rows: usize) -> Vec<RowChun
     let mut index = 0usize;
     while start < a.nrows() {
         let end = (start + step).min(a.nrows());
+        debug_assert!(
+            a.row_ptr()[start] <= a.row_ptr()[end],
+            "CSR row_ptr must be monotone over chunk {start}..{end}"
+        );
         let nnz = a.row_ptr()[end] - a.row_ptr()[start];
         out.push(RowChunk {
             index,

@@ -41,10 +41,27 @@
 //! [`CompiledSpmv::partition`] splits the band list (never a band) into
 //! NNZ-balanced contiguous spans, so the parallel result is the same bytes
 //! at any thread count.
+//!
+//! ## The `Fast` tier
+//!
+//! Every plan also carries a second execution surface —
+//! [`CompiledSpmv::execute_fast`] / [`CompiledSpmv::execute_dot_fast`] —
+//! for jobs that opted into [`crate::simd::DeterminismPolicy::Fast`].
+//! The fast kernels express the same band walk through the [`Lanes4`]
+//! four-lane accumulator: `Fixed`/`Ell` bands fold their existing 4-row
+//! interleave into lane operations (numerically identical — each lane is
+//! still one row's serial chain), while `Unrolled`/`Scalar`/`DenseRow`
+//! bands *reassociate* each row into four partial sums reduced once at
+//! the end, breaking the serial FP-add dependency the deterministic
+//! contract forces on them. Fast results therefore agree with
+//! [`CompiledSpmv::execute`] only to a few ULP per element, never
+//! bitwise; compilation itself is policy-independent — the same plan
+//! object serves both tiers.
 
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
 use crate::scalar::Scalar;
+use crate::simd::{dot_fast, Lanes4};
 use std::ops::Range;
 
 /// Largest row width handled by the monomorphized [`BandKind::Fixed`] kernel.
@@ -636,6 +653,113 @@ impl CompiledSpmv {
             }
         }
     }
+
+    /// Executes the full plan on the `Fast` tier: `y = A x` with
+    /// reassociated per-row reductions (see the module docs). Agrees with
+    /// [`Self::execute`] to a few ULP per element on well-conditioned
+    /// inputs; not bitwise. Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::execute`].
+    pub fn execute_fast<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        x: &[T],
+        y: &mut [T],
+    ) -> Result<(), SparseError> {
+        self.check(a, x, y)?;
+        self.execute_span_fast(0..self.bands.len(), a, x, y);
+        Ok(())
+    }
+
+    /// `Fast`-tier fused SpMV·dot: computes `y = A x` and returns `y · z`,
+    /// both with reassociated reductions. Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::execute_dot`].
+    pub fn execute_dot_fast<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        x: &[T],
+        y: &mut [T],
+        z: &[T],
+    ) -> Result<T, SparseError> {
+        self.check(a, x, y)?;
+        if z.len() != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.nrows,
+                found: z.len(),
+                what: "dot vector length",
+            });
+        }
+        let mut acc = T::ZERO;
+        for b in 0..self.bands.len() {
+            let rows = self.bands[b].rows.clone();
+            self.execute_span_fast(b..b + 1, a, x, &mut y[rows.clone()]);
+            // Band-local lane-wise dot while the y slice is still hot.
+            acc += dot_fast(&y[rows.clone()], &z[rows]);
+        }
+        Ok(acc)
+    }
+
+    /// `Fast`-tier twin of [`Self::execute_span`]: the same band walk with
+    /// the lane-accumulated kernels. Disjoint spans still write disjoint
+    /// `y` slices, so parallel callers partition identically on both
+    /// tiers. Allocation-free; no dimension checks.
+    pub fn execute_span_fast<T: Scalar>(
+        &self,
+        bands: Range<usize>,
+        a: &CsrMatrix<T>,
+        x: &[T],
+        y_span: &mut [T],
+    ) {
+        // One bound check for the whole span: every packed slot is a CSR
+        // column (`< ncols` by `CsrMatrix`'s structure validation; padding
+        // repeats a real column), so after this assert the fast kernels'
+        // unchecked `x` gathers ([`gather`]) cannot escape `x`.
+        assert!(
+            x.len() >= self.ncols,
+            "x len {} shorter than matrix width {}",
+            x.len(),
+            self.ncols
+        );
+        let row0 = self.span_rows(bands.clone()).start;
+        let rp = a.row_ptr();
+        let cols = a.col_idx();
+        let vals = a.values();
+        for band in &self.bands[bands] {
+            let y = &mut y_span[band.rows.start - row0..band.rows.end - row0];
+            let band_rp = &rp[band.rows.start..band.rows.end + 1];
+            if !self.packed {
+                // Unpackable freak case: the generic serial walk is the
+                // only kernel; both tiers share it.
+                run_fallback(band_rp, cols, vals, x, y);
+                continue;
+            }
+            match band.kind {
+                BandKind::Fixed { width } => {
+                    let slots = &self.slot_cols[band.slot_base..band.slot_base + y.len() * width];
+                    run_fixed_fast_dispatch(width, band_rp[0], slots, vals, x, y);
+                }
+                BandKind::Ell { width } => {
+                    let slots = &self.slot_cols[band.slot_base..band.slot_base + y.len() * width];
+                    run_ell_fast(width, band_rp, slots, vals, x, y);
+                }
+                // The unroll factor is irrelevant on the fast tier: each
+                // CSR-walk row picks serial vs. lane gather by length.
+                BandKind::Unrolled { .. } | BandKind::Scalar => {
+                    let slots = &self.slot_cols[band.slot_base..band.slot_base + band.nnz];
+                    run_rows_fast(band_rp, slots, vals, x, y);
+                }
+                BandKind::DenseRow => {
+                    let slots = &self.slot_cols[band.slot_base..band.slot_base + band.nnz];
+                    run_dense_row_fast(band_rp, slots, vals, x, y);
+                }
+            }
+        }
+    }
 }
 
 /// Rounds an MSID unroll factor down to the nearest monomorphized factor.
@@ -649,7 +773,38 @@ fn clamp_unroll(unroll: usize) -> usize {
     best
 }
 
+/// Audit check shared by every packed-slot kernel: in debug builds, walk
+/// the band's slot columns once and confirm they all land inside `x`.
+/// A slot that escaped `verify_pattern` (stale cache entry, corrupted
+/// plan) must fail loudly here instead of silently gathering garbage —
+/// the lane kernels read `x[slot]` unconditionally.
+#[inline]
+fn debug_assert_slots_in_bounds<T>(slots: &[u32], x: &[T]) {
+    debug_assert!(
+        slots.iter().all(|&c| (c as usize) < x.len()),
+        "stale packed slot column out of bounds (x len {})",
+        x.len()
+    );
+}
+
+/// Reads `x[c]` without a per-element bounds check — the fast tier's
+/// gather primitive. This is *checked, not assumed*: `execute_span_fast`
+/// asserts `x.len() >= ncols` once per call, every packed slot is a CSR
+/// column `< ncols` by construction (padding repeats a real column), and
+/// debug builds re-audit every band via [`debug_assert_slots_in_bounds`].
+/// The deterministic kernels keep the checked loads; eliding them there
+/// would change nothing observable but the tiers deliberately differ only
+/// where the fast tier buys something.
+#[inline(always)]
+fn gather<T: Scalar>(x: &[T], c: u32) -> T {
+    debug_assert!((c as usize) < x.len(), "packed slot escapes x");
+    // SAFETY: `c < ncols <= x.len()` — asserted at span entry and
+    // guaranteed for every slot at plan build; see the doc above.
+    unsafe { *x.get_unchecked(c as usize) }
+}
+
 /// Dispatches a `Fixed` band to its monomorphized width.
+#[inline]
 fn run_fixed_dispatch<T: Scalar>(
     width: usize,
     val_base: usize,
@@ -682,6 +837,7 @@ fn run_fixed_dispatch<T: Scalar>(
 /// Uniform-width band: four independent row accumulator chains hide FP add
 /// latency; `W` is a compile-time constant so the inner loop fully unrolls
 /// and the per-lane slices become fixed-size arrays (no bounds checks).
+#[inline]
 fn run_fixed<T: Scalar, const W: usize>(
     val_base: usize,
     slots: &[u32],
@@ -689,6 +845,7 @@ fn run_fixed<T: Scalar, const W: usize>(
     x: &[T],
     y: &mut [T],
 ) {
+    debug_assert_slots_in_bounds(slots, x);
     let n = y.len();
     let mut r = 0usize;
     while r + 4 <= n {
@@ -736,6 +893,7 @@ fn run_fixed<T: Scalar, const W: usize>(
 /// guards so the accumulator chains stay independent through the ragged
 /// region. Padding slots are never accumulated, preserving bitwise
 /// identity.
+#[inline]
 fn run_ell<T: Scalar>(
     width: usize,
     band_rp: &[usize],
@@ -744,6 +902,7 @@ fn run_ell<T: Scalar>(
     x: &[T],
     y: &mut [T],
 ) {
+    debug_assert_slots_in_bounds(slots, x);
     let n = y.len();
     let row = |r: usize| (band_rp[r], band_rp[r + 1] - band_rp[r]);
     let lane = |r: usize, len: usize| &slots[r * width..r * width + len];
@@ -817,6 +976,7 @@ fn run_ell<T: Scalar>(
 /// Moderate band: CSR walk over packed `u32` slot columns with a `U`-wide
 /// unrolled inner loop. One accumulator chain per row keeps the summation
 /// order identical to the generic walk.
+#[inline]
 fn run_unrolled<T: Scalar, const U: usize>(
     band_rp: &[usize],
     slots: &[u32],
@@ -824,6 +984,7 @@ fn run_unrolled<T: Scalar, const U: usize>(
     x: &[T],
     y: &mut [T],
 ) {
+    debug_assert_slots_in_bounds(slots, x);
     let base = band_rp[0];
     for (r, yr) in y.iter_mut().enumerate() {
         let (o, e) = (band_rp[r], band_rp[r + 1]);
@@ -847,7 +1008,9 @@ fn run_unrolled<T: Scalar, const U: usize>(
 }
 
 /// Irregular band: scalar CSR walk over packed `u32` slot columns.
+#[inline]
 fn run_scalar<T: Scalar>(band_rp: &[usize], slots: &[u32], vals: &[T], x: &[T], y: &mut [T]) {
+    debug_assert_slots_in_bounds(slots, x);
     let base = band_rp[0];
     for (r, yr) in y.iter_mut().enumerate() {
         let (o, e) = (band_rp[r], band_rp[r + 1]);
@@ -861,6 +1024,7 @@ fn run_scalar<T: Scalar>(band_rp: &[usize], slots: &[u32], vals: &[T], x: &[T], 
 
 /// Unpackable matrix (`ncols > u32::MAX`): the generic scalar CSR walk over
 /// the matrix's own columns, verbatim.
+#[inline]
 fn run_fallback<T: Scalar>(band_rp: &[usize], cols: &[usize], vals: &[T], x: &[T], y: &mut [T]) {
     for (r, yr) in y.iter_mut().enumerate() {
         let (o, e) = (band_rp[r], band_rp[r + 1]);
@@ -875,7 +1039,9 @@ fn run_fallback<T: Scalar>(band_rp: &[usize], cols: &[usize], vals: &[T], x: &[T
 /// Heavy outlier rows: when the row's columns are one contiguous run
 /// (sorted CSR makes this an O(1) check), stream `x` as a slice with no
 /// gather; otherwise fall back to the 16-wide unrolled gather.
+#[inline]
 fn run_dense_row<T: Scalar>(band_rp: &[usize], slots: &[u32], vals: &[T], x: &[T], y: &mut [T]) {
+    debug_assert_slots_in_bounds(slots, x);
     let base = band_rp[0];
     for (r, yr) in y.iter_mut().enumerate() {
         let (o, e) = (band_rp[r], band_rp[r + 1]);
@@ -904,6 +1070,327 @@ fn run_dense_row<T: Scalar>(band_rp: &[usize], slots: &[u32], vals: &[T], x: &[T
                 acc += rv[j] * x[rc[j] as usize];
             }
             *yr = acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fast-tier kernels (`DeterminismPolicy::Fast`): the same band walk through
+// the `Lanes4` accumulator, with the per-element `x` bounds checks elided
+// (`gather`, justified by the span-entry assert). `Fixed`/`Ell` bands run
+// the 4-row interleave in lane form — per-row numerics identical, each
+// lane is one row's serial chain. Within-row reassociation is reserved
+// for long contiguous runs and `DenseRow` outliers: on the short rows of
+// the CSR-walk kinds the out-of-order window already overlaps the
+// independent per-row chains, so a per-row lane reduce only adds cost.
+// ---------------------------------------------------------------------------
+
+/// Scattered CSR-walk row length at which the fast tier switches from the
+/// plain serial chain to the 16-slot-unrolled walk. Below it the unroll
+/// bookkeeping costs more than it saves; at or above it the wider body
+/// keeps the load ports fed.
+const ROW_UNROLL_LEN: usize = 16;
+
+/// Dispatches a `Fixed` band to its monomorphized fast-tier width.
+#[inline]
+fn run_fixed_fast_dispatch<T: Scalar>(
+    width: usize,
+    val_base: usize,
+    slots: &[u32],
+    vals: &[T],
+    x: &[T],
+    y: &mut [T],
+) {
+    match width {
+        0 => y.fill(T::ZERO),
+        1 => run_fixed_fast::<T, 1>(val_base, slots, vals, x, y),
+        2 => run_fixed_fast::<T, 2>(val_base, slots, vals, x, y),
+        3 => run_fixed_fast::<T, 3>(val_base, slots, vals, x, y),
+        4 => run_fixed_fast::<T, 4>(val_base, slots, vals, x, y),
+        5 => run_fixed_fast::<T, 5>(val_base, slots, vals, x, y),
+        6 => run_fixed_fast::<T, 6>(val_base, slots, vals, x, y),
+        7 => run_fixed_fast::<T, 7>(val_base, slots, vals, x, y),
+        8 => run_fixed_fast::<T, 8>(val_base, slots, vals, x, y),
+        9 => run_fixed_fast::<T, 9>(val_base, slots, vals, x, y),
+        10 => run_fixed_fast::<T, 10>(val_base, slots, vals, x, y),
+        11 => run_fixed_fast::<T, 11>(val_base, slots, vals, x, y),
+        12 => run_fixed_fast::<T, 12>(val_base, slots, vals, x, y),
+        13 => run_fixed_fast::<T, 13>(val_base, slots, vals, x, y),
+        14 => run_fixed_fast::<T, 14>(val_base, slots, vals, x, y),
+        15 => run_fixed_fast::<T, 15>(val_base, slots, vals, x, y),
+        _ => run_fixed_fast::<T, 16>(val_base, slots, vals, x, y),
+    }
+}
+
+/// Uniform-width band, fast tier: the 4-row interleave becomes the four
+/// lanes of a [`Lanes4`] multiply-accumulate — per-row numerics are
+/// unchanged (each lane is one row's serial chain), but the lane form
+/// gives LLVM a straight gather-FMA body to vectorize, and the `x`
+/// gathers go through the unchecked [`gather`].
+#[inline]
+fn run_fixed_fast<T: Scalar, const W: usize>(
+    val_base: usize,
+    slots: &[u32],
+    vals: &[T],
+    x: &[T],
+    y: &mut [T],
+) {
+    debug_assert_slots_in_bounds(slots, x);
+    let n = y.len();
+    let mut r = 0usize;
+    while r + 4 <= n {
+        let b0 = r * W;
+        let s0: &[u32; W] = slots[b0..b0 + W].try_into().unwrap();
+        let s1: &[u32; W] = slots[b0 + W..b0 + 2 * W].try_into().unwrap();
+        let s2: &[u32; W] = slots[b0 + 2 * W..b0 + 3 * W].try_into().unwrap();
+        let s3: &[u32; W] = slots[b0 + 3 * W..b0 + 4 * W].try_into().unwrap();
+        let v = val_base + b0;
+        let v0: &[T; W] = vals[v..v + W].try_into().unwrap();
+        let v1: &[T; W] = vals[v + W..v + 2 * W].try_into().unwrap();
+        let v2: &[T; W] = vals[v + 2 * W..v + 3 * W].try_into().unwrap();
+        let v3: &[T; W] = vals[v + 3 * W..v + 4 * W].try_into().unwrap();
+        let mut acc = Lanes4::zero();
+        for k in 0..W {
+            acc = acc.mul_add(
+                Lanes4::new([v0[k], v1[k], v2[k], v3[k]]),
+                Lanes4::new([
+                    gather(x, s0[k]),
+                    gather(x, s1[k]),
+                    gather(x, s2[k]),
+                    gather(x, s3[k]),
+                ]),
+            );
+        }
+        y[r..r + 4].copy_from_slice(&acc.to_array());
+        r += 4;
+    }
+    while r < n {
+        let b = r * W;
+        let s: &[u32; W] = slots[b..b + W].try_into().unwrap();
+        let v: &[T; W] = vals[val_base + b..val_base + b + W].try_into().unwrap();
+        let mut acc = T::ZERO;
+        for k in 0..W {
+            acc += v[k] * gather(x, s[k]);
+        }
+        y[r] = acc;
+        r += 1;
+    }
+}
+
+/// Narrow low-variance ELL band, fast tier: the unconditional common
+/// prefix runs as [`Lanes4`] multiply-accumulates (per-row numerics
+/// unchanged), then the ragged continuation finishes with the same
+/// length-guarded interleave as the deterministic kernel; `x` gathers go
+/// through the unchecked [`gather`].
+#[inline]
+fn run_ell_fast<T: Scalar>(
+    width: usize,
+    band_rp: &[usize],
+    slots: &[u32],
+    vals: &[T],
+    x: &[T],
+    y: &mut [T],
+) {
+    debug_assert_slots_in_bounds(slots, x);
+    let n = y.len();
+    let row = |r: usize| (band_rp[r], band_rp[r + 1] - band_rp[r]);
+    let lane = |r: usize, len: usize| &slots[r * width..r * width + len];
+    let mut r = 0usize;
+    while r + 4 <= n {
+        let (o0, l0) = row(r);
+        let (o1, l1) = row(r + 1);
+        let (o2, l2) = row(r + 2);
+        let (o3, l3) = row(r + 3);
+        let (s0, s1, s2, s3) = (
+            lane(r, l0),
+            lane(r + 1, l1),
+            lane(r + 2, l2),
+            lane(r + 3, l3),
+        );
+        let (v0, v1, v2, v3) = (
+            &vals[o0..o0 + l0],
+            &vals[o1..o1 + l1],
+            &vals[o2..o2 + l2],
+            &vals[o3..o3 + l3],
+        );
+        let m = l0.min(l1).min(l2).min(l3);
+        let mut acc = Lanes4::zero();
+        for k in 0..m {
+            acc = acc.mul_add(
+                Lanes4::new([v0[k], v1[k], v2[k], v3[k]]),
+                Lanes4::new([
+                    gather(x, s0[k]),
+                    gather(x, s1[k]),
+                    gather(x, s2[k]),
+                    gather(x, s3[k]),
+                ]),
+            );
+        }
+        let [mut a0, mut a1, mut a2, mut a3] = acc.to_array();
+        let lmax = l0.max(l1).max(l2).max(l3);
+        for k in m..lmax {
+            if k < l0 {
+                a0 += v0[k] * gather(x, s0[k]);
+            }
+            if k < l1 {
+                a1 += v1[k] * gather(x, s1[k]);
+            }
+            if k < l2 {
+                a2 += v2[k] * gather(x, s2[k]);
+            }
+            if k < l3 {
+                a3 += v3[k] * gather(x, s3[k]);
+            }
+        }
+        y[r] = a0;
+        y[r + 1] = a1;
+        y[r + 2] = a2;
+        y[r + 3] = a3;
+        r += 4;
+    }
+    while r < n {
+        let (o, l) = row(r);
+        let s = lane(r, l);
+        let v = &vals[o..o + l];
+        let mut acc = T::ZERO;
+        for k in 0..l {
+            acc += v[k] * gather(x, s[k]);
+        }
+        y[r] = acc;
+        r += 1;
+    }
+}
+
+/// One long row's gather dot with reassociated partial-sum lanes — the
+/// fast tier's treatment for scattered [`BandKind::DenseRow`] outliers,
+/// where a single row's serial chain is long enough that breaking it
+/// (which the deterministic contract forbids) pays for the final reduce.
+#[inline]
+fn row_gather_fast<T: Scalar>(rc: &[u32], rv: &[T], x: &[T]) -> T {
+    let len = rc.len();
+    let mut acc0 = Lanes4::zero();
+    let mut acc1 = Lanes4::zero();
+    let mut k = 0usize;
+    // Two independent lane chains (eight slots per step) so one chain's
+    // multiply-accumulate latency hides behind the other on wide rows.
+    while k + 8 <= len {
+        let ca: &[u32; 8] = rc[k..k + 8].try_into().unwrap();
+        let va: &[T; 8] = rv[k..k + 8].try_into().unwrap();
+        acc0 = acc0.mul_add(
+            Lanes4::new([va[0], va[1], va[2], va[3]]),
+            Lanes4::new([
+                gather(x, ca[0]),
+                gather(x, ca[1]),
+                gather(x, ca[2]),
+                gather(x, ca[3]),
+            ]),
+        );
+        acc1 = acc1.mul_add(
+            Lanes4::new([va[4], va[5], va[6], va[7]]),
+            Lanes4::new([
+                gather(x, ca[4]),
+                gather(x, ca[5]),
+                gather(x, ca[6]),
+                gather(x, ca[7]),
+            ]),
+        );
+        k += 8;
+    }
+    while k + 4 <= len {
+        let ca: &[u32; 4] = rc[k..k + 4].try_into().unwrap();
+        let va: &[T; 4] = rv[k..k + 4].try_into().unwrap();
+        acc0 = acc0.mul_add(
+            Lanes4::new(*va),
+            Lanes4::new([
+                gather(x, ca[0]),
+                gather(x, ca[1]),
+                gather(x, ca[2]),
+                gather(x, ca[3]),
+            ]),
+        );
+        k += 4;
+    }
+    let mut tail = T::ZERO;
+    for j in k..len {
+        tail += rv[j] * gather(x, rc[j]);
+    }
+    acc0.add(acc1).reduce() + tail
+}
+
+/// `Unrolled`/`Scalar` bands, fast tier: contiguous-column runs become a
+/// [`dot_fast`] (long runs) or a serial slice walk (short ones); scattered
+/// rows keep the serial per-row chain — plain below
+/// [`ROW_UNROLL_LEN`] slots (the out-of-order window already overlaps
+/// adjacent rows' independent chains there, so unroll machinery is pure
+/// overhead), 16-slot-unrolled above it — with every `x` load through the
+/// unchecked [`gather`].
+#[inline]
+fn run_rows_fast<T: Scalar>(band_rp: &[usize], slots: &[u32], vals: &[T], x: &[T], y: &mut [T]) {
+    debug_assert_slots_in_bounds(slots, x);
+    let base = band_rp[0];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let (o, e) = (band_rp[r], band_rp[r + 1]);
+        let len = e - o;
+        let rc = &slots[o - base..e - base];
+        let rv = &vals[o..e];
+        if len > 0 && (rc[len - 1] - rc[0]) as usize == len - 1 {
+            let xs = &x[rc[0] as usize..rc[0] as usize + len];
+            *yr = if len >= ROW_UNROLL_LEN {
+                dot_fast(rv, xs)
+            } else {
+                let mut acc = T::ZERO;
+                for (v, xv) in rv.iter().zip(xs) {
+                    acc += *v * *xv;
+                }
+                acc
+            };
+        } else if len < ROW_UNROLL_LEN {
+            let mut acc = T::ZERO;
+            for (&c, &v) in rc.iter().zip(rv) {
+                acc += v * gather(x, c);
+            }
+            *yr = acc;
+        } else {
+            let mut acc = T::ZERO;
+            let mut k = 0usize;
+            while k + 16 <= len {
+                let ca: &[u32; 16] = rc[k..k + 16].try_into().unwrap();
+                let va: &[T; 16] = rv[k..k + 16].try_into().unwrap();
+                for j in 0..16 {
+                    acc += va[j] * gather(x, ca[j]);
+                }
+                k += 16;
+            }
+            for j in k..len {
+                acc += rv[j] * gather(x, rc[j]);
+            }
+            *yr = acc;
+        }
+    }
+}
+
+/// Heavy outlier rows, fast tier: the contiguous-column fast path becomes
+/// a lane-wise [`dot_fast`] over the `x` slice; scattered rows use the
+/// 4-lane gather reduction.
+#[inline]
+fn run_dense_row_fast<T: Scalar>(
+    band_rp: &[usize],
+    slots: &[u32],
+    vals: &[T],
+    x: &[T],
+    y: &mut [T],
+) {
+    debug_assert_slots_in_bounds(slots, x);
+    let base = band_rp[0];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let (o, e) = (band_rp[r], band_rp[r + 1]);
+        let len = e - o;
+        let rc = &slots[o - base..e - base];
+        if len > 0 && (rc[len - 1] - rc[0]) as usize == len - 1 {
+            let xs = &x[rc[0] as usize..rc[0] as usize + len];
+            *yr = dot_fast(&vals[o..e], xs);
+        } else {
+            *yr = row_gather_fast(rc, &vals[o..e], x);
         }
     }
 }
@@ -1159,5 +1646,113 @@ mod tests {
         for (got, want) in y.iter().zip(&y_ref) {
             assert_eq!(got.to_bits(), want.to_bits());
         }
+    }
+
+    #[test]
+    fn fast_execution_matches_deterministic_within_ulp_on_all_kinds() {
+        // Same matrix mix as the bitwise suite: covers Fixed, Ell,
+        // Unrolled, Scalar, and DenseRow bands.
+        let mats: Vec<CsrMatrix<f64>> = vec![
+            generate::poisson1d(64),
+            generate::poisson2d(13, 17),
+            generate::random_pattern(300, RowDistribution::Uniform { min: 1, max: 40 }, 7),
+            generate::random_pattern(
+                257,
+                RowDistribution::Bimodal {
+                    low: 3,
+                    high: 150,
+                    high_fraction: 0.04,
+                },
+                11,
+            ),
+        ];
+        for a in &mats {
+            let plan = CompiledSpmv::compile_default(a);
+            let x = dense_x(a.ncols());
+            let mut det = vec![f64::NAN; a.nrows()];
+            plan.execute(a, &x, &mut det).unwrap();
+            let mut fast = vec![f64::NAN; a.nrows()];
+            plan.execute_fast(a, &x, &mut fast).unwrap();
+            for (i, (f, d)) in fast.iter().zip(&det).enumerate() {
+                // Reassociation error is relative to the magnitude of the
+                // accumulated terms, not the (possibly cancelled) result:
+                // bound by a few eps of Σ|v·x| for the row.
+                let (cols, vals) = a.row(i);
+                let mag: f64 = cols.iter().zip(vals).map(|(&c, &v)| (v * x[c]).abs()).sum();
+                let tol = 4.0 * f64::EPSILON * mag;
+                assert!(
+                    (*f - *d).abs() <= tol,
+                    "row {i}: fast {f} vs deterministic {d} (tol {tol})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_fixed_and_ell_bands_are_bitwise_identical() {
+        // Lanes-across-rows keeps per-row numerics unchanged for the
+        // interleaved kinds, so on an all-Fixed plan the two tiers agree
+        // exactly — reassociation only enters on the CSR-walk kinds.
+        let a = generate::random_pattern::<f64>(128, RowDistribution::Constant(6), 3);
+        let plan = CompiledSpmv::compile_default(&a);
+        assert!(plan
+            .bands()
+            .iter()
+            .all(|b| matches!(b.kind, BandKind::Fixed { .. })));
+        let x = dense_x(a.ncols());
+        let mut det = vec![0.0f64; a.nrows()];
+        plan.execute(&a, &x, &mut det).unwrap();
+        let mut fast = vec![0.0f64; a.nrows()];
+        plan.execute_fast(&a, &x, &mut fast).unwrap();
+        for (f, d) in fast.iter().zip(&det) {
+            assert_eq!(f.to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn execute_dot_fast_matches_unfused_fast_pipeline() {
+        let a =
+            generate::random_pattern::<f64>(200, RowDistribution::Uniform { min: 1, max: 20 }, 41);
+        let plan = CompiledSpmv::compile_default(&a);
+        let x = dense_x(a.ncols());
+        let z: Vec<f64> = (0..a.nrows()).map(|i| (i as f64).sin()).collect();
+        let mut y_det = vec![0.0f64; a.nrows()];
+        let dot_det = plan.execute_dot(&a, &x, &mut y_det, &z).unwrap();
+        let mut y = vec![0.0f64; a.nrows()];
+        let dot = plan.execute_dot_fast(&a, &x, &mut y, &z).unwrap();
+        for (i, (f, d)) in y.iter().zip(&y_det).enumerate() {
+            let (cols, vals) = a.row(i);
+            let mag: f64 = cols.iter().zip(vals).map(|(&c, &v)| (v * x[c]).abs()).sum();
+            assert!((*f - *d).abs() <= 4.0 * f64::EPSILON * mag, "row {i}");
+        }
+        let tol = 1e-12 * (1.0 + dot_det.abs());
+        assert!((dot - dot_det).abs() <= tol, "{dot} vs {dot_det}");
+        // Shape errors are shared with the deterministic surface.
+        assert!(plan.execute_dot_fast(&a, &x, &mut y, &z[1..]).is_err());
+    }
+
+    #[test]
+    fn corrupted_slot_fails_pattern_verification() {
+        // An out-of-bounds slot column (stale plan, cache corruption) must
+        // be visible to the deep check both tiers run under debug_assert.
+        let a = generate::poisson1d::<f64>(32);
+        let mut plan = CompiledSpmv::compile_default(&a);
+        assert!(plan.verify_pattern(&a));
+        let mid = plan.slot_cols.len() / 2;
+        plan.slot_cols[mid] = a.ncols() as u32 + 7;
+        assert!(!plan.verify_pattern(&a));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "pattern mismatch")]
+    fn corrupted_slot_panics_before_execution_in_debug() {
+        let a = generate::poisson1d::<f64>(32);
+        let mut plan = CompiledSpmv::compile_default(&a);
+        let mid = plan.slot_cols.len() / 2;
+        plan.slot_cols[mid] = a.ncols() as u32 + 7;
+        let x = dense_x(a.ncols());
+        let mut y = vec![0.0f64; a.nrows()];
+        let _ = plan.execute(&a, &x, &mut y);
     }
 }

@@ -35,6 +35,8 @@
 //! * [`chunk`] — 4096-row chunking (paper §V-B).
 //! * [`compiled`] — format-specialized SpMV execution plans compiled from
 //!   the MSID unroll schedule (paper Fig. 3 / Eq. 5, host twin).
+//! * [`simd`] — portable fixed-lane accumulators and the
+//!   [`DeterminismPolicy`] two-tier numeric contract (DESIGN §15).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -54,6 +56,7 @@ pub mod ops;
 pub mod permute;
 pub mod rng;
 mod scalar;
+pub mod simd;
 pub mod stats;
 
 pub use analysis::{Definiteness, StructureReport};
@@ -65,4 +68,5 @@ pub use dense::DenseMatrix;
 pub use ell::EllMatrix;
 pub use error::{IoError, SparseError};
 pub use scalar::Scalar;
+pub use simd::DeterminismPolicy;
 pub use stats::RowNnzStats;

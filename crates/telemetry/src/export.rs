@@ -24,7 +24,9 @@ fn json_f64(v: f64) -> String {
 pub fn event_json(e: &Event) -> String {
     let mut s = format!("{{\"job\":{},\"t_ns\":{}", e.job, e.t_nanos);
     match e.kind {
-        EventKind::JobStart => s.push_str(",\"kind\":\"job_start\""),
+        EventKind::JobStart { fast } => {
+            s.push_str(&format!(",\"kind\":\"job_start\",\"fast\":{fast}"));
+        }
         EventKind::JobEnd { converged, rungs } => {
             s.push_str(&format!(
                 ",\"kind\":\"job_end\",\"converged\":{converged},\"rungs\":{rungs}"
@@ -277,7 +279,7 @@ mod tests {
     #[test]
     fn event_json_is_one_object_per_kind() {
         let cases = [
-            EventKind::JobStart,
+            EventKind::JobStart { fast: true },
             EventKind::JobEnd {
                 converged: true,
                 rungs: 2,
@@ -336,7 +338,7 @@ mod tests {
             Event {
                 job: 0,
                 t_nanos: 0,
-                kind: EventKind::JobStart,
+                kind: EventKind::JobStart { fast: false },
             },
             Event {
                 job: 0,

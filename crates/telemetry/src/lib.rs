@@ -144,7 +144,12 @@ impl HealthState {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
     /// A job entered the engine pipeline.
-    JobStart,
+    JobStart {
+        /// `true` when the job runs under the `Fast` determinism tier
+        /// (reassociated SIMD reductions); `false` for the bitwise
+        /// deterministic tier.
+        fast: bool,
+    },
     /// A job left the engine pipeline.
     JobEnd {
         /// Whether the final attempt converged.
@@ -416,11 +421,15 @@ pub enum Counter {
     DispatcherRestarts,
     /// Trace events dropped because the ring was full.
     EventsDropped,
+    /// Jobs solved under the `Fast` determinism tier.
+    FastTierSolves,
+    /// `Fast`-tier jobs whose final attempt converged.
+    FastTierConverged,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 29;
 
     /// Every counter, in `repr` order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -451,6 +460,8 @@ impl Counter {
         Counter::JobsRetried,
         Counter::DispatcherRestarts,
         Counter::EventsDropped,
+        Counter::FastTierSolves,
+        Counter::FastTierConverged,
     ];
 
     /// The counter's index into a `[u64; Counter::COUNT]` snapshot.
@@ -488,6 +499,8 @@ impl Counter {
             Counter::JobsRetried => "acamar_service_jobs_retried_total",
             Counter::DispatcherRestarts => "acamar_service_dispatcher_restarts_total",
             Counter::EventsDropped => "acamar_trace_events_dropped_total",
+            Counter::FastTierSolves => "acamar_fast_tier_solves_total",
+            Counter::FastTierConverged => "acamar_fast_tier_converged_total",
         }
     }
 
@@ -521,6 +534,8 @@ impl Counter {
             Counter::JobsRetried => "Failed deliveries re-queued under the retry budget",
             Counter::DispatcherRestarts => "Dispatcher threads respawned by supervisors",
             Counter::EventsDropped => "Trace events dropped (ring full)",
+            Counter::FastTierSolves => "Jobs solved under the Fast determinism tier",
+            Counter::FastTierConverged => "Fast-tier jobs whose final attempt converged",
         }
     }
 }

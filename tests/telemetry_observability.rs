@@ -125,7 +125,7 @@ fn every_job_has_balanced_spans_and_lifecycle_events() {
         let of_job: Vec<&Event> = events.iter().filter(|e| e.job == job).collect();
         let starts = of_job
             .iter()
-            .filter(|e| matches!(e.kind, EventKind::JobStart))
+            .filter(|e| matches!(e.kind, EventKind::JobStart { .. }))
             .count();
         let ends = of_job
             .iter()
