@@ -5,7 +5,7 @@ use acamar_core::{Acamar, AnalysisArtifacts};
 use acamar_sparse::{CsrMatrix, DeterminismPolicy, Scalar};
 use acamar_telemetry::{Counter, EventKind, TelemetrySink};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Snapshot of a [`PlanCache`]'s counters.
@@ -30,6 +30,10 @@ pub struct CacheStats {
     /// Hits pay none of this; dividing by `misses` gives the one-time
     /// compile cost a batch amortizes over its remaining solves.
     pub analysis_nanos: u64,
+    /// Entries evicted (least-recently-used first) to stay within the
+    /// capacity set by [`PlanCache::set_capacity`]; `0` while the cache
+    /// is unbounded (the default).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -52,6 +56,7 @@ impl CacheStats {
             entries: self.entries,
             plan_build_cycles_saved: self.plan_build_cycles_saved - earlier.plan_build_cycles_saved,
             analysis_nanos: self.analysis_nanos - earlier.analysis_nanos,
+            evictions: self.evictions - earlier.evictions,
         }
     }
 }
@@ -66,6 +71,10 @@ struct CacheEntry {
     nrows: usize,
     ncols: usize,
     nnz: usize,
+    /// Logical recency stamp (ticks of [`PlanCache::tick`]), refreshed on
+    /// every hit; the LRU eviction scan keys on it. Shared so hits can
+    /// refresh it under the read lock.
+    last_used: Arc<AtomicU64>,
 }
 
 impl CacheEntry {
@@ -106,6 +115,11 @@ pub struct PlanCache {
     collisions: AtomicU64,
     saved: AtomicU64,
     analysis_nanos: AtomicU64,
+    evictions: AtomicU64,
+    /// Logical clock stamping entry recency; bumped on every hit/insert.
+    tick: AtomicU64,
+    /// Maximum entries to retain; `0` = unbounded (the default).
+    capacity: AtomicUsize,
 }
 
 impl PlanCache {
@@ -148,7 +162,7 @@ impl PlanCache {
         let fp = (PatternFingerprint::of(a), policy);
         if let Some(entry) = self.map.read().expect("cache lock poisoned").get(&fp) {
             if entry.verifies_against(a) {
-                self.record_hit(&entry.artifacts);
+                self.record_hit(entry);
                 sink.emit(EventKind::CacheHit);
                 sink.counter_add(Counter::CacheHits, 1);
                 return Arc::clone(&entry.artifacts);
@@ -160,7 +174,7 @@ impl PlanCache {
         if let Some(entry) = map.get(&fp) {
             if entry.verifies_against(a) {
                 // Another worker built (or repaired) it between our locks.
-                self.record_hit(&entry.artifacts);
+                self.record_hit(entry);
                 sink.emit(EventKind::CacheHit);
                 sink.counter_add(Counter::CacheHits, 1);
                 return Arc::clone(&entry.artifacts);
@@ -185,9 +199,103 @@ impl PlanCache {
                 nrows: a.nrows(),
                 ncols: a.ncols(),
                 nnz: a.nnz(),
+                last_used: Arc::new(AtomicU64::new(self.next_tick())),
             },
         );
+        self.evict_over_capacity(&mut map, &fp, sink);
         art
+    }
+
+    /// Registers externally built artifacts — a sequence's band-patched
+    /// plan — under `a`'s pattern for `policy`, so subsequent same-pattern
+    /// lookups hit instead of re-analyzing. Counts neither a hit nor a
+    /// miss (the caller accounts the patch itself); the capacity bound and
+    /// LRU eviction apply as on the analyze path.
+    pub fn insert_artifacts<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        policy: DeterminismPolicy,
+        artifacts: Arc<AnalysisArtifacts>,
+        sink: &TelemetrySink,
+    ) {
+        let key = (PatternFingerprint::of(a), policy);
+        let mut map = self.map.write().expect("cache lock poisoned");
+        map.insert(
+            key,
+            CacheEntry {
+                artifacts,
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+                nnz: a.nnz(),
+                last_used: Arc::new(AtomicU64::new(self.next_tick())),
+            },
+        );
+        self.evict_over_capacity(&mut map, &key, sink);
+    }
+
+    /// Bounds the cache to at most `capacity` entries, evicting
+    /// least-recently-used entries immediately if it is already over;
+    /// `0` restores the unbounded default. Evictions are counted in
+    /// [`CacheStats::evictions`]; an evicted pattern's next lookup is an
+    /// ordinary miss that re-analyzes and re-inserts — holders of the
+    /// evicted `Arc` keep a valid (but no longer cached) plan.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        if capacity > 0 {
+            let mut map = self.map.write().expect("cache lock poisoned");
+            while map.len() > capacity {
+                self.evict_lru(&mut map, None, &TelemetrySink::disabled());
+            }
+        }
+    }
+
+    /// The configured entry bound (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Evicts LRU entries until the map respects the capacity bound,
+    /// never evicting `keep` (the entry just inserted).
+    fn evict_over_capacity(
+        &self,
+        map: &mut HashMap<(PatternFingerprint, DeterminismPolicy), CacheEntry>,
+        keep: &(PatternFingerprint, DeterminismPolicy),
+        sink: &TelemetrySink,
+    ) {
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap == 0 {
+            return;
+        }
+        while map.len() > cap {
+            if !self.evict_lru(map, Some(keep), sink) {
+                break;
+            }
+        }
+    }
+
+    fn evict_lru(
+        &self,
+        map: &mut HashMap<(PatternFingerprint, DeterminismPolicy), CacheEntry>,
+        keep: Option<&(PatternFingerprint, DeterminismPolicy)>,
+        sink: &TelemetrySink,
+    ) -> bool {
+        let victim = map
+            .iter()
+            .filter(|(k, _)| Some(*k) != keep)
+            .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+            .map(|(k, _)| *k);
+        let Some(k) = victim else {
+            return false;
+        };
+        map.remove(&k);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        sink.emit(EventKind::CacheEvicted);
+        sink.counter_add(Counter::CacheEvictions, 1);
+        true
     }
 
     /// Whether `fp`'s pattern is already cached under *any* determinism
@@ -201,6 +309,36 @@ impl PlanCache {
             .expect("cache lock poisoned")
             .keys()
             .any(|(f, _)| f == fp)
+    }
+
+    /// Hit-path lookup by a **precomputed** key: returns the cached
+    /// artifacts for `(fp, policy)` and records an ordinary hit (LRU
+    /// refresh, [`CacheStats::hits`], [`EventKind::CacheHit`]), or
+    /// `None` — counting nothing — when the entry is absent.
+    ///
+    /// Unlike [`PlanCache::get_or_analyze_with`], this neither hashes nor
+    /// re-verifies the matrix pattern, so the caller must already have
+    /// proven that its matrix matches `fp` (a [`Sequence`] does: the
+    /// steady-state step takes this path only after an exact pattern
+    /// comparison against the previous step reported an empty delta).
+    /// That makes it O(1) per call — the point of the sequence API's
+    /// analysis amortization — while an evicted entry still surfaces as
+    /// an honest `None` that forces the caller back through the full
+    /// analyze path.
+    ///
+    /// [`Sequence`]: crate::Sequence
+    pub fn touch(
+        &self,
+        fp: &PatternFingerprint,
+        policy: DeterminismPolicy,
+        sink: &TelemetrySink,
+    ) -> Option<Arc<AnalysisArtifacts>> {
+        let map = self.map.read().expect("cache lock poisoned");
+        let entry = map.get(&(*fp, policy))?;
+        self.record_hit(entry);
+        sink.emit(EventKind::CacheHit);
+        sink.counter_add(Counter::CacheHits, 1);
+        Some(Arc::clone(&entry.artifacts))
     }
 
     /// Whether `fp`'s pattern is cached for the specific `policy` tier.
@@ -244,6 +382,7 @@ impl PlanCache {
             entries: self.map.read().expect("cache lock poisoned").len(),
             plan_build_cycles_saved: self.saved.load(Ordering::Relaxed),
             analysis_nanos: self.analysis_nanos.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -252,9 +391,11 @@ impl PlanCache {
         self.map.write().expect("cache lock poisoned").clear();
     }
 
-    fn record_hit(&self, art: &AnalysisArtifacts) {
+    fn record_hit(&self, entry: &CacheEntry) {
         self.hits.fetch_add(1, Ordering::Relaxed);
-        self.saved.fetch_add(art.build_cost, Ordering::Relaxed);
+        self.saved
+            .fetch_add(entry.artifacts.build_cost, Ordering::Relaxed);
+        entry.last_used.store(self.next_tick(), Ordering::Relaxed);
     }
 }
 
@@ -342,6 +483,7 @@ mod tests {
             entries: 2,
             plan_build_cycles_saved: 100,
             analysis_nanos: 1_000,
+            evictions: 1,
         };
         let after = CacheStats {
             hits: 10,
@@ -350,12 +492,90 @@ mod tests {
             entries: 3,
             plan_build_cycles_saved: 450,
             analysis_nanos: 5_500,
+            evictions: 3,
         };
         let d = after.since(&before);
         assert_eq!((d.hits, d.misses, d.collisions), (7, 1, 1));
         assert_eq!(d.plan_build_cycles_saved, 350);
         assert_eq!(d.entries, 3);
         assert_eq!(d.analysis_nanos, 4_500);
+        assert_eq!(d.evictions, 2);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = PlanCache::new();
+        cache.set_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let ac = acamar();
+        let a = generate::poisson2d::<f64>(8, 8);
+        let b = generate::poisson2d::<f64>(9, 9);
+        let c = generate::poisson2d::<f64>(10, 10);
+        let (fa, fb, fc) = (
+            PatternFingerprint::of(&a),
+            PatternFingerprint::of(&b),
+            PatternFingerprint::of(&c),
+        );
+        cache.get_or_analyze(&ac, &a);
+        cache.get_or_analyze(&ac, &b);
+        // Touch `a` so `b` is the LRU entry when `c` arrives.
+        cache.get_or_analyze(&ac, &a);
+        cache.get_or_analyze(&ac, &c);
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        assert!(cache.contains(&fa));
+        assert!(!cache.contains(&fb));
+        assert!(cache.contains(&fc));
+        // The evicted pattern's next lookup is an honest miss that
+        // re-analyzes and re-inserts — never a dangling reuse.
+        let misses_before = cache.stats().misses;
+        cache.get_or_analyze(&ac, &b);
+        let s = cache.stats();
+        assert_eq!(s.misses, misses_before + 1);
+        assert!(cache.contains(&fb));
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 2, "inserting b evicted the new LRU");
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately_and_zero_unbounds() {
+        let cache = PlanCache::new();
+        let ac = acamar();
+        for n in 4..9 {
+            cache.get_or_analyze(&ac, &generate::poisson2d::<f64>(n, n));
+        }
+        assert_eq!(cache.stats().entries, 5);
+        cache.set_capacity(2);
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 3);
+        cache.set_capacity(0);
+        for n in 4..9 {
+            cache.get_or_analyze(&ac, &generate::poisson2d::<f64>(n, n));
+        }
+        assert_eq!(cache.stats().entries, 5, "unbounded again");
+        assert_eq!(cache.stats().evictions, 3);
+    }
+
+    #[test]
+    fn insert_artifacts_registers_pattern_for_hits() {
+        let cache = PlanCache::new();
+        let ac = acamar();
+        let a = generate::poisson2d::<f64>(8, 8);
+        let art = Arc::new(ac.analyze(&a));
+        let sink = TelemetrySink::disabled();
+        cache.insert_artifacts(
+            &a,
+            DeterminismPolicy::Deterministic,
+            Arc::clone(&art),
+            &sink,
+        );
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 1));
+        let got = cache.get_or_analyze(&ac, &a);
+        assert!(Arc::ptr_eq(&got, &art));
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

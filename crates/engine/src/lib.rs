@@ -68,9 +68,13 @@ mod engine;
 mod error;
 mod fingerprint;
 mod robustness;
+mod sequence;
 
 pub use cache::{CacheStats, PlanCache};
 pub use engine::{BatchReport, Engine, EngineCounters, ResilienceConfig, SolveJob};
 pub use error::SolveError;
 pub use fingerprint::PatternFingerprint;
 pub use robustness::{FaultTally, JobDisposition, RobustnessReport, DEPTH_BUCKETS};
+pub use sequence::{
+    PlanAction, Sequence, SequenceConfig, SequenceJob, SequenceStats, SequenceStepReport, WarmStart,
+};

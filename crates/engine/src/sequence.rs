@@ -1,0 +1,877 @@
+//! Matrix-sequence solving: plan reuse, band patching, and warm starts.
+//!
+//! Time-stepping and parameter-continuation workloads solve a *sequence*
+//! of systems whose matrices evolve slowly: most steps keep the previous
+//! sparsity pattern exactly, and the steps that do change it touch a
+//! handful of rows. A [`Sequence`] exploits both regularities:
+//!
+//! * **Plan reuse** — a step whose pattern is unchanged reuses the cached
+//!   `(fingerprint, policy)` artifacts through the [`PlanCache`] lookup
+//!   path, so eviction is always an honest miss and never a dangling
+//!   reuse.
+//! * **Band patching** — a step whose pattern changed in few rows patches
+//!   only the affected [`CompiledSpmv`](acamar_sparse::CompiledSpmv)
+//!   bands via [`CompiledSpmv::patch`](acamar_sparse::CompiledSpmv::patch)
+//!   (the MSID `band_hints()` boundaries are the patch units), skipping
+//!   the full structure/MSID re-analysis. A delta larger than
+//!   [`SequenceConfig::patch_max_dirty_fraction`] falls back to a full
+//!   recompile, as does a shape change or an evicted base plan.
+//! * **Warm starts** — the previous step's solution seeds the next solve
+//!   when its relative residual against the new `(A, b)` passes
+//!   [`SequenceConfig::warm_start_max_residual`]; a rejection falls back
+//!   to the deterministic cold start, so replaying a sequence is bitwise
+//!   reproducible either way.
+//! * **NNZ-sort pre-pass** — [`SequenceConfig::with_reorder`] applies the
+//!   row-NNZ sort permutation once at [`Sequence`] open and transparently
+//!   permutes every step's inputs and solutions, amortizing the paper's
+//!   §V-A pre-pass over the whole sequence.
+//!
+//! ```
+//! use acamar_core::{Acamar, AcamarConfig};
+//! use acamar_engine::{Engine, PlanAction, SequenceConfig, SequenceJob};
+//! use acamar_fabric::FabricSpec;
+//! use acamar_sparse::generate;
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::with_workers(
+//!     Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper()),
+//!     2,
+//! );
+//! let a = Arc::new(generate::poisson2d::<f64>(16, 16));
+//! let mut seq = engine
+//!     .open_sequence(Arc::clone(&a), SequenceConfig::default())
+//!     .unwrap();
+//! for k in 0..4 {
+//!     let rhs = vec![1.0 + k as f64; 256];
+//!     let step = seq.step(SequenceJob::new(Arc::clone(&a), rhs)).unwrap();
+//!     assert!(step.report.solve.converged());
+//!     assert_eq!(step.plan, PlanAction::Reused);
+//! }
+//! let stats = seq.stats();
+//! assert_eq!(stats.plans_reused, 4);
+//! assert!(stats.warm_starts_used + stats.warm_starts_rejected >= 1);
+//! // The whole sequence ran on one analysis.
+//! assert_eq!(engine.counters().cache.misses, 1);
+//! ```
+
+use crate::engine::{Engine, SolveJob};
+use crate::error::SolveError;
+use crate::fingerprint::PatternFingerprint;
+use acamar_core::{AcamarRunReport, AnalysisArtifacts};
+use acamar_sparse::permute::{
+    permutation_by_row_nnz, permute_symmetric, permute_vec, unpermute_vec,
+};
+use acamar_sparse::{BandHint, CompiledSpmv, CsrMatrix, DeterminismPolicy, PatternDelta, Scalar};
+use acamar_telemetry::{Counter, EventKind};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Knobs governing a [`Sequence`]'s amortization machinery. The defaults
+/// are safe for any workload: warm starts gate on a relative residual of
+/// `1.0` (the residual of the zero cold start, so a warm start is never
+/// *worse* than cold), and patching engages only below a quarter of the
+/// rows dirty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequenceConfig {
+    /// Determinism tier every step solves under (and the plan-cache key
+    /// tier). Default: [`DeterminismPolicy::Deterministic`].
+    pub policy: DeterminismPolicy,
+    /// Whether to seed each step with the previous step's solution when
+    /// the residual gate passes. Default: `true`.
+    pub warm_start: bool,
+    /// Relative-residual gate `‖b − A·x_prev‖ / ‖b‖` above which the
+    /// previous solution is rejected in favor of the deterministic cold
+    /// start. Default: `1.0` — the zero guess's own residual, so a warm
+    /// start is accepted exactly when it is at least as good as cold.
+    pub warm_start_max_residual: f64,
+    /// Largest fraction of dirty rows a pattern delta may touch and still
+    /// be band-patched; larger deltas re-run the full analysis. Default:
+    /// `0.25`.
+    pub patch_max_dirty_fraction: f64,
+    /// Patch-unit granularity: MSID hints wider than this many rows are
+    /// split into tiles of at most this size when the sequence (re)compiles
+    /// its plan, so a small delta recompiles one tile instead of one
+    /// monolithic hint. The MSID schedule legitimately emits hints spanning
+    /// most of a structurally uniform matrix — useless as patch units —
+    /// and per-row SpMV accumulation is band-local, so retiling cannot
+    /// change results. `0` keeps the MSID hints verbatim. Default: `64`.
+    pub patch_tile_rows: usize,
+    /// Apply the row-NNZ sort permutation once at open and permute every
+    /// step through it. Default: `false`.
+    pub reorder: bool,
+}
+
+impl Default for SequenceConfig {
+    fn default() -> SequenceConfig {
+        SequenceConfig {
+            policy: DeterminismPolicy::Deterministic,
+            warm_start: true,
+            warm_start_max_residual: 1.0,
+            patch_max_dirty_fraction: 0.25,
+            patch_tile_rows: 64,
+            reorder: false,
+        }
+    }
+}
+
+impl SequenceConfig {
+    /// Sets the determinism tier.
+    pub fn with_policy(mut self, policy: DeterminismPolicy) -> SequenceConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables or disables warm starts.
+    pub fn with_warm_start(mut self, enabled: bool) -> SequenceConfig {
+        self.warm_start = enabled;
+        self
+    }
+
+    /// Sets the warm-start relative-residual gate.
+    pub fn with_warm_start_max_residual(mut self, residual: f64) -> SequenceConfig {
+        self.warm_start_max_residual = residual;
+        self
+    }
+
+    /// Sets the dirty-row fraction above which a delta recompiles instead
+    /// of patching (`0.0` disables patching entirely).
+    pub fn with_patch_max_dirty_fraction(mut self, fraction: f64) -> SequenceConfig {
+        self.patch_max_dirty_fraction = fraction;
+        self
+    }
+
+    /// Sets the patch-unit tile size in rows (`0` keeps the MSID hints
+    /// verbatim).
+    pub fn with_patch_tile_rows(mut self, rows: usize) -> SequenceConfig {
+        self.patch_tile_rows = rows;
+        self
+    }
+
+    /// Enables or disables the one-shot NNZ-sort pre-pass at open.
+    pub fn with_reorder(mut self, enabled: bool) -> SequenceConfig {
+        self.reorder = enabled;
+        self
+    }
+}
+
+/// One step of a [`Sequence`]: the evolved matrix and its right-hand
+/// side. The matrix may differ from the previous step's in values,
+/// pattern, or both — the sequence diffs patterns itself.
+#[derive(Debug, Clone)]
+pub struct SequenceJob<T> {
+    /// System matrix for this step.
+    pub matrix: Arc<CsrMatrix<T>>,
+    /// Right-hand side for this step.
+    pub rhs: Vec<T>,
+}
+
+impl<T: Scalar> SequenceJob<T> {
+    /// A step solving `matrix · x = rhs`.
+    pub fn new(matrix: Arc<CsrMatrix<T>>, rhs: Vec<T>) -> SequenceJob<T> {
+        SequenceJob { matrix, rhs }
+    }
+}
+
+/// How a step obtained its execution plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanAction {
+    /// Pattern unchanged: the cached `(fingerprint, policy)` artifacts
+    /// were reused (via the honest cache-lookup path).
+    Reused,
+    /// Small pattern delta: only the dirty bands of the compiled SpMV
+    /// plan were recompiled and spliced.
+    Patched {
+        /// Rows whose pattern differed from the previous step.
+        dirty_rows: usize,
+    },
+    /// Pattern changed too much (or the base plan was evicted): the full
+    /// structure/MSID/compile analysis ran.
+    Recompiled,
+}
+
+/// How a step's initial guess was chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WarmStart {
+    /// No previous solution was available (or warm starts are disabled):
+    /// the deterministic zero cold start.
+    Cold,
+    /// The previous solution passed the residual gate and seeded the
+    /// solve.
+    Used {
+        /// Its relative residual `‖b − A·x_prev‖ / ‖b‖` against this
+        /// step's system.
+        residual: f64,
+    },
+    /// The previous solution failed the residual gate; the solve cold
+    /// started.
+    Rejected {
+        /// The rejected relative residual.
+        residual: f64,
+    },
+}
+
+/// One solved sequence step: the full run report plus how the plan and
+/// initial guess were obtained.
+#[derive(Debug, Clone)]
+pub struct SequenceStepReport<T> {
+    /// The underlying Acamar run report. When the sequence reorders, the
+    /// solution vector has already been mapped back to the caller's row
+    /// ordering.
+    pub report: AcamarRunReport<T>,
+    /// How this step's execution plan was obtained.
+    pub plan: PlanAction,
+    /// How this step's initial guess was chosen.
+    pub warm_start: WarmStart,
+}
+
+/// Running totals across a [`Sequence`]'s lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SequenceStats {
+    /// Steps submitted (including steps whose solve errored).
+    pub steps: u64,
+    /// Steps that reused the cached plan unchanged.
+    pub plans_reused: u64,
+    /// Steps that band-patched the previous plan.
+    pub plans_patched: u64,
+    /// Steps (plus the open) that ran the full analysis.
+    pub plans_recompiled: u64,
+    /// Steps seeded from the previous solution.
+    pub warm_starts_used: u64,
+    /// Steps whose previous solution failed the residual gate.
+    pub warm_starts_rejected: u64,
+    /// Wall-clock nanoseconds spent band-patching.
+    pub patch_nanos: u64,
+    /// Wall-clock nanoseconds spent in full cache lookups/analyses (the
+    /// open, reuse lookups, and recompiles).
+    pub analysis_nanos: u64,
+}
+
+impl SequenceStats {
+    /// Mean analyze+compile nanoseconds per step — the quantity the
+    /// sequence amortizes. Counts both full analyses and patches; `0.0`
+    /// before the first step.
+    pub fn plan_nanos_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            (self.analysis_nanos + self.patch_nanos) as f64 / self.steps as f64
+        }
+    }
+}
+
+/// A stateful handle for solving an evolving sequence of systems on one
+/// [`Engine`]. Opened with [`Engine::open_sequence`]; see that method
+/// and [`SequenceConfig`] for the amortization model (plan reuse, band
+/// patching, warm starts, optional NNZ-sort pre-pass).
+///
+/// All internal state (pattern, previous solution) lives in the
+/// sequence's *plan space* — the reordered row space when
+/// [`SequenceConfig::reorder`] is on, the caller's space otherwise.
+/// Inputs are mapped in and solutions mapped back out per step.
+#[derive(Debug)]
+pub struct Sequence<'e, T> {
+    engine: &'e Engine,
+    config: SequenceConfig,
+    /// NNZ-sort permutation fixed at open (`None` without `reorder`).
+    perm: Option<Vec<usize>>,
+    /// The previous step's pattern, in plan space.
+    pattern: Arc<CsrMatrix<T>>,
+    /// Fingerprint of `pattern`.
+    fingerprint: PatternFingerprint,
+    /// The current plan artifacts.
+    artifacts: Arc<AnalysisArtifacts>,
+    /// Band-hint tiling of the current plan — the patch units: the MSID
+    /// hints refined to [`SequenceConfig::patch_tile_rows`] granularity.
+    /// Refreshed on recompile, deliberately kept across patches (a
+    /// patched plan is still tiled by its ancestor's hints).
+    hints: Vec<BandHint>,
+    /// The previous step's solution, in plan space.
+    prev_solution: Option<Vec<T>>,
+    stats: SequenceStats,
+}
+
+/// Splits every hint wider than `tile` rows into tiles of at most `tile`
+/// rows (keeping each tile's unroll), so a pattern delta dirties tiles,
+/// not monolithic hints. `0` keeps the hints verbatim. The output tiles
+/// rows exactly as contiguously as the input did.
+fn refine_hints(hints: &[BandHint], tile: usize) -> Vec<BandHint> {
+    if tile == 0 {
+        return hints.to_vec();
+    }
+    let mut out = Vec::new();
+    for h in hints {
+        let mut start = h.rows.start;
+        while start < h.rows.end {
+            let end = (start + tile).min(h.rows.end);
+            out.push(BandHint {
+                rows: start..end,
+                unroll: h.unroll,
+            });
+            start = end;
+        }
+    }
+    out
+}
+
+/// Runs (or cache-hits) the full analysis for `pattern`, then retiles the
+/// compiled plan at patch-unit granularity
+/// ([`SequenceConfig::patch_tile_rows`]) when the MSID hints are coarser.
+/// The retiled artifacts replace the cache entry under the same key, so
+/// same-pattern lookups — the sequence's own [`PlanCache::touch`] path
+/// and any concurrent solver — all agree on one plan. Per-row SpMV
+/// accumulation is band-local, so retiling never changes a result bit.
+///
+/// [`PlanCache::touch`]: crate::PlanCache::touch
+fn adopt_analysis<T: Scalar>(
+    engine: &Engine,
+    config: &SequenceConfig,
+    pattern: &Arc<CsrMatrix<T>>,
+) -> Result<(Arc<AnalysisArtifacts>, Vec<BandHint>), SolveError> {
+    let artifacts = engine.cache().get_or_analyze_with(
+        engine.acamar(),
+        pattern.as_ref(),
+        config.policy,
+        engine.telemetry(),
+    );
+    let msid = artifacts.plan.schedule.band_hints();
+    let hints = refine_hints(&msid, config.patch_tile_rows);
+    if hints.len() == msid.len() {
+        // Nothing was split: the analysis' own compiled plan is already
+        // at patch granularity.
+        return Ok((artifacts, hints));
+    }
+    let compiled = CompiledSpmv::compile(pattern.as_ref(), &hints)?;
+    let artifacts = Arc::new(AnalysisArtifacts {
+        structure: artifacts.structure.clone(),
+        plan: artifacts.plan.clone(),
+        compiled: Arc::new(compiled),
+        build_cost: artifacts.build_cost,
+    });
+    engine.cache().insert_artifacts(
+        pattern.as_ref(),
+        config.policy,
+        Arc::clone(&artifacts),
+        engine.telemetry(),
+    );
+    Ok((artifacts, hints))
+}
+
+impl Engine {
+    /// Opens a solve sequence anchored on `matrix`'s pattern: runs (or
+    /// cache-hits) the full analysis once, applies the optional NNZ-sort
+    /// pre-pass, and returns the stateful [`Sequence`] handle.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Invalid`] if `config.reorder` is set and `matrix` is
+    /// not square (the symmetric permutation is undefined).
+    pub fn open_sequence<T: Scalar>(
+        &self,
+        matrix: Arc<CsrMatrix<T>>,
+        config: SequenceConfig,
+    ) -> Result<Sequence<'_, T>, SolveError> {
+        Sequence::open(self, matrix, config)
+    }
+}
+
+impl<'e, T: Scalar> Sequence<'e, T> {
+    fn open(
+        engine: &'e Engine,
+        matrix: Arc<CsrMatrix<T>>,
+        config: SequenceConfig,
+    ) -> Result<Sequence<'e, T>, SolveError> {
+        let (perm, pattern) = if config.reorder {
+            let perm = permutation_by_row_nnz(&matrix);
+            let permuted = permute_symmetric(&matrix, &perm)?;
+            (Some(perm), Arc::new(permuted))
+        } else {
+            (None, matrix)
+        };
+        let fingerprint = PatternFingerprint::of(&pattern);
+        let started = Instant::now();
+        let (artifacts, hints) = adopt_analysis(engine, &config, &pattern)?;
+        let analysis_nanos = started.elapsed().as_nanos() as u64;
+        Ok(Sequence {
+            engine,
+            config,
+            perm,
+            pattern,
+            fingerprint,
+            artifacts,
+            hints,
+            prev_solution: None,
+            stats: SequenceStats {
+                analysis_nanos,
+                ..SequenceStats::default()
+            },
+        })
+    }
+
+    /// The sequence's configuration.
+    pub fn config(&self) -> &SequenceConfig {
+        &self.config
+    }
+
+    /// Running totals so far.
+    pub fn stats(&self) -> SequenceStats {
+        self.stats
+    }
+
+    /// Fingerprint of the current (plan-space) pattern — the sticky
+    /// routing key for sequence-scoped service requests.
+    pub fn fingerprint(&self) -> PatternFingerprint {
+        self.fingerprint
+    }
+
+    /// The NNZ-sort permutation applied at open, if reordering is on.
+    pub fn permutation(&self) -> Option<&[usize]> {
+        self.perm.as_deref()
+    }
+
+    /// The current plan artifacts (plan space).
+    pub fn artifacts(&self) -> &Arc<AnalysisArtifacts> {
+        &self.artifacts
+    }
+
+    /// Solves one step, deciding reuse vs. patch vs. recompile from the
+    /// pattern delta against the previous step and gating the warm start
+    /// on its residual.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SolveError`] the engine reports for the job; additionally
+    /// [`SolveError::Invalid`] for shape mismatches against a reordered
+    /// sequence's fixed permutation. A failed step leaves the sequence
+    /// usable: the plan state advances to the step's pattern, but the
+    /// previous *successful* solution is retained for warm starts.
+    pub fn step(&mut self, job: SequenceJob<T>) -> Result<SequenceStepReport<T>, SolveError> {
+        let step_index = self.stats.steps;
+        let (a, b) = self.map_in(job)?;
+        let plan = self.advance_plan(&a)?;
+
+        let (guess, warm_start) = self.gate_warm_start(&a, &b, step_index)?;
+
+        let mut solve_job = SolveJob::new(Arc::clone(&a), b).with_policy(self.config.policy);
+        if let Some(g) = guess {
+            solve_job = solve_job.with_guess(g);
+        }
+        let mut batch = self.engine.solve_jobs(vec![solve_job]);
+        self.stats.steps += 1;
+        let mut report = batch.results.pop().expect("one job was submitted")?;
+
+        self.prev_solution = Some(report.solve.solution.clone());
+        if let Some(p) = &self.perm {
+            report.solve.solution = unpermute_vec(&report.solve.solution, p);
+        }
+        Ok(SequenceStepReport {
+            report,
+            plan,
+            warm_start,
+        })
+    }
+
+    /// Maps a caller-space job into plan space (a no-op without reorder).
+    fn map_in(&self, job: SequenceJob<T>) -> Result<(Arc<CsrMatrix<T>>, Vec<T>), SolveError> {
+        let Some(p) = &self.perm else {
+            return Ok((job.matrix, job.rhs));
+        };
+        if job.matrix.nrows() != p.len() || job.matrix.ncols() != p.len() {
+            return Err(SolveError::Invalid(
+                acamar_sparse::SparseError::DimensionMismatch {
+                    expected: p.len(),
+                    found: job.matrix.nrows(),
+                    what: "reordered sequence matrix rows",
+                },
+            ));
+        }
+        if job.rhs.len() != p.len() {
+            return Err(SolveError::Invalid(
+                acamar_sparse::SparseError::DimensionMismatch {
+                    expected: p.len(),
+                    found: job.rhs.len(),
+                    what: "reordered sequence rhs length",
+                },
+            ));
+        }
+        let a = Arc::new(permute_symmetric(&job.matrix, p)?);
+        let b = permute_vec(&job.rhs, p);
+        Ok((a, b))
+    }
+
+    /// Picks and installs this step's plan from the pattern delta. Also
+    /// advances the sequence's pattern/fingerprint state: the fingerprint
+    /// is recomputed only when the pattern actually changed, so the
+    /// steady-state step never re-hashes the matrix.
+    fn advance_plan(&mut self, a: &Arc<CsrMatrix<T>>) -> Result<PlanAction, SolveError> {
+        // Fast path: the caller handed back the same matrix object, so
+        // the O(nnz) pattern comparison is redundant.
+        if Arc::ptr_eq(&self.pattern, a) {
+            return self.reuse_plan(a);
+        }
+        let delta = PatternDelta::between(&self.pattern, a);
+        match delta {
+            Some(d) if d.is_empty() => self.reuse_plan(a),
+            Some(d)
+                if d.dirty_fraction() <= self.config.patch_max_dirty_fraction
+                    && self
+                        .engine
+                        .cache()
+                        .contains_policy(&self.fingerprint, self.config.policy) =>
+            {
+                // Small delta on a still-cached base: recompile only the
+                // dirty bands and splice the rest.
+                let started = Instant::now();
+                let patched = self.artifacts.compiled.patch(a, &self.hints, &d)?;
+                let patch_nanos = started.elapsed().as_nanos() as u64;
+                let artifacts = Arc::new(AnalysisArtifacts {
+                    structure: self.artifacts.structure.clone(),
+                    plan: self.artifacts.plan.clone(),
+                    compiled: Arc::new(patched),
+                    build_cost: AnalysisArtifacts::cost_model(a.nrows(), a.nnz()),
+                });
+                self.engine.cache().insert_artifacts(
+                    a.as_ref(),
+                    self.config.policy,
+                    Arc::clone(&artifacts),
+                    self.engine.telemetry(),
+                );
+                let dirty_rows = d.dirty_row_count();
+                self.engine.telemetry().emit(EventKind::PlanPatched {
+                    dirty_rows: dirty_rows.min(u32::MAX as usize) as u32,
+                    patch_nanos,
+                });
+                self.engine
+                    .telemetry()
+                    .counter_add(Counter::PlansPatched, 1);
+                self.stats.plans_patched += 1;
+                self.stats.patch_nanos += patch_nanos;
+                self.artifacts = artifacts;
+                self.pattern = Arc::clone(a);
+                self.fingerprint = PatternFingerprint::of(a.as_ref());
+                Ok(PlanAction::Patched { dirty_rows })
+            }
+            _ => {
+                // Shape change, large delta, or evicted base: full
+                // analysis (cache-mediated, so identical shapes across
+                // sequences still share).
+                let started = Instant::now();
+                let (artifacts, hints) = adopt_analysis(self.engine, &self.config, a)?;
+                self.stats.analysis_nanos += started.elapsed().as_nanos() as u64;
+                self.artifacts = artifacts;
+                self.hints = hints;
+                self.pattern = Arc::clone(a);
+                self.fingerprint = PatternFingerprint::of(a.as_ref());
+                self.stats.plans_recompiled += 1;
+                Ok(PlanAction::Recompiled)
+            }
+        }
+    }
+
+    /// The same-pattern step: refresh the cached entry by its
+    /// **precomputed** key — skipping the per-step pattern re-hash and
+    /// re-verification, which is what makes steady-state planning O(1) —
+    /// while an evicted entry still surfaces as an honest miss that goes
+    /// back through the full analysis.
+    fn reuse_plan(&mut self, a: &Arc<CsrMatrix<T>>) -> Result<PlanAction, SolveError> {
+        let started = Instant::now();
+        let touched = self.engine.cache().touch(
+            &self.fingerprint,
+            self.config.policy,
+            self.engine.telemetry(),
+        );
+        self.pattern = Arc::clone(a);
+        match touched {
+            Some(artifacts) => {
+                self.stats.analysis_nanos += started.elapsed().as_nanos() as u64;
+                self.artifacts = artifacts;
+                self.stats.plans_reused += 1;
+                Ok(PlanAction::Reused)
+            }
+            None => {
+                // Evicted since the last step: re-analyze through the
+                // cache so the miss is counted exactly once.
+                let (artifacts, hints) = adopt_analysis(self.engine, &self.config, a)?;
+                self.stats.analysis_nanos += started.elapsed().as_nanos() as u64;
+                self.artifacts = artifacts;
+                self.hints = hints;
+                self.stats.plans_recompiled += 1;
+                Ok(PlanAction::Recompiled)
+            }
+        }
+    }
+
+    /// Applies the warm-start residual gate against this step's system.
+    fn gate_warm_start(
+        &mut self,
+        a: &CsrMatrix<T>,
+        b: &[T],
+        step_index: u64,
+    ) -> Result<(Option<Vec<T>>, WarmStart), SolveError> {
+        if !self.config.warm_start {
+            return Ok((None, WarmStart::Cold));
+        }
+        let Some(prev) = &self.prev_solution else {
+            return Ok((None, WarmStart::Cold));
+        };
+        if prev.len() != a.ncols() {
+            // Shape changed since the last solution: cold start.
+            return Ok((None, WarmStart::Cold));
+        }
+        let residual = self.artifacts.warm_start_residual(a, b, prev)?;
+        if residual.is_finite() && residual <= self.config.warm_start_max_residual {
+            self.engine
+                .telemetry()
+                .emit(EventKind::WarmStartUsed { step: step_index });
+            self.engine
+                .telemetry()
+                .counter_add(Counter::WarmStartsUsed, 1);
+            self.stats.warm_starts_used += 1;
+            Ok((Some(prev.clone()), WarmStart::Used { residual }))
+        } else {
+            self.engine
+                .telemetry()
+                .emit(EventKind::WarmStartRejected { step: step_index });
+            self.engine
+                .telemetry()
+                .counter_add(Counter::WarmStartsRejected, 1);
+            self.stats.warm_starts_rejected += 1;
+            Ok((None, WarmStart::Rejected { residual }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acamar_core::{Acamar, AcamarConfig};
+    use acamar_fabric::FabricSpec;
+    use acamar_sparse::generate;
+
+    fn engine() -> Engine {
+        Engine::with_workers(
+            Acamar::new(FabricSpec::alveo_u55c(), AcamarConfig::paper()),
+            2,
+        )
+    }
+
+    /// Drops the symmetric pair `(r, c)`/`(c, r)` from `a`, changing the
+    /// pattern in exactly two rows while preserving symmetry and
+    /// diagonal dominance.
+    fn drop_pair(a: &CsrMatrix<f64>, r: usize, c: usize) -> CsrMatrix<f64> {
+        let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
+        row_ptr.push(0usize);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..a.nrows() {
+            let (rc, rv) = a.row(i);
+            for (&j, &v) in rc.iter().zip(rv) {
+                if (i == r && j == c) || (i == c && j == r) {
+                    continue;
+                }
+                cols.push(j);
+                vals.push(v);
+            }
+            row_ptr.push(cols.len());
+        }
+        CsrMatrix::try_from_parts(a.nrows(), a.ncols(), row_ptr, cols, vals).unwrap()
+    }
+
+    #[test]
+    fn fixed_pattern_sequence_reuses_plan_and_warm_starts() {
+        let engine = engine();
+        let a = Arc::new(generate::poisson2d::<f64>(16, 16));
+        let b = vec![1.0; 256];
+        let mut seq = engine
+            .open_sequence(Arc::clone(&a), SequenceConfig::default())
+            .unwrap();
+        let mut first_solution = None;
+        for k in 0..4 {
+            let step = seq
+                .step(SequenceJob::new(Arc::clone(&a), b.clone()))
+                .unwrap();
+            assert!(step.report.solve.converged());
+            assert_eq!(step.plan, PlanAction::Reused);
+            match (k, step.warm_start) {
+                (0, WarmStart::Cold) => {}
+                (_, WarmStart::Used { residual }) => assert!(residual < 1e-3),
+                other => panic!("unexpected warm-start state at step {k}: {other:?}"),
+            }
+            if k == 0 {
+                first_solution = Some(step.report.solve.solution.clone());
+            }
+        }
+        let stats = seq.stats();
+        assert_eq!(stats.steps, 4);
+        assert_eq!(stats.plans_reused, 4);
+        assert_eq!(stats.plans_patched, 0);
+        assert_eq!(stats.plans_recompiled, 0);
+        assert_eq!(stats.warm_starts_used, 3);
+        assert_eq!(stats.warm_starts_rejected, 0);
+        assert!(stats.plan_nanos_per_step() > 0.0);
+        // The whole sequence ran on one analysis...
+        assert_eq!(engine.counters().cache.misses, 1);
+        // ...and the cold first step is bitwise the plain engine solve.
+        let direct = engine.solve_one(&a, &b).unwrap();
+        assert_eq!(first_solution.unwrap(), direct.solve.solution);
+    }
+
+    #[test]
+    fn small_pattern_delta_patches_only_dirty_bands() {
+        let engine = engine();
+        let a0 = Arc::new(generate::poisson2d::<f64>(16, 16));
+        let b = vec![1.0; 256];
+        let mut seq = engine
+            .open_sequence(Arc::clone(&a0), SequenceConfig::default())
+            .unwrap();
+        seq.step(SequenceJob::new(Arc::clone(&a0), b.clone()))
+            .unwrap();
+
+        let a1 = Arc::new(drop_pair(&a0, 7, 8));
+        let step = seq
+            .step(SequenceJob::new(Arc::clone(&a1), b.clone()))
+            .unwrap();
+        assert!(step.report.solve.converged());
+        assert_eq!(step.plan, PlanAction::Patched { dirty_rows: 2 });
+        // The patch registered the new pattern without an analysis miss...
+        assert_eq!(engine.counters().cache.misses, 1);
+        assert!(engine.is_warm(&a1));
+        // ...and the next same-pattern step hits it.
+        let step = seq.step(SequenceJob::new(Arc::clone(&a1), b)).unwrap();
+        assert_eq!(step.plan, PlanAction::Reused);
+        let stats = seq.stats();
+        assert_eq!(stats.plans_patched, 1);
+        assert_eq!(stats.plans_reused, 2);
+        assert!(stats.patch_nanos > 0);
+    }
+
+    #[test]
+    fn large_delta_or_zero_threshold_recompiles() {
+        let engine = engine();
+        let a0 = Arc::new(generate::poisson2d::<f64>(16, 16));
+        let b = vec![1.0; 256];
+        let config = SequenceConfig::default().with_patch_max_dirty_fraction(0.0);
+        let mut seq = engine.open_sequence(Arc::clone(&a0), config).unwrap();
+        seq.step(SequenceJob::new(Arc::clone(&a0), b.clone()))
+            .unwrap();
+        let a1 = Arc::new(drop_pair(&a0, 7, 8));
+        let step = seq.step(SequenceJob::new(Arc::clone(&a1), b)).unwrap();
+        assert_eq!(step.plan, PlanAction::Recompiled);
+        assert!(step.report.solve.converged());
+        assert_eq!(engine.counters().cache.misses, 2);
+        assert_eq!(seq.stats().plans_recompiled, 1);
+    }
+
+    #[test]
+    fn evicted_base_plan_recompiles_instead_of_patching() {
+        let engine = engine();
+        engine.cache().set_capacity(1);
+        let a0 = Arc::new(generate::poisson2d::<f64>(16, 16));
+        let b = vec![1.0; 256];
+        let mut seq = engine
+            .open_sequence(Arc::clone(&a0), SequenceConfig::default())
+            .unwrap();
+        seq.step(SequenceJob::new(Arc::clone(&a0), b.clone()))
+            .unwrap();
+        // Evict the sequence's base entry by warming an unrelated pattern.
+        engine
+            .solve_one(&generate::poisson2d::<f64>(9, 9), &vec![1.0; 81])
+            .unwrap();
+        assert!(!engine.is_warm(&a0));
+        // A patchable delta must now fall back to the full analysis: the
+        // base plan is gone and eviction is an honest miss.
+        let a1 = Arc::new(drop_pair(&a0, 7, 8));
+        let step = seq.step(SequenceJob::new(Arc::clone(&a1), b)).unwrap();
+        assert_eq!(step.plan, PlanAction::Recompiled);
+        assert!(step.report.solve.converged());
+        assert!(engine.cache().stats().evictions >= 1);
+    }
+
+    #[test]
+    fn reordered_sequence_returns_solutions_in_caller_order() {
+        let engine = engine();
+        let a = Arc::new(generate::poisson2d::<f64>(12, 12));
+        let b: Vec<f64> = (0..144).map(|i| 1.0 + (i % 7) as f64).collect();
+        let config = SequenceConfig::default().with_reorder(true);
+        let mut seq = engine.open_sequence(Arc::clone(&a), config).unwrap();
+        assert!(seq.permutation().is_some());
+        let step = seq
+            .step(SequenceJob::new(Arc::clone(&a), b.clone()))
+            .unwrap();
+        assert!(step.report.solve.converged());
+        let x = &step.report.solve.solution;
+        // The returned solution solves the *original* system.
+        let mut worst: f64 = 0.0;
+        for (i, &bi) in b.iter().enumerate() {
+            let (cols, vals) = a.row(i);
+            let ax: f64 = cols.iter().zip(vals).map(|(&j, &v)| v * x[j]).sum();
+            worst = worst.max((ax - bi).abs());
+        }
+        assert!(worst < 1e-3, "residual in caller ordering: {worst}");
+        // A second identical step reuses the permuted pattern's plan.
+        let step = seq.step(SequenceJob::new(Arc::clone(&a), b)).unwrap();
+        assert_eq!(step.plan, PlanAction::Reused);
+        assert!(matches!(step.warm_start, WarmStart::Used { .. }));
+    }
+
+    #[test]
+    fn replaying_a_drifting_sequence_is_bitwise_identical() {
+        let run = || {
+            let engine = engine();
+            let a0 = Arc::new(generate::poisson2d::<f64>(16, 16));
+            let mut seq = engine
+                .open_sequence(Arc::clone(&a0), SequenceConfig::default())
+                .unwrap();
+            let mut solutions = Vec::new();
+            let mut a = a0;
+            for k in 0..6 {
+                if k == 2 {
+                    a = Arc::new(drop_pair(&a, 7, 8));
+                }
+                if k == 4 {
+                    a = Arc::new(drop_pair(&a, 100, 101));
+                }
+                let b: Vec<f64> = (0..256).map(|i| 1.0 + ((i + k) % 5) as f64).collect();
+                let step = seq.step(SequenceJob::new(Arc::clone(&a), b)).unwrap();
+                solutions.push((step.plan, step.report.solve.solution));
+            }
+            (solutions, seq.stats())
+        };
+        let (s1, t1) = run();
+        let (s2, t2) = run();
+        assert_eq!(s1, s2, "replay must be bitwise identical");
+        assert_eq!(t1.plans_patched, t2.plans_patched);
+        assert_eq!(t1.warm_starts_used, t2.warm_starts_used);
+        assert_eq!(t1.plans_patched, 2);
+    }
+
+    #[test]
+    fn warm_start_gate_rejects_distant_solutions() {
+        let engine = engine();
+        let a = Arc::new(generate::poisson2d::<f64>(12, 12));
+        let config = SequenceConfig::default().with_warm_start_max_residual(1e-12);
+        let mut seq = engine.open_sequence(Arc::clone(&a), config).unwrap();
+        seq.step(SequenceJob::new(Arc::clone(&a), vec![1.0; 144]))
+            .unwrap();
+        // A completely different RHS: the old solution's residual is far
+        // above the (tiny) gate.
+        let step = seq
+            .step(SequenceJob::new(Arc::clone(&a), vec![-3.0; 144]))
+            .unwrap();
+        assert!(matches!(step.warm_start, WarmStart::Rejected { .. }));
+        assert!(step.report.solve.converged());
+        assert_eq!(seq.stats().warm_starts_rejected, 1);
+        // Disabling warm starts keeps every step cold.
+        let mut cold = engine
+            .open_sequence(
+                Arc::clone(&a),
+                SequenceConfig::default().with_warm_start(false),
+            )
+            .unwrap();
+        for _ in 0..2 {
+            let step = cold
+                .step(SequenceJob::new(Arc::clone(&a), vec![1.0; 144]))
+                .unwrap();
+            assert_eq!(step.warm_start, WarmStart::Cold);
+        }
+    }
+}

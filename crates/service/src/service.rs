@@ -43,6 +43,13 @@ pub struct ServiceRequest<T> {
     /// default) keeps the bitwise replay contract; `Fast` routes the
     /// hot kernels through the reassociated 4-lane paths.
     pub policy: DeterminismPolicy,
+    /// Sticky routing fingerprint for sequence-scoped requests. Under
+    /// affinity routing the request routes by this fingerprint (the
+    /// pattern the sequence was opened on) instead of the submitted
+    /// matrix's, so every step of an evolving sequence lands on the one
+    /// shard whose plan cache holds the sequence's patched plans.
+    /// `None` (the default) routes by the matrix pattern as always.
+    pub sequence: Option<PatternFingerprint>,
 }
 
 impl<T> ServiceRequest<T> {
@@ -56,6 +63,7 @@ impl<T> ServiceRequest<T> {
             priority: Priority::Normal,
             deadline: None,
             policy: DeterminismPolicy::Deterministic,
+            sequence: None,
         }
     }
 
@@ -86,6 +94,15 @@ impl<T> ServiceRequest<T> {
     /// Sets the determinism tier.
     pub fn with_policy(mut self, policy: DeterminismPolicy) -> ServiceRequest<T> {
         self.policy = policy;
+        self
+    }
+
+    /// Pins affinity routing to `fingerprint` — typically
+    /// [`Sequence::fingerprint`](acamar_engine::Sequence::fingerprint) —
+    /// so every step of a sequence keeps hitting the shard that holds
+    /// its (possibly band-patched) plans even as the pattern drifts.
+    pub fn with_sequence(mut self, fingerprint: PatternFingerprint) -> ServiceRequest<T> {
+        self.sequence = Some(fingerprint);
         self
     }
 }
@@ -583,6 +600,18 @@ impl<T: Scalar> Service<T> {
         }
     }
 
+    /// [`Service::route`] for a full request: under affinity routing a
+    /// sticky [`ServiceRequest::sequence`] fingerprint takes precedence
+    /// over the matrix's own pattern, so an evolving sequence's steps all
+    /// land on the shard that holds its plans. Without a sticky
+    /// fingerprint this is exactly [`Service::route`].
+    pub fn route_request(&self, req: &ServiceRequest<T>) -> usize {
+        if let (RoutingPolicy::Affinity, Some(fp)) = (&self.cfg.routing, &req.sequence) {
+            return shard_for(fp, self.cfg.shards);
+        }
+        self.route(&req.matrix)
+    }
+
     /// Admits `req` or rejects it with backpressure.
     ///
     /// # Errors
@@ -593,7 +622,7 @@ impl<T: Scalar> Service<T> {
     /// floored at [`ServiceConfig::retry_after_floor`]).
     pub fn submit(&self, req: ServiceRequest<T>) -> Result<Ticket<T>, AdmissionError> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let shard = self.admission_shard(&req.matrix, seq);
+        let shard = self.admission_shard(&req, seq);
         let shared = &self.shards[shard];
         let mut st = lock_recover(&shared.state);
         let depth = st.sched.len();
@@ -672,8 +701,8 @@ impl<T: Scalar> Service<T> {
     /// as the breaker's half-open probe, or it deterministically spills to
     /// the next-ranked live shard ([`shard_ranking`] under affinity
     /// routing, cyclic order otherwise).
-    fn admission_shard(&self, matrix: &CsrMatrix<T>, seq: u64) -> usize {
-        let preferred = self.route(matrix);
+    fn admission_shard(&self, req: &ServiceRequest<T>, seq: u64) -> usize {
+        let preferred = self.route_request(req);
         let health = &self.shards[preferred].health;
         if health.state() != ShardHealth::Broken {
             return preferred;
@@ -683,7 +712,10 @@ impl<T: Scalar> Service<T> {
         }
         let ranking: Vec<usize> = match self.cfg.routing {
             RoutingPolicy::Affinity => {
-                shard_ranking(&PatternFingerprint::of(matrix), self.cfg.shards)
+                let fp = req
+                    .sequence
+                    .unwrap_or_else(|| PatternFingerprint::of(&req.matrix));
+                shard_ranking(&fp, self.cfg.shards)
             }
             _ => (0..self.cfg.shards)
                 .map(|k| (preferred + k) % self.cfg.shards)
@@ -1340,6 +1372,28 @@ mod tests {
         assert!(ticket.wait().expect("solves").converged());
         assert!(service.is_warm(shard, &a));
         assert_eq!(service.completions(), 1);
+    }
+
+    #[test]
+    fn sequence_fingerprint_pins_affinity_routing() {
+        let service = Service::<f64>::new(acamar(), ServiceConfig::default().with_shards(4));
+        let opened = Arc::new(generate::poisson2d::<f64>(10, 10));
+        let fp = PatternFingerprint::of(&opened);
+        let home = service.route(&opened);
+        // A drifted step matrix (different pattern, maybe a different
+        // natural shard) still routes to the sequence's home shard when
+        // tagged with the open fingerprint...
+        let drifted = Arc::new(generate::poisson2d::<f64>(11, 11));
+        let tagged =
+            ServiceRequest::new(Arc::clone(&drifted), vec![1.0; drifted.nrows()]).with_sequence(fp);
+        assert_eq!(service.route_request(&tagged), home);
+        // ...while an untagged request keeps the pattern's own route.
+        let untagged = ServiceRequest::new(Arc::clone(&drifted), vec![1.0; drifted.nrows()]);
+        assert_eq!(service.route_request(&untagged), service.route(&drifted));
+        // End to end: admission honors the sticky shard and still solves.
+        let ticket = service.submit(tagged).expect("queue empty");
+        assert_eq!(ticket.shard(), home);
+        assert!(ticket.wait().expect("solves").converged());
     }
 
     #[test]

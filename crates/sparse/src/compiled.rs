@@ -166,6 +166,90 @@ impl Band {
     }
 }
 
+/// A pattern-level diff between two same-shape CSR matrices: the merged,
+/// ascending row ranges whose column structure differs (row-local inserts,
+/// removes, or column moves). Values are ignored — two matrices with the
+/// same pattern and different values produce an empty delta.
+///
+/// Sequence solvers use the delta to decide between *patching* the dirty
+/// bands of a cached [`CompiledSpmv`] ([`CompiledSpmv::patch`]) and a full
+/// recompile: [`Self::dirty_fraction`] is the natural threshold input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternDelta {
+    nrows: usize,
+    ncols: usize,
+    dirty: Vec<Range<usize>>,
+    dirty_rows: usize,
+}
+
+impl PatternDelta {
+    /// Diffs the patterns of `old` and `new`. Returns `None` when the
+    /// shapes differ (a shape change is never patchable — callers fall
+    /// back to full re-analysis). O(nnz); the scalar types may differ
+    /// because patterns are value-independent.
+    pub fn between<T: Scalar, U: Scalar>(
+        old: &CsrMatrix<T>,
+        new: &CsrMatrix<U>,
+    ) -> Option<PatternDelta> {
+        if old.nrows() != new.nrows() || old.ncols() != new.ncols() {
+            return None;
+        }
+        let (orp, nrp) = (old.row_ptr(), new.row_ptr());
+        let (oc, nc) = (old.col_idx(), new.col_idx());
+        let row_changed = |r: usize| {
+            orp[r + 1] - orp[r] != nrp[r + 1] - nrp[r]
+                || oc[orp[r]..orp[r + 1]] != nc[nrp[r]..nrp[r + 1]]
+        };
+        let mut dirty = Vec::new();
+        let mut dirty_rows = 0usize;
+        let mut r = 0usize;
+        while r < old.nrows() {
+            if row_changed(r) {
+                let start = r;
+                r += 1;
+                while r < old.nrows() && row_changed(r) {
+                    r += 1;
+                }
+                dirty_rows += r - start;
+                dirty.push(start..r);
+            } else {
+                r += 1;
+            }
+        }
+        Some(PatternDelta {
+            nrows: old.nrows(),
+            ncols: old.ncols(),
+            dirty,
+            dirty_rows,
+        })
+    }
+
+    /// `true` when the two patterns are identical.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// The merged, ascending row ranges whose pattern changed.
+    pub fn dirty_ranges(&self) -> &[Range<usize>] {
+        &self.dirty
+    }
+
+    /// Total number of rows whose pattern changed.
+    pub fn dirty_row_count(&self) -> usize {
+        self.dirty_rows
+    }
+
+    /// Changed rows as a fraction of all rows, in `[0, 1]` (`0` for an
+    /// empty matrix).
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.dirty_rows as f64 / self.nrows as f64
+        }
+    }
+}
+
 /// A compiled, pattern-only SpMV execution plan. See the module docs.
 ///
 /// # Examples
@@ -260,6 +344,137 @@ impl CompiledSpmv {
             unroll: 8,
         }];
         Self::compile(a, &hint).expect("single full hint always tiles")
+    }
+
+    /// Recompiles only the hints touched by `delta`, splicing every clean
+    /// hint's bands (and their packed slot columns) verbatim from this
+    /// plan. Band classification is hint-local — [`Self::compile`] never
+    /// lets a band cross a hint boundary and segments each hint from its
+    /// own rows only — so the patched plan is **bitwise-identical** to
+    /// `CompiledSpmv::compile(a, hints)` at a fraction of the cost when
+    /// the delta is small: clean hints reduce to `memcpy`s of their slot
+    /// runs.
+    ///
+    /// `self` must have been compiled from the *same* `hints` against a
+    /// matrix with `delta`'s old pattern; `a` is the mutated matrix. The
+    /// splice validates that the plan's band boundaries tile every clean
+    /// hint exactly, so a hint mismatch fails loudly instead of producing
+    /// a mis-sliced plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] if the hints do not tile
+    /// `a`'s rows, if the shapes of `self`, `a`, and `delta` disagree, or
+    /// if this plan's bands do not align with `hints`.
+    pub fn patch<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        hints: &[BandHint],
+        delta: &PatternDelta,
+    ) -> Result<CompiledSpmv, SparseError> {
+        if self.nrows != a.nrows()
+            || self.ncols != a.ncols()
+            || delta.nrows != a.nrows()
+            || delta.ncols != a.ncols()
+        {
+            return Err(SparseError::InvalidStructure(format!(
+                "patch shape mismatch: plan {}x{}, delta {}x{}, matrix {}x{}",
+                self.nrows,
+                self.ncols,
+                delta.nrows,
+                delta.ncols,
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        let mut expected = 0usize;
+        for h in hints {
+            if h.rows.start != expected || h.rows.end < h.rows.start || h.rows.end > a.nrows() {
+                return Err(SparseError::InvalidStructure(format!(
+                    "band hint {:?} does not tile rows contiguously (expected start {expected}, nrows {})",
+                    h.rows,
+                    a.nrows()
+                )));
+            }
+            expected = h.rows.end;
+        }
+        if expected != a.nrows() {
+            return Err(SparseError::InvalidStructure(format!(
+                "band hints cover rows 0..{expected} of {}",
+                a.nrows()
+            )));
+        }
+
+        let packable = a.ncols() <= u32::MAX as usize;
+        let mut plan = CompiledSpmv {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            bands: Vec::with_capacity(self.bands.len()),
+            slot_cols: Vec::new(),
+            packed: packable,
+        };
+        if packable {
+            plan.slot_cols.reserve(a.nnz());
+        }
+        let dirty = delta.dirty_ranges();
+        let mut di = 0usize;
+        let mut bi = 0usize;
+        for h in hints {
+            while di < dirty.len() && dirty[di].end <= h.rows.start {
+                di += 1;
+            }
+            let hint_dirty = di < dirty.len() && dirty[di].start < h.rows.end;
+            if hint_dirty {
+                // Skip the stale bands and resegment the hint from the
+                // mutated rows — exactly what `compile` would do here.
+                while bi < self.bands.len() && self.bands[bi].rows.start < h.rows.end {
+                    bi += 1;
+                }
+                plan.compile_hint(a, h, packable);
+            } else {
+                // Clean hint: its rows are pattern-identical in `a`, so the
+                // old bands (structure and slot columns) are exactly what
+                // `compile` would emit — splice them in, re-based onto the
+                // new slot array.
+                let mut covered = h.rows.start;
+                while bi < self.bands.len() && self.bands[bi].rows.start < h.rows.end {
+                    let band = &self.bands[bi];
+                    if band.rows.start != covered || band.rows.end > h.rows.end {
+                        return Err(SparseError::InvalidStructure(format!(
+                            "plan band {:?} does not align with hint {:?}: \
+                             the plan was not compiled from these hints",
+                            band.rows, h.rows
+                        )));
+                    }
+                    let slot_len = match band.kind {
+                        BandKind::Fixed { width } | BandKind::Ell { width } => band.len() * width,
+                        _ if self.packed => band.nnz,
+                        _ => 0,
+                    };
+                    let slot_base = plan.slot_cols.len();
+                    plan.slot_cols.extend_from_slice(
+                        &self.slot_cols[band.slot_base..band.slot_base + slot_len],
+                    );
+                    plan.bands.push(Band {
+                        rows: band.rows.clone(),
+                        kind: band.kind,
+                        slot_base,
+                        nnz: band.nnz,
+                    });
+                    covered = band.rows.end;
+                    bi += 1;
+                }
+                if covered != h.rows.end {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "plan bands cover rows {}..{covered} of hint {:?}: \
+                         the plan was not compiled from these hints",
+                        h.rows.start, h.rows
+                    )));
+                }
+            }
+        }
+        Ok(plan)
     }
 
     /// Segments one schedule entry into specialized bands. Bands never
@@ -1729,6 +1944,148 @@ mod tests {
         assert!((dot - dot_det).abs() <= tol, "{dot} vs {dot_det}");
         // Shape errors are shared with the deterministic surface.
         assert!(plan.execute_dot_fast(&a, &x, &mut y, &z[1..]).is_err());
+    }
+
+    /// Row-local pattern mutation: each listed row drops its first entry
+    /// and gains a fresh trailing column, so both the row length and the
+    /// column set change without touching any other row.
+    fn mutate_rows(a: &CsrMatrix<f64>, rows: &[usize]) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(a.nrows(), a.ncols());
+        for r in 0..a.nrows() {
+            let (cols, vals) = a.row(r);
+            if rows.contains(&r) {
+                for (&c, &v) in cols.iter().zip(vals).skip(1) {
+                    coo.push(r, c, v).unwrap();
+                }
+                let extra = (cols.last().copied().unwrap_or(0) + 1) % a.ncols();
+                if !cols.contains(&extra) {
+                    coo.push(r, extra, 0.5).unwrap();
+                }
+            } else {
+                for (&c, &v) in cols.iter().zip(vals) {
+                    coo.push(r, c, v).unwrap();
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn pattern_delta_reports_dirty_rows_and_shape_mismatches() {
+        let a = generate::random_pattern::<f64>(64, RowDistribution::Uniform { min: 2, max: 9 }, 3);
+        let same = PatternDelta::between(&a, &a).unwrap();
+        assert!(same.is_empty());
+        assert_eq!(same.dirty_row_count(), 0);
+        assert_eq!(same.dirty_fraction(), 0.0);
+
+        let m = mutate_rows(&a, &[5, 6, 40]);
+        let d = PatternDelta::between(&a, &m).unwrap();
+        assert_eq!(d.dirty_ranges(), &[5..7, 40..41]);
+        assert_eq!(d.dirty_row_count(), 3);
+        assert!((d.dirty_fraction() - 3.0 / 64.0).abs() < 1e-15);
+        // Values alone never dirty a row.
+        let b = CsrMatrix::try_from_parts(
+            a.nrows(),
+            a.ncols(),
+            a.row_ptr().to_vec(),
+            a.col_idx().to_vec(),
+            a.values().iter().map(|v| v * 2.0).collect(),
+        )
+        .unwrap();
+        assert!(PatternDelta::between(&a, &b).unwrap().is_empty());
+
+        let shorter = generate::poisson1d::<f64>(63);
+        assert!(PatternDelta::between(&a, &shorter).is_none());
+    }
+
+    #[test]
+    fn patched_plan_is_bitwise_identical_to_recompile() {
+        let mats: Vec<CsrMatrix<f64>> = vec![
+            generate::poisson2d(10, 10),
+            generate::random_pattern(300, RowDistribution::Uniform { min: 1, max: 40 }, 7),
+            generate::random_pattern(
+                257,
+                RowDistribution::Bimodal {
+                    low: 3,
+                    high: 150,
+                    high_fraction: 0.04,
+                },
+                11,
+            ),
+            generate::random_pattern(128, RowDistribution::Constant(6), 3),
+        ];
+        for a in &mats {
+            let third = a.nrows() / 3;
+            let hints = vec![
+                BandHint {
+                    rows: 0..third,
+                    unroll: 2,
+                },
+                BandHint {
+                    rows: third..2 * third,
+                    unroll: 8,
+                },
+                BandHint {
+                    rows: 2 * third..a.nrows(),
+                    unroll: 16,
+                },
+            ];
+            let plan = CompiledSpmv::compile(a, &hints).unwrap();
+            for dirty in [
+                vec![1usize],
+                vec![third + 2, third + 3],
+                vec![2, a.nrows() - 1],
+            ] {
+                let m = mutate_rows(a, &dirty);
+                let delta = PatternDelta::between(a, &m).unwrap();
+                assert!(!delta.is_empty());
+                let patched = plan.patch(&m, &hints, &delta).unwrap();
+                let scratch = CompiledSpmv::compile(&m, &hints).unwrap();
+                assert_eq!(patched, scratch, "patched plan diverges from recompile");
+                assert!(patched.verify_pattern(&m));
+                assert_bitwise_equal(&m, &patched);
+            }
+            // An empty delta splices every hint and reproduces the plan.
+            let empty = PatternDelta::between(a, a).unwrap();
+            assert_eq!(plan.patch(a, &hints, &empty).unwrap(), plan);
+        }
+    }
+
+    #[test]
+    fn patch_rejects_foreign_hints_and_shapes() {
+        let a = generate::poisson1d::<f64>(32);
+        let plan = CompiledSpmv::compile_default(&a);
+        let empty = PatternDelta::between(&a, &a).unwrap();
+        // Hints that split the plan's interior Fixed band cannot splice.
+        let split = vec![
+            BandHint {
+                rows: 0..16,
+                unroll: 8,
+            },
+            BandHint {
+                rows: 16..32,
+                unroll: 8,
+            },
+        ];
+        assert!(plan.patch(&a, &split, &empty).is_err());
+        // Hints must still tile the rows.
+        assert!(plan
+            .patch(
+                &a,
+                &[BandHint {
+                    rows: 0..16,
+                    unroll: 8
+                }],
+                &empty
+            )
+            .is_err());
+        // Shape disagreements are rejected up front.
+        let b = generate::poisson1d::<f64>(33);
+        let hints_b = [BandHint {
+            rows: 0..33,
+            unroll: 8,
+        }];
+        assert!(plan.patch(&b, &hints_b, &empty).is_err());
     }
 
     #[test]

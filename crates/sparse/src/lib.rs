@@ -60,7 +60,7 @@ pub mod simd;
 pub mod stats;
 
 pub use analysis::{Definiteness, StructureReport};
-pub use compiled::{Band, BandHint, BandKind, CompiledSpmv};
+pub use compiled::{Band, BandHint, BandKind, CompiledSpmv, PatternDelta};
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::{CsrMatrix, RowIter};

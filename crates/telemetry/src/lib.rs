@@ -330,6 +330,29 @@ pub enum EventKind {
         /// Lifetime restart count for the shard (1 = first respawn).
         restarts: u32,
     },
+    /// A sequence step patched only the dirty bands of its cached compiled
+    /// plan instead of running a full re-analysis.
+    PlanPatched {
+        /// Rows whose pattern changed in the step's delta.
+        dirty_rows: u32,
+        /// Wall-clock nanoseconds the band patch took.
+        patch_nanos: u64,
+    },
+    /// A sequence step passed the warm-start residual gate and seeded its
+    /// solve with the previous step's solution.
+    WarmStartUsed {
+        /// Sequence step index (0-based).
+        step: u64,
+    },
+    /// A sequence step failed the warm-start residual gate and fell back
+    /// to a cold start.
+    WarmStartRejected {
+        /// Sequence step index (0-based).
+        step: u64,
+    },
+    /// The plan cache evicted its least-recently-used entry to stay within
+    /// its configured capacity.
+    CacheEvicted,
 }
 
 /// A single recorded telemetry event.
@@ -354,6 +377,7 @@ impl Event {
             EventKind::CacheMiss { analysis_nanos } => *analysis_nanos = 0,
             EventKind::JobShed { waited_nanos, .. } => *waited_nanos = 0,
             EventKind::JobDispatched { wait_nanos, .. } => *wait_nanos = 0,
+            EventKind::PlanPatched { patch_nanos, .. } => *patch_nanos = 0,
             _ => {}
         }
         self
@@ -425,11 +449,20 @@ pub enum Counter {
     FastTierSolves,
     /// `Fast`-tier jobs whose final attempt converged.
     FastTierConverged,
+    /// Compiled plans band-patched by sequence steps (full recompiles
+    /// avoided).
+    PlansPatched,
+    /// Sequence steps that passed the warm-start residual gate.
+    WarmStartsUsed,
+    /// Sequence steps that failed the warm-start residual gate.
+    WarmStartsRejected,
+    /// Plan-cache entries evicted to stay within the configured capacity.
+    CacheEvictions,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 29;
+    pub const COUNT: usize = 33;
 
     /// Every counter, in `repr` order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -462,6 +495,10 @@ impl Counter {
         Counter::EventsDropped,
         Counter::FastTierSolves,
         Counter::FastTierConverged,
+        Counter::PlansPatched,
+        Counter::WarmStartsUsed,
+        Counter::WarmStartsRejected,
+        Counter::CacheEvictions,
     ];
 
     /// The counter's index into a `[u64; Counter::COUNT]` snapshot.
@@ -501,6 +538,10 @@ impl Counter {
             Counter::EventsDropped => "acamar_trace_events_dropped_total",
             Counter::FastTierSolves => "acamar_fast_tier_solves_total",
             Counter::FastTierConverged => "acamar_fast_tier_converged_total",
+            Counter::PlansPatched => "acamar_plans_patched_total",
+            Counter::WarmStartsUsed => "acamar_warm_starts_used_total",
+            Counter::WarmStartsRejected => "acamar_warm_starts_rejected_total",
+            Counter::CacheEvictions => "acamar_plan_cache_evictions_total",
         }
     }
 
@@ -536,6 +577,10 @@ impl Counter {
             Counter::EventsDropped => "Trace events dropped (ring full)",
             Counter::FastTierSolves => "Jobs solved under the Fast determinism tier",
             Counter::FastTierConverged => "Fast-tier jobs whose final attempt converged",
+            Counter::PlansPatched => "Compiled plans band-patched by sequence steps",
+            Counter::WarmStartsUsed => "Sequence steps that passed the warm-start gate",
+            Counter::WarmStartsRejected => "Sequence steps that failed the warm-start gate",
+            Counter::CacheEvictions => "Plan-cache entries evicted at capacity",
         }
     }
 }

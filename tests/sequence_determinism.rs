@@ -1,0 +1,182 @@
+//! Sequence replay determinism: a drifting matrix sequence solved twice
+//! under `DeterminismPolicy::Deterministic` must reproduce itself exactly
+//! — the same plan actions (reuse / patch / recompile), the same
+//! warm-start verdicts, and bitwise-identical solutions — including under
+//! seeded chaos injection, where warm-start rejections must fall back to
+//! the deterministic cold start without breaking the replay contract.
+
+use acamar::core::{Acamar, AcamarConfig};
+use acamar::engine::{Engine, PlanAction, SequenceConfig, SequenceJob, SequenceStats, WarmStart};
+use acamar::fabric::FabricSpec;
+use acamar::solvers::ConvergenceCriteria;
+use acamar::sparse::{generate, CsrMatrix};
+use std::sync::Arc;
+
+fn acamar() -> Acamar {
+    let cfg =
+        AcamarConfig::paper().with_criteria(ConvergenceCriteria::paper().with_max_iterations(2000));
+    Acamar::new(FabricSpec::alveo_u55c(), cfg)
+}
+
+/// Drops the symmetric pair `(r, c)`/`(c, r)`, changing the pattern in
+/// exactly two rows while preserving symmetry and diagonal dominance.
+fn drop_pair(a: &CsrMatrix<f64>, r: usize, c: usize) -> CsrMatrix<f64> {
+    let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
+    row_ptr.push(0usize);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..a.nrows() {
+        let (rc, rv) = a.row(i);
+        for (&j, &v) in rc.iter().zip(rv) {
+            if (i == r && j == c) || (i == c && j == r) {
+                continue;
+            }
+            cols.push(j);
+            vals.push(v);
+        }
+        row_ptr.push(cols.len());
+    }
+    CsrMatrix::try_from_parts(a.nrows(), a.ncols(), row_ptr, cols, vals).unwrap()
+}
+
+/// The evolving workload: mostly fixed pattern, two small drifts (band
+/// patches), one structural break (full recompile), varying right-hand
+/// sides throughout.
+fn workload() -> Vec<SequenceJob<f64>> {
+    let mut a = Arc::new(generate::poisson2d::<f64>(16, 16));
+    // A different *shape*, so the delta is undefined and the sequence
+    // must re-run the full analysis.
+    let fresh = Arc::new(generate::poisson2d::<f64>(18, 18));
+    let mut jobs = Vec::new();
+    for k in 0..10usize {
+        match k {
+            3 => a = Arc::new(drop_pair(&a, 7, 8)),
+            6 => a = Arc::new(drop_pair(&a, 100, 101)),
+            8 => a = Arc::clone(&fresh), // new shape entirely
+            _ => {}
+        }
+        let b: Vec<f64> = (0..a.nrows())
+            .map(|i| 0.5 + ((i * 7 + k) % 23) as f64 * 0.04)
+            .collect();
+        jobs.push(SequenceJob::new(Arc::clone(&a), b));
+    }
+    jobs
+}
+
+/// One full sequence run on a fresh engine; returns per-step verdicts and
+/// solutions plus the final stats.
+type StepTrace = Vec<(
+    PlanAction,
+    WarmStart,
+    Result<(bool, usize, Vec<f64>), String>,
+)>;
+
+fn replay(engine: &Engine) -> (StepTrace, SequenceStats) {
+    let jobs = workload();
+    let mut seq = engine
+        .open_sequence(Arc::clone(&jobs[0].matrix), SequenceConfig::default())
+        .unwrap();
+    let mut trace = Vec::new();
+    for job in jobs {
+        match seq.step(job) {
+            Ok(step) => trace.push((
+                step.plan,
+                step.warm_start,
+                Ok((
+                    step.report.solve.converged(),
+                    step.report.solve.iterations,
+                    step.report.solve.solution,
+                )),
+            )),
+            Err(e) => trace.push((PlanAction::Recompiled, WarmStart::Cold, Err(e.to_string()))),
+        }
+    }
+    (trace, seq.stats())
+}
+
+/// The replay-stable subset of [`SequenceStats`] (everything except the
+/// wall-clock timing fields).
+fn stat_counts(s: &SequenceStats) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        s.steps,
+        s.plans_reused,
+        s.plans_patched,
+        s.plans_recompiled,
+        s.warm_starts_used,
+        s.warm_starts_rejected,
+    )
+}
+
+fn assert_traces_identical(a: &StepTrace, b: &StepTrace, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: step count");
+    for (i, (sa, sb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(sa.0, sb.0, "{what}: step {i} plan action");
+        assert_eq!(sa.1, sb.1, "{what}: step {i} warm-start verdict");
+        match (&sa.2, &sb.2) {
+            (Ok((ca, ia, xa)), Ok((cb, ib, xb))) => {
+                assert_eq!(ca, cb, "{what}: step {i} convergence verdict");
+                assert_eq!(ia, ib, "{what}: step {i} iteration count");
+                assert_eq!(xa.len(), xb.len(), "{what}: step {i} solution length");
+                for (r, (va, vb)) in xa.iter().zip(xb).enumerate() {
+                    assert_eq!(
+                        va.to_bits(),
+                        vb.to_bits(),
+                        "{what}: step {i} row {r} solution bits"
+                    );
+                }
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{what}: step {i} error"),
+            _ => panic!("{what}: step {i} outcome kind differs between replays"),
+        }
+    }
+}
+
+#[test]
+fn replayed_sequence_is_bitwise_identical() {
+    let (first, s1) = replay(&Engine::with_workers(acamar(), 4));
+    let (second, s2) = replay(&Engine::with_workers(acamar(), 4));
+    assert_traces_identical(&first, &second, "replay");
+    assert_eq!(stat_counts(&s1), stat_counts(&s2), "sequence stats differ");
+    // The workload exercises every plan path...
+    assert!(s1.plans_reused >= 5, "stats: {s1:?}");
+    assert_eq!(s1.plans_patched, 2, "stats: {s1:?}");
+    assert_eq!(s1.plans_recompiled, 1, "stats: {s1:?}");
+    // ...and warm starts engaged on the quiet steps.
+    assert!(s1.warm_starts_used >= 4, "stats: {s1:?}");
+}
+
+#[test]
+fn worker_count_does_not_change_the_sequence() {
+    let (one, _) = replay(&Engine::with_workers(acamar(), 1));
+    let (eight, _) = replay(&Engine::with_workers(acamar(), 8));
+    assert_traces_identical(&one, &eight, "1 vs 8 workers");
+}
+
+/// Chaos replay: the same seeded fault plan over the same sequence twice
+/// must produce identical verdicts and bitwise solutions — warm-start
+/// rejections triggered by fault-perturbed residuals fall back to the
+/// deterministic cold start, never to divergent state.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn chaos_sequence_replay_is_deterministic() {
+    use acamar::engine::ResilienceConfig;
+    use acamar::faultline::{FaultInjector, FaultPlan};
+
+    let run = || {
+        let injector = Arc::new(FaultInjector::new(FaultPlan::uniform(0xACA3, 0.25)));
+        let engine = Engine::with_workers(acamar(), 4)
+            .with_resilience(ResilienceConfig::hardened())
+            .with_fault_injection(Arc::clone(&injector));
+        let (trace, stats) = replay(&engine);
+        (trace, stats, injector.injected())
+    };
+    let (t1, s1, i1) = run();
+    let (t2, s2, i2) = run();
+    assert_eq!(i1, i2, "injected fault counts differ between chaos replays");
+    assert_traces_identical(&t1, &t2, "chaos replay");
+    assert_eq!(
+        stat_counts(&s1),
+        stat_counts(&s2),
+        "sequence stats differ under chaos replay"
+    );
+}
