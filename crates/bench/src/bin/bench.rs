@@ -40,7 +40,13 @@
 //!   arm gating the band-patch cost at < 20% of a from-scratch
 //!   [`CompiledSpmv`] compile, and a warm-vs-cold A/B over the identical
 //!   drift workload gating the exact (deterministic) geomean iteration
-//!   reduction; written to `BENCH_PR9.json`.
+//!   reduction; written to `BENCH_PR9.json`;
+//! - **solver-suite workloads**: the Laplacian/stencil suite run through
+//!   plain CG and IC(0)-preconditioned CG — gating a >= 1.5x geomean
+//!   iteration reduction (exact, deterministic) — plus a worker scan of
+//!   the level-scheduled [`CompiledSptrsv`] kernel on a 2D Poisson lower
+//!   triangle, gating bitwise identity against serial substitution at
+//!   every worker count; written to `BENCH_PR10.json`.
 //!
 //! Writes `BENCH_PR4.json` plus the machine-diffable `BENCH_SUMMARY.json`
 //! and the telemetry artifacts `bench_trace.jsonl` / `bench_metrics.prom`
@@ -63,23 +69,29 @@
 //!
 //! Usage:
 //! `cargo run --release -p acamar-bench --bin bench [-- --quick] \
-//!  [--sequence] [--fast-tier] [--check-regression BENCH_BASELINE.json]`
+//!  [--sequence] [--fast-tier] [--solver-suite] \
+//!  [--check-regression BENCH_BASELINE.json]`
 //!
 //! `--sequence` runs only the matrix-sequence section (CI's smoke job);
-//! `--fast-tier` runs only the determinism-tier A/B.
+//! `--fast-tier` runs only the determinism-tier A/B;
+//! `--solver-suite` runs only the PCG/SpTRSV solver-suite section.
 //! `--check-regression` compares the run's geomeans against a committed
 //! baseline and fails on a > 10% drop (skipped with a warning when the
 //! baseline's worker class — single vs pooled — does not match the host;
 //! summary fields the baseline predates are skipped with a warning).
 
 use acamar_core::{Acamar, AcamarConfig};
-use acamar_datasets::{suite, Dataset};
+use acamar_datasets::{laplacian_suite, suite, Dataset};
 use acamar_engine::{Engine, PatternFingerprint, SequenceConfig, SequenceJob, SolveJob};
 use acamar_fabric::FabricSpec;
 use acamar_service::{shard_ranking, RoutingPolicy, Service, ServiceConfig, ServiceRequest};
-use acamar_solvers::{ConvergenceCriteria, Kernels, SoftwareKernels};
+use acamar_solvers::{
+    conjugate_gradient, ic0_preconditioned_cg, ConvergenceCriteria, Kernels, SoftwareKernels,
+};
 use acamar_sparse::rng::DetRng;
-use acamar_sparse::{generate, BandHint, CompiledSpmv, CsrMatrix, DeterminismPolicy, PatternDelta};
+use acamar_sparse::{
+    generate, BandHint, CompiledSpmv, CompiledSptrsv, CsrMatrix, DeterminismPolicy, PatternDelta,
+};
 use acamar_telemetry::export::json_lines;
 use acamar_telemetry::{timeline, Counter, RingRecorder};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -1765,6 +1777,247 @@ fn geomean_speedup(results: &[DatasetResult]) -> f64 {
     (log_sum / results.len() as f64).exp()
 }
 
+/// Per-workload iteration A/B of IC(0)-preconditioned CG against plain
+/// CG on the Laplacian suite. Iteration counts are exact (deterministic
+/// solver arithmetic), not timings, so these rows are bit-for-bit
+/// reproducible across hosts.
+struct PcgBench {
+    name: &'static str,
+    rows: usize,
+    nnz: usize,
+    cg_iterations: usize,
+    pcg_iterations: usize,
+    /// `cg_iterations / pcg_iterations`.
+    iteration_reduction: f64,
+}
+
+/// One worker-count point of the SpTRSV level-parallelism scan.
+struct SptrsvPoint {
+    workers: usize,
+    solve_us: f64,
+    speedup_vs_serial: f64,
+}
+
+/// The PR10 solver-suite measurements: the PCG-vs-CG iteration table
+/// over the Laplacian workloads plus the level-scheduled SpTRSV worker
+/// scan on the largest 2D Poisson plan.
+struct SolverSuiteBench {
+    pcg: Vec<PcgBench>,
+    pcg_iter_reduction_geomean: f64,
+    sptrsv_name: String,
+    sptrsv_rows: usize,
+    sptrsv_tri_nnz: usize,
+    sptrsv_levels: usize,
+    sptrsv_max_level_width: usize,
+    sptrsv_avg_level_width: f64,
+    sptrsv_serial_us: f64,
+    sptrsv_points: Vec<SptrsvPoint>,
+    /// Every `execute` result at every worker count matched the serial
+    /// forward-substitution reference bit for bit (Deterministic tier).
+    sptrsv_bitwise_identical: bool,
+}
+
+/// Runs the Laplacian suite through plain CG and IC(0)-preconditioned CG
+/// (both on [`SoftwareKernels`]), then scans the level-scheduled SpTRSV
+/// plan across worker counts on a 2D Poisson lower triangle.
+///
+/// Quick mode keeps one size per stencil family (the iteration counts
+/// are deterministic either way, so the 1.5x geomean gate still bites)
+/// and scans the smaller grid.
+fn bench_solver_suite(quick: bool) -> SolverSuiteBench {
+    let mut workloads = laplacian_suite();
+    if quick {
+        workloads.retain(|w| w.unknowns() <= 600);
+    }
+    let criteria = ConvergenceCriteria::paper().with_max_iterations(4000);
+    let mut pcg_rows = Vec::new();
+    let mut log_sum = 0.0;
+    for w in &workloads {
+        let a = w.matrix_f64();
+        let b = w.rhs();
+        let mut kc = SoftwareKernels::new();
+        let cg = conjugate_gradient(&a, &b, None, &criteria, &mut kc)
+            .unwrap_or_else(|e| panic!("{}: CG failed: {e}", w.name));
+        let mut kp = SoftwareKernels::new();
+        let pcg = ic0_preconditioned_cg(&a, &b, None, &criteria, &mut kp, None)
+            .unwrap_or_else(|e| panic!("{}: IC(0)-PCG failed: {e}", w.name));
+        assert!(
+            cg.converged(),
+            "{}: CG did not converge: {:?}",
+            w.name,
+            cg.outcome
+        );
+        assert!(
+            pcg.converged(),
+            "{}: PCG did not converge: {:?}",
+            w.name,
+            pcg.outcome
+        );
+        let reduction = cg.iterations as f64 / pcg.iterations.max(1) as f64;
+        log_sum += reduction.ln();
+        pcg_rows.push(PcgBench {
+            name: w.name,
+            rows: a.nrows(),
+            nnz: a.nnz(),
+            cg_iterations: cg.iterations,
+            pcg_iterations: pcg.iterations,
+            iteration_reduction: reduction,
+        });
+    }
+    let pcg_iter_reduction_geomean = (log_sum / pcg_rows.len() as f64).exp();
+
+    // SpTRSV level-parallelism scan. The 5-point Laplacian's wavefront
+    // levels are ~grid-width wide, so the plan has real (bounded)
+    // parallelism to expose; the Deterministic-tier scatter must stay
+    // bitwise identical to serial substitution at every worker count.
+    let grid = if quick { 24 } else { 40 };
+    let a = generate::poisson2d::<f64>(grid, grid);
+    let plan = CompiledSptrsv::compile_lower(&a).expect("compile SpTRSV plan");
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+    let mut reference = vec![0.0; n];
+    plan.solve_serial(&a, &b, &mut reference)
+        .expect("serial SpTRSV reference");
+    let reference_bits: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+
+    let reps = if quick { 50 } else { 200 };
+    let sample_count = if quick { 3 } else { 5 };
+    let mut x = vec![0.0; n];
+    let mut scratch = vec![0.0; plan.max_level_width()];
+
+    let mut serial_samples: Vec<f64> = (0..sample_count)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..reps {
+                plan.solve_serial(&a, &b, &mut x).expect("serial SpTRSV");
+            }
+            t.elapsed().as_secs_f64() / reps as f64 * 1e6
+        })
+        .collect();
+    let sptrsv_serial_us = median(&mut serial_samples);
+
+    let mut sptrsv_points = Vec::new();
+    let mut sptrsv_bitwise_identical = true;
+    for workers in [1usize, 2, 4, 8] {
+        x.fill(0.0);
+        plan.execute(&a, &b, &mut x, workers, &mut scratch)
+            .expect("level-scheduled SpTRSV");
+        sptrsv_bitwise_identical &= x
+            .iter()
+            .map(|v| v.to_bits())
+            .eq(reference_bits.iter().copied());
+        let mut samples: Vec<f64> = (0..sample_count)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..reps {
+                    plan.execute(&a, &b, &mut x, workers, &mut scratch)
+                        .expect("level-scheduled SpTRSV");
+                }
+                t.elapsed().as_secs_f64() / reps as f64 * 1e6
+            })
+            .collect();
+        let solve_us = median(&mut samples);
+        sptrsv_points.push(SptrsvPoint {
+            workers,
+            solve_us,
+            speedup_vs_serial: sptrsv_serial_us / solve_us,
+        });
+    }
+
+    SolverSuiteBench {
+        pcg: pcg_rows,
+        pcg_iter_reduction_geomean,
+        sptrsv_name: format!("poisson2d-{grid}"),
+        sptrsv_rows: n,
+        sptrsv_tri_nnz: plan.tri_nnz(),
+        sptrsv_levels: plan.level_count(),
+        sptrsv_max_level_width: plan.max_level_width(),
+        sptrsv_avg_level_width: plan.avg_level_width(),
+        sptrsv_serial_us,
+        sptrsv_points,
+        sptrsv_bitwise_identical,
+    }
+}
+
+/// `BENCH_PR10.json`: the PCG-vs-CG iteration table and the SpTRSV
+/// level-parallelism scan, hand-formatted like the other reports (the
+/// workspace is std-only by design).
+fn write_pr10_json(path: &str, mode: &str, workers: usize, s: &SolverSuiteBench) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str("  \"pcg_vs_cg\": [\n");
+    for (i, r) in s.pcg.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"rows\": {},\n", r.rows));
+        out.push_str(&format!("      \"nnz\": {},\n", r.nnz));
+        out.push_str(&format!("      \"cg_iterations\": {},\n", r.cg_iterations));
+        out.push_str(&format!(
+            "      \"pcg_iterations\": {},\n",
+            r.pcg_iterations
+        ));
+        out.push_str(&format!(
+            "      \"iteration_reduction\": {}\n",
+            json_f(r.iteration_reduction)
+        ));
+        out.push_str(if i + 1 < s.pcg.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sptrsv\": {\n");
+    out.push_str(&format!("    \"name\": \"{}\",\n", s.sptrsv_name));
+    out.push_str(&format!("    \"rows\": {},\n", s.sptrsv_rows));
+    out.push_str(&format!("    \"tri_nnz\": {},\n", s.sptrsv_tri_nnz));
+    out.push_str(&format!("    \"levels\": {},\n", s.sptrsv_levels));
+    out.push_str(&format!(
+        "    \"max_level_width\": {},\n",
+        s.sptrsv_max_level_width
+    ));
+    out.push_str(&format!(
+        "    \"avg_level_width\": {},\n",
+        json_f(s.sptrsv_avg_level_width)
+    ));
+    out.push_str(&format!(
+        "    \"serial_us\": {},\n",
+        json_f(s.sptrsv_serial_us)
+    ));
+    out.push_str(&format!(
+        "    \"bitwise_identical\": {},\n",
+        s.sptrsv_bitwise_identical
+    ));
+    out.push_str("    \"scaling\": [\n");
+    for (i, p) in s.sptrsv_points.iter().enumerate() {
+        out.push_str("      {\n");
+        out.push_str(&format!("        \"workers\": {},\n", p.workers));
+        out.push_str(&format!("        \"solve_us\": {},\n", json_f(p.solve_us)));
+        out.push_str(&format!(
+            "        \"speedup_vs_serial\": {}\n",
+            json_f(p.speedup_vs_serial)
+        ));
+        out.push_str(if i + 1 < s.sptrsv_points.len() {
+            "      },\n"
+        } else {
+            "      }\n"
+        });
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
+    out.push_str("  \"summary\": {\n");
+    out.push_str(&format!(
+        "    \"pcg_iter_reduction_geomean\": {},\n",
+        json_f(s.pcg_iter_reduction_geomean)
+    ));
+    out.push_str("    \"required_pcg_iter_reduction\": 1.5\n");
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    std::fs::write(path, out).expect("write PR10 benchmark JSON");
+}
+
 /// The headline overhead field: the clamped percentage when the A/B
 /// delta clears the measurement's own noise floor, the string
 /// `"unreliable"` when it does not — a sub-noise delta is
@@ -1797,6 +2050,7 @@ fn write_summary(
     telem: &TelemetryBench,
     service: f64,
     seq: &SequenceBench,
+    pcg_reduction: f64,
 ) {
     let out = format!(
         "{{\n  \"mode\": \"{mode}\",\n  \"workers\": {workers},\n  \
@@ -1809,7 +2063,8 @@ fn write_summary(
          \"service_p99_speedup_vs_random\": {},\n  \
          \"sequence_amortization_factor\": {},\n  \
          \"sequence_patch_pct_of_compile\": {},\n  \
-         \"sequence_warm_start_iter_reduction\": {}\n}}\n",
+         \"sequence_warm_start_iter_reduction\": {},\n  \
+         \"pcg_iter_reduction_geomean\": {}\n}}\n",
         json_f(batch),
         json_f(compiled),
         json_f(fast_tier),
@@ -1819,7 +2074,8 @@ fn write_summary(
         json_f(service),
         json_f(seq.amortization_factor),
         json_f(seq.patch_pct_of_compile),
-        json_f(seq.warm_start_iter_reduction)
+        json_f(seq.warm_start_iter_reduction),
+        json_f(pcg_reduction)
     );
     std::fs::write(path, out).expect("write benchmark summary JSON");
 }
@@ -1866,6 +2122,7 @@ fn check_regression(
     fast_tier: f64,
     service: f64,
     seq: &SequenceBench,
+    pcg_reduction: f64,
 ) {
     let text = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("read bench baseline {baseline_path}: {e}"));
@@ -1990,6 +2247,27 @@ fn check_regression(
              skipping the warm-start gate"
         ),
     }
+    // The PCG iteration-reduction geomean is deterministic per workload
+    // set, but quick mode trims the Laplacian suite, so the loose
+    // tolerance applies when comparing a quick run against a full-mode
+    // baseline; baselines predating the field are skipped with a warning.
+    match json_field_f64(&text, "pcg_iter_reduction_geomean") {
+        Some(base_pcg) => {
+            eprintln!(
+                "bench: regression check vs {baseline_path}: PCG iteration reduction \
+                 {pcg_reduction:.3}x (baseline {base_pcg:.3}x, tolerance {tolerance})"
+            );
+            assert!(
+                pcg_reduction >= base_pcg * tolerance,
+                "PCG iteration-reduction geomean regressed: {pcg_reduction:.3}x vs \
+                 baseline {base_pcg:.3}x (> {max_drop_pct:.0}% drop)"
+            );
+        }
+        None => eprintln!(
+            "bench: baseline {baseline_path} predates pcg_iter_reduction_geomean; \
+             skipping the PCG gate"
+        ),
+    }
 }
 
 fn main() {
@@ -1997,6 +2275,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let fast_only = args.iter().any(|a| a == "--fast-tier");
     let seq_only = args.iter().any(|a| a == "--sequence");
+    let solver_only = args.iter().any(|a| a == "--solver-suite");
     let baseline = args
         .iter()
         .position(|a| a == "--check-regression")
@@ -2022,6 +2301,75 @@ fn main() {
         "bench: mode={mode} datasets={} batch_jobs={batch_jobs} workers={workers}",
         datasets.len()
     );
+
+    // New-solver-family workloads: the IC(0)-PCG vs plain-CG iteration
+    // table over the Laplacian suite and the level-scheduled SpTRSV
+    // worker scan. Always measured (the 1.5x iteration-reduction geomean
+    // and SpTRSV bitwise identity are acceptance criteria; both are
+    // deterministic, so they gate in quick mode too); `--solver-suite`
+    // runs *only* this section, which is what CI's solver-suite job
+    // invokes in quick mode.
+    let ssb = bench_solver_suite(quick);
+    for r in &ssb.pcg {
+        eprintln!(
+            "  {:<12} ({:>5} rows, {:>6} nnz): cg {:>4} iters  ic0-pcg {:>3} iters  \
+             ({:.2}x fewer)",
+            r.name, r.rows, r.nnz, r.cg_iterations, r.pcg_iterations, r.iteration_reduction
+        );
+    }
+    eprintln!(
+        "  sptrsv {} ({} rows, {} tri nnz): {} levels, widest {} rows, \
+         avg width {:.1}, serial {:.3} us",
+        ssb.sptrsv_name,
+        ssb.sptrsv_rows,
+        ssb.sptrsv_tri_nnz,
+        ssb.sptrsv_levels,
+        ssb.sptrsv_max_level_width,
+        ssb.sptrsv_avg_level_width,
+        ssb.sptrsv_serial_us
+    );
+    for p in &ssb.sptrsv_points {
+        eprintln!(
+            "  sptrsv workers {}: {:>8.3} us  ({:.2}x vs serial)",
+            p.workers, p.solve_us, p.speedup_vs_serial
+        );
+    }
+    write_pr10_json("BENCH_PR10.json", mode, workers, &ssb);
+    eprintln!("bench: wrote BENCH_PR10.json");
+    // Solver-suite acceptance gates — deterministic in both modes.
+    assert!(
+        ssb.sptrsv_bitwise_identical,
+        "level-scheduled SpTRSV diverged from the serial substitution reference"
+    );
+    for r in &ssb.pcg {
+        assert!(
+            r.pcg_iterations <= r.cg_iterations,
+            "{}: IC(0)-PCG took {} iterations vs CG's {}",
+            r.name,
+            r.pcg_iterations,
+            r.cg_iterations
+        );
+    }
+    eprintln!(
+        "  geomean PCG iteration reduction vs CG: {:.2}x (need >= 1.50x)",
+        ssb.pcg_iter_reduction_geomean
+    );
+    assert!(
+        ssb.pcg_iter_reduction_geomean >= 1.5,
+        "IC(0)-PCG reduced Laplacian-suite iterations by only {:.2}x vs plain CG \
+         (need >= 1.50x)",
+        ssb.pcg_iter_reduction_geomean
+    );
+    assert!(
+        ssb.sptrsv_avg_level_width > 1.0,
+        "the SpTRSV plan exposes no level parallelism \
+         (avg level width {:.2})",
+        ssb.sptrsv_avg_level_width
+    );
+    if solver_only {
+        eprintln!("bench: solver-suite gates passed (solver-suite-only run)");
+        return;
+    }
 
     // Matrix-sequence workload: amortized planning, band patches, and
     // the warm-start A/B. Always measured (its gates are part of the
@@ -2286,6 +2634,7 @@ fn main() {
         &telem,
         service.p99_speedup_vs_random,
         &seqb,
+        ssb.pcg_iter_reduction_geomean,
     );
     eprintln!("bench: wrote BENCH_SUMMARY.json, bench_trace.jsonl, bench_metrics.prom");
     eprintln!("{}", telem.timeline);
@@ -2430,6 +2779,7 @@ fn main() {
             fast_geomean,
             service.p99_speedup_vs_random,
             &seqb,
+            ssb.pcg_iter_reduction_geomean,
         );
     }
     eprintln!("bench: all acceptance gates passed");

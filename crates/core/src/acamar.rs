@@ -7,10 +7,13 @@ use crate::structure_unit::{MatrixStructureUnit, StructureDecision};
 use acamar_fabric::{cost, FabricKernels, FabricRunStats, FabricSpec, HwRun, ResourceVector};
 use acamar_faultline::FaultContext;
 use acamar_solvers::{
-    solve_with, ConvergenceCriteria, Outcome, SolveReport, SolverKind, WorkspaceHandle,
+    ic0_preconditioned_cg, solve_with, ConvergenceCriteria, Outcome, SolveReport, SolverKind,
+    WorkspaceHandle,
 };
-use acamar_sparse::{CompiledSpmv, CsrMatrix, DeterminismPolicy, Scalar, SparseError};
-use acamar_telemetry::TelemetrySink;
+use acamar_sparse::{
+    CompiledSpmv, CompiledSptrsv, CsrMatrix, DeterminismPolicy, Scalar, SparseError,
+};
+use acamar_telemetry::{EventKind, TelemetrySink};
 use std::sync::Arc;
 
 /// The cacheable product of Acamar's two host-side decision loops: the
@@ -35,6 +38,13 @@ pub struct AnalysisArtifacts {
     /// matrices with the same sparsity pattern but different values —
     /// and behind an `Arc` so replaying it per solve costs nothing.
     pub compiled: Arc<CompiledSpmv>,
+    /// Level-scheduled triangular-solve plans (lower, upper) over `a`'s
+    /// own triangle patterns, built only for symmetric matrices: the
+    /// IC(0) factor's pattern is exactly `tril(A)`, so these plans replay
+    /// for preconditioned-CG runs without recompiling the level schedule
+    /// per solve. Pattern-only and `Arc`-shared like `compiled`; `None`
+    /// for nonsymmetric matrices or a structurally missing diagonal.
+    pub sptrsv: Option<Arc<(CompiledSptrsv, CompiledSptrsv)>>,
     /// Estimated host-side work of building these artifacts, in
     /// row/entry traversals: the structure unit's CSR→CSC symmetry
     /// compare and dominance scan are each O(nnz), the Row Length Trace
@@ -293,16 +303,36 @@ impl Acamar {
         // Initialize units "have no dependencies and run concurrently"
         // (paper §IV); their latency is host-side and overlapped, so only
         // fabric work is charged cycles.
-        let structure = MatrixStructureUnit::new().analyze(a);
+        let unit = MatrixStructureUnit::new();
+        let structure = if self.config.extended_solvers {
+            unit.analyze_extended(a)
+        } else {
+            unit.analyze(a)
+        };
         let plan = FineGrainedReconfigUnit::new(self.config.clone()).plan(a);
         let compiled = Arc::new(
             CompiledSpmv::compile(a, &plan.schedule.band_hints())
                 .expect("MSID schedules always tile the matrix rows"),
         );
+        // Symmetric matrices get triangular-solve schedules alongside the
+        // SpMV plan: the IC(0) preconditioner's substitution passes run
+        // over exactly tril(A)/triu(A), so the level analysis is shareable
+        // across every same-pattern solve. A structurally missing diagonal
+        // (compile error) simply leaves the preconditioner to compile its
+        // own plans if it is ever forced.
+        let sptrsv = if structure.report.symmetric {
+            CompiledSptrsv::compile_lower(a)
+                .ok()
+                .zip(CompiledSptrsv::compile_upper(a).ok())
+                .map(Arc::new)
+        } else {
+            None
+        };
         AnalysisArtifacts {
             structure,
             plan,
             compiled,
+            sptrsv,
             build_cost: AnalysisArtifacts::cost_model(a.nrows(), a.nnz()),
         }
     }
@@ -413,6 +443,7 @@ impl Acamar {
         if let Some(ws) = opts.workspace {
             hw = hw.with_workspace(ws);
         }
+        let telemetry = opts.telemetry.clone();
         if opts.telemetry.enabled() {
             hw = hw.with_telemetry(opts.telemetry);
         }
@@ -433,6 +464,18 @@ impl Acamar {
                     &criteria,
                     &mut hw,
                 )?
+            } else if kind == SolverKind::PreconditionedCg {
+                // Forced PCG replays the cached triangular plans when the
+                // analysis built them (symmetric pattern): IC(0)'s factor
+                // shares tril(A)'s pattern, so the level schedules are
+                // interchangeable. Without plans (or on an indefinite
+                // pivot) the solver degrades to Jacobi preconditioning.
+                let plans = artifacts.sptrsv.as_deref().map(|(l, u)| (l, u));
+                telemetry.emit(EventKind::PreconditionerSelected {
+                    ic0: plans.is_some(),
+                    levels: plans.map_or(0, |(l, _)| l.level_count() as u32),
+                });
+                ic0_preconditioned_cg(a, b, x0, &criteria, &mut hw, plans)?
             } else {
                 solve_with(kind, a, b, x0, &criteria, &mut hw)?
             };
@@ -443,7 +486,11 @@ impl Acamar {
             });
             last = Some(report);
         } else {
-            let mut modifier = SolverModifier::new(structure.solver);
+            let mut modifier = if self.config.extended_solvers {
+                SolverModifier::extended(structure.solver)
+            } else {
+                SolverModifier::new(structure.solver)
+            };
             while let Some(kind) = modifier.next_solver() {
                 // Host configures the Reconfigurable Solver region.
                 hw.charge_solver_reconfig(&module);
@@ -662,6 +709,88 @@ mod tests {
         assert_eq!(plain.solve.solution, opted.solve.solution);
         assert_eq!(plain.solve.iterations, opted.solve.iterations);
         assert_eq!(plain.stats.cycles, opted.stats.cycles);
+    }
+
+    #[test]
+    fn symmetric_analysis_carries_triangular_plans() {
+        let a = generate::poisson2d::<f64>(9, 7);
+        let artifacts = acamar().analyze(&a);
+        let (lower, upper) = &**artifacts
+            .sptrsv
+            .as_ref()
+            .expect("symmetric pattern gets plans");
+        assert!(lower.matches(&a) && upper.matches(&a));
+        assert!(lower.verify_pattern(&a) && upper.verify_pattern(&a));
+        // Nonsymmetric matrices skip the triangular analysis entirely.
+        let ns = generate::convection_diffusion_2d::<f64>(6, 6, 2.0);
+        assert!(acamar().analyze(&ns).sptrsv.is_none());
+    }
+
+    #[test]
+    fn forced_pcg_replays_cached_plans_and_converges() {
+        let a = generate::poisson2d::<f64>(12, 12);
+        let b = vec![1.0_f64; 144];
+        let ac = acamar();
+        let artifacts = ac.analyze(&a);
+        assert!(artifacts.sptrsv.is_some());
+        let opts = RunOptions {
+            solver: Some(SolverKind::PreconditionedCg),
+            ..RunOptions::default()
+        };
+        let rep = ac
+            .run_with_plan_opts(&a, &b, None, &artifacts, opts)
+            .unwrap();
+        assert!(rep.converged());
+        assert_eq!(rep.final_solver(), SolverKind::PreconditionedCg);
+        // IC(0) should beat plain CG on the Poisson stencil.
+        let cg = ac
+            .run_with_plan_opts(
+                &a,
+                &b,
+                None,
+                &artifacts,
+                RunOptions {
+                    solver: Some(SolverKind::ConjugateGradient),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            rep.solve.iterations < cg.solve.iterations,
+            "IC(0)-PCG {} vs CG {}",
+            rep.solve.iterations,
+            cg.solve.iterations
+        );
+    }
+
+    #[test]
+    fn extended_solvers_pick_sor_for_dominant_symmetric_intake() {
+        // Shift the Poisson diagonal so it is strictly dominant: the
+        // extended intake should prefer SOR, the paper intake Jacobi.
+        let mut a = generate::poisson2d::<f64>(8, 8);
+        let (rp, ci): (Vec<usize>, Vec<usize>) = (a.row_ptr().to_vec(), a.col_idx().to_vec());
+        for i in 0..64 {
+            for (k, &c) in ci.iter().enumerate().take(rp[i + 1]).skip(rp[i]) {
+                if c == i {
+                    a.values_mut()[k] += 1.0;
+                }
+            }
+        }
+        let b = vec![1.0_f64; 64];
+        let paper = acamar();
+        assert_eq!(paper.analyze(&a).structure.solver, SolverKind::Jacobi);
+        let ext = Acamar::new(
+            FabricSpec::alveo_u55c(),
+            AcamarConfig::paper()
+                .with_criteria(ConvergenceCriteria::paper().with_max_iterations(2000))
+                .with_extended_solvers(true),
+        );
+        let artifacts = ext.analyze(&a);
+        assert_eq!(artifacts.structure.solver, SolverKind::Sor);
+        let rep = ext.run_with_plan(&a, &b, None, &artifacts).unwrap();
+        assert!(rep.converged());
+        assert_eq!(rep.final_solver(), SolverKind::Sor);
+        assert_eq!(rep.attempts.len(), 1);
     }
 
     #[test]

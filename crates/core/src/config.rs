@@ -36,6 +36,12 @@ pub struct AcamarConfig {
     /// Overlap SpMV-region partial reconfiguration with compute
     /// (double-buffered DFX regions; extension, default off).
     pub overlap_reconfiguration: bool,
+    /// Consider the extended solver set in the intake decision and the
+    /// Solver Modifier ladder: symmetric strictly-dominant matrices with a
+    /// positive diagonal select SOR first, and SOR joins the fallback
+    /// order after the paper's three solvers (extension, default off —
+    /// the paper's behavior is bit-for-bit unchanged when disabled).
+    pub extended_solvers: bool,
 }
 
 impl AcamarConfig {
@@ -52,6 +58,7 @@ impl AcamarConfig {
             gmres_fallback: false,
             gmres_restart: 60,
             overlap_reconfiguration: false,
+            extended_solvers: false,
         }
     }
 
@@ -64,6 +71,13 @@ impl AcamarConfig {
     /// Returns a copy with overlapped reconfiguration enabled.
     pub fn with_overlap(mut self, enabled: bool) -> Self {
         self.overlap_reconfiguration = enabled;
+        self
+    }
+
+    /// Returns a copy with the extended solver set (SOR in the intake
+    /// decision and the modifier ladder) enabled.
+    pub fn with_extended_solvers(mut self, enabled: bool) -> Self {
+        self.extended_solvers = enabled;
         self
     }
 
@@ -110,6 +124,7 @@ mod tests {
         assert!((c.msid_tolerance - 0.15).abs() < 1e-12);
         assert_eq!(c.chunk_rows, 4096);
         assert_eq!(c.criteria.setup_iterations, 200);
+        assert!(!c.extended_solvers, "extensions default off");
     }
 
     #[test]

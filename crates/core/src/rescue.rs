@@ -8,7 +8,7 @@
 //! re-runs the job a different way with a geometrically shrinking
 //! iteration budget, so a hopeless job cannot hold a worker hostage.
 
-use acamar_solvers::{fallback_order, ConvergenceCriteria, SolverKind};
+use acamar_solvers::{extended_fallback_order, ConvergenceCriteria, SolverKind};
 
 /// One rung of the rescue ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,7 +98,11 @@ impl RescuePolicy {
     ) -> Option<SolverKind> {
         match step {
             RescueStep::RetrySame => Some(tried.last().copied().unwrap_or(primary)),
-            RescueStep::NextSolver => fallback_order(primary)
+            // The extended order is the Solver Modifier's fallback order
+            // with SOR appended, so the base solvers are still offered
+            // first and existing ladders are unchanged; SOR only surfaces
+            // once all three paper solvers have been burned.
+            RescueStep::NextSolver => extended_fallback_order(primary)
                 .into_iter()
                 .find(|k| !tried.contains(k)),
             RescueStep::Preconditioned => (!tried.contains(&SolverKind::PreconditionedCg))
@@ -162,6 +166,27 @@ mod tests {
         assert_eq!(
             p.solver_for(RescueStep::GmresLastResort, primary, &tried),
             Some(SolverKind::Gmres)
+        );
+        // With all three paper solvers burned, NextSolver escalates to
+        // the extended set's SOR instead of stepping aside.
+        let all_three = [
+            SolverKind::ConjugateGradient,
+            SolverKind::Jacobi,
+            SolverKind::BiCgStab,
+        ];
+        assert_eq!(
+            p.solver_for(RescueStep::NextSolver, primary, &all_three),
+            Some(SolverKind::Sor)
+        );
+        let all_four = [
+            SolverKind::ConjugateGradient,
+            SolverKind::Jacobi,
+            SolverKind::BiCgStab,
+            SolverKind::Sor,
+        ];
+        assert_eq!(
+            p.solver_for(RescueStep::NextSolver, primary, &all_four),
+            None
         );
         // Already-burned rungs step aside instead of repeating themselves.
         let burned = [SolverKind::PreconditionedCg, SolverKind::Gmres];

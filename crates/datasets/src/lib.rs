@@ -25,8 +25,10 @@
 #![warn(missing_debug_implementations)]
 
 mod dataset;
+pub mod laplacian;
 pub mod stress;
 pub mod verify;
 
 pub use dataset::{by_id, suite, Dataset, ExpectedConvergence, StructuralClass};
+pub use laplacian::{laplacian_suite, LaplacianKind, LaplacianWorkload};
 pub use stress::{stress_suite, StressKind, StressWorkload};

@@ -326,6 +326,12 @@ impl PlanCache {
     /// an honest `None` that forces the caller back through the full
     /// analyze path.
     ///
+    /// The lookup is strict about the tier: touching a `(fp, policy)`
+    /// whose entry was evicted returns `None` without refreshing the
+    /// recency of a surviving sibling-tier entry for the same pattern —
+    /// otherwise a miss on one tier could keep the other tier's entry
+    /// pinned in a bounded cache it no longer earns its slot in.
+    ///
     /// [`Sequence`]: crate::Sequence
     pub fn touch(
         &self,
@@ -556,6 +562,48 @@ mod tests {
         }
         assert_eq!(cache.stats().entries, 5, "unbounded again");
         assert_eq!(cache.stats().evictions, 3);
+    }
+
+    #[test]
+    fn touch_of_evicted_tier_does_not_refresh_surviving_sibling() {
+        let cache = PlanCache::new();
+        cache.set_capacity(2);
+        let ac = acamar();
+        let a = generate::poisson2d::<f64>(8, 8);
+        let b = generate::poisson2d::<f64>(9, 9);
+        let c = generate::poisson2d::<f64>(10, 10);
+        let (fa, fb, fc) = (
+            PatternFingerprint::of(&a),
+            PatternFingerprint::of(&b),
+            PatternFingerprint::of(&c),
+        );
+        let sink = TelemetrySink::disabled();
+        // Warm `a` under both tiers; the deterministic entry is the LRU.
+        cache.get_or_analyze_with(&ac, &a, DeterminismPolicy::Deterministic, &sink);
+        cache.get_or_analyze_with(&ac, &a, DeterminismPolicy::Fast, &sink);
+        // `b` evicts `(a, Deterministic)`; `(a, Fast)` survives.
+        cache.get_or_analyze_with(&ac, &b, DeterminismPolicy::Deterministic, &sink);
+        assert!(!cache.contains_policy(&fa, DeterminismPolicy::Deterministic));
+        assert!(cache.contains_policy(&fa, DeterminismPolicy::Fast));
+        // Touching the evicted tier is an honest `None`: no hit counted,
+        // and crucially no recency refresh leaking onto the Fast sibling.
+        let hits = cache.stats().hits;
+        assert!(cache
+            .touch(&fa, DeterminismPolicy::Deterministic, &sink)
+            .is_none());
+        assert_eq!(cache.stats().hits, hits, "a failed touch is not a hit");
+        // `(a, Fast)` is still the LRU, so `c` must evict it — if the
+        // failed touch had refreshed it, `(b, Deterministic)` would have
+        // been evicted instead.
+        cache.get_or_analyze_with(&ac, &c, DeterminismPolicy::Deterministic, &sink);
+        assert!(!cache.contains_policy(&fa, DeterminismPolicy::Fast));
+        assert!(cache.contains_policy(&fb, DeterminismPolicy::Deterministic));
+        assert!(cache.contains_policy(&fc, DeterminismPolicy::Deterministic));
+        // A touch of a *present* key still hits and refreshes as before.
+        assert!(cache
+            .touch(&fb, DeterminismPolicy::Deterministic, &sink)
+            .is_some());
+        assert_eq!(cache.stats().hits, hits + 1);
     }
 
     #[test]

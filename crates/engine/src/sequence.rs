@@ -345,6 +345,9 @@ fn adopt_analysis<T: Scalar>(
         structure: artifacts.structure.clone(),
         plan: artifacts.plan.clone(),
         compiled: Arc::new(compiled),
+        // Retiling SpMV bands does not disturb the triangular plans:
+        // they schedule over the same unchanged pattern.
+        sptrsv: artifacts.sptrsv.clone(),
         build_cost: artifacts.build_cost,
     });
     engine.cache().insert_artifacts(
@@ -527,6 +530,10 @@ impl<'e, T: Scalar> Sequence<'e, T> {
                     structure: self.artifacts.structure.clone(),
                     plan: self.artifacts.plan.clone(),
                     compiled: Arc::new(patched),
+                    // The pattern changed, so the cached level schedules
+                    // are stale; drop them and let the next full analyze
+                    // (or the preconditioner itself) rebuild.
+                    sptrsv: None,
                     build_cost: AnalysisArtifacts::cost_model(a.nrows(), a.nnz()),
                 });
                 self.engine.cache().insert_artifacts(

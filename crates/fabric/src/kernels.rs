@@ -14,7 +14,9 @@ use crate::spmv::{execute_rows, SpmvExecution};
 use crate::trace::{ExecutionTrace, TraceEvent};
 use acamar_faultline::{FaultContext, FaultInjector};
 use acamar_solvers::{Kernels, OpCounts, Phase, WorkspaceHandle};
-use acamar_sparse::{simd, BandHint, CompiledSpmv, CsrMatrix, DeterminismPolicy, Scalar};
+use acamar_sparse::{
+    simd, BandHint, CompiledSpmv, CompiledSptrsv, CsrMatrix, DeterminismPolicy, Scalar,
+};
 use acamar_telemetry::{Counter, EventKind, TelemetrySink};
 use std::ops::Range;
 use std::sync::Arc;
@@ -851,6 +853,59 @@ impl<T: Scalar> Kernels<T> for FabricKernels {
         }
     }
 
+    fn sor_sweep(&mut self, a: &CsrMatrix<T>, diag: &[T], omega: T, b: &[T], x: &mut [T]) {
+        // The sweep streams every stored entry once, but each row's update
+        // feeds the next row's accumulation — a serial dependence chain
+        // the unrolled SpMV engine cannot pipeline across. Charged as one
+        // entry per cycle plus a single pipeline fill, on top of the dense
+        // relaxation update (divide, subtract, scale, add per row).
+        self.counts.spmv_calls += 1;
+        self.counts.spmv_nnz_processed += a.nnz() as u64;
+        self.counts.spmv_flops += 2 * a.nnz() as u64;
+        let cyc = a.nnz() as u64 + PIPELINE_DEPTH;
+        self.cycles.spmv += cyc;
+        self.capacity_flops += cyc as f64 * 2.0;
+        self.charge_dense(a.nrows(), 4, false);
+        self.telemetry.counter_add(Counter::SorSweeps, 1);
+        acamar_solvers::sor_sweep_reference(a, diag, omega, b, x);
+    }
+
+    fn sptrsv(&mut self, plan: &CompiledSptrsv, m: &CsrMatrix<T>, b: &[T], x: &mut [T]) {
+        // Substitution streams the triangle once like an SpMV pass, but
+        // every topological level must drain before the next may issue, so
+        // each level pays a pipeline refill. Narrow schedules (many
+        // levels) therefore cost proportionally more — the level-count
+        // sensitivity the bench's scaling section measures.
+        self.counts.spmv_calls += 1;
+        self.counts.spmv_nnz_processed += plan.tri_nnz() as u64;
+        self.counts.spmv_flops += 2 * plan.tri_nnz() as u64;
+        let cyc = plan.tri_nnz() as u64 + plan.level_count() as u64 * PIPELINE_DEPTH;
+        self.cycles.spmv += cyc;
+        self.capacity_flops += cyc as f64 * 2.0;
+        self.telemetry.counter_add(Counter::SptrsvApplies, 1);
+        if self.policy.is_fast() {
+            let mut scratch: Vec<T> = match &self.workspace {
+                Some(ws) => ws.take(plan.max_level_width()),
+                None => vec![T::ZERO; plan.max_level_width()],
+            };
+            plan.execute_fast(m, b, x, 1, &mut scratch)
+                .expect("sptrsv shape mismatch");
+            if let Some(ws) = &self.workspace {
+                ws.give(scratch);
+            }
+        } else {
+            plan.solve_serial(m, b, x).expect("sptrsv shape mismatch");
+        }
+        // The SpTRSV fault seam: a stuck-at line in the substitution
+        // datapath corrupts the freshly produced vector exactly like the
+        // SpMV seam corrupts `y` (same per-attempt stuck-raw roll).
+        if self.phase == Phase::Loop {
+            if let Some(raw) = self.stuck_raw {
+                FaultInjector::apply_flip(raw, x);
+            }
+        }
+    }
+
     fn set_phase(&mut self, phase: Phase) {
         let at = self.cycles.total();
         self.record(TraceEvent::PhaseStart { phase, cycle: at });
@@ -1216,6 +1271,38 @@ mod tests {
         Kernels::<f64>::set_phase(&mut hw, Phase::Loop);
         Kernels::<f64>::spmv(&mut hw, &a, &x, &mut y);
         let loud = y
+            .iter()
+            .filter(|v| !v.is_finite() || v.abs() > 1e100)
+            .count();
+        assert_eq!(loud, 1, "exactly one stuck output element per attempt");
+        assert_eq!(inj.injected()[FaultCategory::SpmvBitFlip.index()], 1);
+    }
+
+    #[test]
+    fn injected_stuck_bit_corrupts_loop_sptrsv_only() {
+        use acamar_faultline::{FaultCategory, FaultContext, FaultInjector, FaultPlan};
+        use acamar_sparse::CompiledSptrsv;
+        use std::sync::Arc;
+
+        let a = generate::poisson2d::<f64>(6, 6);
+        let plan = CompiledSptrsv::compile_lower(&a).unwrap();
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::new(3).with_rate(FaultCategory::SpmvBitFlip, 1.0),
+        ));
+        let mut hw = FabricKernels::new(spec(), UnrollSchedule::uniform(36, 4), 4)
+            .with_fault_context(FaultContext::new(Arc::clone(&inj), 7));
+        let b = vec![1.0_f64; 36];
+        let mut x = vec![0.0_f64; 36];
+        // Roll the attempt's stuck bit; the Initialize-phase substitution
+        // (preconditioner setup) must stay clean regardless.
+        hw.set_schedule(UnrollSchedule::uniform(36, 4));
+        Kernels::<f64>::sptrsv(&mut hw, &plan, &a, &b, &mut x);
+        assert!(x.iter().all(|v| v.is_finite() && v.abs() < 1e3));
+        // Loop phase: the substitution datapath seam corrupts exactly one
+        // element of the freshly produced vector, like the SpMV seam.
+        Kernels::<f64>::set_phase(&mut hw, Phase::Loop);
+        Kernels::<f64>::sptrsv(&mut hw, &plan, &a, &b, &mut x);
+        let loud = x
             .iter()
             .filter(|v| !v.is_finite() || v.abs() > 1e100)
             .count();

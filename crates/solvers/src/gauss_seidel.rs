@@ -1,14 +1,23 @@
 //! Gauss-Seidel and Successive Over-Relaxation (SOR).
 //!
-//! These are the "relatively simple yet effective" stationary methods the
-//! paper lists alongside Jacobi (Section II-B, Table I). They are
-//! software-only reference solvers here: Acamar's hardware reconfigures
-//! among JB/CG/BiCG-STAB, but the convergence-criteria table (Table I)
-//! covers these too, and they serve as extra baselines.
+//! The "relatively simple yet effective" stationary methods the paper
+//! lists alongside Jacobi (Section II-B, Table I), implemented in the
+//! style of Kasbah et al.'s reconfigurable-hardware SOR (PAPERS.md): the
+//! sweep runs as a [`Kernels::sor_sweep`] executor primitive — so the
+//! fabric twin models its cycles — and all scratch comes from the
+//! executor's buffer pool, making warm solves allocation-free. SOR is a
+//! first-class [`SolverKind`] choice wired into the intake decision and
+//! the rescue ladder (behind
+//! `AcamarConfig::with_extended_solvers` in `acamar-core`).
+//!
+//! The sweep itself is a strict serial dependence chain (each `x[i]`
+//! reads the values updated earlier in the same sweep), so it executes
+//! identical arithmetic on both determinism tiers; the tiers differ only
+//! in the residual-norm reductions between sweeps.
 
 use crate::convergence::{ConvergenceCriteria, DivergenceReason, Monitor, Outcome, Verdict};
 use crate::jacobi::check_square_system;
-use crate::kernels::OpCounts;
+use crate::kernels::{Kernels, Phase};
 use crate::report::SolveReport;
 use crate::selection::SolverKind;
 use acamar_sparse::{CsrMatrix, Scalar, SparseError};
@@ -20,13 +29,14 @@ use acamar_sparse::{CsrMatrix, Scalar, SparseError};
 /// # Errors
 ///
 /// Returns [`SparseError`] for shape problems.
-pub fn gauss_seidel<T: Scalar>(
+pub fn gauss_seidel<T: Scalar, K: Kernels<T>>(
     a: &CsrMatrix<T>,
     b: &[T],
     x0: Option<&[T]>,
     criteria: &ConvergenceCriteria,
+    kernels: &mut K,
 ) -> Result<SolveReport<T>, SparseError> {
-    sor(a, b, x0, T::ONE, criteria).map(|mut r| {
+    sor(a, b, x0, T::ONE, criteria, kernels).map(|mut r| {
         r.solver = SolverKind::GaussSeidel;
         r
     })
@@ -48,103 +58,106 @@ pub fn gauss_seidel<T: Scalar>(
 /// # Examples
 ///
 /// ```
-/// use acamar_solvers::{sor, ConvergenceCriteria};
+/// use acamar_solvers::{sor, ConvergenceCriteria, SoftwareKernels};
 /// use acamar_sparse::generate;
 ///
 /// let a = generate::poisson1d::<f64>(30);
 /// let b = vec![1.0; 30];
-/// let rep = sor(&a, &b, None, 1.5, &ConvergenceCriteria::paper())?;
+/// let mut k = SoftwareKernels::new();
+/// let rep = sor(&a, &b, None, 1.5, &ConvergenceCriteria::paper(), &mut k)?;
 /// assert!(rep.converged());
 /// # Ok::<(), acamar_sparse::SparseError>(())
 /// ```
-pub fn sor<T: Scalar>(
+pub fn sor<T: Scalar, K: Kernels<T>>(
     a: &CsrMatrix<T>,
     b: &[T],
     x0: Option<&[T]>,
     omega: T,
     criteria: &ConvergenceCriteria,
+    kernels: &mut K,
 ) -> Result<SolveReport<T>, SparseError> {
     let w = omega.to_f64();
     assert!(w > 0.0 && w < 2.0, "omega must lie in (0, 2), got {w}");
     let n = check_square_system(a, b)?;
-    let mut counts = OpCounts::default();
+    let start_counts = kernels.counts();
 
-    let diag = a.diagonal();
-    if diag.contains(&T::ZERO) {
+    kernels.set_phase(Phase::Initialize);
+    // Gather the diagonal into pooled scratch (no allocation on warm
+    // solves), rejecting structurally-missing or zero pivots.
+    let mut diag = kernels.acquire_buffer(n);
+    let mut zero_diag = false;
+    for (i, slot) in diag.iter_mut().enumerate() {
+        let (cols, vals) = a.row(i);
+        let mut d = T::ZERO;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c == i {
+                d = v;
+            }
+        }
+        if d == T::ZERO {
+            zero_diag = true;
+        }
+        *slot = d;
+    }
+    if zero_diag {
+        kernels.release_buffer(diag);
         return Ok(SolveReport {
             solver: SolverKind::Sor,
             outcome: Outcome::Diverged(DivergenceReason::Breakdown("zero diagonal")),
             iterations: 0,
             residual_history: Vec::new(),
             solution: x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]),
-            counts,
+            counts: kernels.counts().since(&start_counts),
         });
     }
 
-    let b_norm = b
-        .iter()
-        .fold(T::ZERO, |acc, &v| acc + v * v)
-        .sqrt()
-        .to_f64();
+    let mut x = kernels.acquire_buffer(n);
+    if let Some(x0) = x0 {
+        x.copy_from_slice(x0);
+    }
+    let mut r = kernels.acquire_buffer(n);
+    let b_norm = kernels.norm2(b).to_f64();
     let scale = if b_norm > 0.0 { b_norm } else { 1.0 };
-    counts.dense_calls += 1;
-    counts.dense_flops += 2 * n as u64;
 
-    let mut x = x0.map(|x| x.to_vec()).unwrap_or_else(|| vec![T::ZERO; n]);
     let mut monitor = Monitor::new(*criteria);
     let mut iterations = 0usize;
 
+    kernels.set_phase(Phase::Loop);
     let outcome = loop {
-        // One forward sweep; the sweep touches every stored entry once,
-        // which we account as one SpMV-equivalent pass.
-        for i in 0..n {
-            let (cols, vals) = a.row(i);
-            let mut sigma = T::ZERO;
-            for (&c, &v) in cols.iter().zip(vals) {
-                if c != i {
-                    sigma += v * x[c];
-                }
-            }
-            let gs = (b[i] - sigma) / diag[i];
-            x[i] = x[i] + omega * (gs - x[i]);
-        }
-        counts.spmv_calls += 1;
-        counts.spmv_nnz_processed += a.nnz() as u64;
-        counts.spmv_flops += 2 * a.nnz() as u64;
-        counts.dense_flops += 4 * n as u64;
-
-        // True residual (extra SpMV-equivalent pass, counted as dense for
-        // monitoring purposes only).
-        let mut res2 = 0.0f64;
-        for (i, cols, vals) in a.iter_rows() {
-            let mut ax = T::ZERO;
-            for (&c, &v) in cols.iter().zip(vals) {
-                ax += v * x[c];
-            }
-            let d = (b[i] - ax).to_f64();
-            res2 += d * d;
-        }
-        let res = res2.sqrt() / scale;
+        kernels.begin_iteration(iterations);
+        kernels.sor_sweep(a, &diag, omega, b, &mut x);
         iterations += 1;
+
+        // True residual r = b - A x (an extra SpMV-equivalent pass, as in
+        // the other stationary solvers' monitoring).
+        kernels.spmv(a, &x, &mut r);
+        kernels.scale(-T::ONE, &mut r);
+        kernels.axpy(T::ONE, b, &mut r);
+        let res = kernels.norm2(&r).to_f64() / scale;
+        kernels.observe_residual(monitor.history().len(), res);
         match monitor.observe(res) {
             Verdict::Continue => {}
             Verdict::Done(o) => break o,
         }
     };
 
+    kernels.release_buffer(diag);
+    kernels.release_buffer(r);
     Ok(SolveReport {
         solver: SolverKind::Sor,
         outcome,
         iterations,
         residual_history: monitor.into_history(),
         solution: x,
-        counts,
+        counts: kernels.counts().since(&start_counts),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::SoftwareKernels;
+    use crate::workspace::WorkspaceHandle;
     use acamar_sparse::generate::{self, RowDistribution};
 
     fn criteria() -> ConvergenceCriteria {
@@ -160,7 +173,8 @@ mod tests {
             31,
         );
         let b = vec![1.0; 60];
-        let rep = gauss_seidel(&a, &b, None, &criteria()).unwrap();
+        let mut k = SoftwareKernels::new();
+        let rep = gauss_seidel(&a, &b, None, &criteria(), &mut k).unwrap();
         assert!(rep.converged());
         assert_eq!(rep.solver, SolverKind::GaussSeidel);
     }
@@ -169,8 +183,9 @@ mod tests {
     fn gauss_seidel_beats_jacobi_on_poisson() {
         let a = generate::poisson1d::<f64>(40);
         let b = vec![1.0; 40];
-        let gs = gauss_seidel(&a, &b, None, &criteria()).unwrap();
-        let mut k = crate::kernels::SoftwareKernels::new();
+        let mut kg = SoftwareKernels::new();
+        let gs = gauss_seidel(&a, &b, None, &criteria(), &mut kg).unwrap();
+        let mut k = SoftwareKernels::new();
         let jb = crate::jacobi::jacobi(&a, &b, None, &criteria(), &mut k).unwrap();
         assert!(gs.converged());
         if jb.converged() {
@@ -187,8 +202,10 @@ mod tests {
     fn sor_with_good_omega_beats_gauss_seidel() {
         let a = generate::poisson1d::<f64>(40);
         let b = vec![1.0; 40];
-        let gs = gauss_seidel(&a, &b, None, &criteria()).unwrap();
-        let s = sor(&a, &b, None, 1.8, &criteria()).unwrap();
+        let mut kg = SoftwareKernels::new();
+        let gs = gauss_seidel(&a, &b, None, &criteria(), &mut kg).unwrap();
+        let mut ks = SoftwareKernels::new();
+        let s = sor(&a, &b, None, 1.8, &criteria(), &mut ks).unwrap();
         assert!(s.converged());
         assert!(
             s.iterations < gs.iterations,
@@ -199,17 +216,51 @@ mod tests {
     }
 
     #[test]
+    fn sor_charges_sweep_and_residual_passes() {
+        let a = generate::poisson1d::<f64>(20);
+        let b = vec![1.0; 20];
+        let mut k = SoftwareKernels::new();
+        let rep = sor(&a, &b, None, 1.5, &criteria(), &mut k).unwrap();
+        assert!(rep.converged());
+        // One sweep + one residual SpMV per iteration.
+        assert_eq!(rep.counts.spmv_calls, 2 * rep.iterations as u64);
+        assert!(rep.counts.dense_calls > 0);
+    }
+
+    #[test]
+    fn warm_sor_is_allocation_free_via_workspace() {
+        let a = generate::poisson1d::<f64>(32);
+        let b = vec![1.0; 32];
+        let ws = WorkspaceHandle::new();
+        // Cold solve populates the pool (x is handed out via the report,
+        // so it is re-allocated each solve; diag and r recycle).
+        let mut k = SoftwareKernels::new().with_workspace(ws.clone());
+        let first = sor(&a, &b, None, 1.5, &criteria(), &mut k).unwrap();
+        assert!(first.converged());
+        let (reuses_first, _) = ws.stats();
+        let second = sor(&a, &b, None, 1.5, &criteria(), &mut k).unwrap();
+        assert!(second.converged());
+        let (reuses_second, _) = ws.stats();
+        assert!(
+            reuses_second > reuses_first,
+            "warm solve should reuse pooled buffers: {reuses_first} -> {reuses_second}"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "omega must lie in (0, 2)")]
     fn sor_rejects_bad_omega() {
         let a = generate::poisson1d::<f64>(4);
-        let _ = sor(&a, &[1.0; 4], None, 2.5, &criteria());
+        let mut k = SoftwareKernels::new();
+        let _ = sor(&a, &[1.0; 4], None, 2.5, &criteria(), &mut k);
     }
 
     #[test]
     fn zero_diagonal_reports_breakdown() {
         let a =
             CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0_f64, 1.0]).unwrap();
-        let rep = gauss_seidel(&a, &[1.0, 1.0], None, &criteria()).unwrap();
+        let mut k = SoftwareKernels::new();
+        let rep = gauss_seidel(&a, &[1.0, 1.0], None, &criteria(), &mut k).unwrap();
         assert!(matches!(
             rep.outcome,
             Outcome::Diverged(DivergenceReason::Breakdown(_))

@@ -8,8 +8,10 @@
 //! their hardware execution (Section IV).
 
 use crate::workspace::WorkspaceHandle;
-use acamar_sparse::{chunk, simd, CompiledSpmv, CsrMatrix, DeterminismPolicy, Scalar};
-use acamar_telemetry::TelemetrySink;
+use acamar_sparse::{
+    chunk, simd, CompiledSpmv, CompiledSptrsv, CsrMatrix, DeterminismPolicy, Scalar,
+};
+use acamar_telemetry::{Counter, TelemetrySink};
 use std::sync::Arc;
 
 /// Minimum stored entries before [`SoftwareKernels`] considers the
@@ -157,6 +159,36 @@ pub trait Kernels<T: Scalar> {
         self.dot(y, y)
     }
 
+    /// One forward SOR sweep over `a` with relaxation factor `omega`:
+    /// `x[i] += omega * ((b[i] - Σ_{j≠i} a_ij x[j]) / a_ii - x[i])`,
+    /// rows ascending, using the *current* `x` (Gauss-Seidel coupling).
+    ///
+    /// The sweep is a strict serial dependence chain, so both determinism
+    /// tiers execute identical arithmetic; tiers differ only in the
+    /// residual reductions around the sweep. The default runs the
+    /// reference sweep without accounting; executors charge one
+    /// SpMV-equivalent pass plus the dense relaxation update.
+    fn sor_sweep(&mut self, a: &CsrMatrix<T>, diag: &[T], omega: T, b: &[T], x: &mut [T]) {
+        sor_sweep_reference(a, diag, omega, b, x);
+    }
+
+    /// Sparse triangular solve `x = tri(m)⁻¹ b` through a compiled level
+    /// schedule (see [`CompiledSptrsv`]) — the substitution kernel of the
+    /// incomplete-factorization preconditioners. Entries of `m` outside
+    /// the plan's triangle are ignored.
+    ///
+    /// The default runs the serial substitution reference and charges
+    /// nothing; [`SoftwareKernels`] adds operation accounting and the
+    /// level-parallel path, and the fabric executor additionally models
+    /// cycles and the SpTRSV fault seam.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if operand shapes disagree with the plan.
+    fn sptrsv(&mut self, plan: &CompiledSptrsv, m: &CsrMatrix<T>, b: &[T], x: &mut [T]) {
+        plan.solve_serial(m, b, x).expect("sptrsv shape mismatch");
+    }
+
     /// Notifies the executor that the solver entered `phase`.
     fn set_phase(&mut self, phase: Phase) {
         let _ = phase;
@@ -291,6 +323,33 @@ impl SoftwareKernels {
     /// Resets all counters to zero.
     pub fn reset(&mut self) {
         self.counts = OpCounts::default();
+    }
+}
+
+/// The reference SOR sweep all executors share (see
+/// [`Kernels::sor_sweep`]). Rows ascending, within-row accumulation in
+/// CSR entry order — a fixed serial chain on every tier. Public so the
+/// fabric executor can wrap it with its cycle model.
+pub fn sor_sweep_reference<T: Scalar>(
+    a: &CsrMatrix<T>,
+    diag: &[T],
+    omega: T,
+    b: &[T],
+    x: &mut [T],
+) {
+    debug_assert_eq!(diag.len(), a.nrows());
+    debug_assert_eq!(b.len(), a.nrows());
+    debug_assert_eq!(x.len(), a.nrows());
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let mut sigma = T::ZERO;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c != i {
+                sigma += v * x[c];
+            }
+        }
+        let gs = (b[i] - sigma) / diag[i];
+        x[i] = x[i] + omega * (gs - x[i]);
     }
 }
 
@@ -438,6 +497,41 @@ impl<T: Scalar> Kernels<T> for SoftwareKernels {
         match &self.workspace {
             Some(ws) => ws.take(n),
             None => vec![T::ZERO; n],
+        }
+    }
+
+    fn sor_sweep(&mut self, a: &CsrMatrix<T>, diag: &[T], omega: T, b: &[T], x: &mut [T]) {
+        // One pass over every stored entry (an SpMV-equivalent) plus the
+        // dense relaxation update: divide, subtract, scale, add per row.
+        self.counts.spmv_calls += 1;
+        self.counts.spmv_nnz_processed += a.nnz() as u64;
+        self.counts.spmv_flops += 2 * a.nnz() as u64;
+        self.counts.dense_calls += 1;
+        self.counts.dense_flops += 4 * a.nrows() as u64;
+        self.telemetry.counter_add(Counter::SorSweeps, 1);
+        sor_sweep_reference(a, diag, omega, b, x);
+    }
+
+    fn sptrsv(&mut self, plan: &CompiledSptrsv, m: &CsrMatrix<T>, b: &[T], x: &mut [T]) {
+        // Charged to the sparse bucket: one mul+sub per off-diagonal
+        // entry plus the diagonal division, ~2 FLOPs per stored entry —
+        // the same rate as SpMV over the triangle.
+        self.counts.spmv_calls += 1;
+        self.counts.spmv_nnz_processed += plan.tri_nnz() as u64;
+        self.counts.spmv_flops += 2 * plan.tri_nnz() as u64;
+        self.telemetry.counter_add(Counter::SptrsvApplies, 1);
+        let mut scratch: Vec<T> = match &self.workspace {
+            Some(ws) => ws.take(plan.max_level_width()),
+            None => vec![T::ZERO; plan.max_level_width()],
+        };
+        let result = if self.policy.is_fast() {
+            plan.execute_fast(m, b, x, self.spmv_threads, &mut scratch)
+        } else {
+            plan.execute(m, b, x, self.spmv_threads, &mut scratch)
+        };
+        result.expect("sptrsv shape mismatch");
+        if let Some(ws) = &self.workspace {
+            ws.give(scratch);
         }
     }
 

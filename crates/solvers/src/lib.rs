@@ -40,6 +40,7 @@ mod convergence;
 mod diagnostics;
 mod gauss_seidel;
 mod gmres;
+mod ic0;
 mod ilu;
 mod jacobi;
 mod kernels;
@@ -56,12 +57,18 @@ pub use convergence::{ConvergenceCriteria, DivergenceReason, Monitor, Outcome, V
 pub use diagnostics::{ConvergenceSummary, Trend};
 pub use gauss_seidel::{gauss_seidel, sor};
 pub use gmres::gmres;
+pub use ic0::Ic0;
 pub use ilu::{ilu_pcg, Ilu0};
 pub use jacobi::jacobi;
-pub use kernels::{Kernels, OpCounts, Phase, SoftwareKernels, PARALLEL_SPMV_MIN_NNZ};
-pub use pcg::preconditioned_cg;
+pub use kernels::{
+    sor_sweep_reference, Kernels, OpCounts, Phase, SoftwareKernels, PARALLEL_SPMV_MIN_NNZ,
+};
+pub use pcg::{ic0_preconditioned_cg, preconditioned_cg, preconditioned_cg_with, Preconditioner};
 pub use report::SolveReport;
-pub use selection::{fallback_order, paper_table1, recommend, satisfies, Criterion, SolverKind};
+pub use selection::{
+    extended_fallback_order, fallback_order, paper_table1, recommend, recommend_extended,
+    satisfies, Criterion, SolverKind,
+};
 pub use srj::{chebyshev_weights, jacobi_spectrum_bounds, scheduled_relaxation_jacobi};
 pub use workspace::{SolverWorkspace, WorkspaceHandle};
 
@@ -94,8 +101,8 @@ pub fn solve_with<T: Scalar, K: Kernels<T>>(
         SolverKind::PreconditionedCg => preconditioned_cg(a, b, x0, criteria, kernels),
         SolverKind::BiCg => bicg(a, b, x0, criteria, kernels),
         SolverKind::ConjugateResidual => conjugate_residual(a, b, x0, criteria, kernels),
-        SolverKind::GaussSeidel => gauss_seidel(a, b, x0, criteria),
-        SolverKind::Sor => sor(a, b, x0, T::from_f64(1.5), criteria),
+        SolverKind::GaussSeidel => gauss_seidel(a, b, x0, criteria, kernels),
+        SolverKind::Sor => sor(a, b, x0, T::from_f64(1.5), criteria, kernels),
         SolverKind::Gmres => gmres(a, b, x0, DEFAULT_GMRES_RESTART, criteria, kernels),
     }
 }

@@ -215,10 +215,82 @@ pub fn fallback_order(first: SolverKind) -> Vec<SolverKind> {
     order
 }
 
+/// Intake recommendation over the *extended* solver set (paper Table I
+/// beyond the three reconfiguration targets): symmetric **and** strictly
+/// diagonally dominant systems — where the SOR iteration matrix is
+/// provably contractive and over-relaxation beats both Jacobi and plain
+/// Gauss-Seidel — pick [`SolverKind::Sor`]; everything else falls through
+/// to [`recommend`]. Engaged by `AcamarConfig::with_extended_solvers`.
+pub fn recommend_extended(report: &StructureReport) -> SolverKind {
+    if report.strictly_diagonally_dominant && report.symmetric && report.positive_diagonal {
+        SolverKind::Sor
+    } else {
+        recommend(report)
+    }
+}
+
+/// [`fallback_order`] over the extended solver set: the Acamar trio
+/// first (unchanged relative order), then [`SolverKind::Sor`] as the
+/// final stationary-method fallback. Used by the rescue ladder's
+/// NextSolver rung so a fourth genuinely different iteration is
+/// available before escalating to preconditioning/GMRES.
+pub fn extended_fallback_order(first: SolverKind) -> Vec<SolverKind> {
+    let mut order = fallback_order(first);
+    if !order.contains(&SolverKind::Sor) {
+        order.push(SolverKind::Sor);
+    }
+    order
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use acamar_sparse::{analysis, generate, generate::RowDistribution};
+
+    #[test]
+    fn extended_recommendation_picks_sor_for_symmetric_dominant() {
+        // Shifted Poisson: symmetric, positive diagonal, and strictly
+        // dominant once the identity shift is added.
+        let mut a = generate::poisson2d::<f64>(6, 6);
+        let row_ptr = a.row_ptr().to_vec();
+        let col_idx = a.col_idx().to_vec();
+        for i in 0..36 {
+            for (k, &c) in col_idx
+                .iter()
+                .enumerate()
+                .take(row_ptr[i + 1])
+                .skip(row_ptr[i])
+            {
+                if c == i {
+                    a.values_mut()[k] += 1.0;
+                }
+            }
+        }
+        let report = analysis::analyze(&a);
+        assert!(report.symmetric && report.strictly_diagonally_dominant);
+        assert_eq!(recommend_extended(&report), SolverKind::Sor);
+        // The base recommendation is unchanged by the extension.
+        assert_eq!(recommend(&report), SolverKind::Jacobi);
+
+        // Plain (weakly dominant) Poisson still routes to CG.
+        let p = generate::poisson2d::<f64>(6, 6);
+        let report = analysis::analyze(&p);
+        assert_eq!(recommend_extended(&report), recommend(&report));
+    }
+
+    #[test]
+    fn extended_fallback_appends_sor_once() {
+        for first in SolverKind::ACAMAR {
+            let order = extended_fallback_order(first);
+            assert_eq!(order.len(), 4);
+            assert_eq!(order.last(), Some(&SolverKind::Sor));
+            let base = fallback_order(first);
+            assert_eq!(&order[..3], &base[..]);
+        }
+        // SOR as the primary does not duplicate itself.
+        let order = extended_fallback_order(SolverKind::Sor);
+        assert_eq!(order.iter().filter(|&&k| k == SolverKind::Sor).count(), 1);
+    }
 
     #[test]
     fn labels_and_display() {

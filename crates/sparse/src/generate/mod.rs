@@ -14,7 +14,7 @@ mod random;
 mod structured;
 
 pub use graph::{grid_laplacian, path_laplacian, preferential_attachment_laplacian};
-pub use poisson::{poisson1d, poisson2d, poisson3d};
+pub use poisson::{anisotropic_poisson2d, jump_poisson2d, poisson1d, poisson2d, poisson3d};
 pub use random::{
     diagonally_dominant, ill_conditioned_spd, indefinite_diagonally_dominant, jacobi_divergent_spd,
     nonsymmetric_perturbation, random_pattern, spd_from_pattern, spread_spectrum_blocks,

@@ -37,6 +37,8 @@
 //!   the MSID unroll schedule (paper Fig. 3 / Eq. 5, host twin).
 //! * [`simd`] — portable fixed-lane accumulators and the
 //!   [`DeterminismPolicy`] two-tier numeric contract (DESIGN §15).
+//! * [`sptrsv`] — level-scheduled sparse triangular solve plans for
+//!   incomplete-factorization preconditioners (DESIGN §17).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -57,6 +59,7 @@ pub mod permute;
 pub mod rng;
 mod scalar;
 pub mod simd;
+pub mod sptrsv;
 pub mod stats;
 
 pub use analysis::{Definiteness, StructureReport};
@@ -69,4 +72,5 @@ pub use ell::EllMatrix;
 pub use error::{IoError, SparseError};
 pub use scalar::Scalar;
 pub use simd::DeterminismPolicy;
+pub use sptrsv::{CompiledSptrsv, Triangle};
 pub use stats::RowNnzStats;

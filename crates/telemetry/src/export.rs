@@ -196,6 +196,11 @@ pub fn event_json(e: &Event) -> String {
             ));
         }
         EventKind::CacheEvicted => s.push_str(",\"kind\":\"cache_evicted\""),
+        EventKind::PreconditionerSelected { ic0, levels } => {
+            s.push_str(&format!(
+                ",\"kind\":\"preconditioner_selected\",\"ic0\":{ic0},\"levels\":{levels}"
+            ));
+        }
     }
     s.push('}');
     s

@@ -353,6 +353,17 @@ pub enum EventKind {
     /// The plan cache evicted its least-recently-used entry to stay within
     /// its configured capacity.
     CacheEvicted,
+    /// A forced PreconditionedCg attempt selected its preconditioner: the
+    /// cached level-scheduled IC(0) pair, or the Jacobi diagonal fallback
+    /// when the incomplete factorization broke down.
+    PreconditionerSelected {
+        /// `true` when the IC(0) factors and cached SpTRSV plans ran;
+        /// `false` for the Jacobi-diagonal fallback.
+        ic0: bool,
+        /// Topological level count of the lower-triangle schedule
+        /// (0 when no cached schedule existed).
+        levels: u32,
+    },
 }
 
 /// A single recorded telemetry event.
@@ -458,11 +469,15 @@ pub enum Counter {
     WarmStartsRejected,
     /// Plan-cache entries evicted to stay within the configured capacity.
     CacheEvictions,
+    /// Level-scheduled SpTRSV substitution passes executed.
+    SptrsvApplies,
+    /// SOR/Gauss-Seidel relaxation sweeps executed.
+    SorSweeps,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 33;
+    pub const COUNT: usize = 35;
 
     /// Every counter, in `repr` order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -499,6 +514,8 @@ impl Counter {
         Counter::WarmStartsUsed,
         Counter::WarmStartsRejected,
         Counter::CacheEvictions,
+        Counter::SptrsvApplies,
+        Counter::SorSweeps,
     ];
 
     /// The counter's index into a `[u64; Counter::COUNT]` snapshot.
@@ -542,6 +559,8 @@ impl Counter {
             Counter::WarmStartsUsed => "acamar_warm_starts_used_total",
             Counter::WarmStartsRejected => "acamar_warm_starts_rejected_total",
             Counter::CacheEvictions => "acamar_plan_cache_evictions_total",
+            Counter::SptrsvApplies => "acamar_sptrsv_applies_total",
+            Counter::SorSweeps => "acamar_sor_sweeps_total",
         }
     }
 
@@ -581,6 +600,8 @@ impl Counter {
             Counter::WarmStartsUsed => "Sequence steps that passed the warm-start gate",
             Counter::WarmStartsRejected => "Sequence steps that failed the warm-start gate",
             Counter::CacheEvictions => "Plan-cache entries evicted at capacity",
+            Counter::SptrsvApplies => "Level-scheduled SpTRSV substitution passes executed",
+            Counter::SorSweeps => "SOR/Gauss-Seidel relaxation sweeps executed",
         }
     }
 }
